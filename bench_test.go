@@ -1,0 +1,318 @@
+// Benchmarks regenerating the paper's quantitative results, one benchmark per
+// experiment of DESIGN.md (E1–E10), plus substrate benchmarks for the pieces
+// the experiments are built from. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The faithful J_{µ,k} benchmarks (E7–E9 full size) are the heaviest; every
+// other benchmark operates on the smallest parameters the paper allows.
+package fourshades
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/view"
+)
+
+// --- E1: Fact 1.1 hierarchy ---------------------------------------------------
+
+func BenchmarkE1ElectionIndices(b *testing.B) {
+	g := Caterpillar(6, []int{2, 0, 1, 3, 1, 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ElectionIndices(g, IndexOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Theorem 2.2 upper bound ----------------------------------------------
+
+func BenchmarkE2SelectionWithAdvice(b *testing.B) {
+	gdk, err := BuildGdk(4, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := RunSelectionWithAdvice(gdk.G, RunSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: the G_{Δ,k} construction ----------------------------------------------
+
+func BenchmarkE3BuildGdk(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGdk(4, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3GdkSelectionIndex(b *testing.B) {
+	gdk, err := BuildGdk(4, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ElectionIndex(gdk.G, Selection, IndexOptions{MaxDepth: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Theorem 2.9 lower bound (fooling) --------------------------------------
+
+func BenchmarkE4FoolSelection(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := FoolSelection(4, 1, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LeadersInBeta < 2 {
+			b.Fatal("fooling failed")
+		}
+	}
+}
+
+// --- E5: Lemma 3.9 Port Election on U_{Δ,k} --------------------------------------
+
+func BenchmarkE5UdkBuild(b *testing.B) {
+	sigma, err := construct.SigmaForIndex(4, 1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUdk(4, 1, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5UdkPortElection(b *testing.B) {
+	sigma, err := construct.SigmaForIndex(4, 1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := BuildUdk(4, 1, sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		depth, outputs, err := UdkPortElection(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if depth != u.K {
+			b.Fatal("wrong depth")
+		}
+		if err := Verify(PortElection, u.G, outputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5UdkPortElectionLarge(b *testing.B) {
+	// Δ=4, k=2: ~10^5 nodes, evaluated centrally (see EXPERIMENTS.md).
+	rng := NewRand(5)
+	sigma, err := RandomUdkSigma(4, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := BuildUdk(4, 2, sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := UdkPortElection(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: Theorem 3.11 lower bound (fooling) ---------------------------------------
+
+func BenchmarkE6FoolPortElection(b *testing.B) {
+	sigmaA, _ := construct.SigmaForIndex(4, 1, 100)
+	sigmaB, _ := construct.SigmaForIndex(4, 1, 101)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := FoolPortElection(4, 1, sigmaA, sigmaB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Disjoint {
+			b.Fatal("fooling failed")
+		}
+	}
+}
+
+// --- E7: the J_{µ,k} construction --------------------------------------------------
+
+func BenchmarkE7BuildJmkReduced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7BuildJmkFaithful(b *testing.B) {
+	// The smallest faithful instance: 1024 gadgets, ~132k nodes.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildJmk(2, 4, JmkBuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: Lemma 4.8 (C)PPE on J_{µ,k} ------------------------------------------------
+
+func BenchmarkE8JmkCPPEReduced(b *testing.B) {
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		depth, outputs, err := JmkPathElection(inst, CompletePortPathElection)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if depth != inst.K {
+			b.Fatal("wrong depth")
+		}
+		if err := Verify(CompletePortPathElection, inst.G, outputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8JmkCPPESampledFaithful(b *testing.B) {
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := algorithms.VerifyJmkSample(inst, CompletePortPathElection, 1500, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Sampled == 0 {
+			b.Fatal("empty sample")
+		}
+	}
+}
+
+// --- E9: Theorems 4.11/4.12 lower bound ----------------------------------------------
+
+func BenchmarkE9JmkPigeonhole(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mu := range []int{2, 3, 4, 5} {
+			_ = construct.AdviceLowerBoundBitsJmk(mu, 6)
+			_ = lowerbound.PigeonholeAdviceBits(construct.GdkClassSize(4*mu, 1))
+		}
+	}
+}
+
+// --- E10: the headline separation table ------------------------------------------------
+
+func BenchmarkE10SeparationTable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Experiment10Separation(core.Options{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate benchmarks ----------------------------------------------------------------
+
+func BenchmarkSubstrateViewRefinement(b *testing.B) {
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Refine(inst.G, 4)
+	}
+}
+
+func BenchmarkSubstrateViewTree(b *testing.B) {
+	g := Torus(20, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ComputeView(g, i%g.N(), 5)
+	}
+}
+
+func BenchmarkSubstrateSimulatorParallel(b *testing.B) {
+	gdk, err := BuildGdk(4, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := RunSelectionWithAdvice(gdk.G, Run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateSimulatorAsync(b *testing.B) {
+	gdk, err := BuildGdk(4, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := RunSelectionWithAdvice(gdk.G, RunAsync); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateFeasibility(b *testing.B) {
+	g := Caterpillar(20, []int{1, 2, 0, 3, 1, 0, 2, 1, 3, 0, 1, 2, 0, 1, 3, 2, 0, 1, 2, 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Feasible(g) {
+			b.Fatal("expected feasible")
+		}
+	}
+}
+
+func BenchmarkSubstrateMapAdviceAllTasks(b *testing.B) {
+	g := ThreeNodeLine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, task := range []Task{Selection, PortElection, PortPathElection, CompletePortPathElection} {
+			if _, _, _, err := RunWithMapAdvice(g, task, IndexOptions{}, RunSequential); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command advicebench reproduces the paper's quantitative results: it runs
+// the experiment suite E1–E10 described in DESIGN.md and prints one table per
+// experiment (optionally as Markdown, which is how EXPERIMENTS.md is kept in
+// sync with the code).
+//
+// Usage:
+//
+//	advicebench [-quick] [-markdown] [-seed N] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the faithful (large) J_{µ,k} instances")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
+	seed := flag.Int64("seed", 1, "seed for the randomised corpus graphs and class members")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty runs all")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			wanted[id] = true
+		}
+	}
+
+	start := time.Now()
+	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+		// Print whatever was produced before the failure, then exit non-zero.
+		printTables(tables, wanted, *markdown)
+		os.Exit(1)
+	}
+	printTables(tables, wanted, *markdown)
+	fmt.Printf("completed %d experiments in %v\n", countPrinted(tables, wanted), time.Since(start).Round(time.Millisecond))
+}
+
+func printTables(tables []*core.Table, wanted map[string]bool, markdown bool) {
+	for _, table := range tables {
+		if len(wanted) > 0 && !wanted[table.ID] {
+			continue
+		}
+		if markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.Render())
+		}
+	}
+}
+
+func countPrinted(tables []*core.Table, wanted map[string]bool) int {
+	if len(wanted) == 0 {
+		return len(tables)
+	}
+	n := 0
+	for _, table := range tables {
+		if wanted[table.ID] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+// Command fourshades runs leader election on a port-numbered anonymous
+// network: it reports feasibility, the four election indices, and executes the
+// minimum-time algorithms with advice on the chosen simulation engine.
+//
+// The network is either read from a JSON file (see graph.ReadJSON for the
+// format) or generated from a spec such as "ring:8", "path:5", "star:6",
+// "grid:3x4", "hypercube:3", "caterpillar:2,0,1,3", "random:12,18,7".
+//
+// Usage:
+//
+//	fourshades -graph path:5 -task PE -engine parallel
+//	fourshades -file network.json -task CPPE -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/advice"
+	"repro/internal/algorithms"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+func main() {
+	spec := flag.String("graph", "", "generator spec, e.g. ring:8, path:5, star:6, grid:3x4, hypercube:3, caterpillar:1,0,2, random:12,18,7")
+	file := flag.String("file", "", "JSON file holding the port-numbered graph")
+	taskName := flag.String("task", "S", "task to solve: S, PE, PPE or CPPE")
+	engineName := flag.String("engine", "parallel", "simulation engine: sequential, parallel or async")
+	dotOut := flag.String("dot", "", "write the graph in Graphviz DOT format to this file")
+	showOutputs := flag.Bool("outputs", false, "print every node's output")
+	flag.Parse()
+
+	g, err := loadGraph(*spec, *file)
+	if err != nil {
+		fail(err)
+	}
+	task, err := election.ParseTask(*taskName)
+	if err != nil {
+		fail(err)
+	}
+	engine, err := chooseEngine(*engineName)
+	if err != nil {
+		fail(err)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.DOT("network", nil)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+
+	fmt.Printf("network: n=%d, m=%d, Δ=%d, diameter=%d\n", g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter())
+	if !view.Feasible(g) {
+		fmt.Println("leader election is IMPOSSIBLE in this network: two nodes have identical views")
+		fmt.Println("(this is inherent to the symmetry of the network, not a limitation of any algorithm)")
+		os.Exit(2)
+	}
+	indices, err := election.Indices(g, election.Options{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("election indices: ψ_S=%d ψ_PE=%d ψ_PPE=%d ψ_CPPE=%d\n",
+		indices[election.S], indices[election.PE], indices[election.PPE], indices[election.CPPE])
+
+	var adviceBits, rounds int
+	var outputs []election.Output
+	if task == election.S {
+		adviceBits, rounds, outputs, err = algorithms.RunSelectionWithAdvice(g, engine)
+	} else {
+		adviceBits, rounds, outputs, err = algorithms.RunWithMapAdvice(g, task, election.Options{}, engine)
+	}
+	if err != nil {
+		fail(err)
+	}
+	leader := election.LeaderOf(outputs)
+	fmt.Printf("task %v solved in %d rounds (ψ_%v = %d) with %d bits of advice; leader = node %d\n",
+		task, rounds, task, indices[task], adviceBits, leader)
+	fmt.Printf("for comparison, the full map costs %d bits of advice\n", advice.GraphAdviceBits(g))
+	if err := election.Verify(task, g, outputs); err != nil {
+		fail(fmt.Errorf("outputs failed verification: %w", err))
+	}
+	fmt.Println("outputs verified against the network")
+	if *showOutputs {
+		for v, o := range outputs {
+			fmt.Printf("  node %3d (deg %d): %s\n", v, g.Degree(v), o)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fourshades: %v\n", err)
+	os.Exit(1)
+}
+
+func chooseEngine(name string) (func(*graph.Graph, local.Factory, local.Config) (*local.Result, error), error) {
+	switch strings.ToLower(name) {
+	case "sequential", "seq":
+		return local.RunSequential, nil
+	case "parallel", "par":
+		return local.Run, nil
+	case "async", "asynchronous":
+		return local.RunAsync, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want sequential, parallel or async)", name)
+	}
+}
+
+func loadGraph(spec, file string) (*graph.Graph, error) {
+	switch {
+	case spec != "" && file != "":
+		return nil, fmt.Errorf("use either -graph or -file, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadJSON(f)
+	case spec != "":
+		return generate(spec)
+	default:
+		return nil, fmt.Errorf("one of -graph or -file is required")
+	}
+}
+
+func generate(spec string) (*graph.Graph, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch strings.ToLower(name) {
+	case "ring":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("ring needs a size: %w", err)
+		}
+		return graph.Ring(n), nil
+	case "path":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("path needs a size: %w", err)
+		}
+		return graph.Path(n), nil
+	case "line3":
+		return graph.ThreeNodeLine(), nil
+	case "star":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("star needs a size: %w", err)
+		}
+		return graph.Star(n), nil
+	case "complete":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("complete needs a size: %w", err)
+		}
+		return graph.Complete(n), nil
+	case "hypercube":
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("hypercube needs a dimension: %w", err)
+		}
+		return graph.Hypercube(d), nil
+	case "grid", "torus":
+		r, c, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("%s needs RxC dimensions", name)
+		}
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("invalid %s dimensions %q", name, arg)
+		}
+		if strings.EqualFold(name, "grid") {
+			return graph.Grid(rows, cols), nil
+		}
+		return graph.Torus(rows, cols), nil
+	case "caterpillar":
+		legs, err := parseInts(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Caterpillar(len(legs), legs), nil
+	case "random":
+		params, err := parseInts(arg)
+		if err != nil || len(params) != 3 {
+			return nil, fmt.Errorf("random needs n,m,seed")
+		}
+		rng := newRand(int64(params[2]))
+		return graph.RandomConnected(params[0], params[1], rng), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", name)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/view"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+	}{
+		{"ring:8", 8},
+		{"path:5", 5},
+		{"line3", 3},
+		{"star:6", 6},
+		{"complete:4", 4},
+		{"hypercube:3", 8},
+		{"grid:3x4", 12},
+		{"torus:3x3", 9},
+		{"caterpillar:2,0,1", 6},
+		{"random:10,14,3", 10},
+	}
+	for _, tc := range cases {
+		g, err := generate(tc.spec)
+		if err != nil {
+			t.Fatalf("generate(%q): %v", tc.spec, err)
+		}
+		if g.N() != tc.nodes {
+			t.Errorf("generate(%q) produced %d nodes, want %d", tc.spec, g.N(), tc.nodes)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("generate(%q): invalid graph: %v", tc.spec, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "unknown:3", "ring:x", "path:", "grid:3", "grid:axb", "random:5,6", "caterpillar:a,b",
+		"hypercube:y", "star:z", "complete:w",
+	} {
+		if _, err := generate(spec); err == nil {
+			t.Errorf("generate(%q) unexpectedly succeeded", spec)
+		}
+	}
+}
+
+func TestLoadGraphValidation(t *testing.T) {
+	if _, err := loadGraph("", ""); err == nil {
+		t.Error("loadGraph with neither spec nor file accepted")
+	}
+	if _, err := loadGraph("ring:5", "also-a-file.json"); err == nil {
+		t.Error("loadGraph with both spec and file accepted")
+	}
+	if _, err := loadGraph("", "/definitely/not/a/file.json"); err == nil {
+		t.Error("loadGraph with a missing file accepted")
+	}
+	g, err := loadGraph("path:4", "")
+	if err != nil || g.N() != 4 {
+		t.Errorf("loadGraph(path:4) = %v, %v", g, err)
+	}
+}
+
+func TestChooseEngine(t *testing.T) {
+	for _, name := range []string{"sequential", "seq", "parallel", "par", "async", "ASYNC"} {
+		if _, err := chooseEngine(name); err != nil {
+			t.Errorf("chooseEngine(%q): %v", name, err)
+		}
+	}
+	if _, err := chooseEngine("quantum"); err == nil {
+		t.Error("chooseEngine accepted an unknown engine")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2 ,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("parseInts accepted a non-integer")
+	}
+}
+
+func TestGeneratedGraphsAreUsable(t *testing.T) {
+	// The feasible generator outputs should work with the rest of the library.
+	g, err := generate("caterpillar:1,0,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Feasible(g) {
+		t.Error("caterpillar spec should be feasible")
+	}
+}

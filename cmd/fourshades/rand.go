@@ -1,0 +1,7 @@
+package main
+
+import "math/rand"
+
+// newRand isolates the only use of math/rand in the command so that the main
+// file stays focused on wiring.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,187 @@
+// Command genclass materialises the paper's graph-class constructions and the
+// objects pictured in its figures, reporting their structural statistics and
+// optionally exporting them as Graphviz DOT or JSON.
+//
+// Families:
+//
+//	tree    -delta 4 -k 2 -x 1,2,3,3,2,2 -variant 1     (Figure 1)
+//	gdk     -delta 4 -k 1 -i 2                          (Figure 2)
+//	udk     -delta 4 -k 1 -sigma 1,2,3,1,2,3,1,2,3      (Figure 3)
+//	layer   -mu 3 -j 4                                  (Figure 4)
+//	jmk     -mu 2 -k 4 -gadgets 8                       (Figures 5–11)
+//
+// Usage:
+//
+//	genclass -family gdk -delta 4 -k 1 -i 2 -dot g2.dot
+//	genclass -family layer -mu 3 -j 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func main() {
+	family := flag.String("family", "gdk", "construction family: tree, gdk, udk, layer or jmk")
+	delta := flag.Int("delta", 4, "maximum degree parameter Δ (tree, gdk, udk)")
+	k := flag.Int("k", 1, "time parameter k")
+	i := flag.Int("i", 2, "instance index within G_{Δ,k}")
+	xSpec := flag.String("x", "", "comma-separated sequence X for a single tree T_{X,b}")
+	variant := flag.Int("variant", 1, "tree variant: 1 for T_{X,1}, 2 for T_{X,2}")
+	sigmaSpec := flag.String("sigma", "", "comma-separated σ for U_{Δ,k} (empty = template)")
+	mu := flag.Int("mu", 2, "branching parameter µ (layer, jmk)")
+	j := flag.Int("j", 3, "layer index for -family layer")
+	gadgets := flag.Int("gadgets", 8, "gadget count for -family jmk (0 = faithful 2^z)")
+	dotOut := flag.String("dot", "", "write the constructed graph as Graphviz DOT to this file")
+	jsonOut := flag.String("json", "", "write the constructed graph as JSON to this file")
+	indices := flag.Bool("indices", false, "also compute the election indices (may be slow on large instances)")
+	flag.Parse()
+
+	g, labels, err := build(*family, buildParams{
+		delta: *delta, k: *k, i: *i, xSpec: *xSpec, variant: *variant,
+		sigmaSpec: *sigmaSpec, mu: *mu, j: *j, gadgets: *gadgets,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genclass: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("family %s: n=%d, m=%d, Δ=%d, diameter=%d, feasible=%v\n",
+		*family, g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter(), view.Feasible(g))
+	depth, unique := view.MinDepthSomeUnique(g)
+	if depth >= 0 {
+		fmt.Printf("smallest depth with a unique view (ψ_S): %d (%d unique nodes)\n", depth, len(unique))
+	}
+	if *indices {
+		idx, err := election.Indices(g, election.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genclass: computing indices: %v\n", err)
+		} else {
+			fmt.Printf("election indices: ψ_S=%d ψ_PE=%d ψ_PPE=%d ψ_CPPE=%d\n",
+				idx[election.S], idx[election.PE], idx[election.PPE], idx[election.CPPE])
+		}
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.DOT(*family, labels)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "genclass: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genclass: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "genclass: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+type buildParams struct {
+	delta, k, i, variant int
+	xSpec, sigmaSpec     string
+	mu, j, gadgets       int
+}
+
+func build(family string, p buildParams) (*graph.Graph, map[int]string, error) {
+	switch strings.ToLower(family) {
+	case "tree":
+		x, err := parseInts(p.xSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, meta, err := construct.BuildTree(construct.TreeSpec{Delta: p.delta, K: p.k, X: x, Variant: p.variant})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, map[int]string{meta.Root: "r"}, nil
+
+	case "gdk":
+		inst, err := construct.BuildGdk(p.delta, p.k, p.i)
+		if err != nil {
+			return nil, nil, err
+		}
+		labels := map[int]string{inst.UniqueRoot: "r_{i,2}"}
+		for m, c := range inst.CycleNodes {
+			labels[c] = fmt.Sprintf("c%d", m+1)
+		}
+		fmt.Printf("|G_{%d,%d}| = %s graphs in the class\n", p.delta, p.k, construct.GdkClassSize(p.delta, p.k))
+		return inst.G, labels, nil
+
+	case "udk":
+		var inst *construct.Udk
+		var err error
+		if p.sigmaSpec == "" {
+			inst, err = construct.BuildUdkTemplate(p.delta, p.k)
+		} else {
+			var sigma []int
+			sigma, err = parseInts(p.sigmaSpec)
+			if err == nil {
+				inst, err = construct.BuildUdk(p.delta, p.k, sigma)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		labels := map[int]string{}
+		for j := range inst.CycleRoots {
+			labels[inst.CycleRoots[j][0]] = fmt.Sprintf("r%d,1", j+1)
+			labels[inst.CycleRoots[j][1]] = fmt.Sprintf("r%d,2", j+1)
+		}
+		fmt.Printf("|U_{%d,%d}| = %s graphs in the class\n", p.delta, p.k, construct.UdkClassSize(p.delta, p.k))
+		return inst.G, labels, nil
+
+	case "layer":
+		g, err := construct.BuildLayerGraph(p.mu, p.j)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, nil, nil
+
+	case "jmk":
+		inst, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{NumGadgets: p.gadgets})
+		if err != nil {
+			return nil, nil, err
+		}
+		labels := map[int]string{}
+		for idx, rho := range inst.Rho {
+			labels[rho] = fmt.Sprintf("rho%d", idx)
+		}
+		fmt.Printf("z = %d layer-k nodes, faithful chain length 2^z = %s\n",
+			inst.Z, construct.JmkNumGadgets(p.mu, p.k))
+		return inst.G, labels, nil
+
+	default:
+		return nil, nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("an integer sequence is required")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

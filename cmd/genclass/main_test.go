@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestBuildFamilies(t *testing.T) {
+	cases := []struct {
+		name   string
+		params buildParams
+		nodes  int // 0 = only check validity
+	}{
+		{"tree", buildParams{delta: 4, k: 2, xSpec: "1,2,3,3,2,2", variant: 1}, 25},
+		{"tree", buildParams{delta: 4, k: 2, xSpec: "1,2,3,3,2,2", variant: 2}, 25},
+		{"gdk", buildParams{delta: 4, k: 1, i: 2}, 0},
+		{"udk", buildParams{delta: 4, k: 1}, 0},
+		{"udk", buildParams{delta: 4, k: 1, sigmaSpec: "1,2,3,1,2,3,1,2,3"}, 0},
+		{"layer", buildParams{mu: 3, j: 4}, 17},
+		{"jmk", buildParams{mu: 2, k: 4, gadgets: 4}, 516},
+	}
+	for _, tc := range cases {
+		g, _, err := build(tc.name, tc.params)
+		if err != nil {
+			t.Fatalf("build(%s, %+v): %v", tc.name, tc.params, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("build(%s): invalid graph: %v", tc.name, err)
+		}
+		if tc.nodes > 0 && g.N() != tc.nodes {
+			t.Errorf("build(%s) produced %d nodes, want %d", tc.name, g.N(), tc.nodes)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		params buildParams
+	}{
+		{"unknown", buildParams{}},
+		{"tree", buildParams{delta: 4, k: 2, xSpec: "", variant: 1}},
+		{"tree", buildParams{delta: 4, k: 2, xSpec: "1,2", variant: 1}}, // wrong length
+		{"gdk", buildParams{delta: 2, k: 1, i: 1}},
+		{"udk", buildParams{delta: 3, k: 1}},
+		{"jmk", buildParams{mu: 1, k: 4, gadgets: 2}},
+		{"layer", buildParams{mu: 3, j: 0}},
+	}
+	for _, tc := range cases {
+		if _, _, err := build(tc.name, tc.params); err == nil {
+			t.Errorf("build(%s, %+v) unexpectedly succeeded", tc.name, tc.params)
+		}
+	}
+}
+
+func TestParseIntsGenclass(t *testing.T) {
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	got, err := parseInts("3,1,2")
+	if err != nil || len(got) != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+}

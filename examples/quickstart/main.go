@@ -1,0 +1,66 @@
+// Quickstart: build a small anonymous port-numbered network, check that
+// leader election is possible at all, compute how fast it can possibly be
+// done (the election indices), and then actually elect a leader in that
+// minimum time using the advice framework of the paper.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fourshades "repro"
+)
+
+func main() {
+	// A caterpillar: a 4-node spine with 2, 0, 1 and 3 legs. Its degrees and
+	// port numbers break all symmetries, so election is feasible.
+	g := fourshades.Caterpillar(4, []int{2, 0, 1, 3})
+	fmt.Printf("network: %d nodes, %d edges, max degree %d\n", g.N(), g.NumEdges(), g.MaxDegree())
+
+	if !fourshades.Feasible(g) {
+		log.Fatal("this network is symmetric: no deterministic algorithm can elect a leader")
+	}
+
+	// How many rounds does each of the four "shades" of leader election need,
+	// assuming the nodes know the whole map?
+	indices, err := fourshades.ElectionIndices(g, fourshades.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("election indices: ψ_S=%d  ψ_PE=%d  ψ_PPE=%d  ψ_CPPE=%d\n",
+		indices[fourshades.Selection], indices[fourshades.PortElection],
+		indices[fourshades.PortPathElection], indices[fourshades.CompletePortPathElection])
+
+	// Selection in minimum time with the Theorem 2.2 oracle: the advice is the
+	// view of one node, every node gathers its own view and compares.
+	adviceBits, rounds, outputs, err := fourshades.RunSelectionWithAdvice(g, fourshades.Run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leader := -1
+	for v, o := range outputs {
+		if o.Leader {
+			leader = v
+		}
+	}
+	fmt.Printf("Selection: leader = node %d, %d rounds, %d bits of advice\n", leader, rounds, adviceBits)
+
+	// The strongest task, Complete Port Path Election, with full-map advice:
+	// every non-leader learns a complete port path to the leader.
+	_, rounds, outputs, err = fourshades.RunWithMapAdvice(g, fourshades.CompletePortPathElection,
+		fourshades.IndexOptions{}, fourshades.Run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fourshades.Verify(fourshades.CompletePortPathElection, g, outputs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPPE: solved and verified in %d rounds; sample paths to the leader:\n", rounds)
+	for v := 0; v < 3; v++ {
+		fmt.Printf("  node %d outputs %s\n", v, outputs[v])
+	}
+}

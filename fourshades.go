@@ -1,0 +1,239 @@
+// Package fourshades is the public facade of the reproduction of
+// "Four Shades of Deterministic Leader Election in Anonymous Networks"
+// (Gorain, Miller, Pelc; SPAA 2021).
+//
+// It re-exports the pieces a downstream user needs:
+//
+//   - port-numbered anonymous graphs and generators (Graph, Builder, Ring, ...);
+//   - views and feasibility (View, ComputeView, Feasible, ...);
+//   - the four election tasks, their verifiers and election indices
+//     (Task, Output, Verify, Indices, ψ via Index);
+//   - the advice framework (Oracle, ViewOracle, MapOracle) and the
+//     minimum-time algorithms with advice (RunSelectionWithAdvice,
+//     RunWithMapAdvice);
+//   - the synchronous/asynchronous LOCAL-model simulators (Machine, Run,
+//     RunSequential, RunAsync);
+//   - the paper's graph-class constructions (BuildGdk, BuildUdk, BuildJmk) and
+//     lower-bound experiments (FoolSelection, FoolPortElection,
+//     FoolPathElection);
+//   - the experiment suite reproducing the paper's results (RunExperiments).
+//
+// See README.md for a quick start and DESIGN.md / EXPERIMENTS.md for the
+// mapping between the paper's claims and this code base.
+package fourshades
+
+import (
+	"math/rand"
+
+	"repro/internal/advice"
+	"repro/internal/algorithms"
+	"repro/internal/bitstring"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/lowerbound"
+	"repro/internal/view"
+)
+
+// ---- Graphs -----------------------------------------------------------------
+
+// Graph is a simple undirected connected port-numbered graph (the anonymous
+// network model of the paper).
+type Graph = graph.Graph
+
+// GraphBuilder assembles port-numbered graphs edge by edge.
+type GraphBuilder = graph.Builder
+
+// PortPair is one edge of a path given by its outgoing and incoming port.
+type PortPair = graph.PortPair
+
+// NewGraphBuilder returns a builder with n isolated nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Generators for common topologies (see the graph package for details).
+var (
+	Ring            = graph.Ring
+	Path            = graph.Path
+	ThreeNodeLine   = graph.ThreeNodeLine
+	Star            = graph.Star
+	Complete        = graph.Complete
+	Grid            = graph.Grid
+	Torus           = graph.Torus
+	Hypercube       = graph.Hypercube
+	FullTree        = graph.FullTree
+	Caterpillar     = graph.Caterpillar
+	RandomRegular   = graph.RandomRegular
+	RandomConnected = graph.RandomConnected
+	ReadGraphJSON   = graph.ReadJSON
+	Isomorphic      = graph.Isomorphic
+)
+
+// ---- Views ------------------------------------------------------------------
+
+// View is an augmented truncated view B^h(v).
+type View = view.View
+
+// ComputeView returns B^h(v) for node v of g.
+func ComputeView(g *Graph, v, h int) *View { return view.Compute(g, v, h) }
+
+// Feasible reports whether leader election is possible in g at all (all views
+// pairwise distinct).
+func Feasible(g *Graph) bool { return view.Feasible(g) }
+
+// ViewClasses computes the equivalence classes of views of all nodes at all
+// depths up to maxDepth.
+func ViewClasses(g *Graph, maxDepth int) *view.Refinement { return view.Refine(g, maxDepth) }
+
+// ---- Tasks, outputs, election indices ----------------------------------------
+
+// Task identifies one of the four shades of leader election.
+type Task = election.Task
+
+// The four tasks, in increasing order of strength.
+const (
+	Selection                = election.S
+	PortElection             = election.PE
+	PortPathElection         = election.PPE
+	CompletePortPathElection = election.CPPE
+)
+
+// Output is a node's answer to an election task.
+type Output = election.Output
+
+// IndexOptions bounds the exhaustive parts of election-index computations.
+type IndexOptions = election.Options
+
+// Verify checks a complete set of outputs against the graph for a task.
+func Verify(task Task, g *Graph, outputs []Output) error { return election.Verify(task, g, outputs) }
+
+// ElectionIndex returns ψ_task(G), the minimum number of rounds in which the
+// task can be solved on g with full knowledge of the map.
+func ElectionIndex(g *Graph, task Task, opt IndexOptions) (int, error) {
+	return election.Index(g, task, opt)
+}
+
+// ElectionIndices returns all four election indices of g.
+func ElectionIndices(g *Graph, opt IndexOptions) (map[Task]int, error) {
+	return election.Indices(g, opt)
+}
+
+// ---- Advice -------------------------------------------------------------------
+
+// Advice is a binary advice string.
+type Advice = bitstring.Bits
+
+// Oracle produces the advice given to every node.
+type Oracle = advice.Oracle
+
+// ViewAdviceOracle is the Theorem 2.2 oracle (encodes the view of a node whose
+// view is unique at depth ψ_S).
+type ViewAdviceOracle = advice.ViewOracle
+
+// MapAdviceOracle encodes the entire map as advice.
+type MapAdviceOracle = advice.MapOracle
+
+// AdviceSize measures an oracle's advice length in bits on a graph.
+func AdviceSize(o Oracle, g *Graph) (int, error) { return advice.Size(o, g) }
+
+// ---- Simulators ----------------------------------------------------------------
+
+// Machine is the per-node program of a LOCAL-model algorithm.
+type Machine = local.Machine
+
+// MachineFactory creates fresh machines, one per node.
+type MachineFactory = local.Factory
+
+// SimConfig configures a simulation run.
+type SimConfig = local.Config
+
+// SimResult is the outcome of a simulation run.
+type SimResult = local.Result
+
+// Simulation engines: goroutine-per-node (Run), deterministic sequential
+// (RunSequential), and fully asynchronous with an α-synchronizer (RunAsync).
+var (
+	Run           = local.Run
+	RunSequential = local.RunSequential
+	RunAsync      = local.RunAsync
+)
+
+// ---- Algorithms -----------------------------------------------------------------
+
+// RunSelectionWithAdvice runs the Theorem 2.2 minimum-time Selection algorithm
+// on g (oracle + distributed machine) and returns the advice size, the rounds
+// used and the verified outputs.
+func RunSelectionWithAdvice(g *Graph, engine func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
+	return algorithms.RunSelectionWithAdvice(g, engine)
+}
+
+// RunWithMapAdvice runs the generic minimum-time algorithm for any task with
+// full-map advice.
+func RunWithMapAdvice(g *Graph, task Task, opt IndexOptions, engine func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
+	return algorithms.RunWithMapAdvice(g, task, opt, engine)
+}
+
+// ---- Constructions ---------------------------------------------------------------
+
+// GdkInstance is a graph G_i of the class G_{Δ,k} (Section 2.2.1).
+type GdkInstance = construct.Gdk
+
+// UdkInstance is a graph G_σ of the class U_{Δ,k} (Section 3.1).
+type UdkInstance = construct.Udk
+
+// JmkInstance is a graph J_Y of the class J_{µ,k} (Section 4.1).
+type JmkInstance = construct.Jmk
+
+// JmkBuildOptions controls the J_{µ,k} construction.
+type JmkBuildOptions = construct.JmkOptions
+
+// Construction entry points and counting facts.
+var (
+	BuildGdk        = construct.BuildGdk
+	BuildUdk        = construct.BuildUdk
+	BuildUdkTmpl    = construct.BuildUdkTemplate
+	BuildJmk        = construct.BuildJmk
+	GdkClassSize    = construct.GdkClassSize
+	UdkClassSize    = construct.UdkClassSize
+	JmkClassSize    = construct.JmkClassSize
+	RandomUdkSigma  = construct.RandomSigma
+	BuildLayerGraph = construct.BuildLayerGraph
+)
+
+// UdkPortElection evaluates the Lemma 3.9 minimum-time Port Election
+// algorithm on a U_{Δ,k} instance.
+func UdkPortElection(u *UdkInstance) (depth int, outputs []Output, err error) {
+	return algorithms.UdkPortElectionOutputs(u)
+}
+
+// JmkPathElection evaluates the Lemma 4.8 minimum-time (Complete) Port Path
+// Election algorithm on a J_{µ,k} instance.
+func JmkPathElection(inst *JmkInstance, task Task) (depth int, outputs []Output, err error) {
+	return algorithms.JmkPathOutputs(inst, task)
+}
+
+// ---- Lower bounds ------------------------------------------------------------------
+
+// Fooling experiments reproducing the advice lower bounds.
+var (
+	FoolSelection    = lowerbound.FoolSelection
+	FoolPortElection = lowerbound.FoolPortElection
+	FoolPathElection = lowerbound.FoolPathElection
+)
+
+// ---- Experiments -------------------------------------------------------------------
+
+// ExperimentTable is one experiment's result table.
+type ExperimentTable = core.Table
+
+// ExperimentOptions scopes the experiment suite.
+type ExperimentOptions = core.Options
+
+// RunExperiments reproduces the paper's quantitative claims (experiments
+// E1–E10 of DESIGN.md) and returns their tables.
+func RunExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) { return core.All(opt) }
+
+// NewRand is a convenience wrapper so that examples do not need to import
+// math/rand just to seed the generators.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,144 @@
+package fourshades
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user would:
+// build a network, check feasibility, compute election indices, run the
+// minimum-time algorithms with advice, and verify the outputs.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := Caterpillar(4, []int{2, 0, 1, 3})
+	if !Feasible(g) {
+		t.Fatal("caterpillar should be feasible")
+	}
+	idx, err := ElectionIndices(g, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(idx[CompletePortPathElection] >= idx[PortPathElection] &&
+		idx[PortPathElection] >= idx[PortElection] &&
+		idx[PortElection] >= idx[Selection]) {
+		t.Fatalf("Fact 1.1 violated: %v", idx)
+	}
+	bits, rounds, outputs, err := RunSelectionWithAdvice(g, Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != idx[Selection] {
+		t.Errorf("selection used %d rounds, want ψ_S = %d", rounds, idx[Selection])
+	}
+	if bits <= 0 {
+		t.Error("empty advice")
+	}
+	if err := Verify(Selection, g, outputs); err != nil {
+		t.Error(err)
+	}
+	for _, task := range []Task{PortElection, CompletePortPathElection} {
+		_, rounds, outputs, err := RunWithMapAdvice(g, task, IndexOptions{}, RunSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != idx[task] {
+			t.Errorf("%v used %d rounds, want %d", task, rounds, idx[task])
+		}
+		if err := Verify(task, g, outputs); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestFacadeViews exercises the view API.
+func TestFacadeViews(t *testing.T) {
+	g := ThreeNodeLine()
+	v := ComputeView(g, 1, 1)
+	if v.Degree != 2 || v.Height() != 1 {
+		t.Fatalf("unexpected view %v", v)
+	}
+	classes := ViewClasses(g, 1)
+	if classes.NumClassesAt(1) != 3 {
+		t.Fatalf("expected 3 distinct views at depth 1, got %d", classes.NumClassesAt(1))
+	}
+	if Feasible(Ring(6)) {
+		t.Error("oriented ring should be infeasible")
+	}
+}
+
+// TestFacadeConstructions exercises the construction API and the class-size
+// facts through the facade.
+func TestFacadeConstructions(t *testing.T) {
+	gdk, err := BuildGdk(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi, err := ElectionIndex(gdk.G, Selection, IndexOptions{MaxDepth: 3}); err != nil || psi != 1 {
+		t.Errorf("ψ_S(G_2 of G_{4,1}) = %d, %v; want 1", psi, err)
+	}
+	if GdkClassSize(4, 1).String() != "9" {
+		t.Error("|G_{4,1}| should be 9")
+	}
+	sigma, err := RandomUdkSigma(4, 1, NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := BuildUdk(4, 1, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, outputs, err := UdkPortElection(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 1 {
+		t.Errorf("Udk PE depth %d, want 1", depth)
+	}
+	if err := Verify(PortElection, u.G, outputs); err != nil {
+		t.Error(err)
+	}
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, outputs, err = JmkPathElection(inst, CompletePortPathElection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 4 {
+		t.Errorf("Jmk CPPE depth %d, want 4", depth)
+	}
+	if err := Verify(CompletePortPathElection, inst.G, outputs); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFacadeExperimentsQuick runs the quick experiment suite end to end.
+func TestFacadeExperimentsQuick(t *testing.T) {
+	tables, err := RunExperiments(ExperimentOptions{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 10 {
+		t.Fatalf("got %d tables, want 10", len(tables))
+	}
+}
+
+// TestFacadeFooling runs the small fooling experiments through the facade.
+func TestFacadeFooling(t *testing.T) {
+	sel, err := FoolSelection(4, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.ViewsEqual || sel.LeadersInBeta < 2 {
+		t.Errorf("selection fooling failed: %+v", sel)
+	}
+	sigmaA, _ := RandomUdkSigma(4, 1, NewRand(3))
+	sigmaB := append([]int(nil), sigmaA...)
+	sigmaB[2] = sigmaA[2]%3 + 1
+	pe, err := FoolPortElection(4, 1, sigmaA, sigmaB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.ViewsEqual || !pe.Disjoint {
+		t.Errorf("port election fooling failed: %+v", pe)
+	}
+}

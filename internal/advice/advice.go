@@ -1,0 +1,138 @@
+// Package advice implements the algorithms-with-advice framework of the
+// paper: an oracle that knows the whole network hands every node the same
+// binary string, and the quality of an algorithm is measured by the length of
+// that string (the size of advice).
+//
+// The package provides the oracle abstraction, the view-based oracle of
+// Theorem 2.2 (whose advice is the augmented truncated view of a chosen node),
+// and a full-map oracle (whose advice is an encoding of the entire graph,
+// used by the generic minimum-time algorithms). Class-specific oracles that
+// exploit the structure of the constructed graph families live next to the
+// constructions.
+package advice
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// Oracle inspects the whole network and produces the advice string given to
+// every node.
+type Oracle interface {
+	// Name identifies the oracle in experiment reports.
+	Name() string
+	// Advise returns the advice for the given graph.
+	Advise(g *graph.Graph) (bitstring.Bits, error)
+}
+
+// Size runs the oracle and reports the advice size in bits, the quantity the
+// paper's bounds are about.
+func Size(o Oracle, g *graph.Graph) (int, error) {
+	bits, err := o.Advise(g)
+	if err != nil {
+		return 0, err
+	}
+	return bits.Len(), nil
+}
+
+// ViewOracle is the oracle of Theorem 2.2: among the nodes whose augmented
+// truncated view at depth ψ_S(G) is unique, it picks the one with the smallest
+// view (in the fixed total order of the view package) and encodes that view.
+// The resulting advice has O((Δ-1)^{ψ_S(G)}·log Δ) bits.
+type ViewOracle struct {
+	// Depth optionally overrides the depth of the encoded view; if negative or
+	// zero-valued via DefaultDepth, the oracle uses ψ_S(G) (the minimum depth
+	// at which some view is unique).
+	Depth int
+	// UseDepthOverride indicates Depth is meaningful even when it is zero.
+	UseDepthOverride bool
+}
+
+// Name implements Oracle.
+func (o ViewOracle) Name() string { return "view-oracle(Thm2.2)" }
+
+// Advise implements Oracle.
+func (o ViewOracle) Advise(g *graph.Graph) (bitstring.Bits, error) {
+	u, depth, err := o.ChooseNode(g)
+	if err != nil {
+		return bitstring.Bits{}, err
+	}
+	return view.Encode(view.Compute(g, u, depth)), nil
+}
+
+// ChooseNode returns the node whose view the oracle encodes, together with the
+// depth used.
+func (o ViewOracle) ChooseNode(g *graph.Graph) (node, depth int, err error) {
+	depth = o.Depth
+	var unique []int
+	if o.UseDepthOverride {
+		r := view.Refine(g, depth)
+		unique = r.UniqueAt(depth)
+	} else {
+		depth, unique = view.MinDepthSomeUnique(g)
+	}
+	if depth < 0 || len(unique) == 0 {
+		return -1, -1, fmt.Errorf("advice: no node has a unique view (graph infeasible or depth too small)")
+	}
+	// Among all nodes with unique views, pick the one whose view is smallest
+	// in the fixed total order (the paper's "lexicographically smallest"
+	// rule). Any deterministic choice yields the same advice size and the same
+	// algorithm, so on very large graphs — where materialising every
+	// candidate's view tree would dominate the runtime — the oracle falls back
+	// to the candidate of smallest degree and smallest identifier.
+	const lexLimit = 4096
+	if len(unique) > lexLimit {
+		best := unique[0]
+		for _, v := range unique[1:] {
+			if g.Degree(v) < g.Degree(best) || (g.Degree(v) == g.Degree(best) && v < best) {
+				best = v
+			}
+		}
+		return best, depth, nil
+	}
+	best := unique[0]
+	bestView := view.Compute(g, best, depth)
+	for _, v := range unique[1:] {
+		vv := view.Compute(g, v, depth)
+		if view.Compare(vv, bestView) < 0 {
+			best, bestView = v, vv
+		}
+	}
+	return best, depth, nil
+}
+
+// MapOracle encodes the entire port-numbered graph. Any task can then be
+// solved in minimum time by recomputing the optimal assignment locally, at the
+// cost of Θ(m·log n) bits of advice. It serves as the generic upper bound
+// against which the class-specific lower bounds are compared.
+type MapOracle struct{}
+
+// Name implements Oracle.
+func (MapOracle) Name() string { return "map-oracle" }
+
+// Advise implements Oracle.
+func (MapOracle) Advise(g *graph.Graph) (bitstring.Bits, error) {
+	return EncodeGraph(g), nil
+}
+
+// ConstantOracle returns a fixed advice string regardless of the graph; with
+// an empty string it models the "no advice" regime used in impossibility
+// arguments.
+type ConstantOracle struct {
+	Advice bitstring.Bits
+	Label  string
+}
+
+// Name implements Oracle.
+func (o ConstantOracle) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	return "constant-oracle"
+}
+
+// Advise implements Oracle.
+func (o ConstantOracle) Advise(*graph.Graph) (bitstring.Bits, error) { return o.Advice, nil }

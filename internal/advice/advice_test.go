@@ -1,0 +1,211 @@
+package advice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func TestViewOracleChoosesUniqueNode(t *testing.T) {
+	g := graph.ThreeNodeLine()
+	o := ViewOracle{}
+	node, depth, err := o.ChooseNode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 1 || depth != 0 {
+		t.Fatalf("ChooseNode = (%d, %d), want the middle node at depth 0", node, depth)
+	}
+	bits, err := o.Advise(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := view.Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Equal(view.Compute(g, 1, 0)) {
+		t.Fatal("advice does not encode the chosen node's view")
+	}
+}
+
+func TestViewOracleDepthOverride(t *testing.T) {
+	g := graph.Caterpillar(3, []int{1, 0, 2})
+	o := ViewOracle{Depth: 2, UseDepthOverride: true}
+	_, depth, err := o.ChooseNode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Fatalf("depth override ignored: got %d", depth)
+	}
+	bits, err := o.Advise(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := view.Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Height() != 2 {
+		t.Fatalf("encoded view has height %d, want 2", v.Height())
+	}
+}
+
+func TestViewOracleInfeasible(t *testing.T) {
+	if _, err := (ViewOracle{}).Advise(graph.Ring(6)); err == nil {
+		t.Fatal("ViewOracle produced advice for an infeasible graph")
+	}
+}
+
+func TestViewOracleDeterministicAndSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(6)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		if !view.Feasible(g) {
+			continue
+		}
+		o := ViewOracle{}
+		a1, err1 := o.Advise(g)
+		a2, err2 := o.Advise(g)
+		if err1 != nil || err2 != nil || !a1.Equal(a2) {
+			t.Fatalf("ViewOracle is not deterministic: %v %v", err1, err2)
+		}
+		// Size bound of Theorem 2.2: O((Δ-1)^{ψ_S}·log Δ) bits. Verify against
+		// an explicit constant: the encoding spends at most ~6·log2(Δ+1)+2
+		// bits per view node and the view has at most 1+Δ·((Δ-1)^ψ - 1)/(Δ-2)
+		// nodes (for Δ>2).
+		delta := float64(g.MaxDegree())
+		psi, _ := view.MinDepthSomeUnique(g)
+		nodesBound := 1.0
+		if delta > 2 {
+			nodesBound = 1 + delta*(math.Pow(delta-1, float64(psi))-1)/(delta-2) + delta*math.Pow(delta-1, float64(psi)-1)
+		} else {
+			nodesBound = float64(2*psi + 1)
+		}
+		if psi == 0 {
+			nodesBound = 1
+		}
+		perNode := 6*math.Log2(delta+2) + 2
+		if float64(a1.Len()) > nodesBound*perNode+16 {
+			t.Errorf("advice of %d bits exceeds the Theorem 2.2 style bound %.1f (Δ=%v, ψ_S=%d)",
+				a1.Len(), nodesBound*perNode+16, delta, psi)
+		}
+	}
+}
+
+func TestMapOracleRoundTrip(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ThreeNodeLine(),
+		graph.Ring(7),
+		graph.Star(6),
+		graph.Grid(3, 3),
+		graph.Hypercube(3),
+		graph.Caterpillar(4, []int{1, 2, 0, 3}),
+	}
+	for _, g := range graphs {
+		bits, err := (MapOracle{}).Advise(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits.Len() != GraphAdviceBits(g) {
+			t.Error("GraphAdviceBits disagrees with the oracle")
+		}
+		back, err := DecodeGraph(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != g.N() || back.NumEdges() != g.NumEdges() {
+			t.Fatal("decoded graph has wrong size")
+		}
+		for v := 0; v < g.N(); v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				if g.Neighbor(v, p) != back.Neighbor(v, p) {
+					t.Fatalf("decoded graph differs at node %d port %d", v, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeGraphRejectsGarbage(t *testing.T) {
+	if _, err := DecodeGraph(bitstring.Bits{}); err == nil {
+		t.Error("empty advice decoded as a graph")
+	}
+	// Truncated encoding.
+	full := EncodeGraph(graph.Ring(5))
+	w := bitstring.NewWriter()
+	for i := 0; i < full.Len()-3; i++ {
+		w.WriteBit(full.At(i))
+	}
+	if _, err := DecodeGraph(w.Bits()); err == nil {
+		t.Error("truncated graph encoding accepted")
+	}
+	// Trailing garbage.
+	w2 := bitstring.NewWriter()
+	w2.WriteBits(full)
+	w2.WriteBit(true)
+	if _, err := DecodeGraph(w2.Bits()); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestConstantOracle(t *testing.T) {
+	b, _ := bitstring.FromString("101")
+	o := ConstantOracle{Advice: b, Label: "three-bits"}
+	got, err := o.Advise(graph.Ring(4))
+	if err != nil || !got.Equal(b) {
+		t.Fatalf("ConstantOracle returned %v, %v", got, err)
+	}
+	if o.Name() != "three-bits" || (ConstantOracle{}).Name() == "" {
+		t.Error("ConstantOracle naming broken")
+	}
+	if (ViewOracle{}).Name() == "" || (MapOracle{}).Name() == "" {
+		t.Error("oracle names must be non-empty")
+	}
+	if n, err := Size(o, graph.Ring(4)); err != nil || n != 3 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+}
+
+// Property: the graph codec round-trips on random connected graphs and the
+// advice size is Θ(m log n).
+func TestMapCodecQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		m := n - 1 + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		bits := EncodeGraph(g)
+		back, err := DecodeGraph(bits)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				if g.Neighbor(v, p) != back.Neighbor(v, p) {
+					return false
+				}
+			}
+		}
+		// Upper bound on the encoding size (loose constant).
+		bound := 64 + m*(2*bitstring.UintWidth(uint64(n-1))+4*bitstring.UintWidth(uint64(g.MaxDegree()))+8)
+		return bits.Len() <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

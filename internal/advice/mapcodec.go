@@ -1,0 +1,98 @@
+package advice
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+)
+
+// EncodeGraph serialises a port-numbered graph as a bit string:
+//
+//	gamma(n) gamma(m) then for every edge (in canonical order)
+//	fixed(u) fixed(v) gamma(pu) gamma(pv)
+//
+// where fixed() uses ceil(log2 n) bits. The size is Θ(m·log n) bits.
+func EncodeGraph(g *graph.Graph) bitstring.Bits {
+	w := bitstring.NewWriter()
+	n := g.N()
+	edges := g.Edges()
+	w.WriteGamma(uint64(n))
+	w.WriteGamma(uint64(len(edges)))
+	width := bitstring.UintWidth(uint64(n - 1))
+	for _, e := range edges {
+		w.WriteUint(uint64(e.U), width)
+		w.WriteUint(uint64(e.V), width)
+		w.WriteGamma(uint64(e.PU))
+		w.WriteGamma(uint64(e.PV))
+	}
+	return w.Bits()
+}
+
+// DecodeGraph parses a graph encoded by EncodeGraph and validates it.
+func DecodeGraph(b bitstring.Bits) (*graph.Graph, error) {
+	g, r, err := decodeGraphFrom(bitstring.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("advice: %d trailing bits after encoded graph", r.Remaining())
+	}
+	return g, nil
+}
+
+// DecodeGraphFrom parses a graph from a reader, leaving the reader positioned
+// just past the graph encoding.
+func DecodeGraphFrom(r *bitstring.Reader) (*graph.Graph, error) {
+	g, _, err := decodeGraphFrom(r)
+	return g, err
+}
+
+func decodeGraphFrom(r *bitstring.Reader) (*graph.Graph, *bitstring.Reader, error) {
+	n64, err := r.ReadGamma()
+	if err != nil {
+		return nil, r, err
+	}
+	m64, err := r.ReadGamma()
+	if err != nil {
+		return nil, r, err
+	}
+	const maxNodes = 1 << 24
+	if n64 == 0 || n64 > maxNodes || m64 > maxNodes*8 {
+		return nil, r, fmt.Errorf("advice: implausible graph size n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), int(m64)
+	width := bitstring.UintWidth(uint64(n - 1))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, err := r.ReadUint(width)
+		if err != nil {
+			return nil, r, err
+		}
+		v, err := r.ReadUint(width)
+		if err != nil {
+			return nil, r, err
+		}
+		pu, err := r.ReadGamma()
+		if err != nil {
+			return nil, r, err
+		}
+		pv, err := r.ReadGamma()
+		if err != nil {
+			return nil, r, err
+		}
+		if u >= uint64(n) || v >= uint64(n) {
+			return nil, r, fmt.Errorf("advice: edge %d references node out of range", i)
+		}
+		b.AddEdge(int(u), int(pu), int(v), int(pv))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, r, fmt.Errorf("advice: decoded graph invalid: %w", err)
+	}
+	return g, r, nil
+}
+
+// GraphAdviceBits returns the size in bits of the map advice for g without
+// materialising it twice.
+func GraphAdviceBits(g *graph.Graph) int { return EncodeGraph(g).Len() }

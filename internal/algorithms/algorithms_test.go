@@ -1,0 +1,239 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/advice"
+	"repro/internal/bitstring"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+func engines() map[string]func(*graph.Graph, local.Factory, local.Config) (*local.Result, error) {
+	return map[string]func(*graph.Graph, local.Factory, local.Config) (*local.Result, error){
+		"sequential": local.RunSequential,
+		"parallel":   local.Run,
+		"async":      local.RunAsync,
+	}
+}
+
+// TestGatherViewMachine checks that the distributed view-gathering machine
+// reconstructs exactly B^r(v) for every node: the operational counterpart of
+// the statement "the information that v gets about the graph in r rounds is
+// precisely the truncated view B^r(v)".
+func TestGatherViewMachine(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"line":        graph.ThreeNodeLine(),
+		"ring":        graph.Ring(5),
+		"star":        graph.Star(5),
+		"caterpillar": graph.Caterpillar(3, []int{1, 0, 2}),
+		"grid":        graph.Grid(2, 3),
+	}
+	for name, g := range graphs {
+		for rounds := 1; rounds <= 3; rounds++ {
+			for ename, engine := range engines() {
+				res, err := engine(g, NewGatherViewFactory(rounds), local.Config{MaxRounds: rounds, Seed: 3})
+				if err != nil {
+					t.Fatalf("%s/%d/%s: %v", name, rounds, ename, err)
+				}
+				for v := 0; v < g.N(); v++ {
+					got, ok := res.Outputs[v].(*view.View)
+					if !ok {
+						t.Fatalf("%s/%d/%s: node %d returned %T (%v)", name, rounds, ename, v, res.Outputs[v], res.Outputs[v])
+					}
+					want := view.Compute(g, v, rounds)
+					if !got.Equal(want) {
+						t.Errorf("%s/%d/%s: node %d gathered %s, want %s", name, rounds, ename, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectionWithAdviceTheorem22(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"line":         graph.ThreeNodeLine(),
+		"path4":        graph.Path(4),
+		"star":         graph.Star(6),
+		"caterpillar":  graph.Caterpillar(3, []int{1, 0, 2}),
+		"caterpillar2": graph.Caterpillar(4, []int{0, 2, 1, 3}),
+	}
+	for name, g := range graphs {
+		wantRounds, err := election.Index(g, election.S, election.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for ename, engine := range engines() {
+			bits, rounds, outputs, err := RunSelectionWithAdvice(g, engine)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, ename, err)
+			}
+			if rounds != wantRounds {
+				t.Errorf("%s/%s: used %d rounds, want ψ_S = %d", name, ename, rounds, wantRounds)
+			}
+			if err := election.Verify(election.S, g, outputs); err != nil {
+				t.Errorf("%s/%s: invalid outputs: %v", name, ename, err)
+			}
+			if bits <= 0 {
+				t.Errorf("%s/%s: advice of %d bits", name, ename, bits)
+			}
+		}
+	}
+}
+
+func TestSelectionAdviceSizeMatchesOracle(t *testing.T) {
+	g := graph.Caterpillar(4, []int{0, 2, 1, 3})
+	n, err := SelectionAdviceSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := (advice.ViewOracle{}).Advise(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != bits.Len() {
+		t.Fatalf("SelectionAdviceSize = %d, oracle produced %d bits", n, bits.Len())
+	}
+}
+
+func TestSelectionMachineRejectsBadAdvice(t *testing.T) {
+	g := graph.Path(4)
+	junk, _ := bitstring.FromString("1101")
+	res, err := local.RunSequential(g, NewSelectionAdviceFactory(), local.Config{MaxRounds: 2, Advice: junk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := election.OutputsFromAny(res.Outputs)
+	// With undecodable advice no node should claim leadership (and the
+	// verifier should fail), rather than panicking.
+	if err := election.Verify(election.S, g, outputs); err == nil {
+		t.Fatal("garbage advice still produced a single leader; expected failure")
+	}
+}
+
+func TestMapAdviceAllTasks(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"line":        graph.ThreeNodeLine(),
+		"path5":       graph.Path(5),
+		"star":        graph.Star(5),
+		"caterpillar": graph.Caterpillar(3, []int{1, 0, 2}),
+	}
+	for name, g := range graphs {
+		for _, task := range election.Tasks {
+			wantRounds, err := election.Index(g, task, election.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, task, err)
+			}
+			bits, rounds, outputs, err := RunWithMapAdvice(g, task, election.Options{}, local.Run)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, task, err)
+			}
+			if rounds != wantRounds {
+				t.Errorf("%s/%v: used %d rounds, want ψ = %d", name, task, rounds, wantRounds)
+			}
+			if err := election.Verify(task, g, outputs); err != nil {
+				t.Errorf("%s/%v: invalid outputs: %v", name, task, err)
+			}
+			if bits != advice.GraphAdviceBits(g) {
+				t.Errorf("%s/%v: advice size %d differs from map encoding size", name, task, bits)
+			}
+			if err := CheckRealizable(g, task, rounds, outputs); err != nil {
+				t.Errorf("%s/%v: outputs not a function of B^h: %v", name, task, err)
+			}
+		}
+	}
+}
+
+func TestCheckRealizable(t *testing.T) {
+	g := graph.Path(4)
+	// An assignment that distinguishes the two degree-1 endpoints at depth 0
+	// cannot be realised by a 0-round algorithm.
+	outputs := []election.Output{{Leader: true}, {}, {}, {}}
+	if err := CheckRealizable(g, election.S, 0, outputs); err == nil {
+		t.Fatal("0-round-realisable check passed for an asymmetric assignment on twin views")
+	}
+	// At depth 1 the endpoints are distinguishable, so it becomes realisable.
+	if err := CheckRealizable(g, election.S, 1, outputs); err != nil {
+		t.Fatalf("depth-1 realisability check failed: %v", err)
+	}
+	if err := CheckRealizable(g, election.S, 0, outputs[:2]); err == nil {
+		t.Fatal("wrong-length outputs accepted")
+	}
+}
+
+func TestMinTimeEvaluatorMatchesIndex(t *testing.T) {
+	g := graph.Star(6)
+	for _, task := range election.Tasks {
+		depth, outputs, err := MinTimeEvaluator(task, election.Options{})(g)
+		if err != nil {
+			t.Fatalf("%v: %v", task, err)
+		}
+		idx, err := election.Index(g, task, election.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth != idx {
+			t.Errorf("%v: evaluator depth %d != index %d", task, depth, idx)
+		}
+		if err := election.Verify(task, g, outputs); err != nil {
+			t.Errorf("%v: %v", task, err)
+		}
+	}
+}
+
+// Property: on random feasible graphs, the Theorem 2.2 algorithm and the
+// map-advice algorithm both elect exactly one leader using exactly ψ rounds,
+// and the Theorem 2.2 advice never exceeds the map advice asymptotically
+// unreasonable sizes (sanity cap).
+func TestAlgorithmsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		if !view.Feasible(g) {
+			return true
+		}
+		_, rounds, outputs, err := RunSelectionWithAdvice(g, local.RunSequential)
+		if err != nil {
+			return false
+		}
+		idx, err := election.Index(g, election.S, election.Options{})
+		if err != nil || rounds != idx {
+			return false
+		}
+		if election.Verify(election.S, g, outputs) != nil {
+			return false
+		}
+		_, rounds2, outputs2, err := RunWithMapAdvice(g, election.PE, election.Options{}, local.RunSequential)
+		if err != nil {
+			return false
+		}
+		idx2, err := election.Index(g, election.PE, election.Options{})
+		if err != nil || rounds2 != idx2 {
+			return false
+		}
+		return election.Verify(election.PE, g, outputs2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSelectionWithAdvice(b *testing.B) {
+	g := graph.Caterpillar(6, []int{1, 2, 0, 3, 1, 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := RunSelectionWithAdvice(g, local.RunSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// This file implements the two applications the paper uses to motivate the
+// difference between the weak and the strong formulations of leader election
+// (Section 1, following [25]):
+//
+//   - broadcasting a message *from* the leader needs only Selection: the
+//     leader knows it is the leader and floods, everybody else relays;
+//   - sending messages *to* the leader needs the strong formulations: with
+//     Port Election every node forwards along its output port hop by hop
+//     (cooperative relaying), and with (Complete) Port Path Election the
+//     sender can put the entire route into the packet header (source routing),
+//     needing no cooperation from the relays.
+//
+// The machines below run on the LOCAL simulator after an election has been
+// performed; they consume the election outputs as their "input assignment"
+// and demonstrate operationally that each shade of election is exactly strong
+// enough for its application.
+
+// BroadcastMachine floods a payload from the leader: in the first round the
+// leader sends the payload on all ports, and every node that knows the payload
+// relays it once. After diameter-many rounds every node outputs the payload.
+// Only the Selection output (the leader bit) is consumed.
+type BroadcastMachine struct {
+	elected  election.Output
+	payload  []byte
+	deg      int
+	have     bool
+	received []byte
+	relayed  bool
+	rounds   int
+}
+
+// NewBroadcastFactory creates broadcast machines. elected[v] must be the
+// election output of node v (only the Leader bit is read); payload is the
+// message originating at the leader; rounds bounds the execution (use the
+// diameter, or n-1).
+//
+// The factory closes over a per-node index intentionally: the election output
+// is the node's own prior output, i.e. state it already holds — not hidden
+// global knowledge.
+func NewBroadcastFactory(elected []election.Output, payload []byte, rounds int) func(v int) local.Machine {
+	return func(v int) local.Machine {
+		return &BroadcastMachine{elected: elected[v], payload: payload, rounds: rounds}
+	}
+}
+
+// Init implements local.Machine.
+func (m *BroadcastMachine) Init(info local.NodeInfo) {
+	m.deg = info.Degree
+	if m.elected.Leader {
+		m.have = true
+		m.received = m.payload
+	}
+}
+
+// Send implements local.Machine.
+func (m *BroadcastMachine) Send(round int) []local.Message {
+	out := make([]local.Message, m.deg)
+	if m.have && !m.relayed {
+		for p := range out {
+			out[p] = m.received
+		}
+		m.relayed = true
+	}
+	return out
+}
+
+// Receive implements local.Machine.
+func (m *BroadcastMachine) Receive(round int, inbox []local.Message) bool {
+	for _, msg := range inbox {
+		if msg != nil && !m.have {
+			m.have = true
+			m.received = msg
+		}
+	}
+	return round >= m.rounds
+}
+
+// Output implements local.Machine; it returns the received payload (nil if the
+// broadcast did not reach this node within the round budget).
+func (m *BroadcastMachine) Output() any {
+	if !m.have {
+		return []byte(nil)
+	}
+	return m.received
+}
+
+// RunBroadcast elects nothing by itself: it takes verified Selection outputs,
+// runs the broadcast for diameter-many rounds and reports whether every node
+// received the payload.
+func RunBroadcast(g *graph.Graph, elected []election.Output, payload []byte) (bool, error) {
+	if err := election.Verify(election.S, g, elected); err != nil {
+		return false, fmt.Errorf("algorithms: broadcast needs a valid Selection solution: %w", err)
+	}
+	rounds := g.Diameter()
+	if rounds == 0 {
+		rounds = 1
+	}
+	factory := NewBroadcastFactory(elected, payload, rounds)
+	res, err := runIndexed(g, factory, local.Config{MaxRounds: rounds})
+	if err != nil {
+		return false, err
+	}
+	for v := 0; v < g.N(); v++ {
+		got, _ := res.Outputs[v].([]byte)
+		if string(got) != string(payload) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ConvergecastMachine routes one token from every node to the leader using
+// only the Port Election outputs: in every round, each node forwards all the
+// tokens it holds through its output port. After at most n-1 rounds the leader
+// has collected every token — this is the "cooperative relaying" application
+// for which the paper argues PE is exactly the right strength.
+type ConvergecastMachine struct {
+	out    election.Output
+	token  byte
+	deg    int
+	held   []byte
+	rounds int
+}
+
+// NewConvergecastFactory creates convergecast machines; out[v] is node v's
+// Port Election output and token[v] the byte it wants delivered to the leader.
+func NewConvergecastFactory(out []election.Output, tokens []byte, rounds int) func(v int) local.Machine {
+	return func(v int) local.Machine {
+		return &ConvergecastMachine{out: out[v], token: tokens[v], rounds: rounds}
+	}
+}
+
+// Init implements local.Machine.
+func (m *ConvergecastMachine) Init(info local.NodeInfo) {
+	m.deg = info.Degree
+	m.held = []byte{m.token}
+}
+
+// Send implements local.Machine.
+func (m *ConvergecastMachine) Send(round int) []local.Message {
+	out := make([]local.Message, m.deg)
+	if m.out.Leader || len(m.held) == 0 {
+		return out
+	}
+	out[m.out.Port] = append([]byte(nil), m.held...)
+	m.held = nil
+	return out
+}
+
+// Receive implements local.Machine.
+func (m *ConvergecastMachine) Receive(round int, inbox []local.Message) bool {
+	for _, msg := range inbox {
+		m.held = append(m.held, msg...)
+	}
+	return round >= m.rounds
+}
+
+// Output implements local.Machine; it returns the multiset of tokens held at
+// the end (only interesting at the leader).
+func (m *ConvergecastMachine) Output() any { return append([]byte(nil), m.held...) }
+
+// RunConvergecast routes one token per node to the leader along the PE ports
+// for n-1 rounds and reports how many tokens the leader collected.
+//
+// Hop-by-hop forwarding along PE ports is guaranteed to deliver when the PE
+// outputs form a forest oriented toward the leader — in particular on trees,
+// where the first port of a simple path to the leader is unique. On graphs
+// with cycles two nodes may validly point at each other (each is the first
+// edge of *some* simple path), so the delivered count may fall short of n;
+// this is exactly the caveat the paper raises when comparing PE with the
+// path-based formulations, and the reason source routing (below) exists.
+func RunConvergecast(g *graph.Graph, out []election.Output, tokens []byte) (delivered int, total int, err error) {
+	if err := election.Verify(election.PE, g, out); err != nil {
+		return 0, 0, fmt.Errorf("algorithms: convergecast needs a valid Port Election solution: %w", err)
+	}
+	n := g.N()
+	rounds := n - 1
+	if rounds == 0 {
+		rounds = 1
+	}
+	factory := NewConvergecastFactory(out, tokens, rounds)
+	res, err := runIndexed(g, factory, local.Config{MaxRounds: rounds})
+	if err != nil {
+		return 0, 0, err
+	}
+	leader := election.LeaderOf(out)
+	got, _ := res.Outputs[leader].([]byte)
+	return len(got), n, nil
+}
+
+// SourceRouteMachine delivers a packet from a designated set of senders to the
+// leader using the PPE/CPPE outputs as source routes: the entire port path is
+// put into the packet header and every relay only pops the next hop off the
+// header — it never consults election state of its own, which is the point the
+// paper makes about the PPE/CPPE formulations ("relaying may then be done at
+// the router level").
+//
+// Wire format: a message is a concatenation of packets, each encoded as one
+// length byte followed by that many outgoing-port bytes (the hops remaining
+// after the receiving node). A packet whose remaining-hop list is empty has
+// arrived.
+type SourceRouteMachine struct {
+	out     election.Output
+	sending bool
+	deg     int
+	arrived int
+	rounds  int
+	pending [][]byte // packets to forward in the next round, keyed by payload
+}
+
+// NewSourceRouteFactory creates source-routing machines; send[v] marks the
+// nodes that send one packet to the leader.
+func NewSourceRouteFactory(out []election.Output, send []bool, rounds int) func(v int) local.Machine {
+	return func(v int) local.Machine {
+		return &SourceRouteMachine{out: out[v], sending: send[v], rounds: rounds}
+	}
+}
+
+// Init implements local.Machine.
+func (m *SourceRouteMachine) Init(info local.NodeInfo) { m.deg = info.Degree }
+
+// Send implements local.Machine.
+func (m *SourceRouteMachine) Send(round int) []local.Message {
+	perPort := make([][]byte, m.deg)
+	if round == 1 && m.sending && !m.out.Leader && len(m.out.PortPath) > 0 {
+		route := m.out.PortPath
+		first := route[0]
+		if first < m.deg && fitsByte(route) {
+			payload := make([]byte, 0, len(route)-1)
+			for _, p := range route[1:] {
+				payload = append(payload, byte(p))
+			}
+			perPort[first] = appendPacket(perPort[first], payload)
+		}
+	}
+	for _, payload := range m.pending {
+		next := int(payload[0])
+		if next < m.deg {
+			perPort[next] = appendPacket(perPort[next], payload[1:])
+		}
+	}
+	m.pending = nil
+	out := make([]local.Message, m.deg)
+	for p, buf := range perPort {
+		if buf != nil {
+			out[p] = buf
+		}
+	}
+	return out
+}
+
+// Receive implements local.Machine. Relays forward at the "router level":
+// they read the next hop off the header without consulting their own outputs.
+func (m *SourceRouteMachine) Receive(round int, inbox []local.Message) bool {
+	for _, msg := range inbox {
+		for _, payload := range splitPackets(msg) {
+			if len(payload) == 0 {
+				m.arrived++
+				continue
+			}
+			m.pending = append(m.pending, payload)
+		}
+	}
+	return round >= m.rounds
+}
+
+// Output implements local.Machine; it returns the number of packets that
+// terminated at this node.
+func (m *SourceRouteMachine) Output() any { return m.arrived }
+
+func fitsByte(route []int) bool {
+	if len(route) > 255 {
+		return false
+	}
+	for _, p := range route {
+		if p < 0 || p > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendPacket appends one length-prefixed packet to a message buffer.
+func appendPacket(buf, payload []byte) []byte {
+	buf = append(buf, byte(len(payload)))
+	return append(buf, payload...)
+}
+
+// splitPackets decodes the packets of a message.
+func splitPackets(msg local.Message) [][]byte {
+	var out [][]byte
+	for i := 0; i < len(msg); {
+		n := int(msg[i])
+		i++
+		if i+n > len(msg) {
+			break
+		}
+		out = append(out, append([]byte(nil), msg[i:i+n]...))
+		i += n
+	}
+	return out
+}
+
+// RunSourceRouting sends one source-routed packet from every non-leader to the
+// leader using PPE/CPPE outputs and reports how many arrived. The round budget
+// is the number of nodes, which dominates the length of any simple path.
+func RunSourceRouting(g *graph.Graph, out []election.Output) (arrived int, expected int, err error) {
+	if err := election.Verify(election.PPE, g, out); err != nil {
+		return 0, 0, fmt.Errorf("algorithms: source routing needs a valid PPE/CPPE solution: %w", err)
+	}
+	n := g.N()
+	send := make([]bool, n)
+	expected = 0
+	for v := 0; v < n; v++ {
+		if !out[v].Leader {
+			send[v] = true
+			expected++
+		}
+	}
+	factory := NewSourceRouteFactory(out, send, n)
+	res, err := runIndexed(g, factory, local.Config{MaxRounds: n})
+	if err != nil {
+		return 0, 0, err
+	}
+	leader := election.LeaderOf(out)
+	arrived, _ = res.Outputs[leader].(int)
+	return arrived, expected, nil
+}
+
+// runIndexed adapts a per-node factory (which receives the node identifier in
+// order to hand each machine its own prior election output) to the sequential
+// engine. The identifier is used for nothing else; the machines themselves
+// remain anonymous.
+func runIndexed(g *graph.Graph, factory func(v int) local.Machine, cfg local.Config) (*local.Result, error) {
+	next := 0
+	wrapped := func() local.Machine {
+		m := factory(next)
+		next++
+		return m
+	}
+	return local.RunSequential(g, wrapped, cfg)
+}

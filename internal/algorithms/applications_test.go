@@ -1,0 +1,140 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// electionOutputs computes a verified minimum-time assignment for the task.
+func electionOutputs(t *testing.T, g *graph.Graph, task election.Task) []election.Output {
+	t.Helper()
+	a, err := election.MinTimeAssignment(g, task, election.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := election.Verify(task, g, a.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	return a.Outputs
+}
+
+// TestBroadcastNeedsOnlySelection: the paper's Section 1 remark that Selection
+// suffices when the leader has to broadcast — the leader floods, everyone
+// relays, and every node ends up with the payload.
+func TestBroadcastNeedsOnlySelection(t *testing.T) {
+	payload := []byte("token-ring-restart")
+	graphs := map[string]*graph.Graph{
+		"line":        graph.ThreeNodeLine(),
+		"star":        graph.Star(7),
+		"path":        graph.Path(6),
+		"caterpillar": graph.Caterpillar(4, []int{2, 0, 1, 3}),
+	}
+	for name, g := range graphs {
+		outputs := electionOutputs(t, g, election.S)
+		ok, err := RunBroadcast(g, outputs, payload)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Errorf("%s: broadcast did not reach every node", name)
+		}
+	}
+	// Invalid Selection outputs (no leader) are rejected.
+	g := graph.Path(4)
+	if _, err := RunBroadcast(g, make([]election.Output, 4), payload); err == nil {
+		t.Error("broadcast accepted outputs without a leader")
+	}
+}
+
+// TestConvergecastWithPortElection: on trees the PE ports form a forest
+// oriented toward the leader, so hop-by-hop forwarding delivers every token.
+func TestConvergecastWithPortElection(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"line":        graph.ThreeNodeLine(),
+		"star":        graph.Star(6),
+		"path":        graph.Path(7),
+		"caterpillar": graph.Caterpillar(5, []int{1, 0, 2, 1, 3}),
+	}
+	for name, g := range graphs {
+		outputs := electionOutputs(t, g, election.PE)
+		tokens := make([]byte, g.N())
+		for v := range tokens {
+			tokens[v] = byte(v + 1)
+		}
+		delivered, total, err := RunConvergecast(g, outputs, tokens)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if delivered != total {
+			t.Errorf("%s: leader collected %d of %d tokens", name, delivered, total)
+		}
+	}
+	if _, _, err := RunConvergecast(graph.Path(3), make([]election.Output, 3), nil); err == nil {
+		t.Error("convergecast accepted invalid PE outputs")
+	}
+}
+
+// TestSourceRoutingWithPathElection: with PPE/CPPE outputs the sender puts the
+// whole route in the packet header; relays never consult their own outputs and
+// every packet reaches the leader, on trees and on graphs with cycles alike.
+func TestSourceRoutingWithPathElection(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	graphs := map[string]*graph.Graph{
+		"line":        graph.ThreeNodeLine(),
+		"star":        graph.Star(6),
+		"caterpillar": graph.Caterpillar(4, []int{2, 0, 1, 3}),
+	}
+	// Add a couple of feasible random graphs with cycles.
+	for i := 0; i < 2; i++ {
+		for tries := 0; tries < 50; tries++ {
+			g := graph.RandomConnected(8+rng.Intn(4), 12+rng.Intn(6), rng)
+			if view.Feasible(g) {
+				graphs[string(rune('x'+i))] = g
+				break
+			}
+		}
+	}
+	for name, g := range graphs {
+		outputs := electionOutputs(t, g, election.PPE)
+		arrived, expected, err := RunSourceRouting(g, outputs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if arrived != expected {
+			t.Errorf("%s: %d of %d source-routed packets arrived", name, arrived, expected)
+		}
+	}
+	if _, _, err := RunSourceRouting(graph.Path(3), make([]election.Output, 3)); err == nil {
+		t.Error("source routing accepted invalid PPE outputs")
+	}
+}
+
+// TestPacketCodec checks the length-prefixed packet framing used by the
+// source-routing machine.
+func TestPacketCodec(t *testing.T) {
+	var buf []byte
+	packets := [][]byte{{1, 2, 3}, {}, {255}, {0, 0}}
+	for _, p := range packets {
+		buf = appendPacket(buf, p)
+	}
+	got := splitPackets(buf)
+	if len(got) != len(packets) {
+		t.Fatalf("decoded %d packets, want %d", len(got), len(packets))
+	}
+	for i := range packets {
+		if string(got[i]) != string(packets[i]) {
+			t.Errorf("packet %d = %v, want %v", i, got[i], packets[i])
+		}
+	}
+	// A truncated buffer never panics and drops the incomplete packet.
+	if bad := splitPackets(buf[:len(buf)-1]); len(bad) >= len(packets) {
+		t.Error("truncated buffer decoded as if complete")
+	}
+	if fitsByte([]int{0, 1, 255}) != true || fitsByte([]int{256}) != false {
+		t.Error("fitsByte is wrong")
+	}
+}

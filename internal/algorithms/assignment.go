@@ -1,0 +1,190 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/bitstring"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// Evaluator computes, from a map of the network, a number of rounds h and a
+// complete output assignment that is constant on depth-h view classes (so it
+// can be realised by an h-round distributed algorithm that knows the map).
+// Evaluators are deterministic functions of the map; the generic one wraps
+// election.MinTimeAssignment, and the class-specific ones implement the
+// algorithms of Lemmas 3.9 and 4.8 of the paper.
+type Evaluator func(g *graph.Graph) (depth int, outputs []election.Output, err error)
+
+// MinTimeEvaluator returns the generic minimum-time evaluator for a task.
+func MinTimeEvaluator(task election.Task, opt election.Options) Evaluator {
+	return func(g *graph.Graph) (int, []election.Output, error) {
+		a, err := election.MinTimeAssignment(g, task, opt)
+		if err != nil {
+			return 0, nil, err
+		}
+		return a.Depth, a.Outputs, nil
+	}
+}
+
+// GraphDecoder reconstructs the map of the network from the advice string.
+// The full-map oracle uses advice.DecodeGraph; class-specific oracles decode
+// only the class parameters and rebuild the graph from them.
+type GraphDecoder func(bitstring.Bits) (*graph.Graph, error)
+
+// AdviceInterpreter turns the advice string directly into the reconstructed
+// map, the number of rounds to run, and the per-map-node output assignment.
+// It is the composition of a GraphDecoder and an Evaluator, but class-specific
+// algorithms (whose evaluators need construction metadata, not just the raw
+// graph) implement it directly.
+type AdviceInterpreter func(bitstring.Bits) (mapGraph *graph.Graph, depth int, outputs []election.Output, err error)
+
+// AssignmentMachine is the generic minimum-time algorithm with advice: decode
+// the advice into a map of the network, deterministically recompute the output
+// assignment, gather the own view for the prescribed number of rounds, locate
+// the (class of) map nodes with the same view, and emit the output assigned to
+// that class.
+type AssignmentMachine struct {
+	interpret AdviceInterpreter
+
+	deg      int
+	rounds   int
+	vb       viewBuilder
+	mapGraph *graph.Graph
+	outputs  []election.Output
+	err      error
+}
+
+// NewAssignmentFactory creates a factory of AssignmentMachines with the given
+// advice decoder and evaluator (these two make up the algorithm; they carry no
+// information about the particular node).
+func NewAssignmentFactory(decoder GraphDecoder, eval Evaluator) local.Factory {
+	return NewInterpreterFactory(func(bits bitstring.Bits) (*graph.Graph, int, []election.Output, error) {
+		g, err := decoder(bits)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		depth, outputs, err := eval(g)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		return g, depth, outputs, nil
+	})
+}
+
+// NewInterpreterFactory creates a factory of AssignmentMachines driven by a
+// single advice interpreter.
+func NewInterpreterFactory(interp AdviceInterpreter) local.Factory {
+	return func() local.Machine { return &AssignmentMachine{interpret: interp} }
+}
+
+// Init implements local.Machine.
+func (m *AssignmentMachine) Init(info local.NodeInfo) {
+	m.deg = info.Degree
+	m.vb.init(info.Degree)
+	g, depth, outputs, err := m.interpret(info.Advice)
+	if err != nil {
+		m.err = fmt.Errorf("algorithms: interpreting advice: %w", err)
+		return
+	}
+	m.mapGraph = g
+	m.rounds = depth
+	m.outputs = outputs
+}
+
+// Send implements local.Machine.
+func (m *AssignmentMachine) Send(round int) []local.Message {
+	if m.err != nil || round > m.rounds {
+		return make([]local.Message, m.deg)
+	}
+	return m.vb.send()
+}
+
+// Receive implements local.Machine.
+func (m *AssignmentMachine) Receive(round int, inbox []local.Message) bool {
+	if m.err != nil {
+		return true
+	}
+	if round <= m.rounds {
+		if err := m.vb.receive(inbox); err != nil {
+			m.err = err
+			return true
+		}
+	}
+	return round >= m.rounds
+}
+
+// Output implements local.Machine. The node looks itself up on the map by its
+// gathered view and reports the output assigned to the matching view class.
+func (m *AssignmentMachine) Output() any {
+	if m.err != nil || m.mapGraph == nil {
+		return election.Output{}
+	}
+	mine := m.vb.current()
+	for v := 0; v < m.mapGraph.N(); v++ {
+		if m.mapGraph.Degree(v) != m.deg {
+			continue
+		}
+		if view.Compute(m.mapGraph, v, m.rounds).Equal(mine) {
+			return m.outputs[v]
+		}
+	}
+	return election.Output{}
+}
+
+// RunWithMapAdvice runs the generic minimum-time algorithm for a task on g
+// with full-map advice, using the given simulation engine. It returns the
+// advice size in bits, the number of rounds used, and the verified outputs.
+func RunWithMapAdvice(g *graph.Graph, task election.Task, opt election.Options,
+	engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
+
+	bits, err := (advice.MapOracle{}).Advise(g)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	eval := MinTimeEvaluator(task, opt)
+	// Determine the round budget up front (the machines will recompute it).
+	depth, _, err := eval(g)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	res, err := engine(g, NewAssignmentFactory(advice.DecodeGraph, eval), local.Config{
+		MaxRounds: depth,
+		Advice:    bits,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	outputs = election.OutputsFromAny(res.Outputs)
+	if err := election.Verify(task, g, outputs); err != nil {
+		return bits.Len(), res.Rounds, outputs, fmt.Errorf("algorithms: map-advice algorithm for %v produced invalid outputs: %w", task, err)
+	}
+	return bits.Len(), res.Rounds, outputs, nil
+}
+
+// CheckRealizable verifies that a full output assignment is constant on
+// depth-h view classes, i.e. that it could be produced by an h-round
+// algorithm (Proposition 2.1 and its extensions). Together with
+// election.Verify this establishes ψ_task(G) <= h for the instance.
+func CheckRealizable(g *graph.Graph, task election.Task, h int, outputs []election.Output) error {
+	if len(outputs) != g.N() {
+		return fmt.Errorf("algorithms: %d outputs for %d nodes", len(outputs), g.N())
+	}
+	r := view.Refine(g, h)
+	classes := r.ClassAt(h)
+	rep := make(map[int]int) // class id -> representative node
+	for v, id := range classes {
+		if u, ok := rep[id]; ok {
+			if !outputs[u].Equal(task, outputs[v]) {
+				return fmt.Errorf("algorithms: nodes %d and %d share B^%d but output %v vs %v",
+					u, v, h, outputs[u], outputs[v])
+			}
+		} else {
+			rep[id] = v
+		}
+	}
+	return nil
+}

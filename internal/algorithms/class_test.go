@@ -1,0 +1,172 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// TestUdkPortElectionEvaluator checks Lemma 3.9 operationally: the evaluator
+// produces, in depth exactly k, outputs that solve Port Election on U_{Δ,k}
+// instances and that are a function of the depth-k views.
+func TestUdkPortElectionEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3; trial++ {
+		sigma, err := construct.RandomSigma(4, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := construct.BuildUdk(4, 1, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depth, outputs, err := UdkPortElectionOutputs(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth != u.K {
+			t.Fatalf("evaluator depth %d, want k=%d", depth, u.K)
+		}
+		if err := election.Verify(election.PE, u.G, outputs); err != nil {
+			t.Fatalf("Lemma 3.9 outputs invalid: %v", err)
+		}
+		if err := CheckRealizable(u.G, election.PE, depth, outputs); err != nil {
+			t.Fatalf("Lemma 3.9 outputs not realisable in k rounds: %v", err)
+		}
+		// The elected leader is a cycle node (Lemma 3.10).
+		leader := election.LeaderOf(outputs)
+		if u.G.Degree(leader) != u.Delta+2 {
+			t.Fatalf("leader %d has degree %d; Lemma 3.10 requires a cycle node", leader, u.G.Degree(leader))
+		}
+		// Together with ψ_S >= k (checked in the construct package via
+		// Lemma 3.6), this establishes ψ_PE = ψ_S = k on the instance.
+		r := view.Refine(u.G, u.K)
+		if len(r.UniqueAt(u.K-1)) != 0 {
+			t.Fatal("some node has a unique view at depth k-1")
+		}
+	}
+}
+
+// TestUdkPortElectionDistributed runs the σ-advice Port Election machine on
+// the LOCAL simulator and checks rounds, validity and the advice size.
+func TestUdkPortElectionDistributed(t *testing.T) {
+	sigma, err := construct.SigmaForIndex(4, 1, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := construct.BuildUdk(4, 1, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adviceBits, rounds, outputs, err := RunUdkPortElection(u, local.RunSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != u.K {
+		t.Errorf("used %d rounds, want k=%d", rounds, u.K)
+	}
+	if err := election.Verify(election.PE, u.G, outputs); err != nil {
+		t.Errorf("distributed outputs invalid: %v", err)
+	}
+	// The advice is the σ sequence: y·⌈log2(Δ-1)⌉ + O(1) bits, vastly smaller
+	// than the full map.
+	if adviceBits > 64 {
+		t.Errorf("σ advice unexpectedly large: %d bits", adviceBits)
+	}
+}
+
+// TestJmkEvaluatorReduced checks the Lemma 4.8 algorithm on reduced-size
+// J_{µ,k} instances where the full output vector fits in memory: outputs are
+// valid CPPE (and PPE) solutions, realisable at depth k, with ρ_0 elected.
+func TestJmkEvaluatorReduced(t *testing.T) {
+	for _, tc := range []struct{ mu, k, gadgets int }{{2, 4, 4}, {2, 4, 8}, {3, 4, 2}} {
+		inst, err := construct.BuildJmk(tc.mu, tc.k, construct.JmkOptions{NumGadgets: tc.gadgets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range []election.Task{election.CPPE, election.PPE} {
+			depth, outputs, err := JmkPathOutputs(inst, task)
+			if err != nil {
+				t.Fatalf("µ=%d k=%d gadgets=%d %v: %v", tc.mu, tc.k, tc.gadgets, task, err)
+			}
+			if depth != tc.k {
+				t.Fatalf("evaluator depth %d, want k=%d", depth, tc.k)
+			}
+			if err := election.Verify(task, inst.G, outputs); err != nil {
+				t.Fatalf("µ=%d k=%d gadgets=%d %v: invalid outputs: %v", tc.mu, tc.k, tc.gadgets, task, err)
+			}
+			if err := CheckRealizable(inst.G, task, depth, outputs); err != nil {
+				t.Fatalf("µ=%d k=%d gadgets=%d %v: not realisable at depth k: %v", tc.mu, tc.k, tc.gadgets, task, err)
+			}
+			if leader := election.LeaderOf(outputs); leader != inst.Rho[0] {
+				t.Fatalf("leader is node %d, want ρ_0 = %d", leader, inst.Rho[0])
+			}
+		}
+	}
+	if _, _, err := JmkPathOutputs(&construct.Jmk{}, election.S); err == nil {
+		t.Error("JmkPathOutputs accepted task S")
+	}
+}
+
+// TestJmkSampleFaithful verifies the Lemma 4.8 algorithm by sampling on the
+// smallest faithful instance (µ=2, k=4, 1024 gadgets): every ρ node plus the
+// first and last gadgets plus random nodes.
+func TestJmkSampleFaithful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faithful J_{2,4} instance is large; skipped with -short")
+	}
+	z := construct.JmkZ(2, 4)
+	y := make([]bool, 1<<uint(z-1))
+	rng := rand.New(rand.NewSource(4))
+	for i := range y {
+		y[i] = rng.Intn(2) == 1
+	}
+	inst, err := construct.BuildJmk(2, 4, construct.JmkOptions{Y: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyJmkSample(inst, election.CPPE, 2000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampled < 1024 {
+		t.Errorf("sampled only %d nodes", rep.Sampled)
+	}
+	if rep.LeaderNode != inst.Rho[0] {
+		t.Errorf("leader %d, want ρ_0", rep.LeaderNode)
+	}
+	if rep.MaxPathLen < inst.NumGadgets {
+		t.Errorf("longest verified path has %d edges; expected at least one per gadget boundary", rep.MaxPathLen)
+	}
+}
+
+func BenchmarkUdkPortElectionEvaluator(b *testing.B) {
+	sigma, _ := construct.SigmaForIndex(4, 1, 123)
+	u, err := construct.BuildUdk(4, 1, sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := UdkPortElectionOutputs(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJmkEvaluatorReduced(b *testing.B) {
+	inst, err := construct.BuildJmk(2, 4, construct.JmkOptions{NumGadgets: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := JmkPathOutputs(inst, election.CPPE); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/graph"
+)
+
+// JmkPathContext holds the map-derived precomputations of the Lemma 4.8
+// algorithm for one J_{µ,k} instance: the inter-gadget paths P_i from ρ_i to
+// ρ_{i-1}, and per-node distances to the own gadget's ρ node. From this
+// context the output of any single node can be produced without materialising
+// the whole (potentially enormous) output vector — which is how the faithful
+// 2^z-gadget instances are verified by sampling.
+type JmkPathContext struct {
+	Inst *construct.Jmk
+	// pPaths[i] is the node sequence of the path P_i from ρ_i to ρ_{i-1}
+	// (pPaths[0] is unused).
+	pPaths [][]int
+	// pIndex[i] maps a node on P_i to its position in pPaths[i].
+	pIndex []map[int]int
+	// distOwn[v] is the distance from v to the ρ node of its own gadget,
+	// restricted to that gadget (plus the ρ node itself).
+	distOwn []int
+}
+
+// NewJmkPathContext performs the Lemma 4.8 pre-processing on the map.
+func NewJmkPathContext(inst *construct.Jmk) (*JmkPathContext, error) {
+	g := inst.G
+	ctx := &JmkPathContext{
+		Inst:    inst,
+		pPaths:  make([][]int, inst.NumGadgets),
+		pIndex:  make([]map[int]int, inst.NumGadgets),
+		distOwn: make([]int, g.N()),
+	}
+	// Distances to the own ρ, one restricted BFS per gadget.
+	for v := range ctx.distOwn {
+		ctx.distOwn[v] = -1
+	}
+	for i, rho := range inst.Rho {
+		restrictedBFS(g, rho, func(v int) bool { return inst.GadgetOf[v] == i }, ctx.distOwn)
+	}
+	for v, d := range ctx.distOwn {
+		if d < 0 {
+			return nil, fmt.Errorf("algorithms: node %d cannot reach its gadget's ρ inside the gadget", v)
+		}
+	}
+	// Inter-gadget paths P_i: a shortest path from ρ_i to ρ_{i-1} restricted
+	// to gadgets i and i-1 (any shortest path between consecutive ρ nodes
+	// stays within those two gadgets).
+	for i := 1; i < inst.NumGadgets; i++ {
+		path, err := restrictedShortestPath(g, inst.Rho[i], inst.Rho[i-1], func(v int) bool {
+			return inst.GadgetOf[v] == i || inst.GadgetOf[v] == i-1
+		})
+		if err != nil {
+			return nil, fmt.Errorf("algorithms: path P_%d: %w", i, err)
+		}
+		ctx.pPaths[i] = path
+		idx := make(map[int]int, len(path))
+		for pos, node := range path {
+			idx[node] = pos
+		}
+		ctx.pIndex[i] = idx
+	}
+	return ctx, nil
+}
+
+// restrictedBFS fills dist with BFS distances from src over nodes satisfying
+// the predicate (src itself is always included).
+func restrictedBFS(g *graph.Graph, src int, ok func(int) bool, dist []int) {
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Degree(v); p++ {
+			u := g.Neighbor(v, p).To
+			if dist[u] >= 0 || !ok(u) {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			queue = append(queue, u)
+		}
+	}
+}
+
+// restrictedShortestPath returns the node sequence of a shortest path from src
+// to dst visiting only nodes satisfying the predicate, choosing the smallest
+// port at every step (deterministic).
+func restrictedShortestPath(g *graph.Graph, src, dst int, ok func(int) bool) ([]int, error) {
+	dist := make(map[int]int)
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Degree(v); p++ {
+			u := g.Neighbor(v, p).To
+			if _, seen := dist[u]; seen || !ok(u) {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			queue = append(queue, u)
+		}
+	}
+	if _, seen := dist[src]; !seen {
+		return nil, fmt.Errorf("no restricted path from %d to %d", src, dst)
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		next := -1
+		for p := 0; p < g.Degree(cur); p++ {
+			u := g.Neighbor(cur, p).To
+			if du, seen := dist[u]; seen && du == dist[cur]-1 {
+				next = u
+				break
+			}
+		}
+		if next < 0 {
+			return nil, fmt.Errorf("broken restricted BFS between %d and %d", src, dst)
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+// OutputFor computes the Lemma 4.8 output of a single node for the given task
+// (CPPE or PPE; PE and S outputs are obtained by weakening).
+func (ctx *JmkPathContext) OutputFor(v int, task election.Task) (election.Output, error) {
+	inst := ctx.Inst
+	g := inst.G
+	x := inst.GadgetOf[v]
+	if v == inst.Rho[0] {
+		return election.Output{Leader: true}, nil
+	}
+	// The node path from v to ρ_0.
+	var nodes []int
+	if v == inst.Rho[x] {
+		nodes = []int{v}
+	} else {
+		// Lexicographically smallest shortest path from v to ρ_x inside the
+		// gadget (every step decreases distOwn; the path has length <= k+1 so
+		// it is determined by B^k(v)).
+		nodes = []int{v}
+		cur := v
+		for cur != inst.Rho[x] {
+			next := -1
+			for p := 0; p < g.Degree(cur); p++ {
+				u := g.Neighbor(cur, p).To
+				if (inst.GadgetOf[u] == x || u == inst.Rho[x]) && ctx.distOwn[u] == ctx.distOwn[cur]-1 {
+					next = u
+					break
+				}
+			}
+			if next < 0 {
+				return election.Output{}, fmt.Errorf("algorithms: node %d: no descent toward ρ_%d", v, x)
+			}
+			nodes = append(nodes, next)
+			cur = next
+		}
+	}
+	// Splice with the inter-gadget paths: find the first node of the walk that
+	// lies on P_x, continue along P_x to ρ_{x-1}, then follow P_{x-1} .. P_1.
+	if x >= 1 {
+		spliceAt := -1
+		splicePos := -1
+		for i, node := range nodes {
+			if pos, on := ctx.pIndex[x][node]; on {
+				spliceAt, splicePos = i, pos
+				break
+			}
+		}
+		if spliceAt < 0 {
+			return election.Output{}, fmt.Errorf("algorithms: node %d: walk to ρ_%d never meets P_%d", v, x, x)
+		}
+		nodes = append(nodes[:spliceAt+1], ctx.pPaths[x][splicePos+1:]...)
+		for i := x - 1; i >= 1; i-- {
+			nodes = append(nodes, ctx.pPaths[i][1:]...)
+		}
+	}
+	if nodes[len(nodes)-1] != inst.Rho[0] {
+		return election.Output{}, fmt.Errorf("algorithms: node %d: assembled path ends at %d, not at ρ_0", v, nodes[len(nodes)-1])
+	}
+	return pathOutput(g, nodes, task)
+}
+
+// pathOutput converts a node path into the output format of the task.
+func pathOutput(g *graph.Graph, nodes []int, task election.Task) (election.Output, error) {
+	out := election.Output{}
+	ports := make([]int, 0, len(nodes)-1)
+	pairs := make([]graph.PortPair, 0, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		p, ok := g.PortTo(nodes[i], nodes[i+1])
+		if !ok {
+			return out, fmt.Errorf("algorithms: nodes %d and %d are not adjacent", nodes[i], nodes[i+1])
+		}
+		ports = append(ports, p)
+		pairs = append(pairs, graph.PortPair{Out: p, In: g.Neighbor(nodes[i], p).ToPort})
+	}
+	out.PortPath = ports
+	if len(ports) > 0 {
+		out.Port = ports[0]
+	}
+	if task == election.CPPE {
+		out.FullPath = pairs
+	}
+	return out, nil
+}
+
+// JmkPathOutputs implements the Lemma 4.8 algorithm for every node of the
+// instance (suitable for reduced-size instances whose total output fits in
+// memory). The returned depth is k.
+func JmkPathOutputs(inst *construct.Jmk, task election.Task) (int, []election.Output, error) {
+	if task != election.CPPE && task != election.PPE {
+		return 0, nil, fmt.Errorf("algorithms: JmkPathOutputs supports PPE and CPPE, not %v", task)
+	}
+	ctx, err := NewJmkPathContext(inst)
+	if err != nil {
+		return 0, nil, err
+	}
+	outputs := make([]election.Output, inst.G.N())
+	for v := 0; v < inst.G.N(); v++ {
+		out, err := ctx.OutputFor(v, task)
+		if err != nil {
+			return 0, nil, err
+		}
+		outputs[v] = out
+	}
+	return inst.K, outputs, nil
+}
+
+// SampleReport summarises a sampled verification of the Lemma 4.8 algorithm on
+// a (possibly faithful, hence huge) J_{µ,k} instance.
+type SampleReport struct {
+	Sampled     int
+	LeaderNode  int
+	MaxPathLen  int
+	TotalSteps  int
+	DepthUsed   int
+	TaskChecked election.Task
+}
+
+// VerifyJmkSample draws sampleSize nodes (always including every ρ node and
+// the nodes of the first and last gadgets), computes each node's Lemma 4.8
+// output, and verifies it against the graph. This establishes, on the sampled
+// nodes, that the algorithm solves the task with paths to the single leader
+// ρ_0 — the per-node check used by experiment E8 on instances whose full
+// output vector would not fit in memory.
+func VerifyJmkSample(inst *construct.Jmk, task election.Task, sampleSize int, seed int64) (*SampleReport, error) {
+	ctx, err := NewJmkPathContext(inst)
+	if err != nil {
+		return nil, err
+	}
+	g := inst.G
+	rng := rand.New(rand.NewSource(seed))
+	sample := make(map[int]bool)
+	for _, rho := range inst.Rho {
+		sample[rho] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if inst.GadgetOf[v] == 0 || inst.GadgetOf[v] == inst.NumGadgets-1 {
+			sample[v] = true
+		}
+	}
+	for len(sample) < sampleSize && len(sample) < g.N() {
+		sample[rng.Intn(g.N())] = true
+	}
+	nodes := make([]int, 0, len(sample))
+	for v := range sample {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	rep := &SampleReport{Sampled: len(nodes), LeaderNode: inst.Rho[0], DepthUsed: inst.K, TaskChecked: task}
+	for _, v := range nodes {
+		out, err := ctx.OutputFor(v, task)
+		if err != nil {
+			return nil, err
+		}
+		if v == inst.Rho[0] {
+			if !out.Leader {
+				return nil, fmt.Errorf("algorithms: ρ_0 did not output leader")
+			}
+			continue
+		}
+		if out.Leader {
+			return nil, fmt.Errorf("algorithms: node %d wrongly claims leadership", v)
+		}
+		if err := election.ValidForLeader(task, g, v, inst.Rho[0], out); err != nil {
+			return nil, fmt.Errorf("algorithms: node %d: %w", v, err)
+		}
+		steps := len(out.PortPath)
+		if task == election.CPPE {
+			steps = len(out.FullPath)
+		}
+		rep.TotalSteps += steps
+		if steps > rep.MaxPathLen {
+			rep.MaxPathLen = steps
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,111 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// SelectionAdviceMachine is the distributed algorithm of Theorem 2.2: the
+// advice is the encoding of the augmented truncated view B^{ψ_S(G)}(u) of a
+// node u chosen by the oracle so that this view is unique in G. Every node
+// decodes the advice, reads off the height h of the encoded view, gathers its
+// own view for h rounds, and outputs leader exactly if its view equals the
+// advice. The algorithm uses ψ_S(G) rounds and advice of size
+// O((Δ-1)^{ψ_S(G)}·log Δ).
+type SelectionAdviceMachine struct {
+	target *view.View
+	rounds int
+	vb     viewBuilder
+	err    error
+}
+
+// NewSelectionAdviceFactory returns a factory for the Theorem 2.2 machine.
+func NewSelectionAdviceFactory() local.Factory {
+	return func() local.Machine { return &SelectionAdviceMachine{} }
+}
+
+// Init implements local.Machine.
+func (m *SelectionAdviceMachine) Init(info local.NodeInfo) {
+	m.vb.init(info.Degree)
+	target, err := view.Decode(info.Advice)
+	if err != nil {
+		m.err = fmt.Errorf("algorithms: selection advice: %w", err)
+		return
+	}
+	m.target = target
+	m.rounds = target.Height()
+}
+
+// Send implements local.Machine.
+func (m *SelectionAdviceMachine) Send(round int) []local.Message {
+	if m.err != nil || round > m.rounds {
+		return make([]local.Message, m.vb.deg)
+	}
+	return m.vb.send()
+}
+
+// Receive implements local.Machine.
+func (m *SelectionAdviceMachine) Receive(round int, inbox []local.Message) bool {
+	if m.err != nil {
+		return true
+	}
+	if round <= m.rounds {
+		if err := m.vb.receive(inbox); err != nil {
+			m.err = err
+			return true
+		}
+	}
+	return round >= m.rounds
+}
+
+// Output implements local.Machine; it returns an election.Output whose Leader
+// bit is set iff this node's gathered view equals the advice.
+func (m *SelectionAdviceMachine) Output() any {
+	if m.err != nil || m.target == nil {
+		return election.Output{}
+	}
+	return election.Output{Leader: m.vb.current().Equal(m.target)}
+}
+
+// RunSelectionWithAdvice wires the Theorem 2.2 oracle and machine together on
+// graph g: it computes the advice, runs the machine on the chosen engine for
+// exactly ψ_S(G) rounds, and returns the advice size, the number of rounds
+// used, and the verified outputs.
+func RunSelectionWithAdvice(g *graph.Graph, engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits int, rounds int, outputs []election.Output, err error) {
+	oracle := advice.ViewOracle{}
+	bits, err := oracle.Advise(g)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	target, err := view.Decode(bits)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	res, err := engine(g, NewSelectionAdviceFactory(), local.Config{
+		MaxRounds: target.Height(),
+		Advice:    bits,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	outputs = election.OutputsFromAny(res.Outputs)
+	if err := election.Verify(election.S, g, outputs); err != nil {
+		return bits.Len(), res.Rounds, outputs, fmt.Errorf("algorithms: selection with advice produced invalid outputs: %w", err)
+	}
+	return bits.Len(), res.Rounds, outputs, nil
+}
+
+// SelectionAdviceSize returns only the advice size used by the Theorem 2.2
+// oracle on g, for the experiment tables.
+func SelectionAdviceSize(g *graph.Graph) (int, error) {
+	bits, err := (advice.ViewOracle{}).Advise(g)
+	if err != nil {
+		return 0, err
+	}
+	return bits.Len(), nil
+}

@@ -1,0 +1,219 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstring"
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// UdkPortElectionOutputs implements the k-round Port Election algorithm of
+// Lemma 3.9 for a graph G_σ ∈ U_{Δ,k}, evaluated centrally from the map.
+// The returned depth is k, and every decision is a function of the node's
+// augmented truncated view at depth k together with the map (outputs are
+// computed per depth-k view class from a representative).
+//
+// Case analysis (quoting the lemma):
+//   - degree 1: output port 0;
+//   - degree Δ+2 (a cycle node): the unique cycle node whose B^k equals the
+//     lexicographically smallest cycle-node view outputs leader, the others
+//     output port Δ+1 (the next edge around the cycle);
+//   - degree 2Δ-1 (a "heavy" root r_{j,1,c}): output the first port of a
+//     simple path from the matching map node toward the closest cycle node —
+//     the map is essential here, because that port was swapped by σ and is not
+//     visible within distance k;
+//   - otherwise ("light" nodes): output the first port toward the closest
+//     node of degree Δ+2 within the view, or toward the closest node of degree
+//     2Δ-1 if no cycle node is visible.
+func UdkPortElectionOutputs(u *construct.Udk) (int, []election.Output, error) {
+	g := u.G
+	k := u.K
+	n := g.N()
+
+	ref := view.Refine(g, k)
+	classes := ref.ClassAt(k)
+	groups := make(map[int][]int)
+	for v, id := range classes {
+		groups[id] = append(groups[id], v)
+	}
+
+	// The leader: the cycle node with the lexicographically smallest B^k
+	// (unique by Lemma 3.8).
+	leader := -1
+	var leaderView *view.View
+	for j := 0; j < u.Y; j++ {
+		for b := 0; b < 2; b++ {
+			root := u.CycleRoots[j][b]
+			vw := view.Compute(g, root, k)
+			if leaderView == nil || view.Compare(vw, leaderView) < 0 {
+				leader, leaderView = root, vw
+			}
+		}
+	}
+	if leader < 0 {
+		return 0, nil, fmt.Errorf("algorithms: U_{Δ,k} instance has no cycle roots")
+	}
+
+	outputs := make([]election.Output, n)
+	classIDs := make([]int, 0, len(groups))
+	for id := range groups {
+		classIDs = append(classIDs, id)
+	}
+	sort.Ints(classIDs)
+	for _, id := range classIDs {
+		members := groups[id]
+		rep := members[0]
+		out, err := udkOutputFor(u, rep, leader)
+		if err != nil {
+			return 0, nil, err
+		}
+		for _, v := range members {
+			outputs[v] = out
+		}
+	}
+	return k, outputs, nil
+}
+
+func udkOutputFor(u *construct.Udk, rep, leader int) (election.Output, error) {
+	g := u.G
+	delta, k := u.Delta, u.K
+	switch {
+	case rep == leader:
+		return election.Output{Leader: true}, nil
+	case g.Degree(rep) == 1:
+		return election.Output{Port: 0}, nil
+	case g.Degree(rep) == delta+2:
+		// A non-leader cycle node: port Δ+1 leads to the next root around the
+		// cycle, hence begins a simple path to the leader.
+		return election.Output{Port: delta + 1}, nil
+	case g.Degree(rep) == 2*delta-1:
+		// A heavy root: consult the map for the first port of a simple path
+		// toward the closest cycle node (degree Δ+2), which is not visible
+		// within distance k (in the construction it sits at distance k+1, at
+		// the far end of the inter-tree path whose port σ swapped).
+		target, ok := nearestOfDegree(g, rep, delta+2, k+1)
+		if !ok {
+			return election.Output{}, fmt.Errorf("algorithms: heavy root %d sees no cycle node within distance k+1", rep)
+		}
+		port, err := firstPortToward(g, rep, target, k+1)
+		if err != nil {
+			return election.Output{}, fmt.Errorf("algorithms: heavy root %d: %w", rep, err)
+		}
+		return election.Output{Port: port}, nil
+	default:
+		// A light node: within distance k it sees a cycle node or, failing
+		// that, a heavy root; head toward the closest one.
+		target, ok := nearestOfDegree(g, rep, delta+2, k)
+		if !ok {
+			target, ok = nearestOfDegree(g, rep, 2*delta-1, k)
+		}
+		if !ok {
+			return election.Output{}, fmt.Errorf("algorithms: light node %d sees neither a cycle node nor a heavy root within distance %d", rep, k)
+		}
+		port, err := firstPortToward(g, rep, target, k)
+		if err != nil {
+			return election.Output{}, fmt.Errorf("algorithms: light node %d: %w", rep, err)
+		}
+		return election.Output{Port: port}, nil
+	}
+}
+
+// nearestOfDegree returns the closest node to v whose degree equals targetDeg
+// within the given radius, using a bounded BFS. Among equally close candidates
+// the smallest identifier wins, which keeps the choice deterministic.
+func nearestOfDegree(g *graph.Graph, v, targetDeg, radius int) (int, bool) {
+	dist := boundedBFS(g, v, radius)
+	best, bestDist := -1, radius+1
+	for u, d := range dist {
+		if d > radius || g.Degree(u) != targetDeg {
+			continue
+		}
+		if d < bestDist || (d == bestDist && u < best) {
+			best, bestDist = u, d
+		}
+	}
+	return best, best >= 0
+}
+
+// boundedBFS returns the distances from v of all nodes within the radius.
+func boundedBFS(g *graph.Graph, v, radius int) map[int]int {
+	dist := map[int]int{v: 0}
+	queue := []int{v}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dist[cur] >= radius {
+			continue
+		}
+		for p := 0; p < g.Degree(cur); p++ {
+			u := g.Neighbor(cur, p).To
+			if _, seen := dist[u]; seen {
+				continue
+			}
+			dist[u] = dist[cur] + 1
+			queue = append(queue, u)
+		}
+	}
+	return dist
+}
+
+// firstPortToward returns the smallest port of v that starts a shortest path
+// from v to target, where target lies within the given radius of v. Only the
+// ball of that radius is explored, so the answer is a function of B^radius(v).
+func firstPortToward(g *graph.Graph, v, target, radius int) (int, error) {
+	distFromTarget := boundedBFS(g, target, radius)
+	dv, ok := distFromTarget[v]
+	if !ok {
+		return -1, fmt.Errorf("target %d is not within distance %d of node %d", target, radius, v)
+	}
+	for p := 0; p < g.Degree(v); p++ {
+		u := g.Neighbor(v, p).To
+		if du, seen := distFromTarget[u]; seen && du == dv-1 {
+			return p, nil
+		}
+	}
+	return -1, fmt.Errorf("no port of %d decreases the distance to %d", v, target)
+}
+
+// UdkSigmaInterpreter is the advice interpreter of the class-specific
+// minimum-time Port Election algorithm for U_{Δ,k}: the advice is only the
+// sequence σ (plus Δ and k), from which every node rebuilds the map and
+// recomputes the Lemma 3.9 assignment.
+func UdkSigmaInterpreter(bits bitstring.Bits) (*graph.Graph, int, []election.Output, error) {
+	inst, err := construct.DecodeUdkAdvice(bits)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	depth, outputs, err := UdkPortElectionOutputs(inst)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return inst.G, depth, outputs, nil
+}
+
+// RunUdkPortElection executes the distributed Port Election algorithm with
+// σ-advice on the instance, verifying that it elects a leader with valid PE
+// outputs in exactly k rounds. It returns the advice size in bits.
+func RunUdkPortElection(u *construct.Udk, engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
+	bits, err := u.SigmaAdvice()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	res, err := engine(u.G, NewInterpreterFactory(UdkSigmaInterpreter), local.Config{
+		MaxRounds: u.K,
+		Advice:    bits,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	outputs = election.OutputsFromAny(res.Outputs)
+	if err := election.Verify(election.PE, u.G, outputs); err != nil {
+		return bits.Len(), res.Rounds, outputs, fmt.Errorf("algorithms: U_{Δ,k} Port Election produced invalid outputs: %w", err)
+	}
+	return bits.Len(), res.Rounds, outputs, nil
+}

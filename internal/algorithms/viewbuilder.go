@@ -1,0 +1,152 @@
+// Package algorithms implements the distributed algorithms of the paper as
+// machines for the LOCAL-model simulator, plus centralised "evaluators" that
+// compute the same outputs directly from the map (used to validate the
+// class-specific minimum-time algorithms on instances too large to simulate
+// node-by-node).
+//
+// All machines observe the anonymity constraints: they are constructed without
+// arguments and learn only their own degree, the common advice string, and the
+// messages arriving on their ports.
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// viewBuilder incrementally gathers the augmented truncated view of the node
+// running it: after r rounds its Current() is exactly B^r(v). In every round
+// each node sends its current view, tagged with the outgoing port number, to
+// every neighbour; the views received through the ports become the children of
+// the next, one-deeper view.
+type viewBuilder struct {
+	deg int
+	cur *view.View
+}
+
+func (b *viewBuilder) init(deg int) {
+	b.deg = deg
+	b.cur = &view.View{Degree: deg}
+}
+
+// current returns B^r(v) where r is the number of completed rounds.
+func (b *viewBuilder) current() *view.View { return b.cur }
+
+// send produces the per-port messages for the next round: the sender's port
+// number followed by the encoding of its current view.
+func (b *viewBuilder) send() []local.Message {
+	out := make([]local.Message, b.deg)
+	for p := 0; p < b.deg; p++ {
+		w := bitstring.NewWriter()
+		w.WriteGamma(uint64(p))
+		view.EncodeInto(w, b.cur)
+		bits := w.Bits()
+		out[p] = encodeBits(bits)
+	}
+	return out
+}
+
+// receive consumes one round of messages and deepens the view by one level.
+func (b *viewBuilder) receive(inbox []local.Message) error {
+	next := &view.View{
+		Degree:   b.deg,
+		Expanded: true,
+		InPorts:  make([]int, b.deg),
+		Children: make([]*view.View, b.deg),
+	}
+	if len(inbox) < b.deg {
+		return fmt.Errorf("algorithms: inbox has %d entries for degree %d", len(inbox), b.deg)
+	}
+	for p := 0; p < b.deg; p++ {
+		bits, err := decodeBits(inbox[p])
+		if err != nil {
+			return fmt.Errorf("algorithms: port %d: %w", p, err)
+		}
+		r := bitstring.NewReader(bits)
+		inPort, err := r.ReadGamma()
+		if err != nil {
+			return fmt.Errorf("algorithms: port %d: reading sender port: %w", p, err)
+		}
+		child, err := view.DecodeFrom(r)
+		if err != nil {
+			return fmt.Errorf("algorithms: port %d: decoding view: %w", p, err)
+		}
+		if r.Remaining() != 0 {
+			return fmt.Errorf("algorithms: port %d: %d trailing bits", p, r.Remaining())
+		}
+		next.InPorts[p] = int(inPort)
+		next.Children[p] = child
+	}
+	b.cur = next
+	return nil
+}
+
+// encodeBits frames a bit string as a byte message (bit length as a 4-byte
+// prefix, then the padded bytes).
+func encodeBits(b bitstring.Bits) local.Message {
+	n := b.Len()
+	payload := b.Bytes()
+	msg := make(local.Message, 4+len(payload))
+	msg[0] = byte(n >> 24)
+	msg[1] = byte(n >> 16)
+	msg[2] = byte(n >> 8)
+	msg[3] = byte(n)
+	copy(msg[4:], payload)
+	return msg
+}
+
+// decodeBits reverses encodeBits.
+func decodeBits(msg local.Message) (bitstring.Bits, error) {
+	if len(msg) < 4 {
+		return bitstring.Bits{}, fmt.Errorf("message too short (%d bytes)", len(msg))
+	}
+	n := int(msg[0])<<24 | int(msg[1])<<16 | int(msg[2])<<8 | int(msg[3])
+	if n < 0 {
+		return bitstring.Bits{}, fmt.Errorf("negative bit length")
+	}
+	return bitstring.FromBytes(msg[4:], n)
+}
+
+// GatherViewMachine is a plain view-gathering machine: it runs for a fixed
+// number of rounds and outputs its augmented truncated view. It both serves as
+// a building block test and demonstrates that B^r(v) is exactly the
+// information obtainable in r rounds.
+type GatherViewMachine struct {
+	Rounds int
+	vb     viewBuilder
+	failed error
+}
+
+// NewGatherViewFactory returns a factory of GatherViewMachines with the given
+// round budget.
+func NewGatherViewFactory(rounds int) local.Factory {
+	return func() local.Machine { return &GatherViewMachine{Rounds: rounds} }
+}
+
+// Init implements local.Machine.
+func (m *GatherViewMachine) Init(info local.NodeInfo) { m.vb.init(info.Degree) }
+
+// Send implements local.Machine.
+func (m *GatherViewMachine) Send(round int) []local.Message { return m.vb.send() }
+
+// Receive implements local.Machine.
+func (m *GatherViewMachine) Receive(round int, inbox []local.Message) bool {
+	if m.failed == nil {
+		if err := m.vb.receive(inbox); err != nil {
+			m.failed = err
+		}
+	}
+	return round >= m.Rounds
+}
+
+// Output implements local.Machine; it returns *view.View (or error if a
+// malformed message was received).
+func (m *GatherViewMachine) Output() any {
+	if m.failed != nil {
+		return m.failed
+	}
+	return m.vb.current()
+}

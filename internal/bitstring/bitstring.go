@@ -1,0 +1,280 @@
+// Package bitstring implements compact binary strings with bit-level access.
+//
+// Advice in the algorithms-with-advice framework is a single binary string
+// whose length is measured in bits, so the package exposes exact bit counts
+// and supports the variable-length integer codes used by the oracles
+// (fixed-width, unary, and Elias-gamma).
+package bitstring
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Bits is an immutable bit string. The zero value is the empty string.
+type Bits struct {
+	data []byte
+	n    int // number of valid bits
+}
+
+// Len returns the number of bits in the string.
+func (b Bits) Len() int { return b.n }
+
+// Bytes returns a copy of the underlying bytes (the last byte is padded with
+// zero bits).
+func (b Bits) Bytes() []byte {
+	out := make([]byte, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+// At returns the bit at position i (0 = most significant bit of the first byte).
+func (b Bits) At(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
+	}
+	return b.data[i>>3]&(1<<(7-uint(i&7))) != 0
+}
+
+// String renders the bit string as a sequence of '0' and '1' characters.
+func (b Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.At(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Equal reports whether two bit strings have identical length and content.
+func (b Bits) Equal(o Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := 0; i < b.n; i++ {
+		if b.At(i) != o.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromString parses a string of '0' and '1' characters.
+func FromString(s string) (Bits, error) {
+	w := NewWriter()
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			w.WriteBit(false)
+		case '1':
+			w.WriteBit(true)
+		default:
+			return Bits{}, fmt.Errorf("bitstring: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return w.Bits(), nil
+}
+
+// FromBytes wraps a byte slice holding nbits valid bits.
+func FromBytes(data []byte, nbits int) (Bits, error) {
+	if nbits < 0 || nbits > 8*len(data) {
+		return Bits{}, fmt.Errorf("bitstring: %d bits do not fit in %d bytes", nbits, len(data))
+	}
+	cp := make([]byte, (nbits+7)/8)
+	copy(cp, data[:len(cp)])
+	// Clear padding bits so Equal works on the byte representation too.
+	if rem := nbits & 7; rem != 0 && len(cp) > 0 {
+		cp[len(cp)-1] &= byte(0xFF << (8 - uint(rem)))
+	}
+	return Bits{data: cp, n: nbits}, nil
+}
+
+// Writer builds a bit string incrementally.
+type Writer struct {
+	data []byte
+	n    int
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.n }
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(bit bool) {
+	if w.n&7 == 0 {
+		w.data = append(w.data, 0)
+	}
+	if bit {
+		w.data[w.n>>3] |= 1 << (7 - uint(w.n&7))
+	}
+	w.n++
+}
+
+// WriteUint appends the width least-significant bits of v, most significant
+// bit first. It panics if v does not fit in width bits or width is invalid.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstring: invalid width %d", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitstring: value %d does not fit in %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// WriteUnary appends v in unary: v ones followed by a zero.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+}
+
+// WriteGamma appends v >= 0 using the Elias-gamma code of v+1, so that zero is
+// representable. The code of x takes 2*floor(log2 x)+1 bits.
+func (w *Writer) WriteGamma(v uint64) {
+	x := v + 1
+	nb := bitLen(x)
+	w.WriteUnary(uint64(nb - 1))
+	// Remaining nb-1 bits of x (below the leading one).
+	for i := nb - 2; i >= 0; i-- {
+		w.WriteBit(x&(1<<uint(i)) != 0)
+	}
+}
+
+// WriteBits appends an entire bit string.
+func (w *Writer) WriteBits(b Bits) {
+	for i := 0; i < b.Len(); i++ {
+		w.WriteBit(b.At(i))
+	}
+}
+
+// Bits returns the accumulated bit string. The writer may continue to be used;
+// the returned value is an independent copy.
+func (w *Writer) Bits() Bits {
+	cp := make([]byte, len(w.data))
+	copy(cp, w.data)
+	return Bits{data: cp, n: w.n}
+}
+
+// ErrOutOfBits is returned when a Reader runs past the end of the string.
+var ErrOutOfBits = errors.New("bitstring: read past end of bit string")
+
+// Reader consumes a bit string sequentially.
+type Reader struct {
+	b   Bits
+	pos int
+}
+
+// NewReader returns a reader positioned at the start of b.
+func NewReader(b Bits) *Reader { return &Reader{b: b} }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.b.Len() - r.pos }
+
+// Pos returns the number of bits consumed so far.
+func (r *Reader) Pos() int { return r.pos }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= r.b.Len() {
+		return false, ErrOutOfBits
+	}
+	v := r.b.At(r.pos)
+	r.pos++
+	return v, nil
+}
+
+// ReadUint reads width bits as an unsigned integer (most significant first).
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitstring: invalid width %d", width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !bit {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadGamma reads an Elias-gamma coded value written by WriteGamma.
+func (r *Reader) ReadGamma() (uint64, error) {
+	nb, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if nb > 63 {
+		return 0, fmt.Errorf("bitstring: gamma code too long (%d extra bits)", nb)
+	}
+	x := uint64(1)
+	for i := uint64(0); i < nb; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		x <<= 1
+		if bit {
+			x |= 1
+		}
+	}
+	return x - 1, nil
+}
+
+// bitLen returns the number of bits needed to represent x (x > 0).
+func bitLen(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// UintWidth returns the number of bits needed to store values in [0, max],
+// with a minimum of 1 bit.
+func UintWidth(max uint64) int {
+	if max == 0 {
+		return 1
+	}
+	return bitLen(max)
+}
+
+// Concat concatenates bit strings.
+func Concat(parts ...Bits) Bits {
+	w := NewWriter()
+	for _, p := range parts {
+		w.WriteBits(p)
+	}
+	return w.Bits()
+}

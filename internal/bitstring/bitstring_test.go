@@ -1,0 +1,267 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyBits(t *testing.T) {
+	var b Bits
+	if b.Len() != 0 {
+		t.Fatalf("empty Bits has length %d, want 0", b.Len())
+	}
+	if b.String() != "" {
+		t.Fatalf("empty Bits renders as %q, want empty", b.String())
+	}
+	if !b.Equal(NewWriter().Bits()) {
+		t.Fatal("empty Bits should equal a fresh writer's output")
+	}
+}
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	pattern := []bool{true, false, true, true, false, false, true, false, true, true, true}
+	for _, bit := range pattern {
+		w.WriteBit(bit)
+	}
+	b := w.Bits()
+	if b.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(pattern))
+	}
+	for i, want := range pattern {
+		if got := b.At(i); got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	r := NewReader(b)
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("read bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("reading past end: err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "01", "10", "110010111", "0000000000000000", "1111111110000000001"}
+	for _, s := range cases {
+		b, err := FromString(s)
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if got := b.String(); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+	if _, err := FromString("01x"); err == nil {
+		t.Error("FromString accepted an invalid character")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	b, err := FromBytes([]byte{0b10110000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "1011" {
+		t.Fatalf("FromBytes = %q, want 1011", b.String())
+	}
+	if _, err := FromBytes([]byte{0xFF}, 9); err == nil {
+		t.Error("FromBytes accepted more bits than bytes provide")
+	}
+	// Padding bits must be cleared so byte-level comparisons are stable.
+	b2, _ := FromBytes([]byte{0b10111111}, 4)
+	if !b.Equal(b2) {
+		t.Error("padding bits leaked into equality")
+	}
+}
+
+func TestWriteUint(t *testing.T) {
+	w := NewWriter()
+	w.WriteUint(5, 3)
+	w.WriteUint(0, 1)
+	w.WriteUint(1023, 10)
+	b := w.Bits()
+	r := NewReader(b)
+	for _, tc := range []struct {
+		width int
+		want  uint64
+	}{{3, 5}, {1, 0}, {10, 1023}} {
+		got, err := r.ReadUint(tc.width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("ReadUint(%d) = %d, want %d", tc.width, got, tc.want)
+		}
+	}
+	if b.Len() != 14 {
+		t.Errorf("total length %d, want 14", b.Len())
+	}
+}
+
+func TestWriteUintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteUint did not panic on overflow")
+		}
+	}()
+	NewWriter().WriteUint(8, 3)
+}
+
+func TestUnary(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 7, 31} {
+		w := NewWriter()
+		w.WriteUnary(v)
+		if got := w.Len(); got != int(v)+1 {
+			t.Errorf("unary(%d) length %d, want %d", v, got, v+1)
+		}
+		got, err := NewReader(w.Bits()).ReadUnary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("unary round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestGamma(t *testing.T) {
+	values := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 100, 1000, 65535, 1 << 40}
+	w := NewWriter()
+	for _, v := range values {
+		w.WriteGamma(v)
+	}
+	r := NewReader(w.Bits())
+	for _, want := range values {
+		got, err := r.ReadGamma()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("gamma round trip %d -> %d", want, got)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("gamma decode left %d bits unread", r.Remaining())
+	}
+}
+
+func TestUintWidth(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {255, 8}, {256, 9}}
+	for _, tc := range cases {
+		if got := UintWidth(tc.max); got != tc.want {
+			t.Errorf("UintWidth(%d) = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, _ := FromString("101")
+	b, _ := FromString("0011")
+	c := Concat(a, b, Bits{})
+	if c.String() != "1010011" {
+		t.Fatalf("Concat = %q", c.String())
+	}
+}
+
+func TestWriteBits(t *testing.T) {
+	inner, _ := FromString("110100101")
+	w := NewWriter()
+	w.WriteBit(true)
+	w.WriteBits(inner)
+	w.WriteBit(false)
+	if got := w.Bits().String(); got != "1"+inner.String()+"0" {
+		t.Fatalf("WriteBits produced %q", got)
+	}
+}
+
+// Property: gamma codes round-trip for arbitrary values.
+func TestGammaQuick(t *testing.T) {
+	f := func(vs []uint32) bool {
+		w := NewWriter()
+		for _, v := range vs {
+			w.WriteGamma(uint64(v))
+		}
+		r := NewReader(w.Bits())
+		for _, v := range vs {
+			got, err := r.ReadGamma()
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an arbitrary sequence of bit writes reproduces itself via String
+// and via bit-by-bit reads.
+func TestBitsQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter()
+		want := make([]bool, int(n))
+		for i := range want {
+			want[i] = rng.Intn(2) == 1
+			w.WriteBit(want[i])
+		}
+		b := w.Bits()
+		if b.Len() != len(want) {
+			return false
+		}
+		for i, bit := range want {
+			if b.At(i) != bit {
+				return false
+			}
+		}
+		// Round trip through bytes.
+		b2, err := FromBytes(b.Bytes(), b.Len())
+		return err == nil && b2.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixed-width uint round trips.
+func TestUintQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type entry struct {
+			v     uint64
+			width int
+		}
+		var entries []entry
+		w := NewWriter()
+		for i := 0; i < 50; i++ {
+			width := 1 + rng.Intn(32)
+			v := rng.Uint64() & ((1 << uint(width)) - 1)
+			entries = append(entries, entry{v, width})
+			w.WriteUint(v, width)
+		}
+		r := NewReader(w.Bits())
+		for _, e := range entries {
+			got, err := r.ReadUint(e.width)
+			if err != nil || got != e.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package construct
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// GdkClassSize returns |G_{Δ,k}| = |T_{Δ,k}| = (Δ-1)^((Δ-2)·(Δ-1)^(k-1))
+// (Fact 2.3). The value grows astronomically, hence the big.Int result.
+func GdkClassSize(delta, k int) *big.Int {
+	z := NumLeaves(delta, k)
+	return new(big.Int).Exp(big.NewInt(int64(delta-1)), big.NewInt(int64(z)), nil)
+}
+
+// NumTrees returns |T_{Δ,k}| as an int if it fits, for use as a loop bound
+// when materialising U_{Δ,k}; ok is false if the value overflows int.
+func NumTrees(delta, k int) (int, bool) {
+	v := GdkClassSize(delta, k)
+	if !v.IsInt64() || v.Int64() > int64(1)<<40 {
+		return 0, false
+	}
+	return int(v.Int64()), true
+}
+
+// UdkClassSize returns |U_{Δ,k}| = (Δ-1)^|T_{Δ,k}| (Fact 3.1).
+func UdkClassSize(delta, k int) *big.Int {
+	y := GdkClassSize(delta, k)
+	return new(big.Int).Exp(big.NewInt(int64(delta-1)), y, nil)
+}
+
+// LayerGraphSize returns the number of nodes of the layer graph L_j for a
+// given µ (Fact 4.1): |L_0| = 1, |L_1| = µ,
+// |L_{2j}| = (µ^(j+1) + µ^j - 2)/(µ-1) and |L_{2j+1}| = (2µ^(j+1) - 2)/(µ-1).
+func LayerGraphSize(mu, j int) int {
+	if mu < 2 || j < 0 {
+		panic(fmt.Sprintf("construct: LayerGraphSize(%d, %d) undefined", mu, j))
+	}
+	switch j {
+	case 0:
+		return 1
+	case 1:
+		return mu
+	}
+	half := j / 2
+	pow := func(e int) int {
+		p := 1
+		for i := 0; i < e; i++ {
+			p *= mu
+		}
+		return p
+	}
+	if j%2 == 0 {
+		return (pow(half+1) + pow(half) - 2) / (mu - 1)
+	}
+	return (2*pow(half+1) - 2) / (mu - 1)
+}
+
+// JmkZ returns z, the number of nodes of the layer graph L_k used by the
+// J_{µ,k} construction.
+func JmkZ(mu, k int) int { return LayerGraphSize(mu, k) }
+
+// JmkNumGadgets returns 2^z, the number of gadgets chained in the template
+// graph J, as a big.Int (it can be astronomically large for big µ, k).
+func JmkNumGadgets(mu, k int) *big.Int {
+	z := JmkZ(mu, k)
+	return new(big.Int).Lsh(big.NewInt(1), uint(z))
+}
+
+// JmkClassSize returns |J_{µ,k}| = 2^(2^(z-1)) (Fact 4.2).
+func JmkClassSize(mu, k int) *big.Int {
+	z := JmkZ(mu, k)
+	if z < 1 {
+		return big.NewInt(1)
+	}
+	// 2^(2^(z-1)) only fits in memory for tiny z; callers that just need the
+	// advice lower bound should use JmkAdviceLowerBoundBits instead.
+	exp := new(big.Int).Lsh(big.NewInt(1), uint(z-1))
+	if !exp.IsInt64() || exp.Int64() > 1<<20 {
+		panic("construct: JmkClassSize does not fit in memory; use JmkAdviceLowerBoundBits")
+	}
+	return new(big.Int).Lsh(big.NewInt(1), uint(exp.Int64()))
+}
+
+// AdviceLowerBoundBitsGdk returns the pigeonhole lower bound on the worst-case
+// advice size (in bits) for solving S in minimum time on G_{Δ,k}: any
+// algorithm using fewer than log2|G_{Δ,k}| - 1 bits gives the same advice to
+// two graphs of the class (Theorem 2.9's counting step).
+func AdviceLowerBoundBitsGdk(delta, k int) float64 {
+	return log2BigPow(delta-1, NumLeaves(delta, k)) - 1
+}
+
+// AdviceLowerBoundBitsUdk returns the pigeonhole bound log2|U_{Δ,k}| - 1 used
+// in Theorem 3.11.
+func AdviceLowerBoundBitsUdk(delta, k int) float64 {
+	numTrees := GdkClassSize(delta, k)
+	if !numTrees.IsInt64() {
+		return float64(1 << 62)
+	}
+	return log2BigPow(delta-1, int(numTrees.Int64())) - 1
+}
+
+// AdviceLowerBoundBitsJmk returns the pigeonhole bound used in Theorems 4.11
+// and 4.12: log2(|J_{µ,k}|/2) = 2^(z-1) - 1 bits.
+func AdviceLowerBoundBitsJmk(mu, k int) float64 {
+	z := JmkZ(mu, k)
+	if z-1 >= 63 {
+		return float64(1) * float64(uint64(1)<<62) // effectively unbounded
+	}
+	return float64(uint64(1)<<uint(z-1)) - 1
+}
+
+// log2BigPow returns log2(base^exp) = exp·log2(base).
+func log2BigPow(base, exp int) float64 {
+	return float64(exp) * math.Log2(float64(base))
+}

@@ -1,0 +1,131 @@
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Gdk is one graph G_i of the class G_{Δ,k} of Section 2.2.1, together with
+// the construction metadata needed by the experiments.
+type Gdk struct {
+	Delta int
+	K     int
+	// I is the index of the graph within the class (1-based); G_i contains the
+	// trees T_1, ..., T_i.
+	I int
+	// G is the constructed graph.
+	G *graph.Graph
+	// CycleNodes are c_1, ..., c_{4i-1} in order.
+	CycleNodes []int
+	// Trees lists the attached trees in the order they are wired to the cycle:
+	// for j = 1..i the two copies of T_{j,1} and then the copy (or copies) of
+	// T_{j,2}.
+	Trees []TreeMeta
+	// UniqueRoot is the node id of the root r_{i,2} of the single copy of
+	// T_{i,2} — by Lemma 2.6 the only node of G_i whose augmented truncated
+	// view at depth k is unique.
+	UniqueRoot int
+	// RootsByIndex[j-1][b-1] lists the roots of the copies of T_{j,b} present
+	// in G_i (two copies except for T_{i,2}, which has one).
+	RootsByIndex [][2][]int
+}
+
+// BuildGdk builds G_i ∈ G_{Δ,k}. Requirements: Δ >= 3, k >= 1,
+// 1 <= i <= (Δ-1)^z. The graph has 4i-1 cycle nodes and 4i-1 attached trees.
+func BuildGdk(delta, k, i int) (*Gdk, error) {
+	if delta < 3 || k < 1 {
+		return nil, fmt.Errorf("construct: G_{Δ,k} needs Δ >= 3 and k >= 1, got Δ=%d k=%d", delta, k)
+	}
+	if i < 1 {
+		return nil, fmt.Errorf("construct: graph index %d must be >= 1", i)
+	}
+	out := &Gdk{Delta: delta, K: k, I: i}
+	b := graph.NewBuilder(0)
+
+	// The cycle C_i of 4i-1 nodes with ports 0 (toward the next node) and 1
+	// (toward the previous node); see the edge labels in the proof of
+	// Lemma 2.5.
+	nCycle := 4*i - 1
+	out.CycleNodes = make([]int, nCycle)
+	for m := 0; m < nCycle; m++ {
+		out.CycleNodes[m] = b.AddNode()
+	}
+	for m := 0; m < nCycle; m++ {
+		next := (m + 1) % nCycle
+		b.AddEdge(out.CycleNodes[m], 0, out.CycleNodes[next], 1)
+	}
+
+	out.RootsByIndex = make([][2][]int, i)
+
+	// addCopy attaches a fresh copy of T_{j,variant} to cycle node c (1-based
+	// index into CycleNodes), with port 2 at the cycle node and port Δ-1 at
+	// the tree root.
+	addCopy := func(j, variant, cycleIndex int) (TreeMeta, error) {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			return TreeMeta{}, err
+		}
+		meta, err := addTree(b, TreeSpec{Delta: delta, K: k, X: x, Variant: variant})
+		if err != nil {
+			return TreeMeta{}, err
+		}
+		c := out.CycleNodes[cycleIndex-1]
+		b.AddEdge(c, 2, meta.Root, delta-1)
+		out.Trees = append(out.Trees, meta)
+		out.RootsByIndex[j-1][variant-1] = append(out.RootsByIndex[j-1][variant-1], meta.Root)
+		return meta, nil
+	}
+
+	for j := 1; j <= i; j++ {
+		// Two copies of T_{j,1} attached to c_{4j-3} and c_{4j-2}.
+		if _, err := addCopy(j, 1, 4*j-3); err != nil {
+			return nil, err
+		}
+		if _, err := addCopy(j, 1, 4*j-2); err != nil {
+			return nil, err
+		}
+		// First copy of T_{j,2} attached to c_{4j-1}.
+		meta, err := addCopy(j, 2, 4*j-1)
+		if err != nil {
+			return nil, err
+		}
+		if j == i {
+			out.UniqueRoot = meta.Root
+		}
+		// Second copy of T_{j,2} attached to c_{4j}, only for j < i.
+		if j < i {
+			if _, err := addCopy(j, 2, 4*j); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("construct: G_%d of G_{%d,%d}: %w", i, delta, k, err)
+	}
+	out.G = g
+	return out, nil
+}
+
+// GdkSize returns the number of nodes of G_i without building it.
+func GdkSize(delta, k, i int) (int, error) {
+	if delta < 3 || k < 1 || i < 1 {
+		return 0, fmt.Errorf("construct: invalid G_{Δ,k} parameters")
+	}
+	total := 4*i - 1
+	for j := 1; j <= i; j++ {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			return 0, err
+		}
+		size := TreeSize(TreeSpec{Delta: delta, K: k, X: x, Variant: 1})
+		copies := 4
+		if j == i {
+			copies = 3
+		}
+		total += copies * size
+	}
+	return total, nil
+}

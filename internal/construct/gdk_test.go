@@ -1,0 +1,301 @@
+package construct
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func TestSequenceForIndex(t *testing.T) {
+	// Δ=4, k=1: z = 2, sequences over {1,2,3} in lex order.
+	want := [][]int{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {2, 3}, {3, 1}, {3, 2}, {3, 3}}
+	for j, w := range want {
+		got, err := SequenceForIndex(4, 1, j+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(w) {
+			t.Fatalf("sequence %d has length %d", j+1, len(got))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("sequence %d = %v, want %v", j+1, got, w)
+			}
+		}
+	}
+	if _, err := SequenceForIndex(4, 1, 10); err == nil {
+		t.Error("index beyond the class size accepted")
+	}
+	if _, err := SequenceForIndex(4, 1, 0); err == nil {
+		t.Error("index 0 accepted")
+	}
+}
+
+func TestNumLeaves(t *testing.T) {
+	cases := []struct{ delta, k, want int }{
+		{3, 1, 1}, {3, 2, 2}, {3, 3, 4},
+		{4, 1, 2}, {4, 2, 6}, {4, 3, 18},
+		{5, 2, 12},
+	}
+	for _, tc := range cases {
+		if got := NumLeaves(tc.delta, tc.k); got != tc.want {
+			t.Errorf("NumLeaves(%d,%d) = %d, want %d", tc.delta, tc.k, got, tc.want)
+		}
+	}
+}
+
+// TestBuildTreeFigure1 rebuilds the two trees of Figure 1 (k=2, Δ=4,
+// X=(1,2,3,3,2,2)) and checks the structural properties visible in the figure.
+func TestBuildTreeFigure1(t *testing.T) {
+	x := []int{1, 2, 3, 3, 2, 2}
+	for variant := 1; variant <= 2; variant++ {
+		g, meta, err := BuildTree(TreeSpec{Delta: 4, K: 2, X: x, Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Size: |T| = 1 + 2 + 6 = 9, pendants Σx_i = 13, path 3 → 25 nodes.
+		if g.N() != 25 {
+			t.Errorf("variant %d: %d nodes, want 25", variant, g.N())
+		}
+		if g.N() != TreeSize(meta.Spec) {
+			t.Errorf("TreeSize disagrees with the built size")
+		}
+		// The root has degree Δ-1 = 3 (children ports 1, 2 and path port 0).
+		if g.Degree(meta.Root) != 3 {
+			t.Errorf("variant %d: root degree %d", variant, g.Degree(meta.Root))
+		}
+		// Leaves of T are ordered lexicographically and carry x_i pendants.
+		if len(meta.Leaves) != 6 {
+			t.Fatalf("variant %d: %d leaves", variant, len(meta.Leaves))
+		}
+		for i, leaf := range meta.Leaves {
+			if got := g.Degree(leaf); got != x[i]+1 {
+				t.Errorf("variant %d: leaf %d degree %d, want %d", variant, i, got, x[i]+1)
+			}
+		}
+		// Appended path has k+1 = 3 nodes ending in a degree-1 node.
+		if len(meta.PathNodes) != 3 {
+			t.Fatalf("variant %d: path has %d nodes", variant, len(meta.PathNodes))
+		}
+		last := meta.PathNodes[len(meta.PathNodes)-1]
+		if g.Degree(last) != 1 {
+			t.Errorf("variant %d: end of path has degree %d", variant, g.Degree(last))
+		}
+	}
+	// The two variants differ exactly at the ports of p_k: following ports
+	// 0,0 from the root must reach p_2 via different labels.
+	g1, m1, _ := BuildTree(TreeSpec{Delta: 4, K: 2, X: x, Variant: 1})
+	g2, m2, _ := BuildTree(TreeSpec{Delta: 4, K: 2, X: x, Variant: 2})
+	// In variant 1 the port at p_2 toward p_1 is 1; in variant 2 it is 0.
+	p2a, p2b := m1.PathNodes[1], m2.PathNodes[1]
+	if g1.Neighbor(p2a, 1).To != m1.PathNodes[0] {
+		t.Error("variant 1: p_2's port 1 should lead to p_1")
+	}
+	if g2.Neighbor(p2b, 0).To != m2.PathNodes[0] {
+		t.Error("variant 2: p_2's port 0 should lead to p_1")
+	}
+	if graph.Isomorphic(g1, g2) {
+		t.Error("T_{X,1} and T_{X,2} must not be port-isomorphic")
+	}
+}
+
+func TestTreeVariantsViewEquality(t *testing.T) {
+	// Proposition 2.4: the augmented truncated views of the roots of any
+	// T_{j,b} agree up to depth k-1, across both j and b.
+	delta, k := 4, 2
+	var views []*view.View
+	for _, j := range []int{1, 3, 7} {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for variant := 1; variant <= 2; variant++ {
+			g, meta, err := BuildTree(TreeSpec{Delta: delta, K: k, X: x, Variant: variant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, view.Compute(g, meta.Root, k-1))
+		}
+	}
+	for i := 1; i < len(views); i++ {
+		if !views[0].Equal(views[i]) {
+			t.Fatalf("root views at depth k-1 differ between trees 0 and %d", i)
+		}
+	}
+}
+
+func TestFact23ClassSizes(t *testing.T) {
+	cases := []struct {
+		delta, k int
+		want     string
+	}{
+		{3, 1, "2"},              // (Δ-1)^z = 2^1
+		{3, 2, "4"},              // 2^2
+		{4, 1, "9"},              // 3^2
+		{4, 2, "729"},            // 3^6
+		{5, 1, "64"},             // 4^3
+		{5, 2, "16777216"},       // 4^12
+		{6, 1, "625"},            // 5^4
+		{4, 3, "387420489"},      // 3^18
+		{6, 2, "95367431640625"}, // 5^20
+	}
+	for _, tc := range cases {
+		got := GdkClassSize(tc.delta, tc.k)
+		want, _ := new(big.Int).SetString(tc.want, 10)
+		if got.Cmp(want) != 0 {
+			t.Errorf("|G_{%d,%d}| = %s, want %s", tc.delta, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBuildGdkStructure(t *testing.T) {
+	for _, tc := range []struct{ delta, k, i int }{
+		{3, 1, 1}, {3, 1, 2}, {4, 1, 3}, {4, 2, 2}, {5, 1, 2},
+	} {
+		gdk, err := BuildGdk(tc.delta, tc.k, tc.i)
+		if err != nil {
+			t.Fatalf("BuildGdk(%d,%d,%d): %v", tc.delta, tc.k, tc.i, err)
+		}
+		g := gdk.G
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		wantSize, err := GdkSize(tc.delta, tc.k, tc.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != wantSize {
+			t.Errorf("G_%d of G_{%d,%d} has %d nodes, GdkSize predicts %d", tc.i, tc.delta, tc.k, g.N(), wantSize)
+		}
+		// Cycle nodes have degree 3; tree roots have degree Δ; the maximum
+		// degree of the graph is Δ.
+		for _, c := range gdk.CycleNodes {
+			if g.Degree(c) != 3 {
+				t.Errorf("cycle node degree %d, want 3", g.Degree(c))
+			}
+		}
+		for _, tree := range gdk.Trees {
+			if g.Degree(tree.Root) != tc.delta {
+				t.Errorf("tree root degree %d, want Δ=%d", g.Degree(tree.Root), tc.delta)
+			}
+		}
+		if tc.delta >= 4 && g.MaxDegree() != tc.delta {
+			t.Errorf("max degree %d, want %d", g.MaxDegree(), tc.delta)
+		}
+		// There are 4i-1 trees and 4i-1 cycle nodes.
+		if len(gdk.Trees) != 4*tc.i-1 || len(gdk.CycleNodes) != 4*tc.i-1 {
+			t.Errorf("got %d trees and %d cycle nodes, want %d", len(gdk.Trees), len(gdk.CycleNodes), 4*tc.i-1)
+		}
+	}
+	if _, err := BuildGdk(2, 1, 1); err == nil {
+		t.Error("Δ=2 accepted")
+	}
+	if _, err := BuildGdk(4, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := BuildGdk(4, 1, 0); err == nil {
+		t.Error("i=0 accepted")
+	}
+}
+
+// TestGdkLemma26And27 checks the heart of the Section 2 lower bound on
+// instances: the root r_{i,2} has a unique view at depth k and, for i >= 2, it
+// is the only such node (Lemma 2.6); no node has a unique view at depth k-1;
+// and therefore ψ_S(G_i) = k (Lemma 2.7).
+//
+// Reproduction note: for i = 1 the appended-path nodes of T_{1,2} are also
+// unique at depth k, because no second copy of any T_{j',2} exists to provide
+// their "twins"; Lemma 2.6's uniqueness claim therefore holds from i = 2 on.
+// This does not affect Lemma 2.7 or Theorem 2.9 (see EXPERIMENTS.md).
+func TestGdkLemma26And27(t *testing.T) {
+	for _, tc := range []struct{ delta, k, i int }{
+		{3, 1, 1}, {3, 1, 2}, {4, 1, 2}, {4, 1, 5}, {3, 2, 2}, {4, 2, 2}, {5, 1, 2},
+	} {
+		gdk, err := BuildGdk(tc.delta, tc.k, tc.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := view.Refine(gdk.G, tc.k)
+		// No unique view at depth k-1 ...
+		if unique := r.UniqueAt(tc.k - 1); len(unique) != 0 {
+			t.Errorf("G_%d of G_{%d,%d}: %d nodes have unique views at depth k-1", tc.i, tc.delta, tc.k, len(unique))
+		}
+		// ... and at depth k the root of T_{i,2} is unique (and for i >= 2 it
+		// is the only unique node).
+		unique := r.UniqueAt(tc.k)
+		foundRoot := false
+		for _, u := range unique {
+			if u == gdk.UniqueRoot {
+				foundRoot = true
+			}
+		}
+		if !foundRoot {
+			t.Errorf("G_%d of G_{%d,%d}: r_{i,2} does not have a unique view at depth k", tc.i, tc.delta, tc.k)
+		}
+		if tc.i >= 2 && len(unique) != 1 {
+			t.Errorf("G_%d of G_{%d,%d}: unique-view nodes at depth k = %v, want only r_{i,2}=%d",
+				tc.i, tc.delta, tc.k, unique, gdk.UniqueRoot)
+		}
+		// ψ_S(G_i) = k.
+		psi, err := election.Index(gdk.G, election.S, election.Options{MaxDepth: tc.k + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psi != tc.k {
+			t.Errorf("ψ_S(G_%d) = %d, want %d", tc.i, psi, tc.k)
+		}
+	}
+}
+
+// TestGdkLemma28 checks the indistinguishability used by Theorem 2.9: the
+// view of r_{j,b} at depth k is the same in G_α and in G_β for α <= β.
+func TestGdkLemma28(t *testing.T) {
+	delta, k := 4, 1
+	alpha, beta := 2, 5
+	ga, err := BuildGdk(delta, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := BuildGdk(delta, k, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= alpha; j++ {
+		for b := 1; b <= 2; b++ {
+			rootsA := ga.RootsByIndex[j-1][b-1]
+			rootsB := gb.RootsByIndex[j-1][b-1]
+			if len(rootsA) == 0 || len(rootsB) == 0 {
+				t.Fatalf("missing roots for T_{%d,%d}", j, b)
+			}
+			va := view.Compute(ga.G, rootsA[0], k)
+			vb := view.Compute(gb.G, rootsB[0], k)
+			if !va.Equal(vb) {
+				t.Errorf("B^k(r_{%d,%d}) differs between G_%d and G_%d", j, b, alpha, beta)
+			}
+		}
+	}
+	// Within G_β, the two copies of T_{α,2} have roots with equal views
+	// (the two nodes that both output 1 in the fooling argument).
+	roots := gb.RootsByIndex[alpha-1][1]
+	if len(roots) != 2 {
+		t.Fatalf("expected two copies of T_{%d,2} in G_%d, got %d", alpha, beta, len(roots))
+	}
+	if !view.Compute(gb.G, roots[0], k).Equal(view.Compute(gb.G, roots[1], k)) {
+		t.Error("the two copies of T_{α,2} in G_β have different views at depth k")
+	}
+}
+
+func BenchmarkBuildGdk(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGdk(4, 2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

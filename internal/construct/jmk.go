@@ -1,0 +1,448 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+)
+
+// component is one copy of the component graph H of Part 2 of the Section 4.1
+// construction, built around a given ρ node (the node that Part 3 shares among
+// the four components of a gadget).
+type component struct {
+	mu, k  int
+	rho    int
+	layers []*layer // L_1 .. L_{k-1} (L_0 is the ρ node itself)
+	lastA  *layer   // L_{k,1}
+	lastB  *layer   // L_{k,2}
+	// wNodes[q-1] = {w_{q,1}, w_{q,2}}: the q-th node of L_{k,1} and of L_{k,2}
+	// in the canonical ordering of Part 4.
+	wNodes [][2]int
+	// wBaseDeg[q-1] is the degree of w_{q,1} (equivalently w_{q,2}) within H,
+	// i.e. before any Part-4 edges are added; the gadget-index decoding of
+	// Lemma 4.8 compares the degree in J_Y against this value.
+	wBaseDeg []int
+	all      []int
+}
+
+// addComponentH builds one component H inside the builder, attached to the
+// existing node rho, whose L_0-to-L_1 ports are portOffset..portOffset+µ-1
+// (so that the four components of a gadget can share ρ without clashes).
+func addComponentH(b *graph.Builder, mu, k, rho, portOffset int) (*component, error) {
+	if mu < 2 || k < 4 {
+		return nil, fmt.Errorf("construct: the J_{µ,k} construction needs µ >= 2 and k >= 4, got µ=%d k=%d", mu, k)
+	}
+	c := &component{mu: mu, k: k, rho: rho}
+	c.all = append(c.all, rho)
+
+	// Part 1: the layer graphs L_1 .. L_{k-1} and the two copies of L_k.
+	for j := 1; j <= k-1; j++ {
+		l := addLayer(b, mu, j)
+		c.layers = append(c.layers, l)
+		c.all = append(c.all, l.all...)
+	}
+	c.lastA = addLayer(b, mu, k)
+	c.lastB = addLayer(b, mu, k)
+	c.all = append(c.all, c.lastA.all...)
+	c.all = append(c.all, c.lastB.all...)
+
+	layerAt := func(j int) *layer {
+		return c.layers[j-1] // c.layers[0] is L_1
+	}
+
+	// Part 2: edges between consecutive layers.
+
+	// L_0 -- L_1: ρ connects to every clique node; port i at ρ (plus the
+	// component's offset), port µ-1 at the clique node.
+	l1 := layerAt(1)
+	for i := 0; i < mu; i++ {
+		b.AddEdge(rho, portOffset+i, l1.clique[i], mu-1)
+	}
+
+	// L_1 -- L_2.
+	l2 := layerAt(2)
+	for i := 0; i < mu; i++ {
+		b.AddEdge(l1.clique[i], mu, l2.node(0, []int{i}), 2)
+	}
+	b.AddEdge(l1.clique[0], mu+1, l2.roots[0], mu)
+	b.AddEdge(l1.clique[mu-1], mu+1, l2.roots[1], mu)
+
+	// L_m -- L_{m+1} for 2 <= m <= k-1; for m = k-1 the rule is applied twice
+	// (once toward L_{k,1} and once toward L_{k,2}, the second time with the
+	// port labels at the L_{k-1} side shifted past the ones already used).
+	for m := 2; m <= k-1; m++ {
+		var upper *layer
+		if m < k-1 {
+			upper = layerAt(m + 1)
+		} else {
+			upper = c.lastA
+		}
+		if err := addInterLayer(b, layerAt(m), upper, false); err != nil {
+			return nil, err
+		}
+		if m == k-1 {
+			if err := addInterLayer(b, layerAt(m), c.lastB, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Part 4 preparation: the canonical ordering w_1, ..., w_z of the nodes of
+	// L_k. Every node of L_k is v^k_b σ; its identifying sequence is b
+	// prepended to σ (merged middle nodes of an even L_k are listed once,
+	// under b = 0). Nodes are sorted lexicographically by that sequence.
+	type wEntry struct {
+		key  string
+		a, b int
+	}
+	var entries []wEntry
+	seen := make(map[int]bool)
+	for side := 0; side <= 1; side++ {
+		for key, node := range c.lastA.bySeq[side] {
+			if seen[node] {
+				continue
+			}
+			seen[node] = true
+			full := string([]byte{byte(side + 1)}) + key
+			entries = append(entries, wEntry{key: full, a: node, b: c.lastB.bySeq[side][keyOf(key)]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	for _, e := range entries {
+		c.wNodes = append(c.wNodes, [2]int{e.a, e.b})
+		c.wBaseDeg = append(c.wBaseDeg, b.Degree(e.a))
+	}
+	if len(c.wNodes) != LayerGraphSize(mu, k) {
+		return nil, fmt.Errorf("construct: component has %d layer-k nodes, Fact 4.1 predicts %d",
+			len(c.wNodes), LayerGraphSize(mu, k))
+	}
+	for q := range c.wNodes {
+		if b.Degree(c.wNodes[q][0]) != b.Degree(c.wNodes[q][1]) {
+			return nil, fmt.Errorf("construct: w_%d has different degrees in L_{k,1} and L_{k,2}", q+1)
+		}
+	}
+	return c, nil
+}
+
+// keyOf is the identity on sequence keys; it exists to make the intent at the
+// call site explicit (w_{q,2} is the node of L_{k,2} with the same sequence).
+func keyOf(key string) string { return key }
+
+// addInterLayer adds the Part-2 edges between L_m (lower, m >= 2) and L_{m+1}
+// (upper). When shiftLower is true the port used at every lower node is the
+// smallest unused one instead of the prescribed label, which is exactly the
+// "increase the values of port labels used at nodes in L_{k-1} so that they do
+// not conflict" rule for the second copy of L_k.
+func addInterLayer(b *graph.Builder, lower, upper *layer, shiftLower bool) error {
+	m := lower.j
+	mu := lower.mu
+	lowerPort := func(node, prescribed int) int {
+		if shiftLower {
+			return b.NextPort(node)
+		}
+		return prescribed
+	}
+
+	// Roots.
+	for side := 0; side <= 1; side++ {
+		ln := lower.roots[side]
+		b.AddEdge(ln, lowerPort(ln, mu+1), upper.roots[side], mu)
+	}
+	// Non-middle, non-root nodes: 1 <= |σ| < ⌊m/2⌋.
+	for _, seq := range lower.nonMiddleSeqs() {
+		for side := 0; side <= 1; side++ {
+			ln := lower.node(side, seq)
+			b.AddEdge(ln, lowerPort(ln, mu+2), upper.node(side, seq), mu+1)
+		}
+	}
+	if m%2 == 0 {
+		// Case 1: m even. Each (merged) middle node connects to its two
+		// counterparts in the odd layer above.
+		first, second := 4, 5
+		if m == 2 {
+			first, second = 3, 4
+		}
+		for _, key := range lower.middleSeqs {
+			seq := seqFromKey(key)
+			ln := lower.node(0, seq)
+			b.AddEdge(ln, lowerPort(ln, first), upper.node(0, seq), 2)
+			b.AddEdge(ln, lowerPort(ln, second), upper.node(1, seq), 2)
+		}
+	} else {
+		// Case 2: m odd. Each middle node connects to its counterpart with
+		// |σ| = (m-1)/2 in the even layer above and to the µ middle nodes of
+		// that layer extending its sequence.
+		for side := 0; side <= 1; side++ {
+			for _, key := range lower.middleSeqs {
+				seq := seqFromKey(key)
+				ln := lower.node(side, seq)
+				b.AddEdge(ln, lowerPort(ln, 3), upper.node(side, seq), mu+1)
+				for i := 0; i < mu; i++ {
+					ext := append(append([]int(nil), seq...), i)
+					upPort := 2
+					if side == 1 {
+						upPort = 3
+					}
+					b.AddEdge(ln, lowerPort(ln, 4+i), upper.node(side, ext), upPort)
+				}
+			}
+		}
+	}
+	return b.Err()
+}
+
+// seqFromKey decodes a sequence key produced by seqKey.
+func seqFromKey(key string) []int {
+	seq := make([]int, len(key))
+	for i := 0; i < len(key); i++ {
+		seq[i] = int(key[i]) - 1
+	}
+	return seq
+}
+
+// Jmk is one graph J_Y of the class J_{µ,k} of Section 4.1 (or the template
+// graph J when Y is nil), together with construction metadata.
+type Jmk struct {
+	Mu, K int
+	// Z is the number of nodes of the layer graph L_k.
+	Z int
+	// NumGadgets is the number of chained gadgets. The faithful template has
+	// 2^Z gadgets; smaller values are allowed for runtime-scoped experiments
+	// (construction demos and distributed executions) and are documented as
+	// such — the depth-(k-1) twin property of Lemma 4.6 only holds for the
+	// faithful count.
+	NumGadgets int
+	// Y is the port-swap sequence of Part 5 (length 2^(Z-1)), or nil for the
+	// template graph J. Only full-size instances may carry a Y.
+	Y []bool
+	// G is the constructed graph.
+	G *graph.Graph
+	// Rho[i] is the node ρ_i of gadget Ĥ_i.
+	Rho []int
+	// Border[i][c][q-1] = {w_{q,1}, w_{q,2}} of component c of gadget i, where
+	// components are indexed 0=H_L, 1=H_T, 2=H_R, 3=H_B (the template port
+	// ranges 0..µ-1, µ..2µ-1, 2µ..3µ-1, 3µ..4µ-1 at ρ).
+	Border [][4][][2]int
+	// WBaseDeg[q-1] is the degree of w_q inside the standalone component H.
+	WBaseDeg []int
+	// GadgetOf[v] is the gadget index of node v.
+	GadgetOf []int
+	// CompOf[v] is the component of node v (0..3), or -1 for the ρ nodes.
+	CompOf []int
+}
+
+// JmkOptions controls the construction of a J_{µ,k} instance.
+type JmkOptions struct {
+	// NumGadgets overrides the faithful 2^z gadget count (0 means faithful).
+	NumGadgets int
+	// Y is the Part-5 port-swap sequence; it may only be set when the gadget
+	// count is faithful. Length must be 2^(z-1).
+	Y []bool
+}
+
+// BuildJmk builds the template graph J (Y == nil) or a class member J_Y.
+func BuildJmk(mu, k int, opts JmkOptions) (*Jmk, error) {
+	if mu < 2 || k < 4 {
+		return nil, fmt.Errorf("construct: J_{µ,k} needs µ >= 2 and k >= 4, got µ=%d k=%d", mu, k)
+	}
+	z := LayerGraphSize(mu, k)
+	if z > 30 {
+		return nil, fmt.Errorf("construct: z = %d is too large to materialise the gadget chain", z)
+	}
+	full := 1 << uint(z)
+	numGadgets := opts.NumGadgets
+	if numGadgets == 0 {
+		numGadgets = full
+	}
+	if numGadgets < 2 || numGadgets > full {
+		return nil, fmt.Errorf("construct: NumGadgets %d outside 2..2^z = %d", numGadgets, full)
+	}
+	if opts.Y != nil {
+		if numGadgets != full {
+			return nil, fmt.Errorf("construct: a Y sequence requires the faithful gadget count 2^z")
+		}
+		if len(opts.Y) != full/2 {
+			return nil, fmt.Errorf("construct: Y has length %d, want 2^(z-1) = %d", len(opts.Y), full/2)
+		}
+	}
+
+	out := &Jmk{Mu: mu, K: k, Z: z, NumGadgets: numGadgets, Y: append([]bool(nil), opts.Y...)}
+	if opts.Y == nil {
+		out.Y = nil
+	}
+	b := graph.NewBuilder(0)
+
+	// Parts 1-3: the gadgets.
+	components := make([][4]*component, numGadgets)
+	for i := 0; i < numGadgets; i++ {
+		rho := b.AddNode()
+		out.Rho = append(out.Rho, rho)
+		for cidx := 0; cidx < 4; cidx++ {
+			comp, err := addComponentH(b, mu, k, rho, cidx*mu)
+			if err != nil {
+				return nil, err
+			}
+			components[i][cidx] = comp
+		}
+	}
+	if len(out.WBaseDeg) == 0 {
+		out.WBaseDeg = append(out.WBaseDeg, components[0][0].wBaseDeg...)
+	}
+
+	// Part 4: chain the gadgets. For each i >= 1 and each q such that the q-th
+	// bit (most significant first) of the z-bit representation of i is 1, add
+	// the four prescribed edges; the port at each endpoint is its degree in H,
+	// i.e. the smallest unused port.
+	for i := 1; i < numGadgets; i++ {
+		for q := 1; q <= z; q++ {
+			if (i>>(uint(z-q)))&1 == 0 {
+				continue
+			}
+			prevB := components[i-1][3] // H_B of gadget i-1
+			curT := components[i][1]    // H_T of gadget i
+			prevR := components[i-1][2] // H_R of gadget i-1
+			curL := components[i][0]    // H_L of gadget i
+			addBorderEdge(b, prevB.wNodes[q-1][0], prevB.wNodes[q-1][1])
+			addBorderEdge(b, curT.wNodes[q-1][0], curT.wNodes[q-1][1])
+			addBorderEdge(b, prevR.wNodes[q-1][0], curL.wNodes[q-1][1])
+			addBorderEdge(b, prevR.wNodes[q-1][1], curL.wNodes[q-1][0])
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("construct: J_{%d,%d}: %w", mu, k, err)
+	}
+
+	// Part 5: the Y-driven port swaps at the ρ nodes.
+	if opts.Y != nil {
+		for i, yi := range opts.Y {
+			if !yi {
+				continue
+			}
+			for x := 2 * mu; x <= 3*mu-1; x++ {
+				g.SwapPorts(out.Rho[i], x, x+mu)
+			}
+			for x := 0; x <= mu-1; x++ {
+				g.SwapPorts(out.Rho[full-1-i], x, x+mu)
+			}
+		}
+	}
+	out.G = g
+
+	// Metadata.
+	out.GadgetOf = make([]int, g.N())
+	out.CompOf = make([]int, g.N())
+	for v := range out.GadgetOf {
+		out.GadgetOf[v] = -1
+		out.CompOf[v] = -1
+	}
+	out.Border = make([][4][][2]int, numGadgets)
+	for i := 0; i < numGadgets; i++ {
+		out.GadgetOf[out.Rho[i]] = i
+		for cidx := 0; cidx < 4; cidx++ {
+			comp := components[i][cidx]
+			for _, v := range comp.all {
+				if v == out.Rho[i] {
+					continue
+				}
+				out.GadgetOf[v] = i
+				out.CompOf[v] = cidx
+			}
+			out.Border[i][cidx] = append([][2]int(nil), comp.wNodes...)
+		}
+	}
+	return out, nil
+}
+
+// addBorderEdge adds a Part-4 edge; the port at each endpoint equals the
+// node's current degree (= its degree in H), as prescribed.
+func addBorderEdge(b *graph.Builder, u, v int) {
+	b.AddEdge(u, b.NextPort(u), v, b.NextPort(v))
+}
+
+// EncodedValue returns the integer whose z-bit binary representation is
+// encoded by the Part-4 edges in component c of gadget i (the value the paper
+// calls W): bit q is 1 exactly when w_{q,1} of that component has one more
+// edge in the full graph than it has in the standalone component H.
+func (j *Jmk) EncodedValue(gadget, comp int) int {
+	w := 0
+	for q := 1; q <= j.Z; q++ {
+		node := j.Border[gadget][comp][q-1][0]
+		if j.G.Degree(node) == j.WBaseDeg[q-1]+1 {
+			w |= 1 << uint(j.Z-q)
+		}
+	}
+	return w
+}
+
+// YAdvice encodes the class parameters (µ, k, Y): the class-specific oracle
+// matching the Theorem 4.11/4.12 lower bound up to constant factors, of size
+// 2^(z-1) + O(log µ + log k) bits.
+func (j *Jmk) YAdvice() (bitstring.Bits, error) {
+	if j.Y == nil {
+		return bitstring.Bits{}, fmt.Errorf("construct: the template graph has no Y to encode")
+	}
+	w := bitstring.NewWriter()
+	w.WriteGamma(uint64(j.Mu))
+	w.WriteGamma(uint64(j.K))
+	for _, yi := range j.Y {
+		w.WriteBit(yi)
+	}
+	return w.Bits(), nil
+}
+
+// DecodeJmkAdvice rebuilds J_Y from the advice produced by YAdvice.
+func DecodeJmkAdvice(bits bitstring.Bits) (*Jmk, error) {
+	r := bitstring.NewReader(bits)
+	mu64, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	k64, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	mu, k := int(mu64), int(k64)
+	if mu < 2 || k < 4 {
+		return nil, fmt.Errorf("construct: invalid parameters µ=%d k=%d in Y advice", mu, k)
+	}
+	z := LayerGraphSize(mu, k)
+	want := 1 << uint(z-1)
+	if r.Remaining() != want {
+		return nil, fmt.Errorf("construct: Y advice carries %d bits, want 2^(z-1) = %d", r.Remaining(), want)
+	}
+	y := make([]bool, want)
+	for i := range y {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		y[i] = bit
+	}
+	return BuildJmk(mu, k, JmkOptions{Y: y})
+}
+
+// ComponentSize returns the number of nodes of the component graph H.
+func ComponentSize(mu, k int) int {
+	total := 0
+	for j := 0; j <= k-1; j++ {
+		total += LayerGraphSize(mu, j)
+	}
+	total += 2 * LayerGraphSize(mu, k)
+	return total
+}
+
+// GadgetSize returns the number of nodes of the gadget graph Ĥ.
+func GadgetSize(mu, k int) int { return 4*ComponentSize(mu, k) - 3 }
+
+// JmkSize returns the number of nodes of a J_{µ,k} instance with the given
+// gadget count (0 = faithful).
+func JmkSize(mu, k, numGadgets int) int {
+	if numGadgets == 0 {
+		numGadgets = 1 << uint(LayerGraphSize(mu, k))
+	}
+	return numGadgets * GadgetSize(mu, k)
+}

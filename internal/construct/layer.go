@@ -1,0 +1,221 @@
+package construct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// layer is one layer graph L_j of Part 1 of the Section 4.1 construction,
+// embedded in a larger builder. Nodes are addressed by the outgoing-port
+// sequence σ that reaches them from the roots r^j_0 / r^j_1 (the notation
+// v^j_b σ of the paper).
+type layer struct {
+	j  int
+	mu int
+	// roots[b] = r^j_b; for j = 0 both entries are the single node; for j = 1
+	// the layer has no designated roots (the field is unused).
+	roots [2]int
+	// clique holds the µ nodes of L_1 (only for j = 1), indexed by the port
+	// that r^0_0 will use to reach them.
+	clique []int
+	// bySeq[b][key(σ)] = v^j_b σ, for j >= 2 (and j = 0 with the empty σ).
+	// For even layers the middle nodes appear under both b = 0 and b = 1 with
+	// the same σ (they are the merged leaves).
+	bySeq [2]map[string]int
+	// middleSeqs lists the σ of the middle nodes (length ⌊j/2⌋), sorted.
+	middleSeqs []string
+	// all lists every node of the layer.
+	all []int
+}
+
+// seqKey encodes an outgoing-port sequence as a map key.
+func seqKey(seq []int) string {
+	b := make([]byte, len(seq))
+	for i, s := range seq {
+		if s < 0 || s > 250 {
+			panic(fmt.Sprintf("construct: port %d out of range for sequence key", s))
+		}
+		b[i] = byte(s + 1)
+	}
+	return string(b)
+}
+
+// node returns v^j_b σ.
+func (l *layer) node(b int, seq []int) int {
+	id, ok := l.bySeq[b][seqKey(seq)]
+	if !ok {
+		panic(fmt.Sprintf("construct: layer L_%d has no node v_%d %v", l.j, b, seq))
+	}
+	return id
+}
+
+// addLayer builds the layer graph L_j (Part 1 of the construction) inside the
+// builder.
+func addLayer(b *graph.Builder, mu, j int) *layer {
+	if mu < 2 || j < 0 {
+		panic(fmt.Sprintf("construct: addLayer(%d, %d) undefined", mu, j))
+	}
+	l := &layer{j: j, mu: mu}
+	l.bySeq[0] = make(map[string]int)
+	l.bySeq[1] = make(map[string]int)
+
+	switch {
+	case j == 0:
+		// A single node r^0_0.
+		n := b.AddNode()
+		l.roots[0], l.roots[1] = n, n
+		l.bySeq[0][seqKey(nil)] = n
+		l.bySeq[1][seqKey(nil)] = n
+		l.all = append(l.all, n)
+
+	case j == 1:
+		// A clique on µ nodes with the canonical labelling over ports 0..µ-2.
+		l.clique = make([]int, mu)
+		for i := 0; i < mu; i++ {
+			l.clique[i] = b.AddNode()
+			l.all = append(l.all, l.clique[i])
+		}
+		for u := 0; u < mu; u++ {
+			for v := u + 1; v < mu; v++ {
+				b.AddEdge(l.clique[u], v-1, l.clique[v], u)
+			}
+		}
+
+	case j%2 == 0:
+		// L_{2h}: two copies of T^h with their leaves identified. The merged
+		// leaves (middle nodes) carry port 0 on the T_0-side edge and port 1
+		// on the T_1-side edge.
+		h := j / 2
+		middles := make(map[string]int)
+		for _, seq := range allSequences(mu, h) {
+			m := b.AddNode()
+			middles[seqKey(seq)] = m
+			l.all = append(l.all, m)
+			l.middleSeqs = append(l.middleSeqs, seqKey(seq))
+		}
+		sort.Strings(l.middleSeqs)
+		for side := 0; side < 2; side++ {
+			root := l.addTreeSide(b, side, h, middles)
+			l.roots[side] = root
+		}
+		// Middle nodes are reachable from both roots with the same σ.
+		for key, m := range middles {
+			l.bySeq[0][key] = m
+			l.bySeq[1][key] = m
+		}
+
+	default:
+		// L_{2h+1}: two copies of T^h whose corresponding leaves are joined by
+		// an edge with port 1 at both ends. The leaves are the middle nodes.
+		h := (j - 1) / 2
+		for side := 0; side < 2; side++ {
+			root := l.addTreeSide(b, side, h, nil)
+			l.roots[side] = root
+		}
+		for _, seq := range allSequences(mu, h) {
+			key := seqKey(seq)
+			l.middleSeqs = append(l.middleSeqs, key)
+			b.AddEdge(l.bySeq[0][key], 1, l.bySeq[1][key], 1)
+		}
+		sort.Strings(l.middleSeqs)
+	}
+	return l
+}
+
+// addTreeSide adds one copy of the full µ-ary tree T^h rooted at a fresh node,
+// registering every node in bySeq[side]. If merged is non-nil, the tree's
+// leaves are not created: the existing nodes of `merged` are used instead, and
+// the leaf-to-parent edge carries port `side` at the merged node (0 for the
+// T_0 side and 1 for the T_1 side, as prescribed for even layers).
+func (l *layer) addTreeSide(b *graph.Builder, side, h int, merged map[string]int) int {
+	root := b.AddNode()
+	l.all = append(l.all, root)
+	l.bySeq[side][seqKey(nil)] = root
+	if h == 0 {
+		return root
+	}
+	type frame struct {
+		node  int
+		depth int
+		seq   []int
+	}
+	stack := []frame{{root, 0, nil}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < l.mu; c++ {
+			childSeq := append(append([]int(nil), f.seq...), c)
+			if f.depth+1 == h {
+				// Leaf level.
+				if merged != nil {
+					m := merged[seqKey(childSeq)]
+					b.AddEdge(f.node, c, m, side)
+					// Registration of middle nodes in bySeq happens in the caller.
+					continue
+				}
+				leaf := b.AddNode()
+				l.all = append(l.all, leaf)
+				l.bySeq[side][seqKey(childSeq)] = leaf
+				b.AddEdge(f.node, c, leaf, 0)
+				continue
+			}
+			child := b.AddNode()
+			l.all = append(l.all, child)
+			l.bySeq[side][seqKey(childSeq)] = child
+			b.AddEdge(f.node, c, child, l.mu)
+			stack = append(stack, frame{child, f.depth + 1, childSeq})
+		}
+	}
+	return root
+}
+
+// allSequences enumerates the µ^h sequences of length h over {0..µ-1} in
+// lexicographic order.
+func allSequences(mu, h int) [][]int {
+	if h == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	seq := make([]int, h)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == h {
+			out = append(out, append([]int(nil), seq...))
+			return
+		}
+		for v := 0; v < mu; v++ {
+			seq[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// nonMiddleSeqs returns the sequences σ with 1 <= |σ| < ⌊j/2⌋ (the non-middle,
+// non-root nodes referenced by the inter-layer rules), in lexicographic order.
+func (l *layer) nonMiddleSeqs() [][]int {
+	var out [][]int
+	for length := 1; length < l.j/2; length++ {
+		out = append(out, allSequences(l.mu, length)...)
+	}
+	return out
+}
+
+// BuildLayerGraph builds the standalone layer graph L_j (for figures and unit
+// tests). For j >= 1 the standalone layer graphs of the paper are valid
+// port-numbered graphs on their own.
+func BuildLayerGraph(mu, j int) (*graph.Graph, error) {
+	if j < 1 {
+		return nil, fmt.Errorf("construct: the standalone layer graph L_0 is a single node; nothing to build")
+	}
+	b := graph.NewBuilder(0)
+	addLayer(b, mu, j)
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("construct: L_%d with µ=%d: %w", j, mu, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,223 @@
+// Package construct builds the three graph families of the paper:
+//
+//   - G_{Δ,k} (Section 2.2.1), used for the Ω((Δ-1)^k log Δ) lower bound on
+//     the advice needed for Selection in minimum time (Theorem 2.9);
+//   - U_{Δ,k} (Section 3.1), used for the exponential-in-Δ lower bound on the
+//     advice needed for Port Election in minimum time (Theorem 3.11);
+//   - J_{µ,k} (Section 4.1), used for the doubly-exponential lower bound on
+//     the advice needed for (Complete) Port Path Election in minimum time
+//     (Theorems 4.11 and 4.12).
+//
+// The port labellings follow the paper exactly; the graph builder verifies
+// that every node ends up with dense port numbers 0..deg-1, so any deviation
+// from the construction is caught at build time.
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// TreeSpec identifies one of the augmented-trees-with-appended-path T_{X,b} of
+// Building Block 3 (Section 2.2.1).
+type TreeSpec struct {
+	Delta int
+	K     int
+	// X is the sequence (x_1, ..., x_z) with 1 <= x_i <= Delta-1 determining
+	// how many degree-one nodes are attached to each leaf of T.
+	X []int
+	// Variant is 1 for T_{X,1} and 2 for T_{X,2} (the two differ only in the
+	// port labels at node p_k of the appended path).
+	Variant int
+}
+
+// NumLeaves returns z = (Δ-2)·(Δ-1)^(k-1), the number of leaves of the rooted
+// tree T of Building Block 1.
+func NumLeaves(delta, k int) int {
+	if delta < 3 || k < 1 {
+		panic(fmt.Sprintf("construct: NumLeaves(%d, %d) undefined", delta, k))
+	}
+	z := delta - 2
+	for i := 1; i < k; i++ {
+		z *= delta - 1
+	}
+	return z
+}
+
+// SequenceForIndex returns the j-th (1-based) sequence X in increasing
+// lexicographic order among all sequences of length z over {1, ..., Δ-1}.
+// This is the indexing T_1, ..., T_{|T_{Δ,k}|} used throughout Section 2.
+func SequenceForIndex(delta, k, j int) ([]int, error) {
+	z := NumLeaves(delta, k)
+	base := delta - 1
+	if j < 1 {
+		return nil, fmt.Errorf("construct: tree index %d must be >= 1", j)
+	}
+	// X is (j-1) written in base (Δ-1) with z digits, each digit + 1.
+	x := make([]int, z)
+	rem := j - 1
+	for pos := z - 1; pos >= 0; pos-- {
+		x[pos] = rem%base + 1
+		rem /= base
+	}
+	if rem != 0 {
+		return nil, fmt.Errorf("construct: tree index %d exceeds |T_{%d,%d}|", j, delta, k)
+	}
+	return x, nil
+}
+
+// TreeMeta describes the nodes of one T_{X,b} tree embedded in a larger graph.
+type TreeMeta struct {
+	Spec TreeSpec
+	// Root is the root node r of the tree (the node that later attaches to a
+	// cycle in G_{Δ,k} / U_{Δ,k}).
+	Root int
+	// Leaves are the leaves ℓ_1..ℓ_z of the underlying tree T in lexicographic
+	// order of the port sequence from the root.
+	Leaves []int
+	// PathNodes are p_1, ..., p_{k+1} of the appended path, in order.
+	PathNodes []int
+	// Nodes lists every node of the tree (root first).
+	Nodes []int
+}
+
+// validateSpec checks a TreeSpec.
+func validateSpec(s TreeSpec) error {
+	if s.Delta < 3 {
+		return fmt.Errorf("construct: Δ must be >= 3, got %d", s.Delta)
+	}
+	if s.K < 1 {
+		return fmt.Errorf("construct: k must be >= 1, got %d", s.K)
+	}
+	if s.Variant != 1 && s.Variant != 2 {
+		return fmt.Errorf("construct: variant must be 1 or 2, got %d", s.Variant)
+	}
+	z := NumLeaves(s.Delta, s.K)
+	if len(s.X) != z {
+		return fmt.Errorf("construct: X has length %d, want z = %d", len(s.X), z)
+	}
+	for i, xi := range s.X {
+		if xi < 1 || xi > s.Delta-1 {
+			return fmt.Errorf("construct: x_%d = %d outside 1..Δ-1", i+1, xi)
+		}
+	}
+	return nil
+}
+
+// addTree adds the tree T_{X,b} of the spec into the builder and returns its
+// metadata. Building Blocks 1-3 of Section 2.2.1:
+//
+//   - the rooted tree T of height k whose root has degree Δ-2 with child ports
+//     1..Δ-2 and whose other internal nodes have parent port 0 and child ports
+//     1..Δ-1;
+//   - x_i pendant nodes attached to leaf ℓ_i with ports 1..x_i;
+//   - an appended path r, p_1, ..., p_{k+1} with port 0 at r, ports 1 (toward
+//     r) and 0 (away from r) at each p_i, and port 0 at p_{k+1}; in variant 2
+//     the two port labels at p_k are swapped.
+func addTree(b *graph.Builder, s TreeSpec) (TreeMeta, error) {
+	if err := validateSpec(s); err != nil {
+		return TreeMeta{}, err
+	}
+	meta := TreeMeta{Spec: s}
+	root := b.AddNode()
+	meta.Root = root
+	meta.Nodes = append(meta.Nodes, root)
+
+	// Building Block 1: the rooted tree T, generating leaves in lexicographic
+	// order of root-to-leaf port sequences (children are visited in increasing
+	// port order).
+	var grow func(node, depth, firstChildPort, lastChildPort int)
+	grow = func(node, depth, firstChildPort, lastChildPort int) {
+		if depth == s.K {
+			meta.Leaves = append(meta.Leaves, node)
+			return
+		}
+		for port := firstChildPort; port <= lastChildPort; port++ {
+			child := b.AddNode()
+			meta.Nodes = append(meta.Nodes, child)
+			// The child's port toward its parent is 0 (all non-root nodes of T).
+			b.AddEdge(node, port, child, 0)
+			grow(child, depth+1, 1, s.Delta-1)
+		}
+	}
+	grow(root, 0, 1, s.Delta-2)
+
+	if len(meta.Leaves) != len(s.X) {
+		return TreeMeta{}, fmt.Errorf("construct: built %d leaves, want %d", len(meta.Leaves), len(s.X))
+	}
+
+	// Building Block 2: attach x_i degree-one nodes to leaf ℓ_i with ports
+	// 1..x_i at the leaf.
+	for i, leaf := range meta.Leaves {
+		for p := 1; p <= s.X[i]; p++ {
+			pendant := b.AddNode()
+			meta.Nodes = append(meta.Nodes, pendant)
+			b.AddEdge(leaf, p, pendant, 0)
+		}
+	}
+
+	// Building Block 3: the appended path r = p_0, p_1, ..., p_{k+1}.
+	prev := root
+	for i := 1; i <= s.K+1; i++ {
+		p := b.AddNode()
+		meta.Nodes = append(meta.Nodes, p)
+		meta.PathNodes = append(meta.PathNodes, p)
+		// Port at the previous node toward p ("away from r" direction) and
+		// port at p toward the previous node ("toward r" direction). In
+		// variant 1 these are 0 and 1 respectively at every interior node; in
+		// variant 2 they are swapped at p_k (which is why T_{X,2} and T_{X,1}
+		// become distinguishable only at distance k from the root).
+		portAtPrev := 0 // at r and at every interior p_{i-1} the away-port is 0 ...
+		if s.Variant == 2 && i-1 == s.K {
+			portAtPrev = 1 // ... except at p_k in variant 2
+		}
+		portAtP := 1 // the toward-r port of every interior p_i is 1 ...
+		if s.Variant == 2 && i == s.K {
+			portAtP = 0 // ... except at p_k in variant 2
+		}
+		if i == s.K+1 {
+			portAtP = 0 // p_{k+1} has the single port 0
+		}
+		b.AddEdge(prev, portAtPrev, p, portAtP)
+		prev = p
+	}
+	return meta, b.Err()
+}
+
+// BuildTree builds the standalone graph T_{X,b}; unlike the bare building
+// blocks T and T_X, the appended path gives the root its port 0, so the result
+// is a valid port-numbered graph on its own (used to regenerate Figure 1 and
+// in unit tests).
+func BuildTree(s TreeSpec) (*graph.Graph, TreeMeta, error) {
+	b := graph.NewBuilder(0)
+	meta, err := addTree(b, s)
+	if err != nil {
+		return nil, TreeMeta{}, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, TreeMeta{}, err
+	}
+	return g, meta, nil
+}
+
+// TreeSize returns the number of nodes of T_{X,b} for a given spec without
+// building it: |T| + Σ x_i + (k+1).
+func TreeSize(s TreeSpec) int {
+	if err := validateSpec(s); err != nil {
+		panic(err)
+	}
+	// Nodes of T: 1 + (Δ-2)·Σ_{d=0}^{k-1} (Δ-1)^d.
+	t := 1
+	layer := s.Delta - 2
+	for d := 1; d <= s.K; d++ {
+		t += layer
+		layer *= s.Delta - 1
+	}
+	extra := 0
+	for _, xi := range s.X {
+		extra += xi
+	}
+	return t + extra + s.K + 1
+}

@@ -1,0 +1,297 @@
+package construct
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+)
+
+// Udk is one graph G_σ of the class U_{Δ,k} of Section 3.1 (or the template
+// graph U when Sigma is nil), together with the construction metadata.
+type Udk struct {
+	Delta int
+	K     int
+	// Sigma is the port-swap sequence (s_1, ..., s_y) with s_j in 1..Δ-1, or
+	// nil for the template graph U.
+	Sigma []int
+	// Y = |T_{Δ,k}| is the number of tree indices.
+	Y int
+	// G is the constructed graph.
+	G *graph.Graph
+	// CycleRoots[j-1][b-1] is the node id of r_{j,b}, the root of T_{j,b} on
+	// the cycle.
+	CycleRoots [][2]int
+	// HeavyRoots[j-1][c-1] is the node id of r_{j,1,c}, the root of the extra
+	// copy T_{j,1,c} (these are the degree 2Δ-1 nodes).
+	HeavyRoots [][2]int
+}
+
+// UdkParams validates the construction parameters. The paper requires Δ >= 4
+// (so that the three degree classes Δ+2, 2Δ-1 and <=Δ are disjoint) and
+// k >= 1.
+func UdkParams(delta, k int) (y int, err error) {
+	if delta < 4 {
+		return 0, fmt.Errorf("construct: U_{Δ,k} needs Δ >= 4, got %d", delta)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("construct: U_{Δ,k} needs k >= 1, got %d", k)
+	}
+	y, ok := NumTrees(delta, k)
+	if !ok {
+		return 0, fmt.Errorf("construct: |T_{%d,%d}| is too large to materialise", delta, k)
+	}
+	return y, nil
+}
+
+// BuildUdkTemplate builds the template graph U of Section 3.1.
+func BuildUdkTemplate(delta, k int) (*Udk, error) {
+	return buildUdk(delta, k, nil)
+}
+
+// BuildUdk builds the graph G_σ of the class U_{Δ,k}: the template graph with
+// ports Δ-1 and Δ-1+σ_j swapped at both r_{j,1,1} and r_{j,1,2}.
+func BuildUdk(delta, k int, sigma []int) (*Udk, error) {
+	if sigma == nil {
+		return nil, fmt.Errorf("construct: BuildUdk needs a sigma sequence; use BuildUdkTemplate for U")
+	}
+	return buildUdk(delta, k, sigma)
+}
+
+func buildUdk(delta, k int, sigma []int) (*Udk, error) {
+	y, err := UdkParams(delta, k)
+	if err != nil {
+		return nil, err
+	}
+	if sigma != nil {
+		if len(sigma) != y {
+			return nil, fmt.Errorf("construct: sigma has length %d, want y = %d", len(sigma), y)
+		}
+		for j, s := range sigma {
+			if s < 1 || s > delta-1 {
+				return nil, fmt.Errorf("construct: sigma_%d = %d outside 1..Δ-1", j+1, s)
+			}
+		}
+	}
+	out := &Udk{Delta: delta, K: k, Sigma: append([]int(nil), sigma...), Y: y}
+	b := graph.NewBuilder(0)
+	out.CycleRoots = make([][2]int, y)
+	out.HeavyRoots = make([][2]int, y)
+
+	// Step 1: all trees T_{j,b} with their roots on a cycle.
+	for j := 1; j <= y; j++ {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			return nil, err
+		}
+		for variant := 1; variant <= 2; variant++ {
+			meta, err := addTree(b, TreeSpec{Delta: delta, K: k, X: x, Variant: variant})
+			if err != nil {
+				return nil, err
+			}
+			out.CycleRoots[j-1][variant-1] = meta.Root
+		}
+	}
+	// Cycle r_{1,1}, r_{1,2}, r_{2,1}, r_{2,2}, ..., r_{y,2}, r_{1,1}: every
+	// root has port Δ+1 toward the next root and Δ-1 toward the previous one.
+	cycle := make([]int, 0, 2*y)
+	for j := 1; j <= y; j++ {
+		cycle = append(cycle, out.CycleRoots[j-1][0], out.CycleRoots[j-1][1])
+	}
+	for idx, node := range cycle {
+		next := cycle[(idx+1)%len(cycle)]
+		b.AddEdge(node, delta+1, next, delta-1)
+	}
+
+	// Step 2: the two extra copies T_{j,1,1} and T_{j,1,2}.
+	for j := 1; j <= y; j++ {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			return nil, err
+		}
+		for c := 1; c <= 2; c++ {
+			meta, err := addTree(b, TreeSpec{Delta: delta, K: k, X: x, Variant: 1})
+			if err != nil {
+				return nil, err
+			}
+			out.HeavyRoots[j-1][c-1] = meta.Root
+		}
+	}
+
+	// Step 3: a path of length k+1 (k new interior nodes) between r_{j,c} and
+	// r_{j,1,c}, with port Δ at r_{j,c}, port Δ-1 at r_{j,1,c}, and interior
+	// ports 1 (toward r_{j,c}) / 0 (toward r_{j,1,c}).
+	for j := 1; j <= y; j++ {
+		for c := 1; c <= 2; c++ {
+			from := out.CycleRoots[j-1][c-1]
+			to := out.HeavyRoots[j-1][c-1]
+			addLabelledPath(b, from, to, k, delta, delta-1, 1, 0)
+		}
+	}
+
+	// Step 4: Δ-1 pendant paths of length k+1 hanging off each heavy root,
+	// with ports Δ..2Δ-2 at the heavy root and interior/endpoint ports 0
+	// (toward the heavy root) / 1 (away).
+	for j := 1; j <= y; j++ {
+		for c := 1; c <= 2; c++ {
+			root := out.HeavyRoots[j-1][c-1]
+			for p := delta; p <= 2*delta-2; p++ {
+				addPendantPath(b, root, p, k+1, 0, 1)
+			}
+		}
+	}
+
+	// Part 5 (class member): swap ports Δ-1 and Δ-1+s_j at both heavy roots.
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("construct: U_{%d,%d}: %w", delta, k, err)
+	}
+	if sigma != nil {
+		for j := 1; j <= y; j++ {
+			s := sigma[j-1]
+			for c := 1; c <= 2; c++ {
+				g.SwapPorts(out.HeavyRoots[j-1][c-1], delta-1, delta-1+s)
+			}
+		}
+	}
+	out.G = g
+	return out, nil
+}
+
+// addLabelledPath inserts `interior` new nodes between from and to, forming a
+// path of length interior+1. Ports: portAtFrom at from, portAtTo at to, and at
+// every interior node portTowardFrom / portAwayFrom.
+func addLabelledPath(b *graph.Builder, from, to, interior, portAtFrom, portAtTo, portTowardFrom, portAwayFrom int) {
+	prev := from
+	prevPort := portAtFrom
+	for i := 0; i < interior; i++ {
+		node := b.AddNode()
+		b.AddEdge(prev, prevPort, node, portTowardFrom)
+		prev = node
+		prevPort = portAwayFrom
+	}
+	b.AddEdge(prev, prevPort, to, portAtTo)
+}
+
+// addPendantPath attaches a path of `length` edges to root, using portAtRoot
+// at the root; every new node uses portToward toward the root and portAway
+// away from it (the far endpoint only has portToward).
+func addPendantPath(b *graph.Builder, root, portAtRoot, length, portToward, portAway int) {
+	prev := root
+	prevPort := portAtRoot
+	for i := 0; i < length; i++ {
+		node := b.AddNode()
+		b.AddEdge(prev, prevPort, node, portToward)
+		prev = node
+		prevPort = portAway
+	}
+}
+
+// RandomSigma draws a uniformly random port-swap sequence for U_{Δ,k}.
+func RandomSigma(delta, k int, rng *rand.Rand) ([]int, error) {
+	y, err := UdkParams(delta, k)
+	if err != nil {
+		return nil, err
+	}
+	sigma := make([]int, y)
+	for j := range sigma {
+		sigma[j] = 1 + rng.Intn(delta-1)
+	}
+	return sigma, nil
+}
+
+// SigmaForIndex returns the index-th (0-based) sigma sequence in increasing
+// lexicographic order among the (Δ-1)^y possible sequences, convenient for
+// enumerating or sampling small classes deterministically in tests and in the
+// fooling experiments.
+func SigmaForIndex(delta, k int, index uint64) ([]int, error) {
+	y, err := UdkParams(delta, k)
+	if err != nil {
+		return nil, err
+	}
+	base := uint64(delta - 1)
+	sigma := make([]int, y)
+	rem := index
+	for pos := y - 1; pos >= 0; pos-- {
+		sigma[pos] = int(rem%base) + 1
+		rem /= base
+	}
+	if rem != 0 {
+		return nil, fmt.Errorf("construct: sigma index %d exceeds (Δ-1)^y", index)
+	}
+	return sigma, nil
+}
+
+// SigmaAdvice encodes the class parameters (Δ, k, σ): this is the
+// class-specific oracle matching the Theorem 3.11 lower bound up to constant
+// factors, since the graph G_σ is completely determined by (Δ, k, σ). Its
+// size is y·⌈log2(Δ-1)⌉ + O(log Δ + log k) bits.
+func (u *Udk) SigmaAdvice() (bitstring.Bits, error) {
+	if u.Sigma == nil {
+		return bitstring.Bits{}, fmt.Errorf("construct: the template graph has no sigma to encode")
+	}
+	w := bitstring.NewWriter()
+	w.WriteGamma(uint64(u.Delta))
+	w.WriteGamma(uint64(u.K))
+	width := bitstring.UintWidth(uint64(u.Delta - 2))
+	for _, s := range u.Sigma {
+		w.WriteUint(uint64(s-1), width)
+	}
+	return w.Bits(), nil
+}
+
+// DecodeUdkAdvice reconstructs G_σ from the advice produced by SigmaAdvice.
+func DecodeUdkAdvice(bits bitstring.Bits) (*Udk, error) {
+	r := bitstring.NewReader(bits)
+	delta64, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	k64, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	delta, k := int(delta64), int(k64)
+	y, err := UdkParams(delta, k)
+	if err != nil {
+		return nil, err
+	}
+	width := bitstring.UintWidth(uint64(delta - 2))
+	sigma := make([]int, y)
+	for j := range sigma {
+		v, err := r.ReadUint(width)
+		if err != nil {
+			return nil, err
+		}
+		sigma[j] = int(v) + 1
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("construct: %d trailing bits in sigma advice", r.Remaining())
+	}
+	return BuildUdk(delta, k, sigma)
+}
+
+// UdkSize returns the number of nodes of any graph of U_{Δ,k} (they all have
+// the same size) without building it.
+func UdkSize(delta, k int) (int, error) {
+	y, err := UdkParams(delta, k)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for j := 1; j <= y; j++ {
+		x, err := SequenceForIndex(delta, k, j)
+		if err != nil {
+			return 0, err
+		}
+		treeSize := TreeSize(TreeSpec{Delta: delta, K: k, X: x, Variant: 1})
+		// Two cycle trees + two heavy trees per index.
+		total += 4 * treeSize
+	}
+	// Step 3 paths: 2y paths with k interior nodes each.
+	total += 2 * y * k
+	// Step 4 pendant paths: 2y·(Δ-1) paths with k+1 nodes each.
+	total += 2 * y * (delta - 1) * (k + 1)
+	return total, nil
+}

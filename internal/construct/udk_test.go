@@ -1,0 +1,259 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/view"
+)
+
+func buildSmallUdk(t testing.TB, sigma []int) *Udk {
+	t.Helper()
+	u, err := BuildUdk(4, 1, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestUdkParams(t *testing.T) {
+	if _, err := UdkParams(3, 1); err == nil {
+		t.Error("Δ=3 accepted for U_{Δ,k}")
+	}
+	if _, err := UdkParams(4, 0); err == nil {
+		t.Error("k=0 accepted for U_{Δ,k}")
+	}
+	y, err := UdkParams(4, 1)
+	if err != nil || y != 9 {
+		t.Errorf("UdkParams(4,1) = %d, %v; want 9", y, err)
+	}
+}
+
+func TestUdkTemplateStructure(t *testing.T) {
+	u, err := BuildUdkTemplate(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := u.G
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantSize, err := UdkSize(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != wantSize {
+		t.Errorf("template has %d nodes, UdkSize predicts %d", g.N(), wantSize)
+	}
+	delta := u.Delta
+	// Degree classes (proof of Lemma 3.8): cycle roots have degree Δ+2, heavy
+	// roots 2Δ-1, everything else at most Δ.
+	cycleSet := make(map[int]bool)
+	heavySet := make(map[int]bool)
+	for j := 0; j < u.Y; j++ {
+		for b := 0; b < 2; b++ {
+			cycleSet[u.CycleRoots[j][b]] = true
+			heavySet[u.HeavyRoots[j][b]] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		switch {
+		case cycleSet[v]:
+			if g.Degree(v) != delta+2 {
+				t.Fatalf("cycle root %d has degree %d, want Δ+2=%d", v, g.Degree(v), delta+2)
+			}
+		case heavySet[v]:
+			if g.Degree(v) != 2*delta-1 {
+				t.Fatalf("heavy root %d has degree %d, want 2Δ-1=%d", v, g.Degree(v), 2*delta-1)
+			}
+		default:
+			if g.Degree(v) > delta {
+				t.Fatalf("node %d has degree %d > Δ", v, g.Degree(v))
+			}
+		}
+	}
+	if g.MaxDegree() != 2*delta-1 {
+		t.Errorf("max degree %d, want 2Δ-1", g.MaxDegree())
+	}
+}
+
+func TestUdkSigmaSwap(t *testing.T) {
+	// G_σ differs from the template exactly by the port swaps at the heavy
+	// roots; swapping back recovers the template.
+	tmpl, err := BuildUdkTemplate(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := SigmaForIndex(4, 1, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := buildSmallUdk(t, sigma)
+	if err := u.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := u.G.Clone()
+	for j := 0; j < u.Y; j++ {
+		for c := 0; c < 2; c++ {
+			back.SwapPorts(u.HeavyRoots[j][c], u.Delta-1, u.Delta-1+sigma[j])
+		}
+	}
+	for v := 0; v < back.N(); v++ {
+		for p := 0; p < back.Degree(v); p++ {
+			if back.Neighbor(v, p) != tmpl.G.Neighbor(v, p) {
+				t.Fatalf("undoing sigma swaps does not recover the template at node %d port %d", v, p)
+			}
+		}
+	}
+}
+
+func TestUdkSigmaAdviceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sigma, err := RandomSigma(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := buildSmallUdk(t, sigma)
+	bits, err := u.SigmaAdvice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size is y·⌈log2(Δ-1)⌉ + O(log Δ): for Δ=4, k=1 that is 9·2 + O(1).
+	if bits.Len() < 18 || bits.Len() > 32 {
+		t.Errorf("sigma advice is %d bits, expected about 18 + O(1)", bits.Len())
+	}
+	back, err := DecodeUdkAdvice(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.N() != u.G.N() {
+		t.Fatal("decoded graph has a different size")
+	}
+	for v := 0; v < u.G.N(); v++ {
+		for p := 0; p < u.G.Degree(v); p++ {
+			if u.G.Neighbor(v, p) != back.G.Neighbor(v, p) {
+				t.Fatalf("decoded graph differs at node %d port %d", v, p)
+			}
+		}
+	}
+	if _, err := (&Udk{}).SigmaAdvice(); err == nil {
+		t.Error("template advice should be an error")
+	}
+}
+
+// TestUdkProposition32 checks that all cycle roots share the same augmented
+// truncated view at depth k-1 (and indeed at every depth up to k-1).
+func TestUdkProposition32(t *testing.T) {
+	sigma, _ := SigmaForIndex(4, 1, 7)
+	u := buildSmallUdk(t, sigma)
+	k := u.K
+	r := view.Refine(u.G, k)
+	for h := 0; h <= k-1; h++ {
+		classes := r.ClassAt(h)
+		ref := classes[u.CycleRoots[0][0]]
+		for j := 0; j < u.Y; j++ {
+			for b := 0; b < 2; b++ {
+				if classes[u.CycleRoots[j][b]] != ref {
+					t.Fatalf("depth %d: cycle root r_{%d,%d} has a different view", h, j+1, b+1)
+				}
+			}
+		}
+	}
+}
+
+// TestUdkLemma36And38 checks the two pillars of Section 3.2 on an instance:
+// no node has a unique view at depth k-1 (Lemma 3.6, hence ψ_S >= k), and at
+// depth k every cycle root's view is unique (Lemma 3.8), which is what the
+// Port Election algorithm exploits.
+func TestUdkLemma36And38(t *testing.T) {
+	for _, idx := range []uint64{0, 3, 11} {
+		sigma, err := SigmaForIndex(4, 1, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := buildSmallUdk(t, sigma)
+		k := u.K
+		r := view.Refine(u.G, k)
+		if unique := r.UniqueAt(k - 1); len(unique) != 0 {
+			t.Errorf("sigma #%d: %d nodes have unique views at depth k-1 (Lemma 3.6 violated)", idx, len(unique))
+		}
+		classes := r.ClassAt(k)
+		counts := make(map[int]int)
+		for _, c := range classes {
+			counts[c]++
+		}
+		for j := 0; j < u.Y; j++ {
+			for b := 0; b < 2; b++ {
+				root := u.CycleRoots[j][b]
+				if counts[classes[root]] != 1 {
+					t.Errorf("sigma #%d: cycle root r_{%d,%d} does not have a unique view at depth k", idx, j+1, b+1)
+				}
+			}
+		}
+	}
+}
+
+// TestUdkClaim1 checks Claim 1 inside Lemma 3.9: the two heavy roots of the
+// same index have equal views at depth k, and heavy roots of different indices
+// have different views.
+func TestUdkClaim1(t *testing.T) {
+	sigma, _ := SigmaForIndex(4, 1, 5)
+	u := buildSmallUdk(t, sigma)
+	k := u.K
+	r := view.Refine(u.G, k)
+	classes := r.ClassAt(k)
+	for j := 0; j < u.Y; j++ {
+		if classes[u.HeavyRoots[j][0]] != classes[u.HeavyRoots[j][1]] {
+			t.Errorf("B^k(r_{%d,1,1}) != B^k(r_{%d,1,2})", j+1, j+1)
+		}
+		for j2 := j + 1; j2 < u.Y; j2++ {
+			if classes[u.HeavyRoots[j][0]] == classes[u.HeavyRoots[j2][0]] {
+				t.Errorf("heavy roots of indices %d and %d share a view at depth k", j+1, j2+1)
+			}
+		}
+	}
+}
+
+// TestUdkLemma410Analogue is the indistinguishability statement behind
+// Theorem 3.11: a heavy root r_{j,1,1} has the same view at depth k in G_α and
+// in G_β even when α and β differ (the swap is at the heavy root itself but
+// the algorithm cannot tell which of its ports leads toward the cycle).
+func TestUdkHeavyRootIndistinguishability(t *testing.T) {
+	sigmaA, _ := SigmaForIndex(4, 1, 100)
+	sigmaB, _ := SigmaForIndex(4, 1, 2000)
+	ga := buildSmallUdk(t, sigmaA)
+	gb := buildSmallUdk(t, sigmaB)
+	k := ga.K
+	for j := 0; j < ga.Y; j++ {
+		va := view.Compute(ga.G, ga.HeavyRoots[j][0], k)
+		vb := view.Compute(gb.G, gb.HeavyRoots[j][0], k)
+		if !va.Equal(vb) {
+			t.Fatalf("B^k(r_{%d,1,1}) differs between two class members (it should not)", j+1)
+		}
+	}
+}
+
+func TestFact31(t *testing.T) {
+	// |U_{4,1}| = 3^9 = 19683.
+	if got := UdkClassSize(4, 1).String(); got != "19683" {
+		t.Errorf("|U_{4,1}| = %s, want 19683", got)
+	}
+	// |U_{4,2}| = 3^729: just check the bit length is as expected
+	// (729·log2(3) ≈ 1155.4 → 1156 bits).
+	if got := UdkClassSize(4, 2).BitLen(); got != 1156 {
+		t.Errorf("|U_{4,2}| has bit length %d, want 1156", got)
+	}
+}
+
+func BenchmarkBuildUdk(b *testing.B) {
+	sigma, err := SigmaForIndex(4, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUdk(4, 1, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

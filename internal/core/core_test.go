@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "bbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	text := table.Render()
+	for _, want := range []string{"T — demo", "a", "bbb", "333", "note: a note"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	md := table.Markdown()
+	for _, want := range []string{"### T — demo", "| a | bbb |", "| 333 | 4 |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestQuickExperimentsE1toE4(t *testing.T) {
+	opt := Options{Quick: true, Seed: 1}
+	for _, run := range []func(Options) (*Table, error){
+		Experiment1Hierarchy,
+		Experiment2SelectionAdvice,
+		Experiment3Gdk,
+		Experiment4GdkLowerBound,
+	} {
+		table, err := run(opt)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if len(table.Rows) == 0 {
+			t.Fatalf("%s produced no rows", table.ID)
+		}
+	}
+}
+
+func TestQuickExperimentsE5toE10(t *testing.T) {
+	opt := Options{Quick: true, Seed: 2}
+	for _, run := range []func(Options) (*Table, error){
+		Experiment5Udk,
+		Experiment6UdkLowerBound,
+		Experiment7Jmk,
+		Experiment8JmkIndices,
+		Experiment9JmkLowerBound,
+		Experiment10Separation,
+	} {
+		table, err := run(opt)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if len(table.Rows) == 0 {
+			t.Fatalf("%s produced no rows", table.ID)
+		}
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	tables, err := All(Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 10 {
+		t.Fatalf("All returned %d tables, want 10", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, table := range tables {
+		ids[table.ID] = true
+		if table.Render() == "" || table.Markdown() == "" {
+			t.Errorf("%s renders empty", table.ID)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}

@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/advice"
+	"repro/internal/algorithms"
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/lowerbound"
+	"repro/internal/view"
+)
+
+// Options scopes the experiment suite. Quick mode avoids the faithful
+// (1024-gadget, ~132k-node) J_{µ,k} instances so that the suite finishes in a
+// few seconds; the full mode is what EXPERIMENTS.md reports.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+// corpus returns the named feasible graphs used by the cross-cutting
+// experiments (E1, E2).
+func corpus(seed int64) map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := map[string]*graph.Graph{
+		"three-node-line": graph.ThreeNodeLine(),
+		"path-8":          graph.Path(8),
+		"star-8":          graph.Star(8),
+		"caterpillar-a":   graph.Caterpillar(4, []int{2, 0, 1, 3}),
+		"caterpillar-b":   graph.Caterpillar(5, []int{1, 1, 0, 2, 1}),
+	}
+	for i := 0; i < 3; i++ {
+		for tries := 0; tries < 50; tries++ {
+			n := 8 + rng.Intn(6)
+			m := n - 1 + rng.Intn(n)
+			if max := n * (n - 1) / 2; m > max {
+				m = max
+			}
+			g := graph.RandomConnected(n, m, rng)
+			if view.Feasible(g) {
+				graphs[fmt.Sprintf("random-%d", i)] = g
+				break
+			}
+		}
+	}
+	return graphs
+}
+
+// sortedNames returns map keys in sorted order for deterministic tables.
+func sortedNames[M ~map[string]V, V any](m M) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j-1] > names[j]; j-- {
+			names[j-1], names[j] = names[j], names[j-1]
+		}
+	}
+	return names
+}
+
+// Experiment1Hierarchy (E1, Fact 1.1): election indices of the four tasks on a
+// corpus of feasible graphs, verifying ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S.
+func Experiment1Hierarchy(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Fact 1.1 — election indices ψ_S <= ψ_PE <= ψ_PPE <= ψ_CPPE",
+		Header: []string{"graph", "n", "Δ", "ψ_S", "ψ_PE", "ψ_PPE", "ψ_CPPE", "hierarchy"},
+	}
+	graphs := corpus(opt.Seed)
+	for _, name := range sortedNames(graphs) {
+		g := graphs[name]
+		idx, err := election.Indices(g, election.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: E1 %s: %w", name, err)
+		}
+		ok := idx[election.CPPE] >= idx[election.PPE] &&
+			idx[election.PPE] >= idx[election.PE] &&
+			idx[election.PE] >= idx[election.S]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(g.N()),
+			fmt.Sprint(g.MaxDegree()),
+			fmt.Sprint(idx[election.S]),
+			fmt.Sprint(idx[election.PE]),
+			fmt.Sprint(idx[election.PPE]),
+			fmt.Sprint(idx[election.CPPE]),
+			fmt.Sprint(ok),
+		})
+		if !ok {
+			return t, fmt.Errorf("core: E1 %s violates Fact 1.1", name)
+		}
+	}
+	return t, nil
+}
+
+// Experiment2SelectionAdvice (E2, Theorem 2.2): the Selection-with-advice
+// algorithm is executed on every corpus graph; the advice size is compared
+// against (Δ-1)^{ψ_S}·log2 Δ and the rounds used against ψ_S.
+func Experiment2SelectionAdvice(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Theorem 2.2 — Selection in minimum time with O((Δ-1)^{ψ_S} log Δ) advice",
+		Header: []string{"graph", "Δ", "ψ_S", "rounds used", "advice bits", "map advice bits", "verified"},
+		Notes: []string{
+			"advice bits is the measured size of the encoded view B^{ψ_S}(u); map advice bits is the Θ(m log n) full-map encoding for comparison",
+		},
+	}
+	graphs := corpus(opt.Seed)
+	for _, name := range sortedNames(graphs) {
+		g := graphs[name]
+		psi, err := election.Index(g, election.S, election.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
+		}
+		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(g, local.RunSequential)
+		if err != nil {
+			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
+		}
+		verified := election.Verify(election.S, g, outputs) == nil && rounds == psi
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(g.MaxDegree()),
+			fmt.Sprint(psi),
+			fmt.Sprint(rounds),
+			fmt.Sprint(bits),
+			fmt.Sprint(advice.GraphAdviceBits(g)),
+			fmt.Sprint(verified),
+		})
+		if !verified {
+			return t, fmt.Errorf("core: E2 %s failed verification", name)
+		}
+	}
+	return t, nil
+}
+
+// gdkParams are the G_{Δ,k} parameter points measured by E3/E4.
+var gdkParams = []struct{ Delta, K, Instance int }{
+	{4, 1, 3}, {5, 1, 2}, {6, 1, 2}, {4, 2, 2}, {3, 2, 2},
+}
+
+// Experiment3Gdk (E3, Section 2.2.1 + Fact 2.3 + Lemma 2.7): instances of
+// G_{Δ,k} are built and their structure checked: ψ_S equals k and the class
+// size matches the formula.
+func Experiment3Gdk(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "G_{Δ,k} construction — ψ_S(G_i) = k and |G_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}",
+		Header: []string{"Δ", "k", "instance i", "nodes", "ψ_S", "ψ_S = k", "class size"},
+	}
+	for _, p := range gdkParams {
+		inst, err := construct.BuildGdk(p.Delta, p.K, p.Instance)
+		if err != nil {
+			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
+		}
+		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: p.K + 2})
+		if err != nil {
+			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Delta),
+			fmt.Sprint(p.K),
+			fmt.Sprint(p.Instance),
+			fmt.Sprint(inst.G.N()),
+			fmt.Sprint(psi),
+			fmt.Sprint(psi == p.K),
+			construct.GdkClassSize(p.Delta, p.K).String(),
+		})
+		if psi != p.K {
+			return t, fmt.Errorf("core: E3 Δ=%d k=%d: ψ_S = %d, want %d", p.Delta, p.K, psi, p.K)
+		}
+	}
+	return t, nil
+}
+
+// Experiment4GdkLowerBound (E4, Theorem 2.9): the pigeonhole advice bound for
+// Selection on G_{Δ,k} plus the explicit fooling experiment (same advice on
+// G_α and G_β yields multiple leaders in G_β), compared with the measured
+// upper bound of the Theorem 2.2 oracle.
+func Experiment4GdkLowerBound(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Theorem 2.9 — advice for S in minimum time needs Ω((Δ-1)^k log Δ) bits",
+		Header: []string{"Δ", "k", "pigeonhole lower bound (bits)", "Thm 2.2 advice on G_2 (bits)", "fooling: views equal", "fooling: leaders in G_β"},
+		Notes: []string{
+			"the fooling column reuses the advice computed for G_α on G_β (α=2, β=3): at least two nodes elect themselves, so no algorithm below the pigeonhole bound can be correct",
+		},
+	}
+	for _, p := range []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}, {6, 2}} {
+		lower := lowerbound.PigeonholeAdviceBits(construct.GdkClassSize(p.Delta, p.K))
+		inst, err := construct.BuildGdk(p.Delta, p.K, 2)
+		if err != nil {
+			return nil, err
+		}
+		upper, err := algorithms.SelectionAdviceSize(inst.G)
+		if err != nil {
+			return nil, err
+		}
+		fool, err := lowerbound.FoolSelection(p.Delta, p.K, 2, 3)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Delta),
+			fmt.Sprint(p.K),
+			fmt.Sprint(lower),
+			fmt.Sprint(upper),
+			fmt.Sprint(fool.ViewsEqual),
+			fmt.Sprint(fool.LeadersInBeta),
+		})
+		if !fool.ViewsEqual || fool.LeadersInBeta < 2 {
+			return t, fmt.Errorf("core: E4 Δ=%d k=%d: fooling experiment failed", p.Delta, p.K)
+		}
+	}
+	return t, nil
+}
+
+// Experiment5Udk (E5, Section 3 constructions + Lemmas 3.6-3.9): on U_{Δ,k}
+// instances, ψ_S = ψ_PE = k, established by the refinement lower bound and by
+// running the Lemma 3.9 algorithm (with σ advice) on the LOCAL simulator.
+func Experiment5Udk(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "U_{Δ,k} — ψ_S = ψ_PE = k; Lemma 3.9 algorithm verified with σ-advice",
+		Header: []string{"Δ", "k", "nodes", "no unique view at k-1", "PE rounds", "PE verified", "σ advice bits"},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	for _, p := range []struct{ Delta, K int }{{4, 1}} {
+		sigma, err := construct.RandomSigma(p.Delta, p.K, rng)
+		if err != nil {
+			return nil, err
+		}
+		u, err := construct.BuildUdk(p.Delta, p.K, sigma)
+		if err != nil {
+			return nil, err
+		}
+		ref := view.Refine(u.G, p.K)
+		lowerOK := len(ref.UniqueAt(p.K-1)) == 0
+		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
+		if err != nil {
+			return nil, fmt.Errorf("core: E5 Δ=%d k=%d: %w", p.Delta, p.K, err)
+		}
+		verified := election.Verify(election.PE, u.G, outputs) == nil && rounds == p.K
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Delta),
+			fmt.Sprint(p.K),
+			fmt.Sprint(u.G.N()),
+			fmt.Sprint(lowerOK),
+			fmt.Sprint(rounds),
+			fmt.Sprint(verified),
+			fmt.Sprint(bits),
+		})
+		if !lowerOK || !verified {
+			return t, fmt.Errorf("core: E5 Δ=%d k=%d failed", p.Delta, p.K)
+		}
+	}
+	// A larger instance evaluated centrally (Δ=4, k=2 has ~10^5 nodes; the
+	// distributed execution would rebuild the map at every node).
+	if !opt.Quick {
+		sigma, err := construct.RandomSigma(4, 2, rng)
+		if err != nil {
+			return nil, err
+		}
+		u, err := construct.BuildUdk(4, 2, sigma)
+		if err != nil {
+			return nil, err
+		}
+		ref := view.Refine(u.G, 2)
+		lowerOK := len(ref.UniqueAt(1)) == 0
+		depth, outputs, err := algorithms.UdkPortElectionOutputs(u)
+		if err != nil {
+			return nil, err
+		}
+		// Full PE verification is Ω(n) per node; on this ~10^5-node instance
+		// the per-node validity is checked on a 1000-node sample (the single-
+		// leader condition is checked in full), see EXPERIMENTS.md.
+		sample := election.SampleNodes(u.G, 1000, opt.Seed)
+		verified := election.VerifySample(election.PE, u.G, outputs, sample) == nil &&
+			algorithms.CheckRealizable(u.G, election.PE, depth, outputs) == nil && depth == 2
+		bits, err := u.SigmaAdvice()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"4", "2", fmt.Sprint(u.G.N()), fmt.Sprint(lowerOK), fmt.Sprint(depth), fmt.Sprintf("%v (sampled)", verified), fmt.Sprint(bits.Len()),
+		})
+		if !lowerOK || !verified {
+			return t, fmt.Errorf("core: E5 Δ=4 k=2 failed")
+		}
+	}
+	return t, nil
+}
+
+// Experiment6UdkLowerBound (E6, Theorem 3.11): the pigeonhole bound on advice
+// for PE on U_{Δ,k} versus the Theorem 2.2 advice for S on the same graphs,
+// plus the heavy-root fooling experiment.
+func Experiment6UdkLowerBound(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Theorem 3.11 — advice for PE in minimum time is exponential in Δ while S stays polynomial",
+		Header: []string{"Δ", "k", "PE pigeonhole bound (bits)", "σ-advice upper bound (bits)", "S advice on same graph (bits)", "fooling: views equal", "fooling: ports differ"},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 6))
+	for _, p := range []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}} {
+		lower := lowerbound.PigeonholeAdviceBits(construct.UdkClassSize(p.Delta, p.K))
+		row := []string{fmt.Sprint(p.Delta), fmt.Sprint(p.K), fmt.Sprint(lower)}
+		if p.Delta == 4 && (p.K == 1 || !opt.Quick) {
+			sigmaA, err := construct.RandomSigma(p.Delta, p.K, rng)
+			if err != nil {
+				return nil, err
+			}
+			u, err := construct.BuildUdk(p.Delta, p.K, sigmaA)
+			if err != nil {
+				return nil, err
+			}
+			sig, err := u.SigmaAdvice()
+			if err != nil {
+				return nil, err
+			}
+			sBits, err := algorithms.SelectionAdviceSize(u.G)
+			if err != nil {
+				return nil, err
+			}
+			sigmaB := append([]int(nil), sigmaA...)
+			sigmaB[0] = sigmaA[0]%(p.Delta-1) + 1
+			fool, err := lowerbound.FoolPortElection(p.Delta, p.K, sigmaA, sigmaB)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(sig.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Disjoint))
+			if !fool.ViewsEqual || !fool.Disjoint {
+				return t, fmt.Errorf("core: E6 Δ=%d k=%d fooling failed", p.Delta, p.K)
+			}
+		} else {
+			// For larger parameters the class cannot be materialised; only the
+			// counting bound is reported (that is the content of the theorem).
+			row = append(row, "-", "-", "-", "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Experiment7Jmk (E7, Section 4.1 constructions, Facts 4.1/4.2): layer-graph
+// and class-size formulas, and construction of J instances.
+func Experiment7Jmk(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "J_{µ,k} construction — layer sizes (Fact 4.1), z and class size (Fact 4.2)",
+		Header: []string{"µ", "k", "z", "gadget nodes", "faithful gadgets 2^z", "class size", "built nodes"},
+	}
+	for _, p := range []struct {
+		Mu, K   int
+		gadgets int // 0 = faithful
+	}{{2, 4, 8}, {3, 4, 4}, {2, 4, 0}} {
+		if p.gadgets == 0 && opt.Quick {
+			continue
+		}
+		z := construct.JmkZ(p.Mu, p.K)
+		inst, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: p.gadgets})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Mu),
+			fmt.Sprint(p.K),
+			fmt.Sprint(z),
+			fmt.Sprint(construct.GadgetSize(p.Mu, p.K)),
+			construct.JmkNumGadgets(p.Mu, p.K).String(),
+			fmt.Sprintf("2^%d", (1 << uint(z-1))),
+			fmt.Sprint(inst.G.N()),
+		})
+	}
+	return t, nil
+}
+
+// Experiment8JmkIndices (E8, Lemmas 4.6-4.9): ψ_S = ψ_PPE = ψ_CPPE = k on
+// J_{µ,k}: the depth-(k-1) twin property on the faithful instance, and the
+// Lemma 4.8 algorithm verified (fully on reduced instances, by sampling on the
+// faithful one).
+func Experiment8JmkIndices(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Lemmas 4.6–4.9 — ψ_S = ψ_PPE = ψ_CPPE = k on J_{µ,k}; Lemma 4.8 algorithm verified",
+		Header: []string{"µ", "k", "gadgets", "nodes", "no unique view at k-1", "CPPE verified", "PPE verified", "max path length"},
+		Notes: []string{
+			"reduced-gadget rows verify every node's output; the faithful row samples every ρ node, the first and last gadget, and random nodes (the full output vector is quadratic in the instance size)",
+		},
+	}
+	// Reduced instances: full verification.
+	for _, p := range []struct{ mu, k, gadgets int }{{2, 4, 8}, {3, 4, 2}} {
+		inst, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{NumGadgets: p.gadgets})
+		if err != nil {
+			return nil, err
+		}
+		depth, cppe, err := algorithms.JmkPathOutputs(inst, election.CPPE)
+		if err != nil {
+			return nil, err
+		}
+		_, ppe, err := algorithms.JmkPathOutputs(inst, election.PPE)
+		if err != nil {
+			return nil, err
+		}
+		cppeOK := election.Verify(election.CPPE, inst.G, cppe) == nil && depth == p.k &&
+			algorithms.CheckRealizable(inst.G, election.CPPE, depth, cppe) == nil
+		ppeOK := election.Verify(election.PPE, inst.G, ppe) == nil
+		maxLen := 0
+		for _, o := range cppe {
+			if len(o.FullPath) > maxLen {
+				maxLen = len(o.FullPath)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(p.gadgets), fmt.Sprint(inst.G.N()),
+			"(reduced)", fmt.Sprint(cppeOK), fmt.Sprint(ppeOK), fmt.Sprint(maxLen),
+		})
+		if !cppeOK || !ppeOK {
+			return t, fmt.Errorf("core: E8 reduced µ=%d failed", p.mu)
+		}
+	}
+	if opt.Quick {
+		return t, nil
+	}
+	// Faithful instance.
+	z := construct.JmkZ(2, 4)
+	rng := rand.New(rand.NewSource(opt.Seed + 8))
+	y := make([]bool, 1<<uint(z-1))
+	for i := range y {
+		y[i] = rng.Intn(2) == 1
+	}
+	inst, err := construct.BuildJmk(2, 4, construct.JmkOptions{Y: y})
+	if err != nil {
+		return nil, err
+	}
+	ref := view.Refine(inst.G, inst.K-1)
+	lowerOK := len(ref.UniqueAt(inst.K-1)) == 0
+	rep, err := algorithms.VerifyJmkSample(inst, election.CPPE, 2048, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"2", "4", fmt.Sprint(inst.NumGadgets), fmt.Sprint(inst.G.N()),
+		fmt.Sprint(lowerOK), fmt.Sprintf("sampled %d ok", rep.Sampled), "(weakened)", fmt.Sprint(rep.MaxPathLen),
+	})
+	if !lowerOK {
+		return t, fmt.Errorf("core: E8 faithful instance has a unique view at depth k-1")
+	}
+	return t, nil
+}
+
+// Experiment9JmkLowerBound (E9, Theorems 4.11/4.12): the pigeonhole bound
+// 2^(z-1)-1 bits for PPE/CPPE on J_{µ,k}, the matching Y-advice upper bound,
+// and the Lemma 4.10 fooling experiment.
+func Experiment9JmkLowerBound(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Theorems 4.11/4.12 — advice for PPE/CPPE in minimum time is Ω(2^{Δ^{k/6}})",
+		Header: []string{"µ", "k", "z", "pigeonhole bound (bits)", "Y-advice upper bound (bits)", "S advice (Thm 2.2, bits)", "fooling: views equal", "fooling: separated"},
+	}
+	for _, p := range []struct{ mu, k int }{{2, 4}, {3, 4}, {4, 6}} {
+		z := construct.JmkZ(p.mu, p.k)
+		lower := construct.AdviceLowerBoundBitsJmk(p.mu, p.k)
+		row := []string{fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(z), fmt.Sprintf("%.0f", lower)}
+		if p.mu == 2 && p.k == 4 && !opt.Quick {
+			rng := rand.New(rand.NewSource(opt.Seed + 9))
+			yA := make([]bool, 1<<uint(z-1))
+			yB := make([]bool, 1<<uint(z-1))
+			for i := range yA {
+				yA[i] = rng.Intn(2) == 1
+				yB[i] = yA[i]
+			}
+			yB[3] = !yB[3]
+			instA, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{Y: yA})
+			if err != nil {
+				return nil, err
+			}
+			yBits, err := instA.YAdvice()
+			if err != nil {
+				return nil, err
+			}
+			sBits, err := algorithms.SelectionAdviceSize(instA.G)
+			if err != nil {
+				return nil, err
+			}
+			fool, err := lowerbound.FoolPathElection(p.mu, p.k, yA, yB)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprint(yBits.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Separated))
+			if !fool.ViewsEqual || !fool.Separated {
+				return t, fmt.Errorf("core: E9 fooling failed")
+			}
+		} else {
+			row = append(row, "-", "-", "-", "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Experiment10Separation (E10, headline result): for growing Δ, the measured /
+// proven advice sizes for S (polynomial in Δ) versus PE and CPPE in minimum
+// time (exponential in Δ) on graph classes where all election indices
+// coincide.
+func Experiment10Separation(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Headline separation — advice for minimum-time S vs PE vs PPE/CPPE",
+		Header: []string{
+			"Δ", "k",
+			"S upper bound O((Δ-1)^k logΔ) [bits]",
+			"PE lower bound on U_{Δ,k} [bits]",
+			"PPE/CPPE lower bound on J_{⌈Δ/4⌉,6} [bits]",
+		},
+		Notes: []string{
+			"S: measured advice of the Theorem 2.2 oracle on G_2 ∈ G_{Δ,k} (polynomial in Δ);",
+			"PE: pigeonhole bound |U_{Δ,k}| (exponential in Δ); PPE/CPPE: pigeonhole bound 2^(z-1)-1 ≈ 2^{Δ^{k/6}} (doubly exponential growth in Δ for fixed k)",
+		},
+	}
+	for _, delta := range []int{4, 5, 6, 7, 8} {
+		k := 1
+		inst, err := construct.BuildGdk(delta, k, 2)
+		if err != nil {
+			return nil, err
+		}
+		sBits, err := algorithms.SelectionAdviceSize(inst.G)
+		if err != nil {
+			return nil, err
+		}
+		peLower := construct.AdviceLowerBoundBitsUdk(delta, k)
+		// The paper's Section 4 bound uses µ = ⌈Δ/4⌉ (Δ >= 16); for the small
+		// Δ of this table we clamp µ to the construction's minimum of 2, which
+		// only makes the reported lower bound smaller.
+		mu := (delta + 3) / 4
+		if mu < 2 {
+			mu = 2
+		}
+		cppeLower := construct.AdviceLowerBoundBitsJmk(mu, 6)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(delta),
+			fmt.Sprint(k),
+			fmt.Sprint(sBits),
+			fmt.Sprintf("%.0f", peLower),
+			fmt.Sprintf("%.3g", cppeLower),
+		})
+	}
+	return t, nil
+}
+
+// All runs every experiment and returns the tables in order.
+func All(opt Options) ([]*Table, error) {
+	runners := []func(Options) (*Table, error){
+		Experiment1Hierarchy,
+		Experiment2SelectionAdvice,
+		Experiment3Gdk,
+		Experiment4GdkLowerBound,
+		Experiment5Udk,
+		Experiment6UdkLowerBound,
+		Experiment7Jmk,
+		Experiment8JmkIndices,
+		Experiment9JmkLowerBound,
+		Experiment10Separation,
+	}
+	var tables []*Table
+	for _, run := range runners {
+		table, err := run(opt)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, table)
+	}
+	return tables, nil
+}

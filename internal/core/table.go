@@ -1,0 +1,79 @@
+// Package core orchestrates the reproduction experiments E1–E10 listed in
+// DESIGN.md: it assembles the paper's headline quantities (election indices,
+// measured advice sizes, pigeonhole lower bounds, fooling outcomes) into
+// tables that the benchmarks, the advicebench command and EXPERIMENTS.md all
+// share. The heavy lifting is done by the other internal packages; this
+// package is the reproduction of the paper's "evaluation".
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a uniformly renderable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", note)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table (used when
+// regenerating EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	sb.WriteByte('\n')
+	for _, note := range t.Notes {
+		fmt.Fprintf(&sb, "*%s*\n\n", note)
+	}
+	return sb.String()
+}

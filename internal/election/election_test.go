@@ -1,0 +1,363 @@
+package election
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+func TestTaskParsingAndString(t *testing.T) {
+	for _, task := range Tasks {
+		parsed, err := ParseTask(task.String())
+		if err != nil || parsed != task {
+			t.Errorf("ParseTask(%q) = %v, %v", task.String(), parsed, err)
+		}
+	}
+	if _, err := ParseTask("nonsense"); err == nil {
+		t.Error("ParseTask accepted nonsense")
+	}
+	if Task(99).String() == "" {
+		t.Error("unknown task has empty String")
+	}
+}
+
+func TestVerifySelection(t *testing.T) {
+	g := graph.Path(4)
+	good := make([]Output, 4)
+	good[2].Leader = true
+	if err := Verify(S, g, good); err != nil {
+		t.Errorf("valid S outputs rejected: %v", err)
+	}
+	twoLeaders := make([]Output, 4)
+	twoLeaders[0].Leader = true
+	twoLeaders[3].Leader = true
+	if err := Verify(S, g, twoLeaders); err == nil {
+		t.Error("two leaders accepted")
+	}
+	if err := Verify(S, g, make([]Output, 4)); err == nil {
+		t.Error("zero leaders accepted")
+	}
+	if err := Verify(S, g, make([]Output, 3)); err == nil {
+		t.Error("wrong output count accepted")
+	}
+}
+
+func TestVerifyPortElection(t *testing.T) {
+	g := graph.Path(4) // 0 -(0,0)- 1 -(1,0)- 2 -(1,0)- 3
+	outputs := []Output{
+		{Port: 0},      // node 0 -> toward 1
+		{Port: 1},      // node 1 -> toward 2
+		{Leader: true}, // node 2 is the leader
+		{Port: 0},      // node 3 -> toward 2
+	}
+	if err := Verify(PE, g, outputs); err != nil {
+		t.Errorf("valid PE outputs rejected: %v", err)
+	}
+	bad := append([]Output(nil), outputs...)
+	bad[0] = Output{Port: 5}
+	if err := Verify(PE, g, bad); err == nil {
+		t.Error("out-of-range PE port accepted")
+	}
+	bad[0] = Output{Port: 0}
+	bad[1] = Output{Port: 0} // node 1 pointing away from the leader
+	if err := Verify(PE, g, bad); err == nil {
+		t.Error("PE port pointing away from the leader accepted")
+	}
+}
+
+func TestVerifyPortPathElection(t *testing.T) {
+	g := graph.Ring(5)
+	// Make node 2 the leader; every other node outputs the clockwise path.
+	outputs := make([]Output, 5)
+	outputs[2].Leader = true
+	for v := 0; v < 5; v++ {
+		if v == 2 {
+			continue
+		}
+		var path []int
+		for u := v; u != 2; u = (u + 1) % 5 {
+			path = append(path, 0) // port 0 is clockwise in graph.Ring
+		}
+		outputs[v].PortPath = path
+	}
+	if err := Verify(PPE, g, outputs); err != nil {
+		t.Errorf("valid PPE outputs rejected: %v", err)
+	}
+	bad := append([]Output(nil), outputs...)
+	bad[0].PortPath = []int{0, 0, 0, 0, 0} // wraps beyond the leader: not simple
+	if err := Verify(PPE, g, bad); err == nil {
+		t.Error("non-simple PPE path accepted")
+	}
+	bad[0].PortPath = nil
+	if err := Verify(PPE, g, bad); err == nil {
+		t.Error("empty PPE path accepted")
+	}
+	bad[0].PortPath = []int{1} // ends at the wrong node
+	if err := Verify(PPE, g, bad); err == nil {
+		t.Error("PPE path ending off-leader accepted")
+	}
+}
+
+func TestVerifyCompletePortPathElection(t *testing.T) {
+	g := graph.ThreeNodeLine() // ports 0,(0,1),0
+	outputs := []Output{
+		{FullPath: []graph.PortPair{{Out: 0, In: 0}}}, // 0 -> 1
+		{Leader: true},
+		{FullPath: []graph.PortPair{{Out: 0, In: 1}}}, // 2 -> 1
+	}
+	if err := Verify(CPPE, g, outputs); err != nil {
+		t.Errorf("valid CPPE outputs rejected: %v", err)
+	}
+	bad := append([]Output(nil), outputs...)
+	bad[2] = Output{FullPath: []graph.PortPair{{Out: 0, In: 0}}} // wrong in-port
+	if err := Verify(CPPE, g, bad); err == nil {
+		t.Error("CPPE path with wrong incoming port accepted")
+	}
+}
+
+func TestWeaken(t *testing.T) {
+	full := Output{
+		FullPath: []graph.PortPair{{Out: 2, In: 0}, {Out: 1, In: 3}},
+	}
+	ppe := full.Weaken(CPPE, PPE)
+	if len(ppe.PortPath) != 2 || ppe.PortPath[0] != 2 || ppe.PortPath[1] != 1 {
+		t.Errorf("Weaken to PPE = %v", ppe.PortPath)
+	}
+	pe := full.Weaken(CPPE, PE)
+	if pe.Port != 2 {
+		t.Errorf("Weaken to PE port = %d", pe.Port)
+	}
+	s := full.Weaken(CPPE, S)
+	if s.Leader || s.Port != 0 || s.PortPath != nil {
+		t.Errorf("Weaken to S = %+v", s)
+	}
+	leader := Output{Leader: true}
+	if w := leader.Weaken(CPPE, PE); !w.Leader {
+		t.Error("leader bit lost while weakening")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("weakening to a stronger task did not panic")
+		}
+	}()
+	_ = Output{}.Weaken(PE, CPPE)
+}
+
+func TestIndicesKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want map[Task]int
+	}{
+		{
+			// Paper, Section 1: the 3-node line with ports 0,0,1,0 has
+			// ψ_CPPE = 1; its middle node has unique degree so ψ_S = 0, and a
+			// common first port / port path exists for the two endpoints.
+			name: "ThreeNodeLine",
+			g:    graph.ThreeNodeLine(),
+			want: map[Task]int{S: 0, PE: 0, PPE: 0, CPPE: 1},
+		},
+		{
+			// Star: the centre has unique degree (ψ_S = 0); all leaves can
+			// output port 0 (ψ_PE = ψ_PPE = 0) but their full paths differ in
+			// the incoming port, so CPPE needs one round.
+			name: "Star(5)",
+			g:    graph.Star(5),
+			want: map[Task]int{S: 0, PE: 0, PPE: 0, CPPE: 1},
+		},
+		{
+			// Path(4): no unique degree, everything resolves at depth 1.
+			name: "Path(4)",
+			g:    graph.Path(4),
+			want: map[Task]int{S: 1, PE: 1, PPE: 1, CPPE: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Indices(tc.g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for task, want := range tc.want {
+				if got[task] != want {
+					t.Errorf("ψ_%v = %d, want %d", task, got[task], want)
+				}
+			}
+		})
+	}
+}
+
+func TestInfeasibleGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Ring(6), graph.Path(2), graph.Hypercube(2)} {
+		if _, err := Index(g, S, Options{}); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("expected ErrInfeasible, got %v", err)
+		}
+	}
+}
+
+func TestSolvableAtDepth(t *testing.T) {
+	g := graph.ThreeNodeLine()
+	ok, err := SolvableAtDepth(g, CPPE, 0, Options{})
+	if err != nil || ok {
+		t.Errorf("CPPE at depth 0: got %v, %v; want unsolvable", ok, err)
+	}
+	ok, err = SolvableAtDepth(g, CPPE, 1, Options{})
+	if err != nil || !ok {
+		t.Errorf("CPPE at depth 1: got %v, %v; want solvable", ok, err)
+	}
+	ok, err = SolvableAtDepth(g, S, 0, Options{})
+	if err != nil || !ok {
+		t.Errorf("S at depth 0: got %v, %v; want solvable", ok, err)
+	}
+}
+
+func TestMinTimeAssignmentIsValidAndClassConstant(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ThreeNodeLine": graph.ThreeNodeLine(),
+		"Path(5)":       graph.Path(5),
+		"Star(6)":       graph.Star(6),
+		"Caterpillar":   graph.Caterpillar(3, []int{1, 0, 2}),
+		"Caterpillar2":  graph.Caterpillar(4, []int{0, 2, 1, 3}),
+	}
+	for name, g := range graphs {
+		if !view.Feasible(g) {
+			t.Fatalf("%s: expected feasible test graph", name)
+		}
+		for _, task := range Tasks {
+			a, err := MinTimeAssignment(g, task, Options{})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, task, err)
+			}
+			if err := Verify(task, g, a.Outputs); err != nil {
+				t.Errorf("%s/%v: assignment fails verification: %v", name, task, err)
+			}
+			// The outputs must be a function of B^Depth(v): members of a view
+			// class at that depth share the output.
+			r := view.Refine(g, a.Depth)
+			classes := r.ClassAt(a.Depth)
+			for u := 0; u < g.N(); u++ {
+				for v := u + 1; v < g.N(); v++ {
+					if classes[u] == classes[v] && !a.Outputs[u].Equal(task, a.Outputs[v]) {
+						t.Errorf("%s/%v: nodes %d,%d share B^%d but differ in output", name, task, u, v, a.Depth)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyFact11(t *testing.T) {
+	// ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S on a corpus of feasible graphs.
+	graphs := []*graph.Graph{
+		graph.ThreeNodeLine(),
+		graph.Path(6),
+		graph.Star(7),
+		graph.Caterpillar(4, []int{2, 0, 1, 3}),
+		graph.Caterpillar(5, []int{1, 1, 0, 2, 1}),
+		graph.Caterpillar(2, []int{3, 1}),
+	}
+	for i, g := range graphs {
+		idx, err := Indices(g, Options{})
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		if !(idx[CPPE] >= idx[PPE] && idx[PPE] >= idx[PE] && idx[PE] >= idx[S]) {
+			t.Errorf("graph %d violates Fact 1.1: %v", i, idx)
+		}
+	}
+}
+
+func TestOutputsFromAny(t *testing.T) {
+	raw := []any{Output{Leader: true}, "garbage", Output{Port: 2}}
+	outs := OutputsFromAny(raw)
+	if !outs[0].Leader || outs[1].Leader || outs[2].Port != 2 {
+		t.Errorf("OutputsFromAny = %v", outs)
+	}
+}
+
+func TestOutputStringAndEqual(t *testing.T) {
+	o := Output{Port: 1, PortPath: []int{1, 2}, FullPath: []graph.PortPair{{Out: 1, In: 0}}}
+	if o.String() == "" || (Output{Leader: true}).String() != "leader" {
+		t.Error("Output.String is broken")
+	}
+	if !o.Equal(S, Output{Port: 9}) {
+		t.Error("S-equality should ignore ports")
+	}
+	if o.Equal(PE, Output{Port: 9}) {
+		t.Error("PE-equality should compare ports")
+	}
+	if o.Equal(PPE, Output{PortPath: []int{1}}) {
+		t.Error("PPE-equality should compare paths")
+	}
+	if !o.Equal(CPPE, Output{FullPath: []graph.PortPair{{Out: 1, In: 0}}}) {
+		t.Error("CPPE-equality should compare full paths")
+	}
+	if o.Equal(CPPE, Output{FullPath: []graph.PortPair{{Out: 1, In: 1}}}) {
+		t.Error("CPPE-equality missed a differing pair")
+	}
+}
+
+// Property: on random feasible graphs, minimum-time assignments verify, the
+// hierarchy of Fact 1.1 holds, and weakening a stronger assignment yields a
+// valid solution of the weaker task at the same depth.
+func TestFact11AndWeakeningQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		if !view.Feasible(g) {
+			return true // skip infeasible draws
+		}
+		idx := make(map[Task]int)
+		assignments := make(map[Task]*Assignment)
+		for _, task := range Tasks {
+			a, err := MinTimeAssignment(g, task, Options{})
+			if err != nil {
+				return false
+			}
+			if Verify(task, g, a.Outputs) != nil {
+				return false
+			}
+			idx[task] = a.Depth
+			assignments[task] = a
+		}
+		if !(idx[CPPE] >= idx[PPE] && idx[PPE] >= idx[PE] && idx[PE] >= idx[S]) {
+			return false
+		}
+		// Weakening: a CPPE solution projects onto valid PPE, PE and S
+		// solutions (the argument before Fact 1.1).
+		strong := assignments[CPPE]
+		for _, weaker := range []Task{PPE, PE, S} {
+			weakened := make([]Output, g.N())
+			for v, o := range strong.Outputs {
+				weakened[v] = o.Weaken(CPPE, weaker)
+			}
+			if Verify(weaker, g, weakened) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndicesRandomGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(20, 30, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Indices(g, Options{}); err != nil && !errors.Is(err, ErrInfeasible) {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package election
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// ErrInfeasible is returned when leader election is impossible in the graph
+// regardless of the allocated time (two nodes share the same infinite view).
+var ErrInfeasible = errors.New("election: graph is infeasible (views are not all distinct)")
+
+// ErrInconclusive is returned when the search was cut short by one of the
+// limits in Options before an answer was established.
+var ErrInconclusive = errors.New("election: search limits exceeded before an answer was found")
+
+// Options bounds the exhaustive parts of the index computation. The zero
+// value applies the defaults noted on each field.
+type Options struct {
+	// MaxDepth caps the depth (number of rounds) examined; 0 means n-1, which
+	// always suffices for feasible graphs.
+	MaxDepth int
+	// MaxPathsPerNode caps how many simple paths from a node to a candidate
+	// leader are enumerated while searching for a common PPE/CPPE output for a
+	// view class; 0 means 4096. If the cap is hit without a conclusion the
+	// computation returns ErrInconclusive.
+	MaxPathsPerNode int
+	// MaxLeaderCandidates caps how many candidate leaders are tried per depth;
+	// 0 means all nodes with unique views at that depth.
+	MaxLeaderCandidates int
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = g.N() - 1
+	}
+	if o.MaxPathsPerNode <= 0 {
+		o.MaxPathsPerNode = 4096
+	}
+	return o
+}
+
+// Assignment is a complete, verified solution of a task at a specific depth:
+// outputs are constant on depth-Depth view classes (so they can be produced by
+// a Depth-round algorithm knowing the map) and valid for the elected leader.
+type Assignment struct {
+	Task    Task
+	Depth   int
+	Leader  int
+	Outputs []Output
+}
+
+// Index computes the election index ψ_task(G): the minimum number of rounds in
+// which the task can be solved on g by nodes knowing the map of g. It returns
+// ErrInfeasible for infeasible graphs and ErrInconclusive if the search limits
+// were exceeded.
+func Index(g *graph.Graph, task Task, opt Options) (int, error) {
+	a, err := MinTimeAssignment(g, task, opt)
+	if err != nil {
+		return -1, err
+	}
+	return a.Depth, nil
+}
+
+// Indices computes all four election indices.
+func Indices(g *graph.Graph, opt Options) (map[Task]int, error) {
+	out := make(map[Task]int, len(Tasks))
+	for _, task := range Tasks {
+		idx, err := Index(g, task, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", task, err)
+		}
+		out[task] = idx
+	}
+	return out, nil
+}
+
+// MinTimeAssignment returns an optimal (minimum-depth) assignment for the
+// task, i.e. a witness for ψ_task(G). The assignment is deterministic: it
+// depends only on the graph (as indexed by its node identifiers), so every
+// node given the same map computes the same assignment — this is exactly what
+// the map-based minimum-time algorithms of the paper do.
+func MinTimeAssignment(g *graph.Graph, task Task, opt Options) (*Assignment, error) {
+	opt = opt.withDefaults(g)
+	n := g.N()
+	maxDepth := opt.MaxDepth
+	if maxDepth > n-1 {
+		maxDepth = n - 1
+	}
+	if n == 1 {
+		return &Assignment{Task: task, Depth: 0, Leader: 0, Outputs: []Output{{Leader: true}}}, nil
+	}
+	r := view.Refine(g, maxDepth)
+	for h := 0; h <= maxDepth; h++ {
+		a, err := AssignmentAtDepth(g, r, task, h, opt)
+		if err == nil {
+			return a, nil
+		}
+		if errors.Is(err, ErrInconclusive) {
+			return nil, err
+		}
+	}
+	// Not solvable within maxDepth: distinguish infeasibility from a cap that
+	// was set too low.
+	if opt.MaxDepth >= n-1 {
+		return nil, ErrInfeasible
+	}
+	return nil, ErrInconclusive
+}
+
+// SolvableAtDepth reports whether the task is solvable in exactly h rounds by
+// nodes knowing the map (i.e. whether ψ_task(G) <= h).
+func SolvableAtDepth(g *graph.Graph, task Task, h int, opt Options) (bool, error) {
+	opt = opt.withDefaults(g)
+	r := view.Refine(g, h)
+	_, err := AssignmentAtDepth(g, r, task, h, opt)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrInconclusive) {
+		return false, err
+	}
+	return false, nil
+}
+
+// errNotSolvable is an internal sentinel: the task is not solvable at the
+// requested depth (but might be at a larger one).
+var errNotSolvable = errors.New("election: not solvable at this depth")
+
+// AssignmentAtDepth attempts to build a valid assignment at depth h using a
+// refinement that covers depth h. By Proposition 2.1 (and its extension to the
+// stronger tasks), any h-round algorithm's output is a function of B^h(v), so
+// a valid assignment must give the same output to all members of a view class
+// and the leader's class must be a singleton. Conversely such an assignment is
+// realised by the map-based h-round algorithm, so its existence characterises
+// ψ_task(G) <= h.
+func AssignmentAtDepth(g *graph.Graph, r *view.Refinement, task Task, h int, opt Options) (*Assignment, error) {
+	opt = opt.withDefaults(g)
+	classes := r.ClassAt(h)
+	groups := groupByClass(classes)
+
+	// Candidate leaders: nodes whose class is a singleton, in increasing node
+	// order for determinism.
+	var candidates []int
+	for _, members := range groups {
+		if len(members) == 1 {
+			candidates = append(candidates, members[0])
+		}
+	}
+	sort.Ints(candidates)
+	if len(candidates) == 0 {
+		return nil, errNotSolvable
+	}
+	if opt.MaxLeaderCandidates > 0 && len(candidates) > opt.MaxLeaderCandidates {
+		candidates = candidates[:opt.MaxLeaderCandidates]
+	}
+
+	hitCap := false
+	for _, leader := range candidates {
+		outputs, err := assignmentForLeader(g, task, groups, classes, leader, opt)
+		if err == nil {
+			return &Assignment{Task: task, Depth: h, Leader: leader, Outputs: outputs}, nil
+		}
+		if errors.Is(err, ErrInconclusive) {
+			hitCap = true
+		}
+	}
+	if hitCap {
+		return nil, ErrInconclusive
+	}
+	return nil, errNotSolvable
+}
+
+// assignmentForLeader tries to give every view class a common valid output
+// with respect to the chosen leader.
+func assignmentForLeader(g *graph.Graph, task Task, groups map[int][]int, classes []int, leader int, opt Options) ([]Output, error) {
+	outputs := make([]Output, g.N())
+	outputs[leader] = Output{Leader: true}
+
+	classIDs := make([]int, 0, len(groups))
+	for id := range groups {
+		classIDs = append(classIDs, id)
+	}
+	sort.Ints(classIDs)
+
+	for _, id := range classIDs {
+		members := groups[id]
+		if id == classes[leader] {
+			continue // the leader's own singleton class
+		}
+		out, err := commonOutput(g, task, members, leader, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range members {
+			outputs[v] = out
+		}
+	}
+	return outputs, nil
+}
+
+// commonOutput finds a single output valid for every member of a class.
+func commonOutput(g *graph.Graph, task Task, members []int, leader int, opt Options) (Output, error) {
+	switch task {
+	case S:
+		return Output{}, nil
+
+	case PE:
+		// Intersect the sets of valid first ports across the class.
+		counts := make(map[int]int)
+		for _, v := range members {
+			for _, p := range g.FirstPortsOnSimplePaths(v, leader) {
+				counts[p]++
+			}
+		}
+		best := -1
+		for p, c := range counts {
+			if c == len(members) && (best == -1 || p < best) {
+				best = p
+			}
+		}
+		if best < 0 {
+			return Output{}, errNotSolvable
+		}
+		return Output{Port: best}, nil
+
+	case PPE, CPPE:
+		// Enumerate candidate simple paths from the first member and test each
+		// against the rest of the class.
+		lim := graph.SimplePathLimits{MaxPaths: opt.MaxPathsPerNode}
+		first := members[0]
+		candidates := g.SimplePortPaths(first, leader, lim)
+		truncated := opt.MaxPathsPerNode > 0 && len(candidates) >= opt.MaxPathsPerNode
+		for _, ports := range candidates {
+			out := buildPathOutput(g, task, first, ports)
+			ok := true
+			for _, v := range members[1:] {
+				if ValidForLeader(task, g, v, leader, out) != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// The candidate was generated from `first`, so it is valid for
+				// it by construction for PPE; for CPPE the incoming ports were
+				// read off first's own path, also valid by construction.
+				return out, nil
+			}
+		}
+		if truncated {
+			return Output{}, ErrInconclusive
+		}
+		return Output{}, errNotSolvable
+
+	default:
+		return Output{}, fmt.Errorf("election: unknown task %v", task)
+	}
+}
+
+// buildPathOutput converts an outgoing-port path of node v into the output
+// format of the task.
+func buildPathOutput(g *graph.Graph, task Task, v int, ports []int) Output {
+	out := Output{PortPath: ports}
+	if len(ports) > 0 {
+		out.Port = ports[0]
+	}
+	if task == CPPE {
+		pairs := make([]graph.PortPair, len(ports))
+		cur := v
+		for i, p := range ports {
+			h := g.Neighbor(cur, p)
+			pairs[i] = graph.PortPair{Out: p, In: h.ToPort}
+			cur = h.To
+		}
+		out.FullPath = pairs
+	}
+	return out
+}
+
+func groupByClass(classes []int) map[int][]int {
+	groups := make(map[int][]int)
+	for v, id := range classes {
+		groups[id] = append(groups[id], v)
+	}
+	return groups
+}

@@ -1,0 +1,80 @@
+package election
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSampleNodes(t *testing.T) {
+	g := graph.Path(10)
+	full := SampleNodes(g, 100, 1)
+	if len(full) != 10 {
+		t.Fatalf("oversized sample returned %d nodes", len(full))
+	}
+	sample := SampleNodes(g, 4, 1)
+	if len(sample) != 4 {
+		t.Fatalf("sample of 4 returned %d nodes", len(sample))
+	}
+	seen := map[int]bool{}
+	for i, v := range sample {
+		if v < 0 || v >= g.N() {
+			t.Fatalf("sampled node %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate node %d in sample", v)
+		}
+		seen[v] = true
+		if i > 0 && sample[i-1] > v {
+			t.Fatal("sample is not sorted")
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := SampleNodes(g, 4, 1)
+	for i := range sample {
+		if sample[i] != again[i] {
+			t.Fatal("sampling is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestVerifySample(t *testing.T) {
+	g := graph.Path(5) // 0-1-2-3-4
+	outputs := []Output{
+		{Port: 1},      // toward node 1
+		{Port: 1},      // toward node 2
+		{Leader: true}, // leader
+		{Port: 0},      // toward node 2
+		{Port: 0},      // toward node 3
+	}
+	outputs[0].Port = 0 // node 0 has a single port 0
+	all := SampleNodes(g, g.N(), 1)
+	if err := VerifySample(PE, g, outputs, all); err != nil {
+		t.Fatalf("valid outputs rejected: %v", err)
+	}
+	// A broken output is caught exactly when the node is sampled.
+	bad := append([]Output(nil), outputs...)
+	bad[4] = Output{Port: 1} // node 4 has only port 0; port 1 is invalid
+	if err := VerifySample(PE, g, bad, []int{0, 1}); err != nil {
+		t.Fatalf("unsampled broken node should not fail the check: %v", err)
+	}
+	if err := VerifySample(PE, g, bad, []int{4}); err == nil {
+		t.Fatal("sampled broken node not detected")
+	}
+	// Global leader conditions are always checked.
+	noLeader := make([]Output, 5)
+	if err := VerifySample(S, g, noLeader, nil); err == nil {
+		t.Fatal("missing leader accepted")
+	}
+	twoLeaders := append([]Output(nil), outputs...)
+	twoLeaders[0].Leader = true
+	if err := VerifySample(S, g, twoLeaders, nil); err == nil {
+		t.Fatal("two leaders accepted")
+	}
+	if err := VerifySample(PE, g, outputs[:3], all); err == nil {
+		t.Fatal("wrong output length accepted")
+	}
+	if err := VerifySample(PE, g, outputs, []int{99}); err == nil {
+		t.Fatal("out-of-range sample index accepted")
+	}
+}

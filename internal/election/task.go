@@ -1,0 +1,191 @@
+// Package election defines the four leader-election tasks of the paper
+// (Selection, Port Election, Port Path Election, Complete Port Path Election),
+// verifies candidate outputs against a graph, and computes election indices
+// ψ_Z(G): the minimum number of rounds in which task Z can be solved on G when
+// the map of G is known.
+package election
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Task identifies one of the paper's four "shades" of leader election.
+type Task int
+
+const (
+	// S (Selection): one node outputs leader, all others output non-leader.
+	S Task = iota
+	// PE (Port Election): every non-leader also outputs the first port on a
+	// simple path from it to the leader.
+	PE
+	// PPE (Port Path Election): every non-leader outputs the sequence of
+	// outgoing port numbers of a simple path from it to the leader.
+	PPE
+	// CPPE (Complete Port Path Election): every non-leader outputs the full
+	// sequence (p1,q1,...,pk,qk) of port numbers of a simple path from it to
+	// the leader, where pi is the outgoing and qi the incoming port of the
+	// i-th edge.
+	CPPE
+)
+
+// Tasks lists the four tasks in increasing order of strength (Fact 1.1).
+var Tasks = []Task{S, PE, PPE, CPPE}
+
+// String returns the paper's abbreviation of the task.
+func (t Task) String() string {
+	switch t {
+	case S:
+		return "S"
+	case PE:
+		return "PE"
+	case PPE:
+		return "PPE"
+	case CPPE:
+		return "CPPE"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// ParseTask converts a task abbreviation (case-insensitive) to a Task.
+func ParseTask(s string) (Task, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "S", "SELECTION":
+		return S, nil
+	case "PE", "PORT", "PORTELECTION":
+		return PE, nil
+	case "PPE", "PORTPATH", "PORTPATHELECTION":
+		return PPE, nil
+	case "CPPE", "COMPLETEPORTPATH", "COMPLETEPORTPATHELECTION":
+		return CPPE, nil
+	default:
+		return S, fmt.Errorf("election: unknown task %q", s)
+	}
+}
+
+// Output is a node's final answer. The fields beyond Leader are interpreted
+// according to the task being solved; unused fields are ignored by the
+// verifier of weaker tasks.
+type Output struct {
+	// Leader is true at the single elected node.
+	Leader bool
+	// Port is the PE answer of a non-leader: the first port on a simple path
+	// to the leader.
+	Port int
+	// PortPath is the PPE answer of a non-leader: outgoing ports of a simple
+	// path to the leader.
+	PortPath []int
+	// FullPath is the CPPE answer of a non-leader: (out, in) port pairs of a
+	// simple path to the leader.
+	FullPath []graph.PortPair
+}
+
+// String renders the output compactly for error messages.
+func (o Output) String() string {
+	if o.Leader {
+		return "leader"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "non-leader port=%d path=%v full=", o.Port, o.PortPath)
+	for i, pr := range o.FullPath {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d %d)", pr.Out, pr.In)
+	}
+	return sb.String()
+}
+
+// Equal reports whether two outputs are identical for the purposes of the
+// given task: weaker tasks compare fewer fields.
+func (o Output) Equal(task Task, other Output) bool {
+	if o.Leader != other.Leader {
+		return false
+	}
+	if o.Leader {
+		return true
+	}
+	switch task {
+	case S:
+		return true
+	case PE:
+		return o.Port == other.Port
+	case PPE:
+		return equalInts(o.PortPath, other.PortPath)
+	case CPPE:
+		if len(o.FullPath) != len(other.FullPath) {
+			return false
+		}
+		for i := range o.FullPath {
+			if o.FullPath[i] != other.FullPath[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Weaken converts an output of a stronger task into the corresponding output
+// of a weaker one, exactly as described below Fact 1.1 of the paper: a CPPE
+// output yields a PPE output by keeping the outgoing ports, a PPE output
+// yields a PE output by keeping the first port, and any output yields an S
+// output by keeping only the leader bit.
+func (o Output) Weaken(from, to Task) Output {
+	if to > from {
+		panic(fmt.Sprintf("election: cannot weaken %v into stronger task %v", from, to))
+	}
+	out := Output{Leader: o.Leader}
+	if o.Leader {
+		return out
+	}
+	// Normalise to a port path first.
+	portPath := o.PortPath
+	if from == CPPE {
+		portPath = make([]int, len(o.FullPath))
+		for i, pr := range o.FullPath {
+			portPath[i] = pr.Out
+		}
+	}
+	switch to {
+	case CPPE:
+		out.FullPath = o.FullPath
+		out.PortPath = portPath
+		out.Port = firstOr(portPath, o.Port)
+	case PPE:
+		out.PortPath = portPath
+		out.Port = firstOr(portPath, o.Port)
+	case PE:
+		if from == PE {
+			out.Port = o.Port
+		} else {
+			out.Port = firstOr(portPath, -1)
+		}
+	case S:
+		// nothing beyond the leader bit
+	}
+	return out
+}
+
+func firstOr(path []int, def int) int {
+	if len(path) > 0 {
+		return path[0]
+	}
+	return def
+}

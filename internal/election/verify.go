@@ -1,0 +1,198 @@
+package election
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Verify checks a full set of node outputs against the graph for the given
+// task and returns nil if the outputs constitute a correct solution:
+//
+//	S:    exactly one node outputs leader;
+//	PE:   in addition, every non-leader's Port is the first port of some
+//	      simple path from it to the leader;
+//	PPE:  every non-leader's PortPath traces a simple path ending at the leader;
+//	CPPE: every non-leader's FullPath traces a simple path ending at the
+//	      leader, with every incoming port number correct.
+func Verify(task Task, g *graph.Graph, outputs []Output) error {
+	if len(outputs) != g.N() {
+		return fmt.Errorf("election: %d outputs for %d nodes", len(outputs), g.N())
+	}
+	leader := -1
+	for v, o := range outputs {
+		if o.Leader {
+			if leader >= 0 {
+				return fmt.Errorf("election: nodes %d and %d both claim leadership", leader, v)
+			}
+			leader = v
+		}
+	}
+	if leader < 0 {
+		return fmt.Errorf("election: no node claims leadership")
+	}
+	if task == S {
+		return nil
+	}
+	for v, o := range outputs {
+		if o.Leader {
+			continue
+		}
+		if err := ValidForLeader(task, g, v, leader, o); err != nil {
+			return fmt.Errorf("election: node %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// ValidForLeader checks a single non-leader output against a designated
+// leader. It is shared by the verifier and by the optimal-assignment search.
+func ValidForLeader(task Task, g *graph.Graph, v, leader int, o Output) error {
+	switch task {
+	case S:
+		return nil
+	case PE:
+		return validPE(g, v, leader, o.Port)
+	case PPE:
+		return validPPE(g, v, leader, o.PortPath)
+	case CPPE:
+		return validCPPE(g, v, leader, o.FullPath)
+	default:
+		return fmt.Errorf("unknown task %v", task)
+	}
+}
+
+func validPE(g *graph.Graph, v, leader, port int) error {
+	if port < 0 || port >= g.Degree(v) {
+		return fmt.Errorf("PE output port %d out of range for degree %d", port, g.Degree(v))
+	}
+	for _, p := range g.FirstPortsOnSimplePaths(v, leader) {
+		if p == port {
+			return nil
+		}
+	}
+	return fmt.Errorf("port %d is not the first port of any simple path to the leader", port)
+}
+
+func validPPE(g *graph.Graph, v, leader int, ports []int) error {
+	if len(ports) == 0 {
+		return fmt.Errorf("PPE output is empty")
+	}
+	nodes, err := g.FollowPortPath(v, ports)
+	if err != nil {
+		return fmt.Errorf("PPE path does not exist: %w", err)
+	}
+	if !graph.IsSimple(nodes) {
+		return fmt.Errorf("PPE path revisits a node")
+	}
+	if nodes[len(nodes)-1] != leader {
+		return fmt.Errorf("PPE path ends at node %d, not at the leader", nodes[len(nodes)-1])
+	}
+	return nil
+}
+
+func validCPPE(g *graph.Graph, v, leader int, pairs []graph.PortPair) error {
+	if len(pairs) == 0 {
+		return fmt.Errorf("CPPE output is empty")
+	}
+	nodes, err := g.FollowFullPath(v, pairs)
+	if err != nil {
+		return fmt.Errorf("CPPE path does not exist: %w", err)
+	}
+	if !graph.IsSimple(nodes) {
+		return fmt.Errorf("CPPE path revisits a node")
+	}
+	if nodes[len(nodes)-1] != leader {
+		return fmt.Errorf("CPPE path ends at node %d, not at the leader", nodes[len(nodes)-1])
+	}
+	return nil
+}
+
+// LeaderOf returns the index of the node that output leader, or -1.
+func LeaderOf(outputs []Output) int {
+	for v, o := range outputs {
+		if o.Leader {
+			return v
+		}
+	}
+	return -1
+}
+
+// OutputsFromAny converts a slice of simulator outputs (type any) into
+// election outputs; entries that are not of type Output become zero outputs.
+func OutputsFromAny(raw []any) []Output {
+	out := make([]Output, len(raw))
+	for i, r := range raw {
+		if o, ok := r.(Output); ok {
+			out[i] = o
+		}
+	}
+	return out
+}
+
+// VerifySample checks a solution on a subset of the nodes: the global
+// "exactly one leader" condition is always checked in full (it is linear in
+// n), while the per-node path/port validity — which costs Ω(n) per node for
+// the strong tasks — is checked only for the sampled nodes. It is the
+// verification mode used on instances with 10^5+ nodes, where full
+// verification would be quadratic.
+func VerifySample(task Task, g *graph.Graph, outputs []Output, sample []int) error {
+	if len(outputs) != g.N() {
+		return fmt.Errorf("election: %d outputs for %d nodes", len(outputs), g.N())
+	}
+	leader := -1
+	for v, o := range outputs {
+		if o.Leader {
+			if leader >= 0 {
+				return fmt.Errorf("election: nodes %d and %d both claim leadership", leader, v)
+			}
+			leader = v
+		}
+	}
+	if leader < 0 {
+		return fmt.Errorf("election: no node claims leadership")
+	}
+	if task == S {
+		return nil
+	}
+	for _, v := range sample {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("election: sampled node %d out of range", v)
+		}
+		if outputs[v].Leader {
+			continue
+		}
+		if err := ValidForLeader(task, g, v, leader, outputs[v]); err != nil {
+			return fmt.Errorf("election: node %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// SampleNodes returns a deterministic pseudo-random sample of `size` distinct
+// nodes of g (all nodes if size >= n), seeded so experiments are repeatable.
+func SampleNodes(g *graph.Graph, size int, seed int64) []int {
+	n := g.N()
+	if size >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int]bool, size)
+	out := make([]int, 0, size)
+	for len(out) < size {
+		v := rng.Intn(n)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

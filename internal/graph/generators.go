@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns an n-node cycle (n >= 3) whose ports alternate between the two
+// directions: at every node, port 0 leads "clockwise" and port 1 leads
+// "counter-clockwise". Such a ring is symmetric, hence infeasible for leader
+// election; it is useful as a negative test case.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, 0, (i+1)%n, 1)
+	}
+	return b.MustBuild()
+}
+
+// Path returns an n-node path (n >= 2). Interior nodes have port 0 toward the
+// lower-numbered neighbour and port 1 toward the higher-numbered one; the two
+// endpoints have a single port 0.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic("graph: Path needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		pu := 1
+		if i == 0 {
+			pu = 0
+		}
+		b.AddEdge(i, pu, i+1, 0)
+	}
+	return b.MustBuild()
+}
+
+// ThreeNodeLine returns the 3-node line with ports 0,0,1,0 from left to right,
+// the paper's example of a graph with ψ_CPPE = 1.
+func ThreeNodeLine() *Graph {
+	b := NewBuilder(3)
+	b.AddEdge(0, 0, 1, 0)
+	b.AddEdge(1, 1, 2, 0)
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n with the canonical port labelling in
+// which the edge {u, v} has port v-1 at u if v > u, and port v at u if v < u.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v-1, v, u)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1}: node 0 is the centre with ports 0..n-2, and
+// every leaf has a single port 0. The centre's degree is unique, so ψ_S = 0.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v-1, v, 0)
+	}
+	return b.MustBuild()
+}
+
+// Grid returns an r x c grid. Ports at each node are assigned in the fixed
+// direction order (up, down, left, right), compacted to 0..deg-1.
+func Grid(r, c int) *Graph {
+	return lattice(r, c, false)
+}
+
+// Torus returns an r x c torus (r, c >= 3) with the same direction ordering of
+// ports as Grid. The torus is vertex-transitive and therefore infeasible.
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic("graph: Torus needs r, c >= 3")
+	}
+	return lattice(r, c, true)
+}
+
+func lattice(r, c int, wrap bool) *Graph {
+	if r < 1 || c < 1 || r*c < 2 {
+		panic("graph: lattice needs at least 2 nodes")
+	}
+	id := func(i, j int) int { return i*c + j }
+	b := NewBuilder(r * c)
+	// Assign ports in direction order up, down, left, right so that the
+	// labelling is locally uniform.
+	type dir struct{ di, dj int }
+	dirs := []dir{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+	nextPort := make([]int, r*c)
+	portOf := make(map[[2]int]int) // (node, neighbour) -> port
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := id(i, j)
+			for _, d := range dirs {
+				ni, nj := i+d.di, j+d.dj
+				if wrap {
+					ni, nj = (ni+r)%r, (nj+c)%c
+				} else if ni < 0 || ni >= r || nj < 0 || nj >= c {
+					continue
+				}
+				u := id(ni, nj)
+				if u == v {
+					continue
+				}
+				if _, dup := portOf[[2]int{v, u}]; dup {
+					continue
+				}
+				portOf[[2]int{v, u}] = nextPort[v]
+				nextPort[v]++
+			}
+		}
+	}
+	added := make(map[[2]int]bool)
+	for key, pu := range portOf {
+		v, u := key[0], key[1]
+		if added[[2]int{u, v}] || added[[2]int{v, u}] {
+			continue
+		}
+		pv, ok := portOf[[2]int{u, v}]
+		if !ok {
+			panic("graph: lattice: asymmetric port table")
+		}
+		b.AddEdge(v, pu, u, pv)
+		added[[2]int{v, u}] = true
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the d-dimensional hypercube (2^d nodes); the edge flipping
+// bit i carries port i at both endpoints.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic("graph: Hypercube needs 1 <= d <= 20")
+	}
+	n := 1 << uint(d)
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << uint(i))
+			if v < u {
+				b.AddEdge(v, i, u, i)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// FullTree returns the complete rooted arity-ary tree of the given height
+// (height 0 is a single node), labelled like the paper's T^h: the root has
+// ports 0..arity-1 toward its children, every other internal node has port
+// arity toward its parent and ports 0..arity-1 toward its children, and every
+// leaf has port 0 toward its parent. The root is node 0.
+func FullTree(arity, height int) *Graph {
+	if arity < 1 || height < 0 {
+		panic("graph: FullTree needs arity >= 1, height >= 0")
+	}
+	b := NewBuilder(1)
+	type frame struct {
+		node  int
+		depth int
+	}
+	queue := []frame{{0, 0}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if f.depth == height {
+			continue
+		}
+		for c := 0; c < arity; c++ {
+			child := b.AddNode()
+			parentPort := c
+			childPort := arity // child's port to its parent
+			if f.depth+1 == height {
+				childPort = 0 // leaves have a single port 0
+			}
+			b.AddEdge(f.node, parentPort, child, childPort)
+			queue = append(queue, frame{child, f.depth + 1})
+		}
+	}
+	if height == 0 {
+		// A single node has no edges and is trivially connected; MustBuild
+		// rejects the empty edge case only for 0 nodes.
+		return &Graph{adj: make([][]Half, 1)}
+	}
+	return b.MustBuild()
+}
+
+// RandomRegular returns a random d-regular simple connected graph on n nodes
+// with ports assigned by insertion order, using the pairing model with
+// rejection. It panics if n*d is odd or d >= n.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 || d >= n || d < 1 {
+		panic(fmt.Sprintf("graph: RandomRegular(%d, %d) is infeasible", n, d))
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok && g.Connected() {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("graph: RandomRegular(%d, %d): could not generate a connected simple graph", n, d))
+}
+
+func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := NewBuilder(n)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			return nil, false
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdgeAuto(u, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// RandomConnected returns a random connected simple graph on n nodes with m
+// edges (m >= n-1), built as a random spanning tree plus random extra edges,
+// with ports assigned by insertion order.
+func RandomConnected(n, m int, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic("graph: RandomConnected needs n >= 2")
+	}
+	maxEdges := n * (n - 1) / 2
+	if m < n-1 || m > maxEdges {
+		panic(fmt.Sprintf("graph: RandomConnected(%d, %d): m must be in [%d, %d]", n, m, n-1, maxEdges))
+	}
+	b := NewBuilder(n)
+	perm := rng.Perm(n)
+	seen := make(map[[2]int]bool)
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdgeAuto(u, v)
+	}
+	// Random spanning tree: attach each node (in random order) to a random
+	// earlier node.
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		addEdge(u, v)
+	}
+	for added := n - 1; added < m; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		if seen[[2]int{a, c}] {
+			continue
+		}
+		addEdge(u, v)
+		added++
+	}
+	return b.MustBuild()
+}
+
+// Caterpillar returns a path of length spineLen where the i-th spine node has
+// legs[i] pendant leaves attached (legs may be shorter than the spine). The
+// port labelling extends Path: spine ports 0/1 along the spine, then leaf
+// ports in order. Caterpillars with distinct leg counts are feasible and make
+// convenient small test graphs with nonzero election indices.
+func Caterpillar(spineLen int, legs []int) *Graph {
+	if spineLen < 2 {
+		panic("graph: Caterpillar needs spineLen >= 2")
+	}
+	b := NewBuilder(spineLen)
+	for i := 0; i+1 < spineLen; i++ {
+		b.AddEdgeAuto(i, i+1)
+	}
+	for i, count := range legs {
+		if i >= spineLen {
+			break
+		}
+		for j := 0; j < count; j++ {
+			leaf := b.AddNode()
+			b.AddEdgeAuto(i, leaf)
+		}
+	}
+	return b.MustBuild()
+}

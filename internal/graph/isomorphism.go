@@ -1,0 +1,121 @@
+package graph
+
+// Isomorphic reports whether two port-numbered graphs are isomorphic as
+// port-numbered graphs: there is a bijection φ of nodes such that u has an
+// edge to v with ports (p at u, q at v) if and only if φ(u) has an edge to
+// φ(v) with the same ports (p at φ(u), q at φ(v)).
+//
+// Because port numbers are preserved, once the image of a single node is
+// fixed the images of all nodes in its connected component are forced (follow
+// each port). On connected graphs the check therefore costs O(n·m): try every
+// candidate image of node 0.
+func Isomorphic(a, b *Graph) bool {
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.N() == 0 {
+		return true
+	}
+	for candidate := 0; candidate < b.N(); candidate++ {
+		if a.Degree(0) != b.Degree(candidate) {
+			continue
+		}
+		if _, ok := forcedMapping(a, b, 0, candidate); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FindIsomorphism returns a node mapping from a to b if one exists.
+func FindIsomorphism(a, b *Graph) ([]int, bool) {
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		return nil, false
+	}
+	for candidate := 0; candidate < b.N(); candidate++ {
+		if a.Degree(0) != b.Degree(candidate) {
+			continue
+		}
+		if m, ok := forcedMapping(a, b, 0, candidate); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// forcedMapping propagates the assignment root(a) -> rootB through ports and
+// checks global consistency.
+func forcedMapping(a, b *Graph, rootA, rootB int) ([]int, bool) {
+	mapping := make([]int, a.N())
+	inverse := make([]int, b.N())
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for i := range inverse {
+		inverse[i] = -1
+	}
+	mapping[rootA] = rootB
+	inverse[rootB] = rootA
+	queue := []int{rootA}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		fu := mapping[u]
+		if a.Degree(u) != b.Degree(fu) {
+			return nil, false
+		}
+		for p := 0; p < a.Degree(u); p++ {
+			ha := a.Neighbor(u, p)
+			hb := b.Neighbor(fu, p)
+			if ha.ToPort != hb.ToPort {
+				return nil, false
+			}
+			if mapping[ha.To] == -1 && inverse[hb.To] == -1 {
+				mapping[ha.To] = hb.To
+				inverse[hb.To] = ha.To
+				queue = append(queue, ha.To)
+			} else if mapping[ha.To] != hb.To {
+				return nil, false
+			}
+		}
+	}
+	// Connected graphs are fully forced; for safety reject partial maps.
+	for _, m := range mapping {
+		if m == -1 {
+			return nil, false
+		}
+	}
+	return mapping, true
+}
+
+// Automorphic reports whether the graph has a non-trivial port-preserving
+// automorphism. A graph has a non-trivial automorphism exactly when it is not
+// feasible for leader election... more precisely, a non-trivial automorphism
+// implies two nodes share the same view, making election impossible; the
+// converse does not hold in general (views can coincide without an
+// automorphism on non-vertex-transitive multigraph quotients), which is why
+// feasibility is decided on views (see the view package). This predicate is
+// still useful as a quick structural check in tests.
+func Automorphic(g *Graph) bool {
+	for candidate := 1; candidate < g.N(); candidate++ {
+		if g.Degree(0) != g.Degree(candidate) {
+			continue
+		}
+		if _, ok := forcedMapping(g, g, 0, candidate); ok {
+			return true
+		}
+	}
+	// Also try non-trivial automorphisms fixing node 0 but moving another
+	// node: propagate from each node u to a different node w.
+	for u := 0; u < g.N(); u++ {
+		for w := u + 1; w < g.N(); w++ {
+			if g.Degree(u) != g.Degree(w) {
+				continue
+			}
+			if _, ok := forcedMapping(g, g, u, w); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

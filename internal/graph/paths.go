@@ -1,0 +1,237 @@
+package graph
+
+import "fmt"
+
+// BFSDist returns the distance from src to every node (-1 if unreachable,
+// which cannot happen on a validated graph).
+func (g *Graph) BFSDist(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if dist[h.To] < 0 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the distance between u and v.
+func (g *Graph) Dist(u, v int) int { return g.BFSDist(u)[v] }
+
+// Eccentricity returns the maximum distance from v to any node.
+func (g *Graph) Eccentricity(v int) int {
+	max := 0
+	for _, d := range g.BFSDist(v) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the diameter of the graph.
+func (g *Graph) Diameter() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ShortestPathPorts returns the sequence of outgoing port numbers along one
+// shortest path from src to dst (empty if src == dst). Ties are broken by the
+// smallest port number at each step, which makes the result deterministic.
+func (g *Graph) ShortestPathPorts(src, dst int) []int {
+	distToDst := g.BFSDist(dst)
+	if distToDst[src] < 0 {
+		return nil
+	}
+	var ports []int
+	v := src
+	for v != dst {
+		next := -1
+		nextPort := -1
+		for p, h := range g.adj[v] {
+			if distToDst[h.To] == distToDst[v]-1 {
+				next = h.To
+				nextPort = p
+				break // smallest port first
+			}
+		}
+		if next < 0 {
+			panic("graph: ShortestPathPorts: broken BFS tree")
+		}
+		ports = append(ports, nextPort)
+		v = next
+	}
+	return ports
+}
+
+// PortPair is a pair of port numbers (Out, In) describing one edge of a path:
+// the path leaves the current node through port Out and enters the next node
+// through its port In. This is the unit of the CPPE output format.
+type PortPair struct {
+	Out int
+	In  int
+}
+
+// FollowPortPath starts at node v and repeatedly takes the given outgoing
+// ports. It returns the visited node sequence (including v) and an error if a
+// port is out of range. It does not check simplicity.
+func (g *Graph) FollowPortPath(v int, ports []int) ([]int, error) {
+	nodes := []int{v}
+	cur := v
+	for i, p := range ports {
+		if p < 0 || p >= g.Degree(cur) {
+			return nodes, fmt.Errorf("graph: step %d: node has no port %d (degree %d)", i, p, g.Degree(cur))
+		}
+		cur = g.adj[cur][p].To
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// FollowFullPath starts at node v and follows the (out, in) port pairs,
+// verifying at each step that the edge taken through port Out indeed enters
+// the next node through port In. It returns the visited node sequence.
+func (g *Graph) FollowFullPath(v int, pairs []PortPair) ([]int, error) {
+	nodes := []int{v}
+	cur := v
+	for i, pr := range pairs {
+		if pr.Out < 0 || pr.Out >= g.Degree(cur) {
+			return nodes, fmt.Errorf("graph: step %d: node has no port %d (degree %d)", i, pr.Out, g.Degree(cur))
+		}
+		h := g.adj[cur][pr.Out]
+		if h.ToPort != pr.In {
+			return nodes, fmt.Errorf("graph: step %d: edge via port %d enters through port %d, not %d",
+				i, pr.Out, h.ToPort, pr.In)
+		}
+		cur = h.To
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// IsSimple reports whether a node sequence visits no node twice.
+func IsSimple(nodes []int) bool {
+	seen := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// FirstPortsOnSimplePaths returns the set of ports p at node v such that the
+// edge through p is the first edge of some simple path from v to target.
+// Equivalently: the neighbour w reached through p either is the target, or can
+// reach the target in the graph with v removed. The result is a sorted slice.
+func (g *Graph) FirstPortsOnSimplePaths(v, target int) []int {
+	if v == target {
+		return nil
+	}
+	// Reachability from target in G - {v}.
+	reach := make([]bool, g.N())
+	reach[target] = true
+	if target != v {
+		queue := []int{target}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, h := range g.adj[x] {
+				if h.To == v || reach[h.To] {
+					continue
+				}
+				reach[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	var ports []int
+	for p, h := range g.adj[v] {
+		if h.To == target || reach[h.To] {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// SimplePathLimits bounds the enumeration of simple paths.
+type SimplePathLimits struct {
+	MaxLen   int // maximum number of edges per path (0 means n-1)
+	MaxPaths int // maximum number of paths returned (0 means unlimited)
+}
+
+// SimplePortPaths enumerates simple paths from src to dst as sequences of
+// outgoing ports, up to the given limits. Paths are produced in lexicographic
+// order of their port sequences.
+func (g *Graph) SimplePortPaths(src, dst int, lim SimplePathLimits) [][]int {
+	maxLen := lim.MaxLen
+	if maxLen <= 0 {
+		maxLen = g.N() - 1
+	}
+	var out [][]int
+	visited := make([]bool, g.N())
+	var ports []int
+	var dfs func(v int) bool // returns false to stop enumeration
+	dfs = func(v int) bool {
+		if v == dst {
+			cp := append([]int(nil), ports...)
+			out = append(out, cp)
+			return lim.MaxPaths == 0 || len(out) < lim.MaxPaths
+		}
+		if len(ports) == maxLen {
+			return true
+		}
+		visited[v] = true
+		defer func() { visited[v] = false }()
+		for p, h := range g.adj[v] {
+			if visited[h.To] {
+				continue
+			}
+			ports = append(ports, p)
+			cont := dfs(h.To)
+			ports = ports[:len(ports)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	if src == dst {
+		return [][]int{{}}
+	}
+	dfs(src)
+	return out
+}
+
+// SimpleFullPaths enumerates simple paths from src to dst as sequences of
+// (out, in) port pairs, up to the given limits, in lexicographic order.
+func (g *Graph) SimpleFullPaths(src, dst int, lim SimplePathLimits) [][]PortPair {
+	portPaths := g.SimplePortPaths(src, dst, lim)
+	out := make([][]PortPair, 0, len(portPaths))
+	for _, pp := range portPaths {
+		pairs := make([]PortPair, len(pp))
+		cur := src
+		for i, p := range pp {
+			h := g.adj[cur][p]
+			pairs[i] = PortPair{Out: p, In: h.ToPort}
+			cur = h.To
+		}
+		out = append(out, pairs)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package local
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// packet is a time-stamped message travelling on an asynchronous FIFO link.
+type packet struct {
+	round   int
+	payload Message
+}
+
+// RunAsync executes the algorithm without any global round barrier: every node
+// proceeds at its own pace, links deliver messages after arbitrary (randomly
+// scheduled) delays, and the synchronous rounds of the LOCAL model are
+// recovered with time-stamps — the classical α-synchronizer construction the
+// paper alludes to ("the synchronous process of the LOCAL model can be
+// simulated in an asynchronous network using time-stamps").
+//
+// Every node performs exactly cfg.MaxRounds rounds of message exchange (its
+// machine stops being consulted once it terminates), so neighbours always
+// find the messages they wait for. Links are FIFO; the time-stamps are checked
+// and any violation is reported as an error.
+func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRounds == 0 {
+		machines := makeMachines(g, factory, cfg)
+		return collect(machines, make([]bool, g.N()), 0), nil
+	}
+	n := g.N()
+	machines := makeMachines(g, factory, cfg)
+
+	// inCh[v][p] is the FIFO link delivering to node v through its port p.
+	// Buffering MaxRounds packets means senders never block, which models a
+	// fully asynchronous reliable link.
+	inCh := make([][]chan packet, n)
+	for v := 0; v < n; v++ {
+		inCh[v] = make([]chan packet, g.Degree(v))
+		for p := range inCh[v] {
+			inCh[v][p] = make(chan packet, cfg.MaxRounds)
+		}
+	}
+
+	halted := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			// Per-node random jitter makes the interleaving adversarial while
+			// staying deterministic for a fixed seed and schedule.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(v)*7919))
+			m := machines[v]
+			deg := g.Degree(v)
+			done := false
+			for round := 1; round <= cfg.MaxRounds; round++ {
+				var out []Message
+				if !done {
+					out = m.Send(round)
+				}
+				for p := 0; p < deg; p++ {
+					// Arbitrary delay before each transmission.
+					for y := rng.Intn(4); y > 0; y-- {
+						runtime.Gosched()
+					}
+					var msg Message
+					if out != nil && p < len(out) {
+						msg = out[p]
+					}
+					h := g.Neighbor(v, p)
+					inCh[h.To][h.ToPort] <- packet{round: round, payload: msg}
+				}
+				inbox := make([]Message, deg)
+				for p := 0; p < deg; p++ {
+					pkt := <-inCh[v][p]
+					if pkt.round != round {
+						errs[v] = fmt.Errorf("local: async: expected round %d on port %d, got %d", round, p, pkt.round)
+						return
+					}
+					inbox[p] = pkt.payload
+				}
+				if !done {
+					done = m.Receive(round, inbox)
+					halted[v] = done
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return collect(machines, halted, cfg.MaxRounds), nil
+}

@@ -1,0 +1,289 @@
+package local
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+)
+
+// maxDegreeMachine computes the maximum degree within distance `radius` of the
+// node by flooding the running maximum for `radius` rounds. It is a minimal
+// but non-trivial LOCAL algorithm with a per-node verifiable ground truth.
+type maxDegreeMachine struct {
+	radius int
+	deg    int
+	best   uint32
+}
+
+func newMaxDegreeMachine(radius int) Factory {
+	return func() Machine { return &maxDegreeMachine{radius: radius} }
+}
+
+func (m *maxDegreeMachine) Init(info NodeInfo) {
+	m.deg = info.Degree
+	m.best = uint32(info.Degree)
+}
+
+func (m *maxDegreeMachine) Send(round int) []Message {
+	payload := make(Message, 4)
+	binary.BigEndian.PutUint32(payload, m.best)
+	out := make([]Message, m.deg)
+	for p := range out {
+		out[p] = payload
+	}
+	return out
+}
+
+func (m *maxDegreeMachine) Receive(round int, inbox []Message) bool {
+	for _, msg := range inbox {
+		if len(msg) != 4 {
+			continue
+		}
+		if v := binary.BigEndian.Uint32(msg); v > m.best {
+			m.best = v
+		}
+	}
+	return round >= m.radius
+}
+
+func (m *maxDegreeMachine) Output() any { return int(m.best) }
+
+// groundTruthMaxDegree computes max degree within the given radius directly.
+func groundTruthMaxDegree(g *graph.Graph, v, radius int) int {
+	dist := g.BFSDist(v)
+	best := 0
+	for u, d := range dist {
+		if d >= 0 && d <= radius && g.Degree(u) > best {
+			best = g.Degree(u)
+		}
+	}
+	return best
+}
+
+// adviceLengthMachine outputs the advice length immediately, exercising the
+// advice plumbing and round-1 termination.
+type adviceLengthMachine struct {
+	deg    int
+	advice bitstring.Bits
+}
+
+func (m *adviceLengthMachine) Init(info NodeInfo) { m.deg, m.advice = info.Degree, info.Advice }
+func (m *adviceLengthMachine) Send(int) []Message { return make([]Message, m.deg) }
+func (m *adviceLengthMachine) Receive(int, []Message) bool {
+	return true
+}
+func (m *adviceLengthMachine) Output() any { return m.advice.Len() }
+
+// unevenHaltMachine halts after a number of rounds equal to its own degree,
+// exercising the "terminated nodes stay silent but neighbours keep going"
+// path of the engines.
+type unevenHaltMachine struct {
+	deg  int
+	seen int
+}
+
+func (m *unevenHaltMachine) Init(info NodeInfo) { m.deg = info.Degree }
+func (m *unevenHaltMachine) Send(round int) []Message {
+	out := make([]Message, m.deg)
+	for p := range out {
+		out[p] = Message{byte(round)}
+	}
+	return out
+}
+func (m *unevenHaltMachine) Receive(round int, inbox []Message) bool {
+	for _, msg := range inbox {
+		if msg != nil {
+			m.seen++
+		}
+	}
+	return round >= m.deg
+}
+func (m *unevenHaltMachine) Output() any { return m.seen }
+
+type engine struct {
+	name string
+	run  func(*graph.Graph, Factory, Config) (*Result, error)
+}
+
+func engines() []engine {
+	return []engine{
+		{"sequential", RunSequential},
+		{"parallel", Run},
+		{"async", RunAsync},
+	}
+}
+
+func TestMaxDegreeAllEngines(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":        graph.Path(7),
+		"ring":        graph.Ring(6),
+		"star":        graph.Star(6),
+		"grid":        graph.Grid(3, 4),
+		"caterpillar": graph.Caterpillar(4, []int{1, 3, 0, 2}),
+	}
+	for gname, g := range graphs {
+		for radius := 1; radius <= 3; radius++ {
+			for _, e := range engines() {
+				t.Run(fmt.Sprintf("%s/r%d/%s", gname, radius, e.name), func(t *testing.T) {
+					res, err := e.run(g, newMaxDegreeMachine(radius), Config{MaxRounds: radius, Seed: 42})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Rounds != radius {
+						t.Fatalf("ran %d rounds, want %d", res.Rounds, radius)
+					}
+					if !res.AllHalted() {
+						t.Fatal("not all nodes halted")
+					}
+					for v := 0; v < g.N(); v++ {
+						want := groundTruthMaxDegree(g, v, radius)
+						if got := res.Outputs[v].(int); got != want {
+							t.Errorf("node %d: got %d, want %d", v, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestAdvicePlumbing(t *testing.T) {
+	advice, _ := bitstring.FromString("1011001")
+	g := graph.Ring(4)
+	for _, e := range engines() {
+		res, err := e.run(g, func() Machine { return &adviceLengthMachine{} }, Config{MaxRounds: 1, Advice: advice})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		for v, out := range res.Outputs {
+			if out.(int) != advice.Len() {
+				t.Errorf("%s: node %d saw advice of %v bits, want %d", e.name, v, out, advice.Len())
+			}
+		}
+	}
+}
+
+func TestUnevenHalting(t *testing.T) {
+	// In the star, the centre halts after deg = n-1 rounds while leaves halt
+	// after round 1; leaves stop sending but the centre must still run.
+	g := graph.Star(5)
+	for _, e := range engines() {
+		res, err := e.run(g, func() Machine { return &unevenHaltMachine{} }, Config{MaxRounds: 10, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if !res.AllHalted() {
+			t.Fatalf("%s: not all nodes halted", e.name)
+		}
+		// The centre (node 0, degree 4) receives messages only in round 1
+		// (each leaf halts after round 1 and then stays silent).
+		if got := res.Outputs[0].(int); got != 4 {
+			t.Errorf("%s: centre saw %d messages, want 4", e.name, got)
+		}
+		// Each leaf receives a message from the centre in its single round.
+		for v := 1; v < g.N(); v++ {
+			if got := res.Outputs[v].(int); got != 1 {
+				t.Errorf("%s: leaf %d saw %d messages, want 1", e.name, v, got)
+			}
+		}
+	}
+}
+
+func TestMaxRoundsCutoff(t *testing.T) {
+	// With MaxRounds smaller than what machines want, the engines stop and
+	// report non-halted nodes.
+	g := graph.Ring(5)
+	res, err := RunSequential(g, newMaxDegreeMachine(10), Config{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || res.AllHalted() {
+		t.Fatalf("Rounds=%d AllHalted=%v, want 3 and false", res.Rounds, res.AllHalted())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunSequential(nil, newMaxDegreeMachine(1), Config{MaxRounds: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(nil, newMaxDegreeMachine(1), Config{MaxRounds: 1}); err == nil {
+		t.Error("nil graph accepted by parallel engine")
+	}
+	if _, err := RunAsync(nil, newMaxDegreeMachine(1), Config{MaxRounds: 1}); err == nil {
+		t.Error("nil graph accepted by async engine")
+	}
+	if _, err := RunSequential(graph.Ring(3), newMaxDegreeMachine(1), Config{MaxRounds: -1}); err == nil {
+		t.Error("negative MaxRounds accepted")
+	}
+}
+
+func TestZeroRounds(t *testing.T) {
+	g := graph.Ring(4)
+	for _, e := range engines() {
+		res, err := e.run(g, newMaxDegreeMachine(3), Config{MaxRounds: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if res.Rounds != 0 {
+			t.Errorf("%s: Rounds = %d, want 0", e.name, res.Rounds)
+		}
+		// Outputs are whatever the machines hold after Init: the node's own
+		// degree.
+		for v, out := range res.Outputs {
+			if out.(int) != g.Degree(v) {
+				t.Errorf("%s: node %d output %v, want its own degree", e.name, v, out)
+			}
+		}
+	}
+}
+
+// Property: the three engines produce identical outputs on random graphs.
+func TestEnginesAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		radius := 1 + rng.Intn(3)
+		cfg := Config{MaxRounds: radius, Seed: seed}
+		seq, err1 := RunSequential(g, newMaxDegreeMachine(radius), cfg)
+		par, err2 := Run(g, newMaxDegreeMachine(radius), cfg)
+		asy, err3 := RunAsync(g, newMaxDegreeMachine(radius), cfg)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return reflect.DeepEqual(seq.Outputs, par.Outputs) && reflect.DeepEqual(seq.Outputs, asy.Outputs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParallelEngine(b *testing.B) {
+	g := graph.Torus(20, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, newMaxDegreeMachine(5), Config{MaxRounds: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialEngine(b *testing.B) {
+	g := graph.Torus(20, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSequential(g, newMaxDegreeMachine(5), Config{MaxRounds: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

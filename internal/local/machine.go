@@ -1,0 +1,119 @@
+// Package local implements the synchronous LOCAL communication model used by
+// the paper, together with an asynchronous execution mode that simulates it
+// with an α-synchronizer (the paper notes that the synchronous process can be
+// simulated asynchronously using time-stamps).
+//
+// Nodes are anonymous: a node's algorithm (a Machine) is given only its own
+// degree and the advice string common to all nodes. Node identifiers are used
+// only by the simulator for wiring channels and reporting results.
+//
+// Three execution engines share the Machine interface:
+//
+//   - RunSequential: a deterministic single-goroutine reference engine,
+//   - Run: one goroutine per node, one channel per directed edge, a barrier
+//     per round (the natural Go rendering of the model), and
+//   - RunAsync: no global barrier; messages are delayed arbitrarily and nodes
+//     reassemble rounds from time-stamps.
+package local
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+	"repro/internal/graph"
+)
+
+// Message is an opaque payload sent across one edge in one round. A nil
+// message means "nothing sent on this port this round".
+type Message []byte
+
+// NodeInfo is all the a-priori knowledge of an anonymous node: its degree and
+// the advice string provided by the oracle (identical at every node).
+type NodeInfo struct {
+	Degree int
+	Advice bitstring.Bits
+}
+
+// Machine is the per-node state machine of a deterministic distributed
+// algorithm in the LOCAL model. The simulator creates one instance per node
+// via a Factory. In every round r = 1, 2, ... the simulator calls Send(r),
+// exchanges messages, then calls Receive(r, inbox). When Receive returns true
+// the node has terminated and Output is consulted.
+type Machine interface {
+	// Init is called exactly once, before round 1.
+	Init(info NodeInfo)
+	// Send returns the message to transmit through each port (slice of length
+	// Degree; nil entries send nothing).
+	Send(round int) []Message
+	// Receive delivers the messages that arrived through each port in this
+	// round and reports whether the node has terminated.
+	Receive(round int, inbox []Message) (done bool)
+	// Output returns the node's final output. It is called only after the node
+	// terminated (or the round limit was reached).
+	Output() any
+}
+
+// Factory creates a fresh Machine. All nodes run the same algorithm, so the
+// factory takes no arguments; per-node knowledge arrives through Init.
+type Factory func() Machine
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Outputs holds each node's output (indexed by the simulator's node ids).
+	Outputs []any
+	// Halted reports whether each node terminated on its own before the
+	// simulator's round limit.
+	Halted []bool
+}
+
+// AllHalted reports whether every node terminated.
+func (r *Result) AllHalted() bool {
+	for _, h := range r.Halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// MaxRounds bounds the number of rounds; the simulation stops earlier if
+	// every node terminates. It must be positive unless every machine halts in
+	// round 0... practically: required > 0.
+	MaxRounds int
+	// Advice is the common advice string handed to every node.
+	Advice bitstring.Bits
+	// Seed drives the adversarial message delays of RunAsync (ignored by the
+	// synchronous engines).
+	Seed int64
+}
+
+func (c Config) validate(g *graph.Graph) error {
+	if g == nil || g.N() == 0 {
+		return fmt.Errorf("local: nil or empty graph")
+	}
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("local: negative MaxRounds %d", c.MaxRounds)
+	}
+	return nil
+}
+
+func makeMachines(g *graph.Graph, factory Factory, cfg Config) []Machine {
+	machines := make([]Machine, g.N())
+	for v := 0; v < g.N(); v++ {
+		machines[v] = factory()
+		machines[v].Init(NodeInfo{Degree: g.Degree(v), Advice: cfg.Advice})
+	}
+	return machines
+}
+
+func collect(machines []Machine, halted []bool, rounds int) *Result {
+	res := &Result{Rounds: rounds, Outputs: make([]any, len(machines)), Halted: halted}
+	for v, m := range machines {
+		res.Outputs[v] = m.Output()
+	}
+	return res
+}

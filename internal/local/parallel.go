@@ -1,0 +1,107 @@
+package local
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Run executes the algorithm on g with one goroutine per node and one
+// channel per directed edge, the natural Go rendering of a synchronous
+// message-passing network. Rounds are separated by a barrier driven by the
+// coordinator; within a round every node first pushes one message into each of
+// its outgoing edge channels and then pulls one message from each of its
+// incoming edge channels, so the exchange can never deadlock (each channel is
+// buffered for exactly one in-flight message).
+//
+// Nodes whose machines have terminated keep exchanging nil messages so that
+// their neighbours' channel reads always complete; this mirrors the model, in
+// which a terminated node simply stays silent.
+func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	machines := makeMachines(g, factory, cfg)
+
+	// One channel per directed edge, indexed by the *receiving* endpoint:
+	// inCh[v][p] carries messages arriving at v through its port p. The sender
+	// of that channel is the neighbour across the edge.
+	inCh := make([][]chan Message, n)
+	for v := 0; v < n; v++ {
+		inCh[v] = make([]chan Message, g.Degree(v))
+		for p := range inCh[v] {
+			inCh[v][p] = make(chan Message, 1)
+		}
+	}
+
+	start := make([]chan int, n) // per-node "begin round r" signal
+	for v := range start {
+		start[v] = make(chan int)
+	}
+	haltedCh := make(chan struct {
+		node   int
+		halted bool
+	}, n)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			m := machines[v]
+			deg := g.Degree(v)
+			halted := false
+			for round := range start[v] {
+				var out []Message
+				if !halted {
+					out = m.Send(round)
+				}
+				// Push to every outgoing edge channel. The channel for the
+				// message sent by v through its port p is the receiving
+				// neighbour's inbound channel at the far-end port.
+				for p := 0; p < deg; p++ {
+					var msg Message
+					if out != nil && p < len(out) {
+						msg = out[p]
+					}
+					h := g.Neighbor(v, p)
+					inCh[h.To][h.ToPort] <- msg
+				}
+				// Pull from every incoming edge channel.
+				inbox := make([]Message, deg)
+				for p := 0; p < deg; p++ {
+					inbox[p] = <-inCh[v][p]
+				}
+				if !halted {
+					halted = m.Receive(round, inbox)
+				}
+				haltedCh <- struct {
+					node   int
+					halted bool
+				}{v, halted}
+			}
+		}(v)
+	}
+
+	halted := make([]bool, n)
+	rounds := 0
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		if allTrue(halted) {
+			break
+		}
+		rounds = round
+		for v := 0; v < n; v++ {
+			start[v] <- round
+		}
+		for i := 0; i < n; i++ {
+			st := <-haltedCh
+			halted[st.node] = st.halted
+		}
+	}
+	for v := 0; v < n; v++ {
+		close(start[v])
+	}
+	wg.Wait()
+	return collect(machines, halted, rounds), nil
+}

@@ -1,0 +1,63 @@
+package local
+
+import "repro/internal/graph"
+
+// RunSequential executes the algorithm on g with a deterministic,
+// single-goroutine engine. It is the reference implementation against which
+// the concurrent engines are differentially tested.
+func RunSequential(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	machines := makeMachines(g, factory, cfg)
+	halted := make([]bool, n)
+
+	rounds := 0
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		if allTrue(halted) {
+			break
+		}
+		rounds = round
+		// Phase 1: every node composes its outgoing messages.
+		outboxes := make([][]Message, n)
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			outboxes[v] = machines[v].Send(round)
+		}
+		// Phase 2: deliver along edges.
+		inboxes := make([][]Message, n)
+		for v := 0; v < n; v++ {
+			inboxes[v] = make([]Message, g.Degree(v))
+		}
+		for v := 0; v < n; v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				var msg Message
+				if outboxes[v] != nil && p < len(outboxes[v]) {
+					msg = outboxes[v][p]
+				}
+				h := g.Neighbor(v, p)
+				inboxes[h.To][h.ToPort] = msg
+			}
+		}
+		// Phase 3: every node consumes its inbox.
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			halted[v] = machines[v].Receive(round, inboxes[v])
+		}
+	}
+	return collect(machines, halted, rounds), nil
+}
+
+func allTrue(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return len(bs) > 0
+}

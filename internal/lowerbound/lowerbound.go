@@ -1,0 +1,224 @@
+// Package lowerbound makes the paper's advice lower bounds operational: the
+// pigeonhole counting that forces two class members to receive the same
+// advice, and concrete "fooling" experiments showing that indistinguishable
+// nodes in those two members force any fixed minimum-time algorithm to fail.
+//
+// Theorem 2.9 (Selection on G_{Δ,k}), Theorem 3.11 (Port Election on U_{Δ,k})
+// and Theorems 4.11/4.12 (Port Path / Complete Port Path Election on J_{µ,k})
+// all follow this pattern; the three Fool* functions reproduce the respective
+// indistinguishability arguments on explicit instances.
+package lowerbound
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/advice"
+	"repro/internal/algorithms"
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/view"
+)
+
+// PigeonholeAdviceBits returns the number of advice bits below which two
+// members of a class of the given size necessarily receive the same advice:
+// there are fewer than 2^(b+1) binary strings of length at most b, so any
+// oracle using at most b bits with 2^(b+1) <= |class| repeats an advice
+// string. The returned value is ⌊log2(classSize)⌋ - 1.
+func PigeonholeAdviceBits(classSize *big.Int) int {
+	if classSize.Sign() <= 0 {
+		return 0
+	}
+	return classSize.BitLen() - 2
+}
+
+// SelectionFooling reports the outcome of the Theorem 2.9 experiment.
+type SelectionFooling struct {
+	Alpha, Beta   int
+	ViewsEqual    bool // B^k(r_{α,2}) equal in G_α and G_β (Lemma 2.8)
+	LeadersInBeta int  // how many nodes of G_β elect themselves when given G_α's advice
+	AdviceBits    int
+}
+
+// FoolSelection reproduces the Theorem 2.9 argument on the instances G_α and
+// G_β of G_{Δ,k} (α < β): the oracle advice that makes the Theorem 2.2
+// algorithm elect r_{α,2} in G_α is given, unchanged, to G_β; because G_β
+// contains two copies of T_{α,2} whose roots have the same view, both copies
+// elect themselves and Selection fails.
+func FoolSelection(delta, k, alpha, beta int) (*SelectionFooling, error) {
+	if alpha < 1 || beta <= alpha {
+		return nil, fmt.Errorf("lowerbound: need 1 <= alpha < beta, got %d, %d", alpha, beta)
+	}
+	ga, err := construct.BuildGdk(delta, k, alpha)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := construct.BuildGdk(delta, k, beta)
+	if err != nil {
+		return nil, err
+	}
+	out := &SelectionFooling{Alpha: alpha, Beta: beta}
+
+	// Lemma 2.8: the root of T_{α,2} has the same view at depth k in both
+	// graphs.
+	va := view.Compute(ga.G, ga.UniqueRoot, k)
+	rootsInBeta := gb.RootsByIndex[alpha-1][1]
+	out.ViewsEqual = true
+	for _, r := range rootsInBeta {
+		if !va.Equal(view.Compute(gb.G, r, k)) {
+			out.ViewsEqual = false
+		}
+	}
+
+	// Advice computed for G_α (it encodes B^k(r_{α,2})), then handed to G_β.
+	bits, err := (advice.ViewOracle{Depth: k, UseDepthOverride: true}).Advise(ga.G)
+	if err != nil {
+		return nil, err
+	}
+	out.AdviceBits = bits.Len()
+	res, err := local.RunSequential(gb.G, algorithms.NewSelectionAdviceFactory(), local.Config{
+		MaxRounds: k,
+		Advice:    bits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range election.OutputsFromAny(res.Outputs) {
+		if o.Leader {
+			out.LeadersInBeta++
+		}
+	}
+	return out, nil
+}
+
+// PortFooling reports the outcome of the Theorem 3.11 experiment.
+type PortFooling struct {
+	Index          int  // the tree index j at which the two sigmas differ
+	ViewsEqual     bool // B^k(r_{j,1,1}) equal in G_α and G_β
+	ValidPortAlpha int  // the unique valid first port at r_{j,1,1} in G_α
+	ValidPortBeta  int  // the unique valid first port at r_{j,1,1} in G_β
+	Disjoint       bool // the two valid ports differ, so one answer must be wrong
+}
+
+// FoolPortElection reproduces the Theorem 3.11 argument on two U_{Δ,k}
+// members whose σ sequences differ: the heavy root r_{j,1,1} has the same view
+// at depth k in both graphs, yet the unique port leading toward the cycle
+// differs, so an algorithm given the same advice answers incorrectly in at
+// least one of them.
+func FoolPortElection(delta, k int, sigmaA, sigmaB []int) (*PortFooling, error) {
+	ua, err := construct.BuildUdk(delta, k, sigmaA)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := construct.BuildUdk(delta, k, sigmaB)
+	if err != nil {
+		return nil, err
+	}
+	j := -1
+	for idx := range sigmaA {
+		if sigmaA[idx] != sigmaB[idx] {
+			j = idx
+			break
+		}
+	}
+	if j < 0 {
+		return nil, fmt.Errorf("lowerbound: the two sigma sequences are identical")
+	}
+	out := &PortFooling{Index: j + 1}
+	heavyA := ua.HeavyRoots[j][0]
+	heavyB := ub.HeavyRoots[j][0]
+	out.ViewsEqual = view.Compute(ua.G, heavyA, k).Equal(view.Compute(ub.G, heavyB, k))
+
+	portA, err := uniqueCyclePort(ua.G, heavyA, delta)
+	if err != nil {
+		return nil, err
+	}
+	portB, err := uniqueCyclePort(ub.G, heavyB, delta)
+	if err != nil {
+		return nil, err
+	}
+	out.ValidPortAlpha, out.ValidPortBeta = portA, portB
+	out.Disjoint = portA != portB
+	return out, nil
+}
+
+// uniqueCyclePort returns the only port of the heavy root that begins a simple
+// path toward a cycle node (degree Δ+2).
+func uniqueCyclePort(g *graph.Graph, heavy, delta int) (int, error) {
+	// Find the nearest cycle node and the valid first ports toward it.
+	dist := g.BFSDist(heavy)
+	target := -1
+	for v, d := range dist {
+		if d >= 0 && g.Degree(v) == delta+2 && (target < 0 || d < dist[target]) {
+			target = v
+		}
+	}
+	if target < 0 {
+		return -1, fmt.Errorf("lowerbound: no cycle node reachable from %d", heavy)
+	}
+	ports := g.FirstPortsOnSimplePaths(heavy, target)
+	if len(ports) != 1 {
+		return -1, fmt.Errorf("lowerbound: heavy root %d has %d valid ports toward the cycle, want exactly 1", heavy, len(ports))
+	}
+	return ports[0], nil
+}
+
+// PathFooling reports the outcome of the Lemma 4.10 / Theorem 4.11 experiment.
+type PathFooling struct {
+	ViewsEqual         bool // B^k(v) equal in J_α and J_β (Lemma 4.10, statement 1)
+	PathLenAlpha       int  // length of the witness simple path in J_α reaching the right half
+	SimpleInBeta       bool // whether the same port sequence is simple in J_β
+	ReachesRightInBeta bool
+	Separated          bool // the combination that statement 2 forbids did not occur
+}
+
+// FoolPathElection reproduces the Lemma 4.10 argument on two J_{µ,k} members
+// whose Y sequences differ: the border node w_{1,1} of component H_L of gadget
+// Ĥ_0 has the same view at depth k in both graphs, yet any fixed port sequence
+// that traces a simple path from it into the right half of J_α fails to do so
+// in J_β (it either stops being simple or never leaves the left half). Since a
+// correct PPE/CPPE algorithm electing a right-half leader must output such a
+// sequence, equal advice on the two graphs is contradictory.
+func FoolPathElection(mu, k int, yA, yB []bool) (*PathFooling, error) {
+	ja, err := construct.BuildJmk(mu, k, construct.JmkOptions{Y: yA})
+	if err != nil {
+		return nil, err
+	}
+	jb, err := construct.BuildJmk(mu, k, construct.JmkOptions{Y: yB})
+	if err != nil {
+		return nil, err
+	}
+	out := &PathFooling{}
+	va := ja.Border[0][0][0][0] // w_{1,1} in H_L of gadget 0
+	vb := jb.Border[0][0][0][0]
+	out.ViewsEqual = view.Compute(ja.G, va, k).Equal(view.Compute(jb.G, vb, k))
+
+	// A witness port sequence in J_α: the shortest path from v_α to the ρ node
+	// of the first right-half gadget.
+	rightRho := ja.Rho[ja.NumGadgets/2]
+	ports := ja.G.ShortestPathPorts(va, rightRho)
+	nodesA, err := ja.G.FollowPortPath(va, ports)
+	if err != nil {
+		return nil, err
+	}
+	if !graph.IsSimple(nodesA) {
+		return nil, fmt.Errorf("lowerbound: witness path in J_α is not simple")
+	}
+	out.PathLenAlpha = len(ports)
+
+	// The same sequence replayed in J_β.
+	nodesB, err := jb.G.FollowPortPath(vb, ports)
+	if err == nil {
+		out.SimpleInBeta = graph.IsSimple(nodesB)
+		for _, v := range nodesB {
+			if jb.GadgetOf[v] >= jb.NumGadgets/2 {
+				out.ReachesRightInBeta = true
+				break
+			}
+		}
+	}
+	out.Separated = !(out.SimpleInBeta && out.ReachesRightInBeta)
+	return out, nil
+}

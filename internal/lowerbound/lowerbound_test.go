@@ -1,0 +1,134 @@
+package lowerbound
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/construct"
+)
+
+func TestPigeonholeAdviceBits(t *testing.T) {
+	cases := []struct {
+		size string
+		want int
+	}{
+		{"1", -1}, {"2", 0}, {"4", 1}, {"729", 8}, {"19683", 13},
+	}
+	for _, tc := range cases {
+		size, _ := new(big.Int).SetString(tc.size, 10)
+		if got := PigeonholeAdviceBits(size); got != tc.want {
+			t.Errorf("PigeonholeAdviceBits(%s) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+	if got := PigeonholeAdviceBits(big.NewInt(0)); got != 0 {
+		t.Errorf("PigeonholeAdviceBits(0) = %d, want 0", got)
+	}
+	// The Theorem 2.9 bound grows like (Δ-1)^k·log2(Δ-1): for Δ=4, k=2 the
+	// class has 3^6 graphs, so at least 8 bits of advice are unavoidable,
+	// whereas for Δ=6, k=2 the class has 5^20 graphs (46 bits).
+	if got := PigeonholeAdviceBits(construct.GdkClassSize(6, 2)); got != 45 {
+		t.Errorf("pigeonhole bits for G_{6,2} = %d, want 45", got)
+	}
+}
+
+// TestFoolSelection runs the Theorem 2.9 experiment: advice prepared for G_α
+// makes two nodes of G_β elect themselves.
+func TestFoolSelection(t *testing.T) {
+	for _, tc := range []struct{ delta, k, alpha, beta int }{
+		{4, 1, 2, 5},
+		{3, 1, 1, 2}, // |T_{3,1}| = 2, so α=1, β=2 is the only pair
+		{4, 2, 2, 3},
+	} {
+		alpha, beta := tc.alpha, tc.beta
+		if beta <= alpha {
+			beta = alpha + 1
+		}
+		res, err := FoolSelection(tc.delta, tc.k, alpha, beta)
+		if err != nil {
+			t.Fatalf("FoolSelection(%d,%d,%d,%d): %v", tc.delta, tc.k, alpha, beta, err)
+		}
+		if !res.ViewsEqual {
+			t.Errorf("Δ=%d k=%d: Lemma 2.8 indistinguishability does not hold", tc.delta, tc.k)
+		}
+		// Selection fails in G_β: at least the two fooled copies of the node
+		// whose view was encoded both elect themselves (with the view-order
+		// used by our oracle, further twins may join them — e.g. for α = 1 the
+		// encoded node is an appended-path node that also occurs in other
+		// trees; any count >= 2 is a violation of the task).
+		if res.LeadersInBeta < 2 {
+			t.Errorf("Δ=%d k=%d: %d leaders elected in G_β, want at least 2",
+				tc.delta, tc.k, res.LeadersInBeta)
+		}
+		if res.AdviceBits <= 0 {
+			t.Errorf("advice unexpectedly empty")
+		}
+	}
+	if _, err := FoolSelection(4, 1, 3, 2); err == nil {
+		t.Error("alpha >= beta accepted")
+	}
+}
+
+// TestFoolPortElection runs the Theorem 3.11 experiment: two members of
+// U_{Δ,k} whose σ differ give the fooled heavy root identical views but
+// disjoint sets of correct answers.
+func TestFoolPortElection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sigmaA, err := construct.RandomSigma(4, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaB := append([]int(nil), sigmaA...)
+	// Change one entry to a different value.
+	sigmaB[3] = sigmaB[3]%3 + 1
+	if sigmaB[3] == sigmaA[3] {
+		sigmaB[3] = sigmaB[3]%3 + 1
+	}
+	res, err := FoolPortElection(4, 1, sigmaA, sigmaB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViewsEqual {
+		t.Error("heavy root views differ between the two class members")
+	}
+	if !res.Disjoint {
+		t.Errorf("valid ports coincide (%d and %d); the fooling argument needs them to differ",
+			res.ValidPortAlpha, res.ValidPortBeta)
+	}
+	if res.Index != 4 {
+		t.Errorf("differing index reported as %d, want 4", res.Index)
+	}
+	if _, err := FoolPortElection(4, 1, sigmaA, sigmaA); err == nil {
+		t.Error("identical sigmas accepted")
+	}
+}
+
+// TestFoolPathElection runs the Lemma 4.10 / Theorem 4.11 experiment on the
+// smallest faithful J_{µ,k} instances.
+func TestFoolPathElection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faithful J_{2,4} instances are large; skipped with -short")
+	}
+	z := construct.JmkZ(2, 4)
+	yA := make([]bool, 1<<uint(z-1))
+	yB := make([]bool, 1<<uint(z-1))
+	rng := rand.New(rand.NewSource(11))
+	for i := range yA {
+		yA[i] = rng.Intn(2) == 1
+		yB[i] = yA[i]
+	}
+	yB[17] = !yB[17] // differ in a single position
+	res, err := FoolPathElection(2, 4, yA, yB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViewsEqual {
+		t.Error("Lemma 4.10(1) fails: the border node's views differ")
+	}
+	if res.PathLenAlpha == 0 {
+		t.Error("witness path is empty")
+	}
+	if !res.Separated {
+		t.Error("Lemma 4.10(2) fails: the witness sequence is a simple path into the right half of J_β too")
+	}
+}

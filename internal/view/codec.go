@@ -1,0 +1,109 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/bitstring"
+)
+
+// Encode serialises a view as a bit string. The encoding is self-delimiting:
+//
+//	node   := gamma(degree) expandedBit children
+//	children := "" if not expanded, otherwise degree repetitions of
+//	            gamma(inPort) node   (in port order)
+//
+// For a view of depth h on a graph with maximum degree Δ the encoding uses
+// O(Δ·(Δ-1)^(h-1)·log Δ) bits, matching the advice bound of Theorem 2.2.
+func Encode(v *View) bitstring.Bits {
+	w := bitstring.NewWriter()
+	encodeInto(w, v)
+	return w.Bits()
+}
+
+// EncodeInto appends the encoding of v to an existing writer.
+func EncodeInto(w *bitstring.Writer, v *View) { encodeInto(w, v) }
+
+func encodeInto(w *bitstring.Writer, v *View) {
+	w.WriteGamma(uint64(v.Degree))
+	w.WriteBit(v.Expanded)
+	if !v.Expanded {
+		return
+	}
+	for p := 0; p < v.Degree; p++ {
+		w.WriteGamma(uint64(v.InPorts[p]))
+		encodeInto(w, v.Children[p])
+	}
+}
+
+// Decode parses a view from the start of a bit string and validates it.
+func Decode(b bitstring.Bits) (*View, error) {
+	r := bitstring.NewReader(b)
+	v, err := DecodeFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("view: %d trailing bits after encoded view", r.Remaining())
+	}
+	return v, nil
+}
+
+// DecodeFrom parses a view from a bit reader, leaving the reader positioned
+// just past the view.
+func DecodeFrom(r *bitstring.Reader) (*View, error) {
+	v, err := decodeFrom(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// maxCodecDepth bounds recursion while decoding untrusted advice.
+const maxCodecDepth = 64
+
+func decodeFrom(r *bitstring.Reader, depth int) (*View, error) {
+	if depth > maxCodecDepth {
+		return nil, fmt.Errorf("view: encoded view deeper than %d", maxCodecDepth)
+	}
+	deg, err := r.ReadGamma()
+	if err != nil {
+		return nil, err
+	}
+	if deg > 1<<20 {
+		return nil, fmt.Errorf("view: implausible degree %d in encoded view", deg)
+	}
+	expanded, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	v := &View{Degree: int(deg), Expanded: expanded}
+	if !expanded {
+		return v, nil
+	}
+	v.InPorts = make([]int, deg)
+	v.Children = make([]*View, deg)
+	for p := 0; p < int(deg); p++ {
+		inPort, err := r.ReadGamma()
+		if err != nil {
+			return nil, err
+		}
+		v.InPorts[p] = int(inPort)
+		child, err := decodeFrom(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		v.Children[p] = child
+	}
+	return v, nil
+}
+
+// EncodedBits returns the number of bits Encode would use without building the
+// bit string, convenient for advice-size accounting in the experiments.
+func EncodedBits(v *View) int {
+	w := bitstring.NewWriter()
+	encodeInto(w, v)
+	return w.Len()
+}

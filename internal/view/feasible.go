@@ -1,0 +1,123 @@
+package view
+
+import "repro/internal/graph"
+
+// StabilisationDepth returns the smallest depth h at which the view partition
+// of g stops refining (it then remains fixed for all larger depths). It is at
+// most n-1.
+func StabilisationDepth(g *graph.Graph) int {
+	inc := NewIncremental(g)
+	for {
+		inc.Step()
+		if inc.Stabilised() {
+			return inc.Depth() - 1
+		}
+	}
+}
+
+// Feasible reports whether leader election is possible in g when the map is
+// known, i.e. whether all nodes have pairwise distinct views (Yamashita and
+// Kameda). The view partition is refined until it stabilises, which happens
+// after at most n-1 steps.
+func Feasible(g *graph.Graph) bool {
+	n := g.N()
+	if n == 1 {
+		return true
+	}
+	inc := NewIncremental(g)
+	for {
+		if inc.NumClasses() == n {
+			return true
+		}
+		inc.Step()
+		if inc.Stabilised() {
+			return inc.NumClasses() == n
+		}
+	}
+}
+
+// MinDepthSomeUnique returns the smallest depth h at which some node's
+// augmented truncated view is unique, and that depth's unique nodes. If no
+// such depth exists (the partition stabilises with no singleton class, which
+// in particular happens for infeasible graphs), it returns -1, nil.
+// For feasible graphs this value is exactly ψ_S(G) (Proposition 2.1 plus the
+// map-based matching algorithm of the paper).
+func MinDepthSomeUnique(g *graph.Graph) (int, []int) {
+	inc := NewIncremental(g)
+	for {
+		if unique := inc.Unique(); len(unique) > 0 {
+			return inc.Depth(), unique
+		}
+		inc.Step()
+		if inc.Stabilised() {
+			if unique := inc.Unique(); len(unique) > 0 {
+				return inc.Depth(), unique
+			}
+			return -1, nil
+		}
+	}
+}
+
+// MinDepthAllDistinct returns the smallest depth h at which all nodes have
+// pairwise distinct views, or -1 if the graph is infeasible. At this depth
+// every node can locate itself on a map of the graph, so every variant of
+// leader election is solvable in h rounds; hence ψ_Z(G) <= MinDepthAllDistinct
+// for every task Z.
+func MinDepthAllDistinct(g *graph.Graph) int {
+	n := g.N()
+	if n == 1 {
+		return 0
+	}
+	inc := NewIncremental(g)
+	for {
+		if inc.NumClasses() == n {
+			return inc.Depth()
+		}
+		inc.Step()
+		if inc.Stabilised() {
+			if inc.NumClasses() == n {
+				return inc.Depth()
+			}
+			return -1
+		}
+	}
+}
+
+// Quotient describes the quotient (minimum base) graph of g under view
+// equivalence at stabilisation depth: one node per view class, with the class
+// sizes. It is reported as statistics rather than as a multigraph structure
+// because the library has no other use for the quotient; the class count and
+// the class sizes are what the analyses need.
+type Quotient struct {
+	NumClasses int
+	ClassSize  []int // sorted ascending
+}
+
+// ComputeQuotient returns the quotient statistics of g.
+func ComputeQuotient(g *graph.Graph) Quotient {
+	inc := NewIncremental(g)
+	for {
+		inc.Step()
+		if inc.Stabilised() {
+			break
+		}
+	}
+	counts := make(map[int]int)
+	for _, id := range inc.Classes() {
+		counts[id]++
+	}
+	q := Quotient{NumClasses: inc.NumClasses()}
+	for _, c := range counts {
+		q.ClassSize = append(q.ClassSize, c)
+	}
+	sortInts(q.ClassSize)
+	return q
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Incremental is a depth-by-depth view refiner. Unlike Refine, which
+// materialises the classes of every depth up to a fixed bound, Incremental
+// keeps only the classes of the current depth and is therefore suitable for
+// graphs with hundreds of thousands of nodes, where the stabilisation depth
+// (or the depth of interest) is small but n-1 would be far too large a bound.
+type Incremental struct {
+	g       *graph.Graph
+	depth   int
+	classes []int
+	num     int
+	prevNum int
+}
+
+// NewIncremental starts a refiner at depth 0 (classes = degrees).
+func NewIncremental(g *graph.Graph) *Incremental {
+	inc := &Incremental{g: g, prevNum: -1}
+	n := g.N()
+	inc.classes = make([]int, n)
+	ids := make(map[int]int)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		id, ok := ids[d]
+		if !ok {
+			id = len(ids)
+			ids[d] = id
+		}
+		inc.classes[v] = id
+	}
+	inc.num = len(ids)
+	return inc
+}
+
+// Depth returns the current depth.
+func (inc *Incremental) Depth() int { return inc.depth }
+
+// NumClasses returns the number of distinct view classes at the current depth.
+func (inc *Incremental) NumClasses() int { return inc.num }
+
+// Classes returns the class identifiers at the current depth (shared slice; do
+// not modify).
+func (inc *Incremental) Classes() []int { return inc.classes }
+
+// Stabilised reports whether the previous refinement step did not split any
+// class; once true, further steps never change the partition.
+func (inc *Incremental) Stabilised() bool { return inc.num == inc.prevNum }
+
+// HasUnique reports whether some node's view class is a singleton at the
+// current depth.
+func (inc *Incremental) HasUnique() bool { return len(inc.Unique()) > 0 }
+
+// Unique returns the nodes whose view at the current depth is unique.
+func (inc *Incremental) Unique() []int {
+	count := make(map[int]int, inc.num)
+	for _, id := range inc.classes {
+		count[id]++
+	}
+	var out []int
+	for v, id := range inc.classes {
+		if count[id] == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Step refines one more level (depth h -> h+1).
+func (inc *Incremental) Step() {
+	g := inc.g
+	n := g.N()
+	next := make([]int, n)
+	sigIDs := make(map[string]int)
+	var sb strings.Builder
+	for v := 0; v < n; v++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d", g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			half := g.Neighbor(v, p)
+			fmt.Fprintf(&sb, "|%d,%d", half.ToPort, inc.classes[half.To])
+		}
+		sig := sb.String()
+		id, ok := sigIDs[sig]
+		if !ok {
+			id = len(sigIDs)
+			sigIDs[sig] = id
+		}
+		next[v] = id
+	}
+	inc.prevNum = inc.num
+	inc.classes = next
+	inc.num = len(sigIDs)
+	inc.depth++
+}

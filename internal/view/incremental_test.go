@@ -1,0 +1,138 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// TestIncrementalMatchesRefine checks that the depth-by-depth refiner computes
+// exactly the same partitions as the batch refiner at every depth.
+func TestIncrementalMatchesRefine(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(8)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; max < m {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		maxDepth := 4
+		batch := Refine(g, maxDepth)
+		inc := NewIncremental(g)
+		for h := 0; h <= maxDepth; h++ {
+			if inc.Depth() != h {
+				t.Fatalf("incremental depth %d, want %d", inc.Depth(), h)
+			}
+			if inc.NumClasses() != batch.NumClassesAt(h) {
+				t.Fatalf("depth %d: incremental has %d classes, batch %d", h, inc.NumClasses(), batch.NumClassesAt(h))
+			}
+			// The partitions must coincide (class ids may differ).
+			bc := batch.ClassAt(h)
+			ic := inc.Classes()
+			pairs := make(map[[2]int]bool)
+			for v := range bc {
+				pairs[[2]int{bc[v], ic[v]}] = true
+			}
+			if len(pairs) != inc.NumClasses() {
+				t.Fatalf("depth %d: partitions differ", h)
+			}
+			if h < maxDepth {
+				inc.Step()
+			}
+		}
+	}
+}
+
+func TestIncrementalStabilisation(t *testing.T) {
+	// On a vertex-transitive graph the partition is a single class forever,
+	// so it stabilises after one step.
+	inc := NewIncremental(graph.Ring(8))
+	inc.Step()
+	if !inc.Stabilised() || inc.NumClasses() != 1 {
+		t.Errorf("ring: stabilised=%v classes=%d", inc.Stabilised(), inc.NumClasses())
+	}
+	if inc.HasUnique() {
+		t.Error("ring should never have a unique view")
+	}
+	// On the three-node line everything is distinct at depth 0 already.
+	inc = NewIncremental(graph.ThreeNodeLine())
+	if !inc.HasUnique() || len(inc.Unique()) != 1 {
+		t.Errorf("three-node line: unique nodes at depth 0 = %v", inc.Unique())
+	}
+}
+
+// Property: Feasible (incremental) agrees with the direct definition via the
+// batch refiner at depth n-1.
+func TestFeasibleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; max < m {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		batch := Refine(g, n-1)
+		want := batch.NumClassesAt(n-1) == n
+		return Feasible(g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDepthSomeUnique and MinDepthAllDistinct agree with the batch
+// refiner, and the "some unique" depth never exceeds the "all distinct" depth.
+func TestMinDepthQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; max < m {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		batch := Refine(g, n-1)
+		wantSome := -1
+		for h := 0; h <= n-1; h++ {
+			if len(batch.UniqueAt(h)) > 0 {
+				wantSome = h
+				break
+			}
+		}
+		wantAll := -1
+		for h := 0; h <= n-1; h++ {
+			if batch.NumClassesAt(h) == n {
+				wantAll = h
+				break
+			}
+		}
+		gotSome, _ := MinDepthSomeUnique(g)
+		gotAll := MinDepthAllDistinct(g)
+		if gotSome != wantSome || gotAll != wantAll {
+			return false
+		}
+		if wantAll >= 0 && wantSome > wantAll {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIncrementalLargeGraph(b *testing.B) {
+	g := graph.Torus(40, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := NewIncremental(g)
+		for !inc.Stabilised() {
+			inc.Step()
+		}
+	}
+}

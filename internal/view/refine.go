@@ -1,0 +1,170 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Refinement holds, for every depth 0..MaxDepth and every node, the
+// equivalence class of the node's augmented truncated view at that depth.
+// Two nodes u, v satisfy ClassAt(h)[u] == ClassAt(h)[v] exactly when
+// B^h(u) = B^h(v). Classes are computed by port-aware iterated refinement
+// (hash consing of view signatures), which avoids materialising the
+// exponential-size view trees.
+type Refinement struct {
+	g        *graph.Graph
+	classes  [][]int // classes[h][v]
+	numClass []int   // number of distinct classes at depth h
+}
+
+// Refine computes view classes for all depths 0..maxDepth.
+func Refine(g *graph.Graph, maxDepth int) *Refinement {
+	if maxDepth < 0 {
+		panic("view: negative depth")
+	}
+	r := &Refinement{g: g}
+	n := g.N()
+
+	// Depth 0: class = degree.
+	cur := make([]int, n)
+	ids := make(map[int]int)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		id, ok := ids[d]
+		if !ok {
+			id = len(ids)
+			ids[d] = id
+		}
+		cur[v] = id
+	}
+	r.classes = append(r.classes, cur)
+	r.numClass = append(r.numClass, len(ids))
+
+	for h := 1; h <= maxDepth; h++ {
+		prev := r.classes[h-1]
+		next := make([]int, n)
+		sigIDs := make(map[string]int)
+		var sb strings.Builder
+		for v := 0; v < n; v++ {
+			sb.Reset()
+			fmt.Fprintf(&sb, "%d", g.Degree(v))
+			for p := 0; p < g.Degree(v); p++ {
+				half := g.Neighbor(v, p)
+				fmt.Fprintf(&sb, "|%d,%d", half.ToPort, prev[half.To])
+			}
+			sig := sb.String()
+			id, ok := sigIDs[sig]
+			if !ok {
+				id = len(sigIDs)
+				sigIDs[sig] = id
+			}
+			next[v] = id
+		}
+		r.classes = append(r.classes, next)
+		r.numClass = append(r.numClass, len(sigIDs))
+	}
+	return r
+}
+
+// MaxDepth returns the largest depth available.
+func (r *Refinement) MaxDepth() int { return len(r.classes) - 1 }
+
+// ClassAt returns the slice of class identifiers at depth h (indexed by node).
+// The slice is shared; callers must not modify it.
+func (r *Refinement) ClassAt(h int) []int {
+	if h < 0 || h > r.MaxDepth() {
+		panic(fmt.Sprintf("view: depth %d outside refinement range [0,%d]", h, r.MaxDepth()))
+	}
+	return r.classes[h]
+}
+
+// NumClassesAt returns the number of distinct view classes at depth h.
+func (r *Refinement) NumClassesAt(h int) int {
+	if h < 0 || h > r.MaxDepth() {
+		panic(fmt.Sprintf("view: depth %d outside refinement range [0,%d]", h, r.MaxDepth()))
+	}
+	return r.numClass[h]
+}
+
+// SameView reports whether B^h(u) = B^h(v).
+func (r *Refinement) SameView(u, v, h int) bool {
+	c := r.ClassAt(h)
+	return c[u] == c[v]
+}
+
+// Members returns the nodes whose depth-h view class equals that of node v.
+func (r *Refinement) Members(v, h int) []int {
+	c := r.ClassAt(h)
+	var out []int
+	for u, id := range c {
+		if id == c[v] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UniqueAt returns the nodes whose depth-h view is unique in the graph.
+func (r *Refinement) UniqueAt(h int) []int {
+	c := r.ClassAt(h)
+	count := make(map[int]int)
+	for _, id := range c {
+		count[id]++
+	}
+	var out []int
+	for v, id := range c {
+		if count[id] == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ClassesAt groups the nodes by their depth-h view class. The result maps a
+// class identifier to its (ascending) member list.
+func (r *Refinement) ClassesAt(h int) map[int][]int {
+	c := r.ClassAt(h)
+	groups := make(map[int][]int)
+	for v, id := range c {
+		groups[id] = append(groups[id], v)
+	}
+	return groups
+}
+
+// Stabilised reports whether the partition at depth h equals the partition at
+// depth h+1 (requires h+1 <= MaxDepth). Once the partition stabilises it never
+// changes again, so views at the stabilisation depth determine views at every
+// depth; in particular all views are distinct in the limit iff they are
+// distinct at depth n-1 (Yamashita–Kameda, refined by Hendrickx).
+func (r *Refinement) Stabilised(h int) bool {
+	if h+1 > r.MaxDepth() {
+		panic("view: Stabilised needs depth h+1 in range")
+	}
+	return samePartition(r.classes[h], r.classes[h+1])
+}
+
+func samePartition(a, b []int) bool {
+	// b always refines a; partitions are equal iff they have the same number
+	// of blocks, but check element-wise to be independent of that invariant.
+	fwd := make(map[int]int)
+	bwd := make(map[int]int)
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok {
+			if x != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+		if x, ok := bwd[b[i]]; ok {
+			if x != a[i] {
+				return false
+			}
+		} else {
+			bwd[b[i]] = a[i]
+		}
+	}
+	return true
+}

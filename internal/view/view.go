@@ -1,0 +1,252 @@
+// Package view implements the central notion of the paper: the view of a node
+// in an anonymous port-numbered network.
+//
+// The view V(v) of a node v is the infinite rooted tree of all finite walks of
+// the graph starting at v, each walk coded by the sequence (p1,q1,...,pk,qk)
+// of port numbers of its edges. The truncated view V^h(v) is its truncation at
+// depth h, and the augmented truncated view B^h(v) additionally labels the
+// nodes of the tree with the degrees of the corresponding graph nodes.
+// B^h(v) is exactly the information v can gather in h rounds of the LOCAL
+// model, so every deterministic h-round algorithm's output at v is a function
+// of B^h(v) (Proposition 2.1 of the paper).
+//
+// The package offers two complementary representations:
+//
+//   - explicit trees (View), needed when a view must be serialised as advice
+//     (Theorem 2.2) or shipped in messages, and
+//   - hash-consed equivalence classes over all nodes at all depths (Refinement),
+//     which cost O(h·m·Δ) time and are what the election-index computation and
+//     the map-based algorithms use.
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// View is an augmented truncated view B^h(v): a rooted tree in which every
+// node carries the degree of the underlying graph node and, unless the node is
+// a leaf of the truncation, one child per port. The child reached through port
+// p additionally records the port number at the far end of that edge.
+type View struct {
+	Degree   int     // degree of the corresponding graph node
+	Expanded bool    // false for nodes at the truncation depth (leaves)
+	InPorts  []int   // InPorts[p] = port at the far end of the edge taken via port p
+	Children []*View // Children[p] = view of the neighbour reached via port p
+}
+
+// Compute returns the augmented truncated view B^h(v) of node v in g.
+// The size of the result is at most Δ·(Δ-1)^(h-1)+... nodes, i.e. exponential
+// in h; use Refinement when only view equality is needed.
+func Compute(g *graph.Graph, v, h int) *View {
+	if h < 0 {
+		panic("view: negative depth")
+	}
+	return compute(g, v, h)
+}
+
+func compute(g *graph.Graph, v, h int) *View {
+	d := g.Degree(v)
+	if h == 0 {
+		return &View{Degree: d}
+	}
+	vw := &View{
+		Degree:   d,
+		Expanded: true,
+		InPorts:  make([]int, d),
+		Children: make([]*View, d),
+	}
+	for p := 0; p < d; p++ {
+		half := g.Neighbor(v, p)
+		vw.InPorts[p] = half.ToPort
+		vw.Children[p] = compute(g, half.To, h-1)
+	}
+	return vw
+}
+
+// Height returns the depth of the view (the number of edges on the longest
+// root-to-leaf path). For views produced by Compute on a graph with at least
+// one edge this equals the truncation depth h.
+func (v *View) Height() int {
+	if !v.Expanded {
+		return 0
+	}
+	max := 0
+	for _, c := range v.Children {
+		if h := c.Height(); h > max {
+			max = h
+		}
+	}
+	return max + 1
+}
+
+// Size returns the number of nodes in the view tree.
+func (v *View) Size() int {
+	n := 1
+	if v.Expanded {
+		for _, c := range v.Children {
+			n += c.Size()
+		}
+	}
+	return n
+}
+
+// Equal reports whether two views are identical trees (same degrees, same
+// ports, same shape).
+func (v *View) Equal(o *View) bool { return Compare(v, o) == 0 }
+
+// Compare defines a total order on views: first by degree, then leaves before
+// expanded nodes, then child-by-child in port order (far-end port first, then
+// the child view). The specific order is immaterial to the algorithms; what
+// matters is that it is a fixed total order computable by every node, used by
+// oracles to select "the lexicographically smallest" view deterministically.
+func Compare(a, b *View) int {
+	if a.Degree != b.Degree {
+		if a.Degree < b.Degree {
+			return -1
+		}
+		return 1
+	}
+	if a.Expanded != b.Expanded {
+		if !a.Expanded {
+			return -1
+		}
+		return 1
+	}
+	if !a.Expanded {
+		return 0
+	}
+	for p := 0; p < a.Degree; p++ {
+		if a.InPorts[p] != b.InPorts[p] {
+			if a.InPorts[p] < b.InPorts[p] {
+				return -1
+			}
+			return 1
+		}
+		if c := Compare(a.Children[p], b.Children[p]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Truncate returns a copy of the view truncated at depth h (h >= 0). If the
+// view is already shallower, the copy has the original depth.
+func (v *View) Truncate(h int) *View {
+	if h == 0 || !v.Expanded {
+		return &View{Degree: v.Degree}
+	}
+	out := &View{
+		Degree:   v.Degree,
+		Expanded: true,
+		InPorts:  append([]int(nil), v.InPorts...),
+		Children: make([]*View, len(v.Children)),
+	}
+	for p, c := range v.Children {
+		out.Children[p] = c.Truncate(h - 1)
+	}
+	return out
+}
+
+// String renders the view in a compact parenthesised form, e.g.
+// "3[0/1:1, 1/0:2(...), 2/2:1]" — useful in test failure messages.
+func (v *View) String() string {
+	var sb strings.Builder
+	v.write(&sb)
+	return sb.String()
+}
+
+func (v *View) write(sb *strings.Builder) {
+	fmt.Fprintf(sb, "%d", v.Degree)
+	if !v.Expanded {
+		return
+	}
+	sb.WriteByte('[')
+	for p, c := range v.Children {
+		if p > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "%d/%d:", p, v.InPorts[p])
+		c.write(sb)
+	}
+	sb.WriteByte(']')
+}
+
+// Validate checks internal consistency of a view tree (degrees match child
+// counts, ports in range). Decoded advice must be validated before use.
+func (v *View) Validate() error {
+	if v.Degree < 0 {
+		return fmt.Errorf("view: negative degree %d", v.Degree)
+	}
+	if !v.Expanded {
+		if len(v.Children) != 0 || len(v.InPorts) != 0 {
+			return fmt.Errorf("view: leaf with children")
+		}
+		return nil
+	}
+	if len(v.Children) != v.Degree || len(v.InPorts) != v.Degree {
+		return fmt.Errorf("view: expanded node of degree %d has %d children and %d in-ports",
+			v.Degree, len(v.Children), len(v.InPorts))
+	}
+	for p, c := range v.Children {
+		if c == nil {
+			return fmt.Errorf("view: nil child at port %d", p)
+		}
+		if v.InPorts[p] < 0 || v.InPorts[p] >= c.Degree {
+			return fmt.Errorf("view: in-port %d out of range for child of degree %d", v.InPorts[p], c.Degree)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContainsDegree reports whether some node of the view tree has the given
+// degree. Several of the paper's algorithms branch on whether a node "sees" a
+// node of a particular degree within its view (e.g. Lemma 3.9, Lemma 4.8).
+func (v *View) ContainsDegree(d int) bool {
+	if v.Degree == d {
+		return true
+	}
+	if v.Expanded {
+		for _, c := range v.Children {
+			if c.ContainsDegree(d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathToDegree returns the outgoing-port sequence of a shallowest path in the
+// view tree from the root to a node of the given degree, and whether one
+// exists. Port sequences in the view correspond to walks in the graph, so the
+// result can be replayed on the graph by algorithms that, e.g., route toward
+// the closest node of a distinguished degree.
+func (v *View) PathToDegree(d int) ([]int, bool) {
+	type item struct {
+		vw   *View
+		path []int
+	}
+	queue := []item{{v, nil}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.vw.Degree == d {
+			return it.path, true
+		}
+		if !it.vw.Expanded {
+			continue
+		}
+		for p, c := range it.vw.Children {
+			next := make([]int, len(it.path)+1)
+			copy(next, it.path)
+			next[len(it.path)] = p
+			queue = append(queue, item{c, next})
+		}
+	}
+	return nil, false
+}
