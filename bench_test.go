@@ -259,6 +259,57 @@ func BenchmarkSubstrateViewRefinement(b *testing.B) {
 	}
 }
 
+// --- Engine: cold vs cached refinement, sequential vs parallel experiments ------
+
+// BenchmarkEngineRefineCold measures a from-scratch refinement through a fresh
+// engine per iteration — the baseline BenchmarkSubstrateViewRefinement pays on
+// every call.
+func BenchmarkEngineRefineCold(b *testing.B) {
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewEngine(0).Refine(inst.G, 4)
+	}
+}
+
+// BenchmarkEngineRefineCached measures the steady state every layer of the
+// library now lives in: the refinement is served from the engine cache.
+func BenchmarkEngineRefineCached(b *testing.B) {
+	inst, err := BuildJmk(2, 4, JmkBuildOptions{NumGadgets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(0)
+	eng.Refine(inst.G, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Refine(inst.G, 4)
+	}
+}
+
+func BenchmarkRunExperimentsSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.All(core.Options{Quick: true, Seed: 1, Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunExperimentsParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.All(core.Options{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSubstrateViewTree(b *testing.B) {
 	g := Torus(20, 20)
 	b.ReportAllocs()

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	advicebench [-quick] [-markdown] [-seed N] [-only E5]
+//	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
 	seed := flag.Int64("seed", 1, "seed for the randomised corpus graphs and class members")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty runs all")
+	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = sequential)")
+	stats := flag.Bool("stats", false, "report the refinement-engine cache counters after the run")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -33,8 +36,9 @@ func main() {
 		}
 	}
 
+	eng := engine.New(0)
 	start := time.Now()
-	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed})
+	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed, Engine: eng, Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
 		// Print whatever was produced before the failure, then exit non-zero.
@@ -43,6 +47,11 @@ func main() {
 	}
 	printTables(tables, wanted, *markdown)
 	fmt.Printf("completed %d experiments in %v\n", countPrinted(tables, wanted), time.Since(start).Round(time.Millisecond))
+	if *stats {
+		s := eng.Stats()
+		fmt.Printf("engine: %d hits, %d misses, %d levels computed, %d stabilisation shortcuts, %d graphs cached\n",
+			s.Hits, s.Misses, s.Steps, s.Shortcuts, s.Graphs)
+	}
 }
 
 func printTables(tables []*core.Table, wanted map[string]bool, markdown bool) {

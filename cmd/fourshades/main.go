@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -22,9 +23,9 @@ import (
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
-	"repro/internal/view"
 )
 
 func main() {
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	engine, err := chooseEngine(*engineName)
+	sim, err := chooseEngine(*engineName)
 	if err != nil {
 		fail(err)
 	}
@@ -56,12 +57,16 @@ func main() {
 	}
 
 	fmt.Printf("network: n=%d, m=%d, Δ=%d, diameter=%d\n", g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter())
-	if !view.Feasible(g) {
+	// One refinement engine serves the feasibility check, the four election
+	// indices and the oracle of the chosen algorithm: the network's view
+	// classes are computed once for the whole invocation.
+	eng := engine.New(0)
+	if !eng.Feasible(g) {
 		fmt.Println("leader election is IMPOSSIBLE in this network: two nodes have identical views")
 		fmt.Println("(this is inherent to the symmetry of the network, not a limitation of any algorithm)")
 		os.Exit(2)
 	}
-	indices, err := election.Indices(g, election.Options{})
+	indices, err := election.Indices(g, election.Options{Engine: eng})
 	if err != nil {
 		fail(err)
 	}
@@ -71,9 +76,9 @@ func main() {
 	var adviceBits, rounds int
 	var outputs []election.Output
 	if task == election.S {
-		adviceBits, rounds, outputs, err = algorithms.RunSelectionWithAdvice(g, engine)
+		adviceBits, rounds, outputs, err = algorithms.RunSelectionWithAdvice(eng, g, sim)
 	} else {
-		adviceBits, rounds, outputs, err = algorithms.RunWithMapAdvice(g, task, election.Options{}, engine)
+		adviceBits, rounds, outputs, err = algorithms.RunWithMapAdvice(g, task, election.Options{Engine: eng}, sim)
 	}
 	if err != nil {
 		fail(err)
@@ -189,7 +194,9 @@ func generate(spec string) (*graph.Graph, error) {
 		if err != nil || len(params) != 3 {
 			return nil, fmt.Errorf("random needs n,m,seed")
 		}
-		rng := newRand(int64(params[2]))
+		// A locally constructed source; the global math/rand state (and its
+		// deprecated Seed) is never touched.
+		rng := rand.New(rand.NewSource(int64(params[2])))
 		return graph.RandomConnected(params[0], params[1], rng), nil
 	default:
 		return nil, fmt.Errorf("unknown generator %q", name)

@@ -25,8 +25,8 @@ import (
 
 	"repro/internal/construct"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/view"
 )
 
 func main() {
@@ -54,14 +54,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One engine serves the feasibility report, the ψ_S scan and the optional
+	// index computation, so the instance is refined exactly once.
+	eng := engine.New(0)
 	fmt.Printf("family %s: n=%d, m=%d, Δ=%d, diameter=%d, feasible=%v\n",
-		*family, g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter(), view.Feasible(g))
-	depth, unique := view.MinDepthSomeUnique(g)
+		*family, g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter(), eng.Feasible(g))
+	depth, unique := eng.MinDepthSomeUnique(g)
 	if depth >= 0 {
 		fmt.Printf("smallest depth with a unique view (ψ_S): %d (%d unique nodes)\n", depth, len(unique))
 	}
 	if *indices {
-		idx, err := election.Indices(g, election.Options{})
+		idx, err := election.Indices(g, election.Options{Engine: eng})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "genclass: computing indices: %v\n", err)
 		} else {

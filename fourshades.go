@@ -31,6 +31,7 @@ import (
 	"repro/internal/construct"
 	"repro/internal/core"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/lowerbound"
@@ -79,12 +80,42 @@ type View = view.View
 func ComputeView(g *Graph, v, h int) *View { return view.Compute(g, v, h) }
 
 // Feasible reports whether leader election is possible in g at all (all views
-// pairwise distinct).
-func Feasible(g *Graph) bool { return view.Feasible(g) }
+// pairwise distinct). The check is served by the shared refinement engine, so
+// repeating it (or following it with an index computation through the same
+// engine) costs nothing.
+func Feasible(g *Graph) bool { return engine.Default.Feasible(g) }
 
 // ViewClasses computes the equivalence classes of views of all nodes at all
-// depths up to maxDepth.
-func ViewClasses(g *Graph, maxDepth int) *view.Refinement { return view.Refine(g, maxDepth) }
+// depths up to maxDepth, through the shared refinement engine.
+func ViewClasses(g *Graph, maxDepth int) *view.Refinement {
+	return engine.Default.Refine(g, maxDepth)
+}
+
+// ---- Refinement engine -------------------------------------------------------
+
+// RefinementEngine is the concurrency-safe, memoizing view-refinement engine
+// every layer of the library computes view classes through: refinements are
+// computed once per (graph, depth), extended incrementally depth by depth,
+// and the per-round signature computation runs on a worker pool.
+type RefinementEngine = engine.Engine
+
+// EngineStats is a snapshot of an engine's hit/miss/recompute counters.
+type EngineStats = engine.Stats
+
+// NewEngine returns a fresh refinement engine whose signature computation
+// uses the given number of workers (0 = GOMAXPROCS). Pass it through
+// IndexOptions.Engine / ExperimentOptions.Engine to share cached refinements
+// across computations.
+func NewEngine(workers int) *RefinementEngine { return engine.New(workers) }
+
+// DefaultEngine returns the process-wide shared engine used by the facade
+// functions that do not take an explicit engine handle (Feasible,
+// ViewClasses, RunSelectionWithAdvice, UdkPortElection, FoolSelection). It
+// retains the class tables of up to 128 recently used graphs for the life of
+// the process (LRU-bounded); long-lived services streaming many large graphs
+// should create per-request engines with NewEngine, or call Reset on this
+// one, instead.
+func DefaultEngine() *RefinementEngine { return engine.Default }
 
 // ---- Tasks, outputs, election indices ----------------------------------------
 
@@ -164,14 +195,14 @@ var (
 // RunSelectionWithAdvice runs the Theorem 2.2 minimum-time Selection algorithm
 // on g (oracle + distributed machine) and returns the advice size, the rounds
 // used and the verified outputs.
-func RunSelectionWithAdvice(g *Graph, engine func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
-	return algorithms.RunSelectionWithAdvice(g, engine)
+func RunSelectionWithAdvice(g *Graph, sim func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
+	return algorithms.RunSelectionWithAdvice(engine.Default, g, sim)
 }
 
 // RunWithMapAdvice runs the generic minimum-time algorithm for any task with
 // full-map advice.
-func RunWithMapAdvice(g *Graph, task Task, opt IndexOptions, engine func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
-	return algorithms.RunWithMapAdvice(g, task, opt, engine)
+func RunWithMapAdvice(g *Graph, task Task, opt IndexOptions, sim func(*Graph, MachineFactory, SimConfig) (*SimResult, error)) (adviceBits, rounds int, outputs []Output, err error) {
+	return algorithms.RunWithMapAdvice(g, task, opt, sim)
 }
 
 // ---- Constructions ---------------------------------------------------------------
@@ -202,9 +233,9 @@ var (
 )
 
 // UdkPortElection evaluates the Lemma 3.9 minimum-time Port Election
-// algorithm on a U_{Δ,k} instance.
+// algorithm on a U_{Δ,k} instance, refining views through the shared engine.
 func UdkPortElection(u *UdkInstance) (depth int, outputs []Output, err error) {
-	return algorithms.UdkPortElectionOutputs(u)
+	return algorithms.UdkPortElectionOutputs(engine.Default, u)
 }
 
 // JmkPathElection evaluates the Lemma 4.8 minimum-time (Complete) Port Path
@@ -217,10 +248,15 @@ func JmkPathElection(inst *JmkInstance, task Task) (depth int, outputs []Output,
 
 // Fooling experiments reproducing the advice lower bounds.
 var (
-	FoolSelection    = lowerbound.FoolSelection
 	FoolPortElection = lowerbound.FoolPortElection
 	FoolPathElection = lowerbound.FoolPathElection
 )
+
+// FoolSelection reproduces the Theorem 2.9 fooling argument; its oracle
+// advice is computed through the shared refinement engine.
+func FoolSelection(delta, k, alpha, beta int) (*lowerbound.SelectionFooling, error) {
+	return lowerbound.FoolSelection(engine.Default, delta, k, alpha, beta)
+}
 
 // ---- Experiments -------------------------------------------------------------------
 

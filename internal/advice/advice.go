@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitstring"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/view"
 )
@@ -49,6 +50,11 @@ type ViewOracle struct {
 	Depth int
 	// UseDepthOverride indicates Depth is meaningful even when it is zero.
 	UseDepthOverride bool
+	// Engine is the view-refinement engine used to find unique views; nil
+	// means a fresh throwaway engine. Callers that already refined the graph
+	// (index computations, experiment suites) share their engine here so the
+	// oracle pays nothing for the classes.
+	Engine *engine.Engine
 }
 
 // Name implements Oracle.
@@ -66,13 +72,16 @@ func (o ViewOracle) Advise(g *graph.Graph) (bitstring.Bits, error) {
 // ChooseNode returns the node whose view the oracle encodes, together with the
 // depth used.
 func (o ViewOracle) ChooseNode(g *graph.Graph) (node, depth int, err error) {
+	eng := o.Engine
+	if eng == nil {
+		eng = engine.New(0)
+	}
 	depth = o.Depth
 	var unique []int
 	if o.UseDepthOverride {
-		r := view.Refine(g, depth)
-		unique = r.UniqueAt(depth)
+		unique = eng.UniqueAt(g, depth)
 	} else {
-		depth, unique = view.MinDepthSomeUnique(g)
+		depth, unique = eng.MinDepthSomeUnique(g)
 	}
 	if depth < 0 || len(unique) == 0 {
 		return -1, -1, fmt.Errorf("advice: no node has a unique view (graph infeasible or depth too small)")

@@ -69,7 +69,7 @@ func TestSelectionWithAdviceTheorem22(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for ename, engine := range engines() {
-			bits, rounds, outputs, err := RunSelectionWithAdvice(g, engine)
+			bits, rounds, outputs, err := RunSelectionWithAdvice(nil, g, engine)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, ename, err)
 			}
@@ -88,7 +88,7 @@ func TestSelectionWithAdviceTheorem22(t *testing.T) {
 
 func TestSelectionAdviceSizeMatchesOracle(t *testing.T) {
 	g := graph.Caterpillar(4, []int{0, 2, 1, 3})
-	n, err := SelectionAdviceSize(g)
+	n, err := SelectionAdviceSize(nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestMapAdviceAllTasks(t *testing.T) {
 			if bits != advice.GraphAdviceBits(g) {
 				t.Errorf("%s/%v: advice size %d differs from map encoding size", name, task, bits)
 			}
-			if err := CheckRealizable(g, task, rounds, outputs); err != nil {
+			if err := CheckRealizable(nil, g, task, rounds, outputs); err != nil {
 				t.Errorf("%s/%v: outputs not a function of B^h: %v", name, task, err)
 			}
 		}
@@ -154,14 +154,14 @@ func TestCheckRealizable(t *testing.T) {
 	// An assignment that distinguishes the two degree-1 endpoints at depth 0
 	// cannot be realised by a 0-round algorithm.
 	outputs := []election.Output{{Leader: true}, {}, {}, {}}
-	if err := CheckRealizable(g, election.S, 0, outputs); err == nil {
+	if err := CheckRealizable(nil, g, election.S, 0, outputs); err == nil {
 		t.Fatal("0-round-realisable check passed for an asymmetric assignment on twin views")
 	}
 	// At depth 1 the endpoints are distinguishable, so it becomes realisable.
-	if err := CheckRealizable(g, election.S, 1, outputs); err != nil {
+	if err := CheckRealizable(nil, g, election.S, 1, outputs); err != nil {
 		t.Fatalf("depth-1 realisability check failed: %v", err)
 	}
-	if err := CheckRealizable(g, election.S, 0, outputs[:2]); err == nil {
+	if err := CheckRealizable(nil, g, election.S, 0, outputs[:2]); err == nil {
 		t.Fatal("wrong-length outputs accepted")
 	}
 }
@@ -202,7 +202,7 @@ func TestAlgorithmsQuick(t *testing.T) {
 		if !view.Feasible(g) {
 			return true
 		}
-		_, rounds, outputs, err := RunSelectionWithAdvice(g, local.RunSequential)
+		_, rounds, outputs, err := RunSelectionWithAdvice(nil, g, local.RunSequential)
 		if err != nil {
 			return false
 		}
@@ -232,7 +232,7 @@ func BenchmarkSelectionWithAdvice(b *testing.B) {
 	g := graph.Caterpillar(6, []int{1, 2, 0, 3, 1, 2})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := RunSelectionWithAdvice(g, local.RunSequential); err != nil {
+		if _, _, _, err := RunSelectionWithAdvice(nil, g, local.RunSequential); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/advice"
 	"repro/internal/bitstring"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/view"
@@ -139,19 +140,25 @@ func (m *AssignmentMachine) Output() any {
 // with full-map advice, using the given simulation engine. It returns the
 // advice size in bits, the number of rounds used, and the verified outputs.
 func RunWithMapAdvice(g *graph.Graph, task election.Task, opt election.Options,
-	engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
+	sim func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
 
 	bits, err := (advice.MapOracle{}).Advise(g)
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	eval := MinTimeEvaluator(task, opt)
-	// Determine the round budget up front (the machines will recompute it).
-	depth, _, err := eval(g)
+	// Determine the round budget up front with the caller's (possibly shared)
+	// refinement engine. The machines recompute the assignment per node on
+	// their own decoded map copies; those get fresh throwaway engines — the
+	// decoded graphs are distinct objects, so a shared cache could only
+	// accumulate one dead entry per node, and simulated nodes should not
+	// share state anyway.
+	depth, _, err := MinTimeEvaluator(task, opt)(g)
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	res, err := engine(g, NewAssignmentFactory(advice.DecodeGraph, eval), local.Config{
+	nodeOpt := opt
+	nodeOpt.Engine = nil
+	res, err := sim(g, NewAssignmentFactory(advice.DecodeGraph, MinTimeEvaluator(task, nodeOpt)), local.Config{
 		MaxRounds: depth,
 		Advice:    bits,
 	})
@@ -168,23 +175,10 @@ func RunWithMapAdvice(g *graph.Graph, task election.Task, opt election.Options,
 // CheckRealizable verifies that a full output assignment is constant on
 // depth-h view classes, i.e. that it could be produced by an h-round
 // algorithm (Proposition 2.1 and its extensions). Together with
-// election.Verify this establishes ψ_task(G) <= h for the instance.
-func CheckRealizable(g *graph.Graph, task election.Task, h int, outputs []election.Output) error {
-	if len(outputs) != g.N() {
-		return fmt.Errorf("algorithms: %d outputs for %d nodes", len(outputs), g.N())
-	}
-	r := view.Refine(g, h)
-	classes := r.ClassAt(h)
-	rep := make(map[int]int) // class id -> representative node
-	for v, id := range classes {
-		if u, ok := rep[id]; ok {
-			if !outputs[u].Equal(task, outputs[v]) {
-				return fmt.Errorf("algorithms: nodes %d and %d share B^%d but output %v vs %v",
-					u, v, h, outputs[u], outputs[v])
-			}
-		} else {
-			rep[id] = v
-		}
-	}
-	return nil
+// election.Verify this establishes ψ_task(G) <= h for the instance. The
+// refinement routes through the given engine (nil = a fresh throwaway one),
+// so checking outputs produced by an engine-sharing evaluator reuses its
+// cached classes.
+func CheckRealizable(eng *engine.Engine, g *graph.Graph, task election.Task, h int, outputs []election.Output) error {
+	return election.RealizableAtDepth(eng, g, task, h, outputs)
 }

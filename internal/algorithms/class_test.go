@@ -24,7 +24,7 @@ func TestUdkPortElectionEvaluator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		depth, outputs, err := UdkPortElectionOutputs(u)
+		depth, outputs, err := UdkPortElectionOutputs(nil, u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +34,7 @@ func TestUdkPortElectionEvaluator(t *testing.T) {
 		if err := election.Verify(election.PE, u.G, outputs); err != nil {
 			t.Fatalf("Lemma 3.9 outputs invalid: %v", err)
 		}
-		if err := CheckRealizable(u.G, election.PE, depth, outputs); err != nil {
+		if err := CheckRealizable(nil, u.G, election.PE, depth, outputs); err != nil {
 			t.Fatalf("Lemma 3.9 outputs not realisable in k rounds: %v", err)
 		}
 		// The elected leader is a cycle node (Lemma 3.10).
@@ -99,7 +99,7 @@ func TestJmkEvaluatorReduced(t *testing.T) {
 			if err := election.Verify(task, inst.G, outputs); err != nil {
 				t.Fatalf("µ=%d k=%d gadgets=%d %v: invalid outputs: %v", tc.mu, tc.k, tc.gadgets, task, err)
 			}
-			if err := CheckRealizable(inst.G, task, depth, outputs); err != nil {
+			if err := CheckRealizable(nil, inst.G, task, depth, outputs); err != nil {
 				t.Fatalf("µ=%d k=%d gadgets=%d %v: not realisable at depth k: %v", tc.mu, tc.k, tc.gadgets, task, err)
 			}
 			if leader := election.LeaderOf(outputs); leader != inst.Rho[0] {
@@ -152,7 +152,7 @@ func BenchmarkUdkPortElectionEvaluator(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := UdkPortElectionOutputs(u); err != nil {
+		if _, _, err := UdkPortElectionOutputs(nil, u); err != nil {
 			b.Fatal(err)
 		}
 	}

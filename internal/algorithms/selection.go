@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/advice"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/view"
@@ -73,11 +74,12 @@ func (m *SelectionAdviceMachine) Output() any {
 }
 
 // RunSelectionWithAdvice wires the Theorem 2.2 oracle and machine together on
-// graph g: it computes the advice, runs the machine on the chosen engine for
-// exactly ψ_S(G) rounds, and returns the advice size, the number of rounds
-// used, and the verified outputs.
-func RunSelectionWithAdvice(g *graph.Graph, engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits int, rounds int, outputs []election.Output, err error) {
-	oracle := advice.ViewOracle{}
+// graph g: it computes the advice (finding the unique view through the given
+// refinement engine; nil = a fresh throwaway one), runs the machine on the
+// chosen simulation engine for exactly ψ_S(G) rounds, and returns the advice
+// size, the number of rounds used, and the verified outputs.
+func RunSelectionWithAdvice(eng *engine.Engine, g *graph.Graph, sim func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits int, rounds int, outputs []election.Output, err error) {
+	oracle := advice.ViewOracle{Engine: engine.OrNew(eng)}
 	bits, err := oracle.Advise(g)
 	if err != nil {
 		return 0, 0, nil, err
@@ -86,7 +88,7 @@ func RunSelectionWithAdvice(g *graph.Graph, engine func(*graph.Graph, local.Fact
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	res, err := engine(g, NewSelectionAdviceFactory(), local.Config{
+	res, err := sim(g, NewSelectionAdviceFactory(), local.Config{
 		MaxRounds: target.Height(),
 		Advice:    bits,
 	})
@@ -101,9 +103,10 @@ func RunSelectionWithAdvice(g *graph.Graph, engine func(*graph.Graph, local.Fact
 }
 
 // SelectionAdviceSize returns only the advice size used by the Theorem 2.2
-// oracle on g, for the experiment tables.
-func SelectionAdviceSize(g *graph.Graph) (int, error) {
-	bits, err := (advice.ViewOracle{}).Advise(g)
+// oracle on g, for the experiment tables. The unique view is located through
+// the given refinement engine (nil = a fresh throwaway one).
+func SelectionAdviceSize(eng *engine.Engine, g *graph.Graph) (int, error) {
+	bits, err := (advice.ViewOracle{Engine: engine.OrNew(eng)}).Advise(g)
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitstring"
 	"repro/internal/construct"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/view"
@@ -30,13 +31,16 @@ import (
 //   - otherwise ("light" nodes): output the first port toward the closest
 //     node of degree Δ+2 within the view, or toward the closest node of degree
 //     2Δ-1 if no cycle node is visible.
-func UdkPortElectionOutputs(u *construct.Udk) (int, []election.Output, error) {
+//
+// The depth-k view classes route through the given refinement engine (nil =
+// a fresh throwaway one), so experiment code that already refined the
+// instance reuses the cached classes.
+func UdkPortElectionOutputs(eng *engine.Engine, u *construct.Udk) (int, []election.Output, error) {
 	g := u.G
 	k := u.K
 	n := g.N()
 
-	ref := view.Refine(g, k)
-	classes := ref.ClassAt(k)
+	classes := engine.OrNew(eng).ClassAt(g, k)
 	groups := make(map[int][]int)
 	for v, id := range classes {
 		groups[id] = append(groups[id], v)
@@ -189,7 +193,9 @@ func UdkSigmaInterpreter(bits bitstring.Bits) (*graph.Graph, int, []election.Out
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	depth, outputs, err := UdkPortElectionOutputs(inst)
+	// Each simulated node rebuilds its own map copy, so a shared cache could
+	// never hit; the nil (fresh-engine) convention keeps the nodes state-free.
+	depth, outputs, err := UdkPortElectionOutputs(nil, inst)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -199,12 +205,12 @@ func UdkSigmaInterpreter(bits bitstring.Bits) (*graph.Graph, int, []election.Out
 // RunUdkPortElection executes the distributed Port Election algorithm with
 // σ-advice on the instance, verifying that it elects a leader with valid PE
 // outputs in exactly k rounds. It returns the advice size in bits.
-func RunUdkPortElection(u *construct.Udk, engine func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
+func RunUdkPortElection(u *construct.Udk, sim func(*graph.Graph, local.Factory, local.Config) (*local.Result, error)) (adviceBits, rounds int, outputs []election.Output, err error) {
 	bits, err := u.SigmaAdvice()
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	res, err := engine(u.G, NewInterpreterFactory(UdkSigmaInterpreter), local.Config{
+	res, err := sim(u.G, NewInterpreterFactory(UdkSigmaInterpreter), local.Config{
 		MaxRounds: u.K,
 		Advice:    bits,
 	})

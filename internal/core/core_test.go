@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -84,5 +86,57 @@ func TestAllQuick(t *testing.T) {
 		if !ids[id] {
 			t.Errorf("missing experiment %s", id)
 		}
+	}
+}
+
+// renderAll concatenates the rendered tables so runs can be compared
+// byte-for-byte.
+func renderAll(tables []*Table) string {
+	var sb strings.Builder
+	for _, table := range tables {
+		sb.WriteString(table.Render())
+		sb.WriteString(table.Markdown())
+	}
+	return sb.String()
+}
+
+// TestAllParallelMatchesSequential: the concurrent experiment fan-out
+// produces byte-identical tables to the sequential run, at several pool
+// widths.
+func TestAllParallelMatchesSequential(t *testing.T) {
+	seq, err := All(Options{Quick: true, Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(seq)
+	for _, par := range []int{0, 2, 4, 16} {
+		got, err := All(Options{Quick: true, Seed: 1, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if renderAll(got) != want {
+			t.Errorf("parallelism %d: tables differ from the sequential run", par)
+		}
+	}
+}
+
+// TestAllSharedEngineRefinesOnce: with one engine shared across the whole
+// concurrent suite, every (graph, depth) pair is refined at most once —
+// certified by Steps == CachedDepths with no evictions — and the corpus
+// graphs shared by E1/E2 actually produce cache hits.
+func TestAllSharedEngineRefinesOnce(t *testing.T) {
+	eng := engine.New(0)
+	if _, err := All(Options{Quick: true, Seed: 1, Engine: eng}); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Evictions != 0 {
+		t.Fatalf("engine evicted %d graphs during a quick run; the at-most-once assertion is void", s.Evictions)
+	}
+	if s.Steps != s.CachedDepths {
+		t.Errorf("engine computed %d levels but caches %d: some (graph, depth) was refined twice", s.Steps, s.CachedDepths)
+	}
+	if s.Hits == 0 {
+		t.Error("no cache hits across the suite; the shared engine is not being shared")
 	}
 }

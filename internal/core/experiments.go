@@ -3,15 +3,17 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/construct"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/lowerbound"
-	"repro/internal/view"
 )
 
 // Options scopes the experiment suite. Quick mode avoids the faithful
@@ -20,34 +22,71 @@ import (
 type Options struct {
 	Quick bool
 	Seed  int64
+	// Engine is the refinement engine shared by every experiment of the run;
+	// nil means a fresh engine per run. Sharing one engine across the suite
+	// (and across suites) deduplicates view refinements of the corpus graphs.
+	Engine *engine.Engine
+	// Parallelism bounds how many experiments All runs concurrently:
+	// 0 = GOMAXPROCS, 1 = sequential. Each experiment is deterministic given
+	// Options, so the produced tables are identical at every setting.
+	Parallelism int
+
+	// shared carries the per-run corpus and engine across the experiments of
+	// one All invocation; experiments invoked individually get their own.
+	shared *sharedState
+}
+
+// sharedState is the per-run state the experiments share: one refinement
+// engine and one lazily built corpus, so every experiment sees the same
+// graph objects and the engine caches refinements across experiments.
+type sharedState struct {
+	eng        *engine.Engine
+	corpusOnce sync.Once
+	corpus     map[string]*graph.Graph
+}
+
+// withShared returns opt with the shared state (and its engine) populated.
+func (o Options) withShared() Options {
+	if o.shared == nil {
+		eng := o.Engine
+		if eng == nil {
+			eng = engine.New(0)
+		}
+		o.shared = &sharedState{eng: eng}
+	}
+	return o
 }
 
 // corpus returns the named feasible graphs used by the cross-cutting
-// experiments (E1, E2).
-func corpus(seed int64) map[string]*graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	graphs := map[string]*graph.Graph{
-		"three-node-line": graph.ThreeNodeLine(),
-		"path-8":          graph.Path(8),
-		"star-8":          graph.Star(8),
-		"caterpillar-a":   graph.Caterpillar(4, []int{2, 0, 1, 3}),
-		"caterpillar-b":   graph.Caterpillar(5, []int{1, 1, 0, 2, 1}),
-	}
-	for i := 0; i < 3; i++ {
-		for tries := 0; tries < 50; tries++ {
-			n := 8 + rng.Intn(6)
-			m := n - 1 + rng.Intn(n)
-			if max := n * (n - 1) / 2; m > max {
-				m = max
-			}
-			g := graph.RandomConnected(n, m, rng)
-			if view.Feasible(g) {
-				graphs[fmt.Sprintf("random-%d", i)] = g
-				break
+// experiments (E1, E2), built once per run.
+func (o Options) corpus() map[string]*graph.Graph {
+	s := o.shared
+	s.corpusOnce.Do(func() {
+		rng := rand.New(rand.NewSource(o.Seed))
+		graphs := map[string]*graph.Graph{
+			"three-node-line": graph.ThreeNodeLine(),
+			"path-8":          graph.Path(8),
+			"star-8":          graph.Star(8),
+			"caterpillar-a":   graph.Caterpillar(4, []int{2, 0, 1, 3}),
+			"caterpillar-b":   graph.Caterpillar(5, []int{1, 1, 0, 2, 1}),
+		}
+		for i := 0; i < 3; i++ {
+			for tries := 0; tries < 50; tries++ {
+				n := 8 + rng.Intn(6)
+				m := n - 1 + rng.Intn(n)
+				if max := n * (n - 1) / 2; m > max {
+					m = max
+				}
+				g := graph.RandomConnected(n, m, rng)
+				if s.eng.Feasible(g) {
+					graphs[fmt.Sprintf("random-%d", i)] = g
+					break
+				}
 			}
 		}
-	}
-	return graphs
+		s.corpus = graphs
+	})
+	return s.corpus
 }
 
 // sortedNames returns map keys in sorted order for deterministic tables.
@@ -67,15 +106,16 @@ func sortedNames[M ~map[string]V, V any](m M) []string {
 // Experiment1Hierarchy (E1, Fact 1.1): election indices of the four tasks on a
 // corpus of feasible graphs, verifying ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S.
 func Experiment1Hierarchy(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E1",
 		Title:  "Fact 1.1 — election indices ψ_S <= ψ_PE <= ψ_PPE <= ψ_CPPE",
 		Header: []string{"graph", "n", "Δ", "ψ_S", "ψ_PE", "ψ_PPE", "ψ_CPPE", "hierarchy"},
 	}
-	graphs := corpus(opt.Seed)
+	graphs := opt.corpus()
 	for _, name := range sortedNames(graphs) {
 		g := graphs[name]
-		idx, err := election.Indices(g, election.Options{})
+		idx, err := election.Indices(g, election.Options{Engine: opt.shared.eng})
 		if err != nil {
 			return nil, fmt.Errorf("core: E1 %s: %w", name, err)
 		}
@@ -103,6 +143,7 @@ func Experiment1Hierarchy(opt Options) (*Table, error) {
 // algorithm is executed on every corpus graph; the advice size is compared
 // against (Δ-1)^{ψ_S}·log2 Δ and the rounds used against ψ_S.
 func Experiment2SelectionAdvice(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E2",
 		Title:  "Theorem 2.2 — Selection in minimum time with O((Δ-1)^{ψ_S} log Δ) advice",
@@ -111,14 +152,14 @@ func Experiment2SelectionAdvice(opt Options) (*Table, error) {
 			"advice bits is the measured size of the encoded view B^{ψ_S}(u); map advice bits is the Θ(m log n) full-map encoding for comparison",
 		},
 	}
-	graphs := corpus(opt.Seed)
+	graphs := opt.corpus()
 	for _, name := range sortedNames(graphs) {
 		g := graphs[name]
-		psi, err := election.Index(g, election.S, election.Options{})
+		psi, err := election.Index(g, election.S, election.Options{Engine: opt.shared.eng})
 		if err != nil {
 			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
 		}
-		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(g, local.RunSequential)
+		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(opt.shared.eng, g, local.RunSequential)
 		if err != nil {
 			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
 		}
@@ -148,6 +189,7 @@ var gdkParams = []struct{ Delta, K, Instance int }{
 // G_{Δ,k} are built and their structure checked: ψ_S equals k and the class
 // size matches the formula.
 func Experiment3Gdk(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E3",
 		Title:  "G_{Δ,k} construction — ψ_S(G_i) = k and |G_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}",
@@ -158,7 +200,7 @@ func Experiment3Gdk(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
 		}
-		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: p.K + 2})
+		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: p.K + 2, Engine: opt.shared.eng})
 		if err != nil {
 			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
 		}
@@ -183,6 +225,7 @@ func Experiment3Gdk(opt Options) (*Table, error) {
 // G_α and G_β yields multiple leaders in G_β), compared with the measured
 // upper bound of the Theorem 2.2 oracle.
 func Experiment4GdkLowerBound(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E4",
 		Title:  "Theorem 2.9 — advice for S in minimum time needs Ω((Δ-1)^k log Δ) bits",
@@ -197,11 +240,11 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		upper, err := algorithms.SelectionAdviceSize(inst.G)
+		upper, err := algorithms.SelectionAdviceSize(opt.shared.eng, inst.G)
 		if err != nil {
 			return nil, err
 		}
-		fool, err := lowerbound.FoolSelection(p.Delta, p.K, 2, 3)
+		fool, err := lowerbound.FoolSelection(opt.shared.eng, p.Delta, p.K, 2, 3)
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +267,7 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 // instances, ψ_S = ψ_PE = k, established by the refinement lower bound and by
 // running the Lemma 3.9 algorithm (with σ advice) on the LOCAL simulator.
 func Experiment5Udk(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E5",
 		Title:  "U_{Δ,k} — ψ_S = ψ_PE = k; Lemma 3.9 algorithm verified with σ-advice",
@@ -239,7 +283,7 @@ func Experiment5Udk(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref := view.Refine(u.G, p.K)
+		ref := opt.shared.eng.Refine(u.G, p.K)
 		lowerOK := len(ref.UniqueAt(p.K-1)) == 0
 		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
 		if err != nil {
@@ -270,9 +314,9 @@ func Experiment5Udk(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref := view.Refine(u.G, 2)
+		ref := opt.shared.eng.Refine(u.G, 2)
 		lowerOK := len(ref.UniqueAt(1)) == 0
-		depth, outputs, err := algorithms.UdkPortElectionOutputs(u)
+		depth, outputs, err := algorithms.UdkPortElectionOutputs(opt.shared.eng, u)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +325,7 @@ func Experiment5Udk(opt Options) (*Table, error) {
 		// leader condition is checked in full), see EXPERIMENTS.md.
 		sample := election.SampleNodes(u.G, 1000, opt.Seed)
 		verified := election.VerifySample(election.PE, u.G, outputs, sample) == nil &&
-			algorithms.CheckRealizable(u.G, election.PE, depth, outputs) == nil && depth == 2
+			algorithms.CheckRealizable(opt.shared.eng, u.G, election.PE, depth, outputs) == nil && depth == 2
 		bits, err := u.SigmaAdvice()
 		if err != nil {
 			return nil, err
@@ -300,6 +344,7 @@ func Experiment5Udk(opt Options) (*Table, error) {
 // for PE on U_{Δ,k} versus the Theorem 2.2 advice for S on the same graphs,
 // plus the heavy-root fooling experiment.
 func Experiment6UdkLowerBound(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E6",
 		Title:  "Theorem 3.11 — advice for PE in minimum time is exponential in Δ while S stays polynomial",
@@ -322,7 +367,7 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sBits, err := algorithms.SelectionAdviceSize(u.G)
+			sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, u.G)
 			if err != nil {
 				return nil, err
 			}
@@ -349,6 +394,7 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 // Experiment7Jmk (E7, Section 4.1 constructions, Facts 4.1/4.2): layer-graph
 // and class-size formulas, and construction of J instances.
 func Experiment7Jmk(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E7",
 		Title:  "J_{µ,k} construction — layer sizes (Fact 4.1), z and class size (Fact 4.2)",
@@ -384,6 +430,7 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 // Lemma 4.8 algorithm verified (fully on reduced instances, by sampling on the
 // faithful one).
 func Experiment8JmkIndices(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E8",
 		Title:  "Lemmas 4.6–4.9 — ψ_S = ψ_PPE = ψ_CPPE = k on J_{µ,k}; Lemma 4.8 algorithm verified",
@@ -407,7 +454,7 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 			return nil, err
 		}
 		cppeOK := election.Verify(election.CPPE, inst.G, cppe) == nil && depth == p.k &&
-			algorithms.CheckRealizable(inst.G, election.CPPE, depth, cppe) == nil
+			algorithms.CheckRealizable(opt.shared.eng, inst.G, election.CPPE, depth, cppe) == nil
 		ppeOK := election.Verify(election.PPE, inst.G, ppe) == nil
 		maxLen := 0
 		for _, o := range cppe {
@@ -437,7 +484,7 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := view.Refine(inst.G, inst.K-1)
+	ref := opt.shared.eng.Refine(inst.G, inst.K-1)
 	lowerOK := len(ref.UniqueAt(inst.K-1)) == 0
 	rep, err := algorithms.VerifyJmkSample(inst, election.CPPE, 2048, opt.Seed)
 	if err != nil {
@@ -457,6 +504,7 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 // 2^(z-1)-1 bits for PPE/CPPE on J_{µ,k}, the matching Y-advice upper bound,
 // and the Lemma 4.10 fooling experiment.
 func Experiment9JmkLowerBound(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:     "E9",
 		Title:  "Theorems 4.11/4.12 — advice for PPE/CPPE in minimum time is Ω(2^{Δ^{k/6}})",
@@ -483,7 +531,7 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sBits, err := algorithms.SelectionAdviceSize(instA.G)
+			sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, instA.G)
 			if err != nil {
 				return nil, err
 			}
@@ -508,6 +556,7 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 // time (exponential in Δ) on graph classes where all election indices
 // coincide.
 func Experiment10Separation(opt Options) (*Table, error) {
+	opt = opt.withShared()
 	t := &Table{
 		ID:    "E10",
 		Title: "Headline separation — advice for minimum-time S vs PE vs PPE/CPPE",
@@ -528,7 +577,7 @@ func Experiment10Separation(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sBits, err := algorithms.SelectionAdviceSize(inst.G)
+		sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, inst.G)
 		if err != nil {
 			return nil, err
 		}
@@ -552,7 +601,12 @@ func Experiment10Separation(opt Options) (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment and returns the tables in order.
+// All runs every experiment and returns the tables in order. The experiments
+// execute concurrently on a bounded worker pool (see Options.Parallelism)
+// and share one corpus and one refinement engine; each experiment is a
+// deterministic function of Options, so the tables are byte-identical to a
+// sequential (Parallelism = 1) run. As in the sequential run, the returned
+// prefix stops before the first (in experiment order) failing experiment.
 func All(opt Options) ([]*Table, error) {
 	runners := []func(Options) (*Table, error){
 		Experiment1Hierarchy,
@@ -566,13 +620,38 @@ func All(opt Options) ([]*Table, error) {
 		Experiment9JmkLowerBound,
 		Experiment10Separation,
 	}
+	opt = opt.withShared()
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(runners) {
+		par = len(runners)
+	}
+	type outcome struct {
+		table *Table
+		err   error
+	}
+	results := make([]outcome, len(runners))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, run := range runners {
+		wg.Add(1)
+		go func(i int, run func(Options) (*Table, error)) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			table, err := run(opt)
+			results[i] = outcome{table, err}
+		}(i, run)
+	}
+	wg.Wait()
 	var tables []*Table
-	for _, run := range runners {
-		table, err := run(opt)
-		if err != nil {
-			return tables, err
+	for _, r := range results {
+		if r.err != nil {
+			return tables, r.err
 		}
-		tables = append(tables, table)
+		tables = append(tables, r.table)
 	}
 	return tables, nil
 }

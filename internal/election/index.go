@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/view"
 )
@@ -31,6 +32,11 @@ type Options struct {
 	// MaxLeaderCandidates caps how many candidate leaders are tried per depth;
 	// 0 means all nodes with unique views at that depth.
 	MaxLeaderCandidates int
+	// Engine is the shared view-refinement engine; nil means a fresh engine
+	// per computation. Passing one engine to several index computations on
+	// the same graph (e.g. all four tasks via Indices) deduplicates the
+	// refinement work across them.
+	Engine *engine.Engine
 }
 
 func (o Options) withDefaults(g *graph.Graph) Options {
@@ -39,6 +45,9 @@ func (o Options) withDefaults(g *graph.Graph) Options {
 	}
 	if o.MaxPathsPerNode <= 0 {
 		o.MaxPathsPerNode = 4096
+	}
+	if o.Engine == nil {
+		o.Engine = engine.New(0)
 	}
 	return o
 }
@@ -65,8 +74,10 @@ func Index(g *graph.Graph, task Task, opt Options) (int, error) {
 	return a.Depth, nil
 }
 
-// Indices computes all four election indices.
+// Indices computes all four election indices. The four computations share
+// one refinement engine, so the underlying view classes are computed once.
 func Indices(g *graph.Graph, opt Options) (map[Task]int, error) {
+	opt = opt.withDefaults(g)
 	out := make(map[Task]int, len(Tasks))
 	for _, task := range Tasks {
 		idx, err := Index(g, task, opt)
@@ -93,8 +104,12 @@ func MinTimeAssignment(g *graph.Graph, task Task, opt Options) (*Assignment, err
 	if n == 1 {
 		return &Assignment{Task: task, Depth: 0, Leader: 0, Outputs: []Output{{Leader: true}}}, nil
 	}
-	r := view.Refine(g, maxDepth)
+	// Refine depth by depth through the engine: the refinement is extended
+	// incrementally (and cached across tasks when the caller shares an
+	// engine), and the search stops at the answer's depth instead of paying
+	// for all maxDepth levels up front.
 	for h := 0; h <= maxDepth; h++ {
+		r := opt.Engine.Refine(g, h)
 		a, err := AssignmentAtDepth(g, r, task, h, opt)
 		if err == nil {
 			return a, nil
@@ -115,7 +130,7 @@ func MinTimeAssignment(g *graph.Graph, task Task, opt Options) (*Assignment, err
 // nodes knowing the map (i.e. whether ψ_task(G) <= h).
 func SolvableAtDepth(g *graph.Graph, task Task, h int, opt Options) (bool, error) {
 	opt = opt.withDefaults(g)
-	r := view.Refine(g, h)
+	r := opt.Engine.Refine(g, h)
 	_, err := AssignmentAtDepth(g, r, task, h, opt)
 	if err == nil {
 		return true, nil

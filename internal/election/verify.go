@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
@@ -106,6 +107,32 @@ func validCPPE(g *graph.Graph, v, leader int, pairs []graph.PortPair) error {
 	}
 	if nodes[len(nodes)-1] != leader {
 		return fmt.Errorf("CPPE path ends at node %d, not at the leader", nodes[len(nodes)-1])
+	}
+	return nil
+}
+
+// RealizableAtDepth verifies that a full output assignment is constant on
+// depth-h view classes, i.e. that it could be produced by an h-round
+// algorithm (Proposition 2.1 and its extensions to the stronger tasks).
+// Together with Verify this establishes ψ_task(G) <= h for the instance. The
+// refinement routes through the engine (nil = a fresh throwaway engine), so
+// a verifier sharing the engine of the index computation pays nothing extra
+// for the classes.
+func RealizableAtDepth(eng *engine.Engine, g *graph.Graph, task Task, h int, outputs []Output) error {
+	if len(outputs) != g.N() {
+		return fmt.Errorf("election: %d outputs for %d nodes", len(outputs), g.N())
+	}
+	classes := engine.OrNew(eng).ClassAt(g, h)
+	rep := make(map[int]int) // class id -> representative node
+	for v, id := range classes {
+		if u, ok := rep[id]; ok {
+			if !outputs[u].Equal(task, outputs[v]) {
+				return fmt.Errorf("election: nodes %d and %d share B^%d but output %v vs %v",
+					u, v, h, outputs[u], outputs[v])
+			}
+		} else {
+			rep[id] = v
+		}
 	}
 	return nil
 }

@@ -1,0 +1,359 @@
+// Package engine provides a concurrency-safe, memoizing view-refinement
+// engine. Every layer of the reproduction — election indices, the
+// class-specific algorithms, the advice oracles, the lower-bound fooling
+// experiments and the experiment suite — bottoms out in the same primitive:
+// computing the view-equivalence refinement B^h(v) over a port-numbered
+// graph. The engine computes that refinement once per (graph, depth),
+// extends cached refinements incrementally depth by depth, and parallelizes
+// the per-round signature computation across a worker pool, so the cost of a
+// refinement is paid at most once per process no matter how many layers ask
+// for it.
+//
+// Three properties make the sharing safe:
+//
+//   - graphs are immutable after construction, so the *graph.Graph pointer
+//     is a sound cache key;
+//   - class identifiers are assigned in first-occurrence order, a canonical
+//     numbering determined by the partition alone, so incremental extension,
+//     parallel signature computation and the stabilisation shortcut all
+//     produce tables identical to view.Refine's;
+//   - once the partition stabilises (no class splits from one depth to the
+//     next) it never changes again, so deeper levels alias the stabilised
+//     table instead of being recomputed — refining to depth n-1 on a graph
+//     that stabilises at depth 3 costs 3 rounds, not n-1.
+//
+// The engine keeps hit/miss/step counters (Stats) so tests and experiment
+// reports can assert that each (graph, depth) was refined at most once.
+package engine
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// Engine is a concurrency-safe, memoizing view-refinement engine. The zero
+// value is not usable; construct instances with New. Independent graphs
+// refine concurrently; concurrent requests for the same graph serialise on a
+// per-graph lock, so no level is ever computed twice.
+type Engine struct {
+	workers           int // size of the signature worker pool
+	parallelThreshold int // graphs with fewer nodes refine sequentially
+	maxGraphs         int // cached graphs beyond this evict least-recently-used
+
+	mu      sync.Mutex
+	entries map[*graph.Graph]*entry
+	lru     *list.List // of *graph.Graph, front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	steps     atomic.Uint64
+	shortcuts atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// entry is the cached refinement state of one graph, grown lazily.
+type entry struct {
+	mu       sync.Mutex
+	classes  [][]int // classes[h][v], len = cached maxdepth + 1
+	numClass []int
+	computed int // levels computed from scratch (excludes stabilisation aliases)
+	stableAt int // smallest h with partition(h) == partition(h+1); -1 if unknown
+	elem     *list.Element
+}
+
+// Default is the process-wide shared engine used by callers that do not
+// thread an explicit handle (the facade wrappers and nil-engine defaults).
+var Default = New(0)
+
+// New returns an engine whose signature computation uses the given number of
+// workers; workers <= 0 means GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:           workers,
+		parallelThreshold: 4096,
+		maxGraphs:         128,
+		entries:           make(map[*graph.Graph]*entry),
+		lru:               list.New(),
+	}
+}
+
+// OrNew returns e, or a fresh throwaway engine when e is nil. It is the
+// library-wide nil-engine convention: passing nil never shares process-global
+// cache state — callers that want cross-call caching pass an engine (their
+// own, or Default) explicitly.
+func OrNew(e *Engine) *Engine {
+	if e != nil {
+		return e
+	}
+	return New(0)
+}
+
+// Stats is a point-in-time snapshot of the engine counters. Hits and Misses
+// count queries — one per Refine / Feasible / StabilisationDepth call (a
+// MinDepthSomeUnique call issues one Refine query per depth it inspects);
+// Steps counts the per-depth work those queries caused.
+type Stats struct {
+	Hits         uint64 // queries served entirely from cache
+	Misses       uint64 // queries that had to compute at least one level
+	Steps        uint64 // refinement levels computed from scratch
+	Shortcuts    uint64 // levels served by the stabilisation shortcut
+	Evictions    uint64 // cached graphs dropped by the LRU bound
+	Graphs       int    // graphs currently cached
+	CachedDepths uint64 // sum over cached graphs of levels computed from scratch
+}
+
+// Stats returns a snapshot of the counters. When Evictions is zero,
+// Steps == CachedDepths certifies that every (graph, depth) pair was refined
+// at most once since the engine was created (or last Reset).
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Steps:     e.steps.Load(),
+		Shortcuts: e.shortcuts.Load(),
+		Evictions: e.evictions.Load(),
+	}
+	// Snapshot the entry set first, then sum outside e.mu: holding the
+	// engine-wide lock while waiting on a per-entry lock would stall every
+	// lookup behind the longest in-flight refinement.
+	e.mu.Lock()
+	s.Graphs = len(e.entries)
+	entries := make([]*entry, 0, len(e.entries))
+	for _, ent := range e.entries {
+		entries = append(entries, ent)
+	}
+	e.mu.Unlock()
+	for _, ent := range entries {
+		ent.mu.Lock()
+		s.CachedDepths += uint64(ent.computed)
+		ent.mu.Unlock()
+	}
+	return s
+}
+
+// Reset drops every cached refinement and zeroes the counters.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.entries = make(map[*graph.Graph]*entry)
+	e.lru.Init()
+	e.mu.Unlock()
+	e.hits.Store(0)
+	e.misses.Store(0)
+	e.steps.Store(0)
+	e.shortcuts.Store(0)
+	e.evictions.Store(0)
+}
+
+// Refine returns a refinement of g covering depths 0..depth, computing only
+// the levels not already cached. The returned Refinement shares the cached
+// per-depth tables; callers must not modify them.
+func (e *Engine) Refine(g *graph.Graph, depth int) *view.Refinement {
+	if depth < 0 {
+		panic("engine: negative depth")
+	}
+	ent := e.entryFor(g)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if len(ent.classes)-1 >= depth {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+		e.extendLocked(g, ent, depth)
+	}
+	return view.NewRefinement(g, ent.classes[:depth+1], ent.numClass[:depth+1])
+}
+
+// entryFor returns the cache entry of g, creating (and LRU-evicting) as
+// needed. The entry is returned unlocked and possibly still empty: all O(n)
+// classification work happens later under the per-entry lock, so the
+// engine-wide critical section stays O(1).
+func (e *Engine) entryFor(g *graph.Graph) *entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.entries[g]; ok {
+		e.lru.MoveToFront(ent.elem)
+		return ent
+	}
+	ent := &entry{stableAt: -1}
+	ent.elem = e.lru.PushFront(g)
+	e.entries[g] = ent
+	for len(e.entries) > e.maxGraphs {
+		oldest := e.lru.Back()
+		old := oldest.Value.(*graph.Graph)
+		e.lru.Remove(oldest)
+		delete(e.entries, old)
+		e.evictions.Add(1)
+	}
+	return ent
+}
+
+// extendLocked grows the cached tables of g up to depth. Caller holds ent.mu.
+func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
+	if len(ent.classes) == 0 {
+		classes, num := view.DegreeClasses(g)
+		ent.classes = [][]int{classes}
+		ent.numClass = []int{num}
+	}
+	for len(ent.classes)-1 < depth {
+		h := len(ent.classes) // the level about to be produced
+		if ent.stableAt >= 0 {
+			// The partition no longer changes; deeper levels alias the
+			// stabilised table (identifiers are canonical for the partition,
+			// so the alias equals what a fresh consing pass would produce).
+			ent.classes = append(ent.classes, ent.classes[h-1])
+			ent.numClass = append(ent.numClass, ent.numClass[h-1])
+			e.shortcuts.Add(1)
+			continue
+		}
+		next, num := e.refineLevel(g, ent.classes[h-1])
+		ent.classes = append(ent.classes, next)
+		ent.numClass = append(ent.numClass, num)
+		ent.computed++
+		e.steps.Add(1)
+		// Each level refines the previous one, so an unchanged class count
+		// means an unchanged partition — and it stays fixed forever after.
+		if num == ent.numClass[h-1] {
+			ent.stableAt = h - 1
+		}
+	}
+}
+
+// refineLevel computes one refinement level from the previous one using the
+// view package's shared signature scheme. Signatures are computed in
+// parallel across the worker pool on large graphs; identifier assignment is
+// a single sequential consing pass, so the numbering is deterministic
+// regardless of parallelism.
+func (e *Engine) refineLevel(g *graph.Graph, prev []int) ([]int, int) {
+	n := g.N()
+	if e.workers <= 1 || n < e.parallelThreshold {
+		return view.RefineStep(g, prev)
+	}
+	sigs := make([]string, n)
+	chunk := (n + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			view.FillLevelSignatures(g, prev, sigs, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return view.ConsSignatures(sigs)
+}
+
+// stabilisationLocked extends the cached tables until stabilisation is
+// detected and returns the stabilisation depth. Caller holds ent.mu.
+func (e *Engine) stabilisationLocked(g *graph.Graph, ent *entry) int {
+	for ent.stableAt < 0 {
+		e.extendLocked(g, ent, len(ent.classes))
+	}
+	return ent.stableAt
+}
+
+// StabilisationDepth returns the smallest depth at which the view partition
+// of g stops refining (engine-cached analogue of view.StabilisationDepth).
+func (e *Engine) StabilisationDepth(g *graph.Graph) int {
+	ent := e.entryFor(g)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.stableAt >= 0 {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	return e.stabilisationLocked(g, ent)
+}
+
+// Feasible reports whether leader election is possible in g at all (all
+// infinite views pairwise distinct); engine-cached analogue of view.Feasible.
+func (e *Engine) Feasible(g *graph.Graph) bool {
+	n := g.N()
+	if n == 1 {
+		return true
+	}
+	ent := e.entryFor(g)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	extended := false
+	defer func() {
+		if extended {
+			e.misses.Add(1)
+		} else {
+			e.hits.Add(1)
+		}
+	}()
+	for h := 0; ; h++ {
+		if h >= len(ent.classes) {
+			e.extendLocked(g, ent, h)
+			extended = true
+		}
+		if ent.numClass[h] == n {
+			return true
+		}
+		if ent.stableAt >= 0 && h > ent.stableAt {
+			return false
+		}
+	}
+}
+
+// MinDepthSomeUnique returns the smallest depth at which some node's view is
+// unique together with that depth's unique nodes, or (-1, nil) if no depth
+// works; engine-cached analogue of view.MinDepthSomeUnique. For feasible
+// graphs the depth equals ψ_S(G).
+func (e *Engine) MinDepthSomeUnique(g *graph.Graph) (int, []int) {
+	for h := 0; ; h++ {
+		r := e.Refine(g, h)
+		if unique := r.UniqueAt(h); len(unique) > 0 {
+			return h, unique
+		}
+		// Extending to depth h detects stabilisation at h-1 as a side effect,
+		// so this read-only check terminates the loop one level past the
+		// stabilisation depth without ever refining deeper than needed.
+		if s, known := e.stabilisedAt(g); known && h > s {
+			return -1, nil
+		}
+	}
+}
+
+// stabilisedAt reads the stabilisation depth of g if it has been detected.
+func (e *Engine) stabilisedAt(g *graph.Graph) (int, bool) {
+	ent := e.entryFor(g)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	return ent.stableAt, ent.stableAt >= 0
+}
+
+// UniqueAt returns the nodes of g whose depth-h view is unique.
+func (e *Engine) UniqueAt(g *graph.Graph, h int) []int {
+	return e.Refine(g, h).UniqueAt(h)
+}
+
+// ClassAt returns the class identifiers of g's nodes at depth h (shared
+// slice; do not modify) — the engine-cached analogue of
+// view.Refinement.ClassAt.
+func (e *Engine) ClassAt(g *graph.Graph, h int) []int {
+	return e.Refine(g, h).ClassAt(h)
+}
+
+// NumClassesAt returns the number of distinct depth-h view classes of g.
+func (e *Engine) NumClassesAt(g *graph.Graph, h int) int {
+	return e.Refine(g, h).NumClassesAt(h)
+}
+
+// SameView reports whether B^h(u) = B^h(v) in g.
+func (e *Engine) SameView(g *graph.Graph, u, v, h int) bool {
+	return e.Refine(g, h).SameView(u, v, h)
+}

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// testGraphs is a corpus mixing the paper's examples, symmetric (infeasible)
+// topologies and random connected graphs.
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	graphs := map[string]*graph.Graph{
+		"three-node-line": graph.ThreeNodeLine(),
+		"path-2":          graph.Path(2),
+		"path-8":          graph.Path(8),
+		"star-8":          graph.Star(8),
+		"ring-6":          graph.Ring(6),
+		"torus-3x4":       graph.Torus(3, 4),
+		"caterpillar":     graph.Caterpillar(4, []int{2, 0, 1, 3}),
+	}
+	for i := 0; i < 4; i++ {
+		n := 8 + rng.Intn(8)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		graphs["random-"+string(rune('a'+i))] = graph.RandomConnected(n, m, rng)
+	}
+	return graphs
+}
+
+// TestRefineMatchesView: the engine's tables are identical (including class
+// identifiers, which are canonical first-occurrence numbers) to the
+// from-scratch view.Refine at every depth, including depths far past
+// stabilisation where the engine serves aliased tables.
+func TestRefineMatchesView(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		eng := New(0)
+		maxDepth := g.N() + 2 // deliberately past stabilisation
+		want := view.Refine(g, maxDepth)
+		got := eng.Refine(g, maxDepth)
+		for h := 0; h <= maxDepth; h++ {
+			if !reflect.DeepEqual(got.ClassAt(h), want.ClassAt(h)) {
+				t.Errorf("%s depth %d: engine classes %v, view.Refine %v", name, h, got.ClassAt(h), want.ClassAt(h))
+			}
+			if got.NumClassesAt(h) != want.NumClassesAt(h) {
+				t.Errorf("%s depth %d: engine %d classes, view.Refine %d", name, h, got.NumClassesAt(h), want.NumClassesAt(h))
+			}
+		}
+	}
+}
+
+// TestIncrementalExtension: refining depth by depth through the cache gives
+// the same tables as one from-scratch computation.
+func TestIncrementalExtension(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		eng := New(0)
+		maxDepth := g.N()
+		want := view.Refine(g, maxDepth)
+		for h := 0; h <= maxDepth; h++ {
+			r := eng.Refine(g, h)
+			if !reflect.DeepEqual(r.ClassAt(h), want.ClassAt(h)) {
+				t.Fatalf("%s: incremental extension to depth %d diverged", name, h)
+			}
+		}
+		s := eng.Stats()
+		if s.Evictions != 0 || s.Steps != s.CachedDepths {
+			t.Errorf("%s: steps %d != cached depths %d (evictions %d): some level was recomputed",
+				name, s.Steps, s.CachedDepths, s.Evictions)
+		}
+	}
+}
+
+// TestCacheHitSemantics: a second Refine on the same (graph, depth) is a
+// cache hit that returns the very same underlying tables and computes no new
+// level.
+func TestCacheHitSemantics(t *testing.T) {
+	g := graph.Torus(3, 4)
+	eng := New(0)
+
+	r1 := eng.Refine(g, 3)
+	s := eng.Stats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first Refine: hits %d misses %d, want 0/1", s.Hits, s.Misses)
+	}
+	steps := s.Steps
+	if steps == 0 {
+		t.Fatal("first Refine computed no level")
+	}
+
+	r2 := eng.Refine(g, 3)
+	s = eng.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after second Refine: hits %d misses %d, want 1/1", s.Hits, s.Misses)
+	}
+	if s.Steps != steps {
+		t.Fatalf("second Refine recomputed levels: steps %d -> %d", steps, s.Steps)
+	}
+	a, b := r1.ClassAt(3), r2.ClassAt(3)
+	if &a[0] != &b[0] {
+		t.Error("cached Refine returned a different table for the same depth")
+	}
+
+	// A shallower request is also a hit; a deeper one extends incrementally.
+	if eng.Refine(g, 1); eng.Stats().Hits != 2 {
+		t.Error("shallower Refine was not a cache hit")
+	}
+	eng.Refine(g, 5)
+	s = eng.Stats()
+	if s.Misses != 2 {
+		t.Errorf("deeper Refine: misses %d, want 2", s.Misses)
+	}
+	if s.Steps+s.Shortcuts < 5 {
+		t.Errorf("deeper Refine did not extend: steps %d shortcuts %d", s.Steps, s.Shortcuts)
+	}
+}
+
+// TestStabilisationShortcut: far past stabilisation, levels are aliased, not
+// recomputed.
+func TestStabilisationShortcut(t *testing.T) {
+	g := graph.Path(8) // stabilises quickly, n-1 = 7 depths would be wasted
+	eng := New(0)
+	eng.Refine(g, 100)
+	s := eng.Stats()
+	if s.Shortcuts == 0 {
+		t.Fatal("no stabilisation shortcut on a depth-100 refinement of an 8-path")
+	}
+	if s.Steps >= 100 {
+		t.Fatalf("engine computed %d levels from scratch; the shortcut is not working", s.Steps)
+	}
+	if got, want := eng.StabilisationDepth(g), view.StabilisationDepth(g); got != want {
+		t.Errorf("StabilisationDepth = %d, view package says %d", got, want)
+	}
+}
+
+// TestParallelSignatureComputation: with the worker pool forced on (tiny
+// threshold), the tables stay identical to the sequential computation.
+func TestParallelSignatureComputation(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		eng := New(4)
+		eng.parallelThreshold = 1 // force the pool even on tiny graphs
+		maxDepth := g.N()
+		want := view.Refine(g, maxDepth)
+		got := eng.Refine(g, maxDepth)
+		for h := 0; h <= maxDepth; h++ {
+			if !reflect.DeepEqual(got.ClassAt(h), want.ClassAt(h)) {
+				t.Errorf("%s depth %d: parallel refinement diverged from sequential", name, h)
+			}
+		}
+	}
+}
+
+// TestConcurrentRefine exercises concurrent Refine calls on the same engine
+// and the same graphs; run with -race. Every goroutine must observe tables
+// identical to the from-scratch computation.
+func TestConcurrentRefine(t *testing.T) {
+	graphs := []*graph.Graph{graph.Torus(4, 5), graph.Star(9), graph.Caterpillar(5, []int{1, 1, 0, 2, 1})}
+	wants := make([]*view.Refinement, len(graphs))
+	for i, g := range graphs {
+		wants[i] = view.Refine(g, 8)
+	}
+	eng := New(2)
+	eng.parallelThreshold = 8 // mix in worker-pool refinement
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < 20; it++ {
+				i := rng.Intn(len(graphs))
+				h := rng.Intn(9)
+				r := eng.Refine(graphs[i], h)
+				if !reflect.DeepEqual(r.ClassAt(h), wants[i].ClassAt(h)) {
+					errs <- "concurrent Refine returned wrong classes"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	s := eng.Stats()
+	if s.Evictions != 0 || s.Steps != s.CachedDepths {
+		t.Errorf("concurrent use recomputed a level: steps %d, cached depths %d", s.Steps, s.CachedDepths)
+	}
+}
+
+// TestFeasibilityHelpers: the engine-cached feasibility/uniqueness helpers
+// agree with the view package on the whole corpus.
+func TestFeasibilityHelpers(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		eng := New(0)
+		if got, want := eng.Feasible(g), view.Feasible(g); got != want {
+			t.Errorf("%s: engine Feasible = %v, view says %v", name, got, want)
+		}
+		gotD, gotU := eng.MinDepthSomeUnique(g)
+		wantD, wantU := view.MinDepthSomeUnique(g)
+		if gotD != wantD || !reflect.DeepEqual(gotU, wantU) {
+			t.Errorf("%s: engine MinDepthSomeUnique = (%d, %v), view says (%d, %v)", name, gotD, gotU, wantD, wantU)
+		}
+		if got, want := eng.StabilisationDepth(g), view.StabilisationDepth(g); got != want {
+			t.Errorf("%s: engine StabilisationDepth = %d, view says %d", name, got, want)
+		}
+	}
+}
+
+// TestEviction: the LRU bound drops the least recently used graph and counts
+// the eviction.
+func TestEviction(t *testing.T) {
+	eng := New(0)
+	eng.maxGraphs = 2
+	graphs := []*graph.Graph{graph.Path(4), graph.Star(5), graph.Ring(6)}
+	for _, g := range graphs {
+		eng.Refine(g, 2)
+	}
+	s := eng.Stats()
+	if s.Graphs != 2 {
+		t.Errorf("cached graphs = %d, want 2", s.Graphs)
+	}
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	// The evicted (oldest) graph is recomputed on demand — a miss, not a hit.
+	eng.Refine(graphs[0], 2)
+	if got := eng.Stats(); got.Hits != 0 {
+		t.Errorf("refining an evicted graph counted as a hit (hits = %d)", got.Hits)
+	}
+}
+
+// TestReset drops caches and counters.
+func TestReset(t *testing.T) {
+	eng := New(0)
+	eng.Refine(graph.Path(5), 3)
+	eng.Reset()
+	s := eng.Stats()
+	if s.Graphs != 0 || s.Hits+s.Misses+s.Steps+s.Shortcuts != 0 {
+		t.Errorf("Reset left state behind: %+v", s)
+	}
+}
+
+func BenchmarkRefineColdTorus(b *testing.B) {
+	g := graph.Torus(40, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(0).Refine(g, 6)
+	}
+}
+
+func BenchmarkRefineCachedTorus(b *testing.B) {
+	g := graph.Torus(40, 40)
+	eng := New(0)
+	eng.Refine(g, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Refine(g, 6)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/construct"
 	"repro/internal/election"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/view"
@@ -46,8 +47,10 @@ type SelectionFooling struct {
 // G_β of G_{Δ,k} (α < β): the oracle advice that makes the Theorem 2.2
 // algorithm elect r_{α,2} in G_α is given, unchanged, to G_β; because G_β
 // contains two copies of T_{α,2} whose roots have the same view, both copies
-// elect themselves and Selection fails.
-func FoolSelection(delta, k, alpha, beta int) (*SelectionFooling, error) {
+// elect themselves and Selection fails. The oracle's refinement routes
+// through the given engine (nil = a fresh throwaway one), so experiment suites
+// that already refined G_α reuse the cached classes.
+func FoolSelection(eng *engine.Engine, delta, k, alpha, beta int) (*SelectionFooling, error) {
 	if alpha < 1 || beta <= alpha {
 		return nil, fmt.Errorf("lowerbound: need 1 <= alpha < beta, got %d, %d", alpha, beta)
 	}
@@ -73,7 +76,7 @@ func FoolSelection(delta, k, alpha, beta int) (*SelectionFooling, error) {
 	}
 
 	// Advice computed for G_α (it encodes B^k(r_{α,2})), then handed to G_β.
-	bits, err := (advice.ViewOracle{Depth: k, UseDepthOverride: true}).Advise(ga.G)
+	bits, err := (advice.ViewOracle{Depth: k, UseDepthOverride: true, Engine: engine.OrNew(eng)}).Advise(ga.G)
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,7 @@ func TestFoolSelection(t *testing.T) {
 		if beta <= alpha {
 			beta = alpha + 1
 		}
-		res, err := FoolSelection(tc.delta, tc.k, alpha, beta)
+		res, err := FoolSelection(nil, tc.delta, tc.k, alpha, beta)
 		if err != nil {
 			t.Fatalf("FoolSelection(%d,%d,%d,%d): %v", tc.delta, tc.k, alpha, beta, err)
 		}
@@ -64,7 +64,7 @@ func TestFoolSelection(t *testing.T) {
 			t.Errorf("advice unexpectedly empty")
 		}
 	}
-	if _, err := FoolSelection(4, 1, 3, 2); err == nil {
+	if _, err := FoolSelection(nil, 4, 1, 3, 2); err == nil {
 		t.Error("alpha >= beta accepted")
 	}
 }

@@ -1,9 +1,6 @@
 package view
 
 import (
-	"fmt"
-	"strings"
-
 	"repro/internal/graph"
 )
 
@@ -23,19 +20,7 @@ type Incremental struct {
 // NewIncremental starts a refiner at depth 0 (classes = degrees).
 func NewIncremental(g *graph.Graph) *Incremental {
 	inc := &Incremental{g: g, prevNum: -1}
-	n := g.N()
-	inc.classes = make([]int, n)
-	ids := make(map[int]int)
-	for v := 0; v < n; v++ {
-		d := g.Degree(v)
-		id, ok := ids[d]
-		if !ok {
-			id = len(ids)
-			ids[d] = id
-		}
-		inc.classes[v] = id
-	}
-	inc.num = len(ids)
+	inc.classes, inc.num = DegreeClasses(g)
 	return inc
 }
 
@@ -74,28 +59,9 @@ func (inc *Incremental) Unique() []int {
 
 // Step refines one more level (depth h -> h+1).
 func (inc *Incremental) Step() {
-	g := inc.g
-	n := g.N()
-	next := make([]int, n)
-	sigIDs := make(map[string]int)
-	var sb strings.Builder
-	for v := 0; v < n; v++ {
-		sb.Reset()
-		fmt.Fprintf(&sb, "%d", g.Degree(v))
-		for p := 0; p < g.Degree(v); p++ {
-			half := g.Neighbor(v, p)
-			fmt.Fprintf(&sb, "|%d,%d", half.ToPort, inc.classes[half.To])
-		}
-		sig := sb.String()
-		id, ok := sigIDs[sig]
-		if !ok {
-			id = len(sigIDs)
-			sigIDs[sig] = id
-		}
-		next[v] = id
-	}
+	next, num := RefineStep(inc.g, inc.classes)
 	inc.prevNum = inc.num
 	inc.classes = next
-	inc.num = len(sigIDs)
+	inc.num = num
 	inc.depth++
 }

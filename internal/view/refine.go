@@ -25,10 +25,23 @@ func Refine(g *graph.Graph, maxDepth int) *Refinement {
 		panic("view: negative depth")
 	}
 	r := &Refinement{g: g}
-	n := g.N()
+	cur, num := DegreeClasses(g)
+	r.classes = append(r.classes, cur)
+	r.numClass = append(r.numClass, num)
+	for h := 1; h <= maxDepth; h++ {
+		next, num := RefineStep(g, r.classes[h-1])
+		r.classes = append(r.classes, next)
+		r.numClass = append(r.numClass, num)
+	}
+	return r
+}
 
-	// Depth 0: class = degree.
-	cur := make([]int, n)
+// DegreeClasses assigns the depth-0 view classes (class = degree), with
+// identifiers in first-occurrence order, and returns the class count. It is
+// the level-0 primitive shared by Refine, Incremental and the engine package.
+func DegreeClasses(g *graph.Graph) ([]int, int) {
+	n := g.N()
+	classes := make([]int, n)
 	ids := make(map[int]int)
 	for v := 0; v < n; v++ {
 		d := g.Degree(v)
@@ -37,35 +50,71 @@ func Refine(g *graph.Graph, maxDepth int) *Refinement {
 			id = len(ids)
 			ids[d] = id
 		}
-		cur[v] = id
+		classes[v] = id
 	}
-	r.classes = append(r.classes, cur)
-	r.numClass = append(r.numClass, len(ids))
+	return classes, len(ids)
+}
 
-	for h := 1; h <= maxDepth; h++ {
-		prev := r.classes[h-1]
-		next := make([]int, n)
-		sigIDs := make(map[string]int)
-		var sb strings.Builder
-		for v := 0; v < n; v++ {
-			sb.Reset()
-			fmt.Fprintf(&sb, "%d", g.Degree(v))
-			for p := 0; p < g.Degree(v); p++ {
-				half := g.Neighbor(v, p)
-				fmt.Fprintf(&sb, "|%d,%d", half.ToPort, prev[half.To])
-			}
-			sig := sb.String()
-			id, ok := sigIDs[sig]
-			if !ok {
-				id = len(sigIDs)
-				sigIDs[sig] = id
-			}
-			next[v] = id
+// FillLevelSignatures computes the next-level signature of every node in
+// [lo, hi): the node's degree plus, per port, the far-end port number and
+// the previous class of the neighbour. The range split exists so callers can
+// fill disjoint ranges concurrently; ConsSignatures then assigns identifiers
+// sequentially, keeping the numbering deterministic.
+func FillLevelSignatures(g *graph.Graph, prev []int, sigs []string, lo, hi int) {
+	var sb strings.Builder
+	for v := lo; v < hi; v++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d", g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			half := g.Neighbor(v, p)
+			fmt.Fprintf(&sb, "|%d,%d", half.ToPort, prev[half.To])
 		}
-		r.classes = append(r.classes, next)
-		r.numClass = append(r.numClass, len(sigIDs))
+		sigs[v] = sb.String()
 	}
-	return r
+}
+
+// ConsSignatures hash-conses signatures into class identifiers assigned in
+// first-occurrence order — the canonical numbering every refinement API of
+// this code base produces — and returns the number of distinct classes.
+func ConsSignatures(sigs []string) ([]int, int) {
+	next := make([]int, len(sigs))
+	ids := make(map[string]int)
+	for v, sig := range sigs {
+		id, ok := ids[sig]
+		if !ok {
+			id = len(ids)
+			ids[sig] = id
+		}
+		next[v] = id
+	}
+	return next, len(ids)
+}
+
+// RefineStep computes one refinement level (depth h -> h+1) from the
+// previous level's classes.
+func RefineStep(g *graph.Graph, prev []int) ([]int, int) {
+	sigs := make([]string, g.N())
+	FillLevelSignatures(g, prev, sigs, 0, g.N())
+	return ConsSignatures(sigs)
+}
+
+// NewRefinement wraps precomputed per-depth class tables in a Refinement.
+// classes[h][v] must be the class of node v at depth h, with class identifiers
+// assigned in first-occurrence order (the numbering Refine produces), and
+// numClass[h] the number of distinct classes at depth h. It is the bridge used
+// by the caching engine package, which computes the same tables incrementally
+// and in parallel; the per-depth slices are shared, not copied, so callers
+// must treat them as immutable.
+func NewRefinement(g *graph.Graph, classes [][]int, numClass []int) *Refinement {
+	if len(classes) == 0 || len(classes) != len(numClass) {
+		panic(fmt.Sprintf("view: NewRefinement with %d class tables and %d counts", len(classes), len(numClass)))
+	}
+	for h, c := range classes {
+		if len(c) != g.N() {
+			panic(fmt.Sprintf("view: NewRefinement depth %d has %d entries for %d nodes", h, len(c), g.N()))
+		}
+	}
+	return &Refinement{g: g, classes: classes, numClass: numClass}
 }
 
 // MaxDepth returns the largest depth available.
