@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// fakeTables builds a minimal table set for the selection/printing helpers.
+func fakeTables() []*core.Table {
+	return []*core.Table{
+		{ID: "E1", Title: "one", Header: []string{"a"}, Rows: [][]string{{"x"}}},
+		{ID: "E2", Title: "two", Header: []string{"b"}, Rows: [][]string{{"y"}}},
+	}
+}
+
+func TestCountPrinted(t *testing.T) {
+	tables := fakeTables()
+	if got := countPrinted(tables, map[string]bool{}); got != 2 {
+		t.Errorf("empty filter counts %d, want 2", got)
+	}
+	if got := countPrinted(tables, map[string]bool{"E2": true}); got != 1 {
+		t.Errorf("E2 filter counts %d, want 1", got)
+	}
+	if got := countPrinted(tables, map[string]bool{"E9": true}); got != 0 {
+		t.Errorf("unknown filter counts %d, want 0", got)
+	}
+}
+
+// TestSmokeQuickSuite is the advicebench end-to-end smoke test: the quick
+// experiment suite runs through one shared engine exactly as `advicebench
+// -quick -stats` does, all tables materialise, and the engine certifies the
+// refined-at-most-once invariant the -stats flag reports.
+func TestSmokeQuickSuite(t *testing.T) {
+	eng := engine.New(0)
+	tables, err := core.All(core.Options{Quick: true, Seed: 1, Engine: eng})
+	if err != nil {
+		t.Fatalf("quick suite failed: %v", err)
+	}
+	if len(tables) != 10 {
+		t.Fatalf("quick suite produced %d tables, want 10", len(tables))
+	}
+	for _, table := range tables {
+		if table.ID == "" || len(table.Header) == 0 {
+			t.Errorf("table %q is malformed", table.Title)
+		}
+		if out := table.Render(); !strings.Contains(out, table.ID) {
+			t.Errorf("rendered table does not mention its ID %s", table.ID)
+		}
+		if md := table.Markdown(); !strings.Contains(md, "|") {
+			t.Errorf("table %s: Markdown rendering has no columns", table.ID)
+		}
+	}
+	s := eng.Stats()
+	if s.Evictions == 0 && s.Steps != s.CachedDepths {
+		t.Errorf("engine recomputed a level: steps %d, cached depths %d", s.Steps, s.CachedDepths)
+	}
+}

@@ -91,6 +91,15 @@ func ViewClasses(g *Graph, maxDepth int) *view.Refinement {
 	return engine.Default.Refine(g, maxDepth)
 }
 
+// SameViewAcross reports whether B^depth(v1) in g1 equals B^depth(v2) in g2,
+// by refining the disjoint union of the two graphs through the shared engine
+// — no explicit view trees are built, so it stays cheap even at depths where
+// the trees would be exponential. Passing the same graph twice compares two
+// of its nodes.
+func SameViewAcross(g1 *Graph, v1 int, g2 *Graph, v2, depth int) bool {
+	return engine.Default.SameViewAcross(g1, v1, g2, v2, depth)
+}
+
 // ---- Refinement engine -------------------------------------------------------
 
 // RefinementEngine is the concurrency-safe, memoizing view-refinement engine
@@ -246,16 +255,24 @@ func JmkPathElection(inst *JmkInstance, task Task) (depth int, outputs []Output,
 
 // ---- Lower bounds ------------------------------------------------------------------
 
-// Fooling experiments reproducing the advice lower bounds.
-var (
-	FoolPortElection = lowerbound.FoolPortElection
-	FoolPathElection = lowerbound.FoolPathElection
-)
-
 // FoolSelection reproduces the Theorem 2.9 fooling argument; its oracle
-// advice is computed through the shared refinement engine.
+// advice and cross-graph view comparisons run through the shared refinement
+// engine.
 func FoolSelection(delta, k, alpha, beta int) (*lowerbound.SelectionFooling, error) {
 	return lowerbound.FoolSelection(engine.Default, delta, k, alpha, beta)
+}
+
+// FoolPortElection reproduces the Theorem 3.11 fooling argument; the heavy
+// roots' views are compared by refining the disjoint union of the two class
+// members through the shared engine.
+func FoolPortElection(delta, k int, sigmaA, sigmaB []int) (*lowerbound.PortFooling, error) {
+	return lowerbound.FoolPortElection(engine.Default, delta, k, sigmaA, sigmaB)
+}
+
+// FoolPathElection reproduces the Lemma 4.10 / Theorems 4.11-4.12 fooling
+// argument; the border nodes' views are compared through the shared engine.
+func FoolPathElection(mu, k int, yA, yB []bool) (*lowerbound.PathFooling, error) {
+	return lowerbound.FoolPathElection(engine.Default, mu, k, yA, yB)
 }
 
 // ---- Experiments -------------------------------------------------------------------

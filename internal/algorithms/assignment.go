@@ -129,7 +129,7 @@ func (m *AssignmentMachine) Output() any {
 		if m.mapGraph.Degree(v) != m.deg {
 			continue
 		}
-		if view.Compute(m.mapGraph, v, m.rounds).Equal(mine) {
+		if view.MatchesAt(m.mapGraph, v, m.rounds, mine) {
 			return m.outputs[v]
 		}
 	}

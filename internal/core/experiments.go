@@ -373,7 +373,7 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 			}
 			sigmaB := append([]int(nil), sigmaA...)
 			sigmaB[0] = sigmaA[0]%(p.Delta-1) + 1
-			fool, err := lowerbound.FoolPortElection(p.Delta, p.K, sigmaA, sigmaB)
+			fool, err := lowerbound.FoolPortElection(opt.shared.eng, p.Delta, p.K, sigmaA, sigmaB)
 			if err != nil {
 				return nil, err
 			}
@@ -398,7 +398,10 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 	t := &Table{
 		ID:     "E7",
 		Title:  "J_{µ,k} construction — layer sizes (Fact 4.1), z and class size (Fact 4.2)",
-		Header: []string{"µ", "k", "z", "gadget nodes", "faithful gadgets 2^z", "class size", "built nodes"},
+		Header: []string{"µ", "k", "z", "gadget nodes", "faithful gadgets 2^z", "class size", "built nodes", "ρ views equal across members"},
+		Notes: []string{
+			"the last column checks Proposition 4.4 across two class members with different gadget counts: every ρ node has the same depth-(k-1) view in both, compared by refining the disjoint union through the shared engine (no view trees are built)",
+		},
 	}
 	for _, p := range []struct {
 		Mu, K   int
@@ -412,6 +415,17 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A second member of the same class with a different gadget count:
+		// ρ's depth-(k-1) view must not depend on the member (Prop. 4.4).
+		companionGadgets := 4
+		if p.gadgets == 4 {
+			companionGadgets = 8
+		}
+		companion, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: companionGadgets})
+		if err != nil {
+			return nil, err
+		}
+		rhoEqual := opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], companion.G, companion.Rho[1], p.K-1)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(p.Mu),
 			fmt.Sprint(p.K),
@@ -420,7 +434,11 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 			construct.JmkNumGadgets(p.Mu, p.K).String(),
 			fmt.Sprintf("2^%d", (1 << uint(z-1))),
 			fmt.Sprint(inst.G.N()),
+			fmt.Sprint(rhoEqual),
 		})
+		if !rhoEqual {
+			return t, fmt.Errorf("core: E7 µ=%d k=%d: ρ views differ across class members", p.Mu, p.K)
+		}
 	}
 	return t, nil
 }
@@ -486,16 +504,28 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 	}
 	ref := opt.shared.eng.Refine(inst.G, inst.K-1)
 	lowerOK := len(ref.UniqueAt(inst.K-1)) == 0
+	// Twin spot-check through the engine (Prop. 4.4 / Lemma 4.6): the ρ
+	// nodes of the first, middle and last gadgets are pairwise depth-(k-1)
+	// twins regardless of Y — their views do not reach the layer-k border
+	// nodes where the gadget encodings (and the Y port swaps) live. In
+	// particular no (k-1)-round algorithm separates the left half from the
+	// right half, which is why ψ reaches k on these instances.
+	mid := inst.NumGadgets / 2
+	twinsOK := opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], inst.G, inst.Rho[mid], inst.K-1) &&
+		opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], inst.G, inst.Rho[inst.NumGadgets-1], inst.K-1)
 	rep, err := algorithms.VerifyJmkSample(inst, election.CPPE, 2048, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, []string{
 		"2", "4", fmt.Sprint(inst.NumGadgets), fmt.Sprint(inst.G.N()),
-		fmt.Sprint(lowerOK), fmt.Sprintf("sampled %d ok", rep.Sampled), "(weakened)", fmt.Sprint(rep.MaxPathLen),
+		fmt.Sprintf("%v (ρ twins %v)", lowerOK, twinsOK), fmt.Sprintf("sampled %d ok", rep.Sampled), "(weakened)", fmt.Sprint(rep.MaxPathLen),
 	})
 	if !lowerOK {
 		return t, fmt.Errorf("core: E8 faithful instance has a unique view at depth k-1")
+	}
+	if !twinsOK {
+		return t, fmt.Errorf("core: E8 faithful instance violates the ρ twin spot-check")
 	}
 	return t, nil
 }
@@ -535,7 +565,7 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			fool, err := lowerbound.FoolPathElection(p.mu, p.k, yA, yB)
+			fool, err := lowerbound.FoolPathElection(opt.shared.eng, p.mu, p.k, yA, yB)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// sameViewByTrees is the reference predicate the engine-backed comparison is
+// tested against: materialise both augmented truncated views and compare the
+// trees. Test-only — production code routes through Engine.SameViewAcross.
+func sameViewByTrees(g1 *graph.Graph, v1 int, g2 *graph.Graph, v2, depth int) bool {
+	return view.Compute(g1, v1, depth).Equal(view.Compute(g2, v2, depth))
+}
+
+// TestSameViewAcrossGeneratedPairs: exhaustive node-pair agreement with the
+// tree comparison across several small graph pairs, including isomorphic
+// pairs, same-graph pairs and a depth-0 sweep.
+func TestSameViewAcrossGeneratedPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := []struct {
+		name   string
+		g1, g2 *graph.Graph
+	}{
+		{"ring6-ring6", graph.Ring(6), graph.Ring(6)},
+		{"ring6-ring7", graph.Ring(6), graph.Ring(7)},
+		{"path5-star5", graph.Path(5), graph.Star(5)},
+		{"cat-cat", graph.Caterpillar(4, []int{2, 0, 1, 3}), graph.Caterpillar(4, []int{2, 0, 1, 3})},
+		{"torus-grid", graph.Torus(3, 4), graph.Grid(3, 4)},
+		{"random-random", graph.RandomConnected(9, 12, rng), graph.RandomConnected(9, 12, rng)},
+	}
+	for _, tc := range pairs {
+		eng := New(0)
+		for depth := 0; depth <= 4; depth++ {
+			for v1 := 0; v1 < tc.g1.N(); v1++ {
+				for v2 := 0; v2 < tc.g2.N(); v2++ {
+					got := eng.SameViewAcross(tc.g1, v1, tc.g2, v2, depth)
+					want := sameViewByTrees(tc.g1, v1, tc.g2, v2, depth)
+					if got != want {
+						t.Fatalf("%s: SameViewAcross(%d, %d, depth %d) = %v, trees say %v",
+							tc.name, v1, v2, depth, got, want)
+					}
+				}
+			}
+		}
+		// The same graph object on both sides degenerates to SameView and
+		// must not build a union.
+		for v1 := 0; v1 < tc.g1.N(); v1++ {
+			for v2 := 0; v2 < tc.g1.N(); v2++ {
+				if got, want := eng.SameViewAcross(tc.g1, v1, tc.g1, v2, 3), sameViewByTrees(tc.g1, v1, tc.g1, v2, 3); got != want {
+					t.Fatalf("%s: same-graph SameViewAcross(%d, %d) = %v, trees say %v", tc.name, v1, v2, got, want)
+				}
+			}
+		}
+		if s := eng.Stats(); s.UnionsBuilt != 1 {
+			t.Errorf("%s: %d unions built for one graph pair, want 1", tc.name, s.UnionsBuilt)
+		}
+	}
+}
+
+// TestSameViewAcrossFoolingInstances: the engine-backed comparison reproduces
+// the paper's indistinguishability facts on the fooling constructions — the
+// same checks the lowerbound package runs, cross-verified against explicit
+// view trees, including the asymmetric u != v cases.
+func TestSameViewAcrossFoolingInstances(t *testing.T) {
+	eng := New(0)
+
+	// G_{Δ,k} (Lemma 2.8): the unique root of G_α matches both copies of its
+	// tree in G_β at depth k.
+	ga, err := construct.BuildGdk(4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := construct.BuildGdk(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gb.RootsByIndex[1][1] {
+		if !eng.SameViewAcross(ga.G, ga.UniqueRoot, gb.G, r, 1) {
+			t.Errorf("G_{4,1}: root %d of G_β distinguishable from G_α's unique root at depth k", r)
+		}
+		if got, want := eng.SameViewAcross(ga.G, ga.UniqueRoot, gb.G, r, 2), sameViewByTrees(ga.G, ga.UniqueRoot, gb.G, r, 2); got != want {
+			t.Errorf("G_{4,1}: depth-2 comparison = %v, trees say %v", got, want)
+		}
+	}
+
+	// U_{Δ,k} (Theorem 3.11): heavy roots of two members differing in one σ
+	// entry are indistinguishable at depth k; sweep all heavy-root pairs and
+	// cross-check against trees.
+	sigmaA, err := construct.SigmaForIndex(4, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaB, err := construct.SigmaForIndex(4, 1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := construct.BuildUdk(4, 1, sigmaA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := construct.BuildUdk(4, 1, sigmaB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ua.HeavyRoots {
+		for c1 := 0; c1 < 2; c1++ {
+			for c2 := 0; c2 < 2; c2++ {
+				h1, h2 := ua.HeavyRoots[j][c1], ub.HeavyRoots[j][c2]
+				got := eng.SameViewAcross(ua.G, h1, ub.G, h2, ua.K)
+				want := sameViewByTrees(ua.G, h1, ub.G, h2, ua.K)
+				if got != want {
+					t.Fatalf("U_{4,1}: heavy roots (%d,%d) of tree %d: engine %v, trees %v", c1, c2, j, got, want)
+				}
+			}
+		}
+	}
+
+	// Depth-0 edge cases on the same pair: equality is exactly degree
+	// equality, asymmetric across the two graphs.
+	for v1 := 0; v1 < ua.G.N(); v1 += 7 {
+		for v2 := 0; v2 < ub.G.N(); v2 += 7 {
+			got := eng.SameViewAcross(ua.G, v1, ub.G, v2, 0)
+			if want := ua.G.Degree(v1) == ub.G.Degree(v2); got != want {
+				t.Fatalf("depth-0 SameViewAcross(%d, %d) = %v, degrees say %v", v1, v2, got, want)
+			}
+		}
+	}
+
+	// J_{µ,k} (Lemma 4.10 shape, on reduced members): ρ views agree across
+	// members with different gadget counts at depth k-1 — including the
+	// asymmetric index pairing — and the comparison agrees with trees one
+	// depth further, where it may go either way.
+	ja, err := construct.BuildJmk(2, 4, construct.JmkOptions{NumGadgets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := construct.BuildJmk(2, 4, construct.JmkOptions{NumGadgets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ja.Rho {
+		for j := range jb.Rho {
+			if !eng.SameViewAcross(ja.G, ja.Rho[i], jb.G, jb.Rho[j], ja.K-1) {
+				t.Errorf("J_{2,4}: ρ_%d and ρ_%d distinguishable at depth k-1 across members", i, j)
+			}
+		}
+	}
+	borderA := ja.Border[0][0][0][0]
+	borderB := jb.Border[0][0][0][0]
+	for depth := 0; depth <= ja.K; depth++ {
+		got := eng.SameViewAcross(ja.G, borderA, jb.G, borderB, depth)
+		want := sameViewByTrees(ja.G, borderA, jb.G, borderB, depth)
+		if got != want {
+			t.Fatalf("J_{2,4}: border comparison at depth %d: engine %v, trees %v", depth, got, want)
+		}
+	}
+}
+
+// TestSameViewAcrossStress hammers SameViewAcross and Refine on a shared
+// engine from many goroutines (run with -race) and then asserts the
+// refined-at-most-once invariants: one union ever built for the pair, every
+// (graph, depth) level computed exactly once, and no divergence from the
+// sequentially computed answers.
+func TestSameViewAcrossStress(t *testing.T) {
+	g1 := graph.Torus(4, 6)
+	g2 := graph.Grid(4, 6)
+	const depth = 5
+
+	// Sequential reference answers on a throwaway engine.
+	ref := New(1)
+	want := make([][]bool, g1.N())
+	for v1 := range want {
+		want[v1] = make([]bool, g2.N())
+		for v2 := range want[v1] {
+			want[v1][v2] = ref.SameViewAcross(g1, v1, g2, v2, depth)
+		}
+	}
+
+	eng := New(2)
+	eng.parallelThreshold = 8 // force the worker pool and sharded consing
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < 50; it++ {
+				v1, v2 := rng.Intn(g1.N()), rng.Intn(g2.N())
+				h := rng.Intn(depth + 1)
+				switch it % 3 {
+				case 0:
+					if eng.SameViewAcross(g1, v1, g2, v2, depth) != want[v1][v2] {
+						errs <- "concurrent SameViewAcross returned a wrong answer"
+						return
+					}
+				case 1:
+					// Swapped orientation must agree with the transpose.
+					if eng.SameViewAcross(g2, v2, g1, v1, depth) != want[v1][v2] {
+						errs <- "swapped-order SameViewAcross returned a wrong answer"
+						return
+					}
+				case 2:
+					eng.Refine(g1, h)
+					eng.Refine(g2, h)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	s := eng.Stats()
+	if s.UnionsBuilt != 1 {
+		t.Errorf("unions built = %d, want 1 (the pair must be unioned at most once)", s.UnionsBuilt)
+	}
+	if s.UnionGraphs != 1 {
+		t.Errorf("union cache holds %d pairs, want 1", s.UnionGraphs)
+	}
+	if s.Evictions != 0 || s.Steps != s.CachedDepths {
+		t.Errorf("steps %d != cached depths %d (evictions %d): some level was refined twice",
+			s.Steps, s.CachedDepths, s.Evictions)
+	}
+}
+
+// TestUnionCacheEviction: the union cache obeys its LRU bound, evicted pairs
+// are rebuilt on demand, and both key orders of a pair share one record.
+func TestUnionCacheEviction(t *testing.T) {
+	eng := New(0)
+	eng.maxGraphs = 2
+	gs := []*graph.Graph{graph.Path(4), graph.Star(5), graph.Ring(6), graph.Path(7)}
+	eng.SameViewAcross(gs[0], 0, gs[1], 0, 1)
+	eng.SameViewAcross(gs[1], 0, gs[0], 0, 1) // swapped order: same record
+	if s := eng.Stats(); s.UnionsBuilt != 1 || s.UnionGraphs != 1 {
+		t.Fatalf("after one pair (both orders): built %d, cached %d, want 1/1", s.UnionsBuilt, s.UnionGraphs)
+	}
+	eng.SameViewAcross(gs[2], 0, gs[3], 0, 1)
+	eng.SameViewAcross(gs[0], 1, gs[2], 0, 1) // third pair evicts the oldest
+	s := eng.Stats()
+	if s.UnionGraphs != 2 {
+		t.Errorf("union cache holds %d pairs, want 2 (LRU bound)", s.UnionGraphs)
+	}
+	// The evicted pair still answers correctly (via a fresh union).
+	if got, want := eng.SameViewAcross(gs[0], 0, gs[1], 0, 1), sameViewByTrees(gs[0], 0, gs[1], 0, 1); got != want {
+		t.Errorf("evicted pair answered %v, trees say %v", got, want)
+	}
+	if s := eng.Stats(); s.UnionsBuilt != 4 {
+		t.Errorf("unions built = %d, want 4 (three pairs + one rebuild)", s.UnionsBuilt)
+	}
+}
+
+// TestSameViewAcrossReset: Reset drops union state.
+func TestSameViewAcrossReset(t *testing.T) {
+	eng := New(0)
+	eng.SameViewAcross(graph.Path(3), 0, graph.Star(4), 0, 2)
+	eng.Reset()
+	if s := eng.Stats(); s.UnionsBuilt != 0 || s.UnionGraphs != 0 {
+		t.Errorf("Reset left union state behind: %+v", s)
+	}
+}

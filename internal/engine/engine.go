@@ -49,11 +49,29 @@ type Engine struct {
 	entries map[*graph.Graph]*entry
 	lru     *list.List // of *graph.Graph, front = most recently used
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	steps     atomic.Uint64
-	shortcuts atomic.Uint64
-	evictions atomic.Uint64
+	// Cross-graph comparison state: disjoint-union graphs, cached per
+	// unordered graph pair so that repeated SameViewAcross calls (and their
+	// refinements, which live in the ordinary entry cache above) are paid
+	// once. Both orders of a pair key the same record.
+	unionMu  sync.Mutex
+	unions   map[[2]*graph.Graph]*unionRec
+	unionLRU *list.List // of [2]*graph.Graph in canonical order
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	steps       atomic.Uint64
+	shortcuts   atomic.Uint64
+	evictions   atomic.Uint64
+	unionsBuilt atomic.Uint64
+}
+
+// unionRec is the cached disjoint union of one unordered graph pair. The
+// union graph is built lazily, at most once, outside the engine locks.
+type unionRec struct {
+	once sync.Once
+	a, b *graph.Graph // the canonical order: the union lists a's nodes first
+	u    *graph.Graph
+	elem *list.Element
 }
 
 // entry is the cached refinement state of one graph, grown lazily.
@@ -82,6 +100,8 @@ func New(workers int) *Engine {
 		maxGraphs:         128,
 		entries:           make(map[*graph.Graph]*entry),
 		lru:               list.New(),
+		unions:            make(map[[2]*graph.Graph]*unionRec),
+		unionLRU:          list.New(),
 	}
 }
 
@@ -108,6 +128,8 @@ type Stats struct {
 	Evictions    uint64 // cached graphs dropped by the LRU bound
 	Graphs       int    // graphs currently cached
 	CachedDepths uint64 // sum over cached graphs of levels computed from scratch
+	UnionsBuilt  uint64 // disjoint-union graphs materialised for SameViewAcross
+	UnionGraphs  int    // graph pairs currently in the union cache
 }
 
 // Stats returns a snapshot of the counters. When Evictions is zero,
@@ -115,12 +137,16 @@ type Stats struct {
 // at most once since the engine was created (or last Reset).
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Steps:     e.steps.Load(),
-		Shortcuts: e.shortcuts.Load(),
-		Evictions: e.evictions.Load(),
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Steps:       e.steps.Load(),
+		Shortcuts:   e.shortcuts.Load(),
+		Evictions:   e.evictions.Load(),
+		UnionsBuilt: e.unionsBuilt.Load(),
 	}
+	e.unionMu.Lock()
+	s.UnionGraphs = e.unionLRU.Len()
+	e.unionMu.Unlock()
 	// Snapshot the entry set first, then sum outside e.mu: holding the
 	// engine-wide lock while waiting on a per-entry lock would stall every
 	// lookup behind the longest in-flight refinement.
@@ -139,17 +165,22 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Reset drops every cached refinement and zeroes the counters.
+// Reset drops every cached refinement and union graph and zeroes the counters.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.entries = make(map[*graph.Graph]*entry)
 	e.lru.Init()
 	e.mu.Unlock()
+	e.unionMu.Lock()
+	e.unions = make(map[[2]*graph.Graph]*unionRec)
+	e.unionLRU.Init()
+	e.unionMu.Unlock()
 	e.hits.Store(0)
 	e.misses.Store(0)
 	e.steps.Store(0)
 	e.shortcuts.Store(0)
 	e.evictions.Store(0)
+	e.unionsBuilt.Store(0)
 }
 
 // Refine returns a refinement of g covering depths 0..depth, computing only
@@ -202,6 +233,9 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		ent.classes = [][]int{classes}
 		ent.numClass = []int{num}
 	}
+	// One signature buffer serves every level of this extension; it is not
+	// retained past the call, so cached graphs cost only their class tables.
+	var sigs *view.PairSigs
 	for len(ent.classes)-1 < depth {
 		h := len(ent.classes) // the level about to be produced
 		if ent.stableAt >= 0 {
@@ -213,7 +247,10 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 			e.shortcuts.Add(1)
 			continue
 		}
-		next, num := e.refineLevel(g, ent.classes[h-1])
+		if sigs == nil {
+			sigs = view.NewPairSigs(g)
+		}
+		next, num := e.refineLevel(g, ent.classes[h-1], sigs)
 		ent.classes = append(ent.classes, next)
 		ent.numClass = append(ent.numClass, num)
 		ent.computed++
@@ -227,16 +264,17 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 }
 
 // refineLevel computes one refinement level from the previous one using the
-// view package's shared signature scheme. Signatures are computed in
-// parallel across the worker pool on large graphs; identifier assignment is
-// a single sequential consing pass, so the numbering is deterministic
-// regardless of parallelism.
-func (e *Engine) refineLevel(g *graph.Graph, prev []int) ([]int, int) {
+// view package's integer-pair signature scheme, reusing the caller's
+// signature buffer. On large graphs the signatures are filled in parallel
+// across the worker pool and hash-consed by the two-phase sharded pass;
+// identifier assignment ends in a deterministic first-occurrence-order merge,
+// so the numbering is identical regardless of parallelism.
+func (e *Engine) refineLevel(g *graph.Graph, prev []int, sigs *view.PairSigs) ([]int, int) {
 	n := g.N()
 	if e.workers <= 1 || n < e.parallelThreshold {
-		return view.RefineStep(g, prev)
+		sigs.Fill(g, prev, 0, n)
+		return view.ConsPairs(sigs)
 	}
-	sigs := make([]string, n)
 	chunk := (n + e.workers - 1) / e.workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
@@ -247,11 +285,11 @@ func (e *Engine) refineLevel(g *graph.Graph, prev []int) ([]int, int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			view.FillLevelSignatures(g, prev, sigs, lo, hi)
+			sigs.Fill(g, prev, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return view.ConsSignatures(sigs)
+	return view.ConsPairsSharded(sigs, e.workers)
 }
 
 // stabilisationLocked extends the cached tables until stabilisation is
@@ -356,4 +394,60 @@ func (e *Engine) NumClassesAt(g *graph.Graph, h int) int {
 // SameView reports whether B^h(u) = B^h(v) in g.
 func (e *Engine) SameView(g *graph.Graph, u, v, h int) bool {
 	return e.Refine(g, h).SameView(u, v, h)
+}
+
+// unionFor returns the cached union record of the unordered pair {g1, g2},
+// creating (and LRU-evicting) as needed. Both orders of the pair map to the
+// same record; the record is returned with its union graph possibly not yet
+// built — callers materialise it through the record's once, outside the
+// engine locks.
+func (e *Engine) unionFor(g1, g2 *graph.Graph) *unionRec {
+	e.unionMu.Lock()
+	defer e.unionMu.Unlock()
+	if rec, ok := e.unions[[2]*graph.Graph{g1, g2}]; ok {
+		e.unionLRU.MoveToFront(rec.elem)
+		return rec
+	}
+	rec := &unionRec{a: g1, b: g2}
+	rec.elem = e.unionLRU.PushFront([2]*graph.Graph{g1, g2})
+	e.unions[[2]*graph.Graph{g1, g2}] = rec
+	e.unions[[2]*graph.Graph{g2, g1}] = rec
+	for e.unionLRU.Len() > e.maxGraphs {
+		oldest := e.unionLRU.Back()
+		pair := oldest.Value.([2]*graph.Graph)
+		e.unionLRU.Remove(oldest)
+		delete(e.unions, pair)
+		delete(e.unions, [2]*graph.Graph{pair[1], pair[0]})
+	}
+	return rec
+}
+
+// SameViewAcross reports whether B^depth(v1) in g1 equals B^depth(v2) in g2.
+// Instead of materialising the two (exponential-size) view trees and walking
+// them, it refines the disjoint union of the two graphs through the cache:
+// the views are equal exactly when the two nodes land in the same view class
+// of the union. The union graph is built at most once per unordered graph
+// pair and its refinement obeys the ordinary once-per-(graph, depth) engine
+// invariant, so fooling experiments comparing many node pairs across the same
+// two graphs pay for one refinement in total. Passing the same graph for both
+// sides degenerates to SameView and touches no union state.
+func (e *Engine) SameViewAcross(g1 *graph.Graph, v1 int, g2 *graph.Graph, v2, depth int) bool {
+	if depth < 0 {
+		panic("engine: negative depth")
+	}
+	if g1 == g2 {
+		return e.SameView(g1, v1, v2, depth)
+	}
+	rec := e.unionFor(g1, g2)
+	rec.once.Do(func() {
+		rec.u = graph.DisjointUnion(rec.a, rec.b)
+		e.unionsBuilt.Add(1)
+	})
+	i1, i2 := v1, v2
+	if g1 == rec.a {
+		i2 += rec.a.N()
+	} else {
+		i1 += rec.a.N()
+	}
+	return e.Refine(rec.u, depth).SameView(i1, i2, depth)
 }

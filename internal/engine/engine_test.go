@@ -257,6 +257,52 @@ func BenchmarkRefineColdTorus(b *testing.B) {
 	}
 }
 
+// BenchmarkRefineColdTorusLarge exercises the parallel fill + two-phase
+// sharded consing path (the graph is far above the parallel threshold).
+func BenchmarkRefineColdTorusLarge(b *testing.B) {
+	g := graph.Torus(250, 400) // 100k nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(0).Refine(g, 6)
+	}
+}
+
+// BenchmarkRefineColdRandomLarge measures a class-diverse large graph, where
+// consing meets many distinct signatures per level (a torus collapses to one
+// class immediately; random graphs keep splitting).
+func BenchmarkRefineColdRandomLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.RandomConnected(50000, 75000, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(0).Refine(g, 8)
+	}
+}
+
+func BenchmarkSameViewAcrossCold(b *testing.B) {
+	g1 := graph.Torus(40, 40)
+	g2 := graph.Grid(40, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(0).SameViewAcross(g1, 0, g2, 0, 6)
+	}
+}
+
+func BenchmarkSameViewAcrossCached(b *testing.B) {
+	g1 := graph.Torus(40, 40)
+	g2 := graph.Grid(40, 40)
+	eng := New(0)
+	eng.SameViewAcross(g1, 0, g2, 0, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.SameViewAcross(g1, i%g1.N(), g2, i%g2.N(), 6)
+	}
+}
+
 func BenchmarkRefineCachedTorus(b *testing.B) {
 	g := graph.Torus(40, 40)
 	eng := New(0)

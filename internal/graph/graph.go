@@ -121,6 +121,29 @@ func (g *Graph) Clone() *Graph {
 	return &Graph{adj: adj}
 }
 
+// DisjointUnion returns the disjoint union of g1 and g2: the nodes of g1 keep
+// their identifiers and the nodes of g2 are shifted by g1.N(). The result is
+// deliberately not connected, so it must not be Validated or handed to the
+// simulators; it exists for whole-graph analyses that are indifferent to
+// connectivity — in particular cross-graph view refinement, where
+// B^h(u in g1) = B^h(v in g2) exactly when u and n1+v land in the same view
+// class of the union.
+func DisjointUnion(g1, g2 *Graph) *Graph {
+	n1 := g1.N()
+	adj := make([][]Half, n1+g2.N())
+	for v, hs := range g1.adj {
+		adj[v] = append([]Half(nil), hs...)
+	}
+	for v, hs := range g2.adj {
+		shifted := make([]Half, len(hs))
+		for p, h := range hs {
+			shifted[p] = Half{To: h.To + n1, ToPort: h.ToPort}
+		}
+		adj[n1+v] = shifted
+	}
+	return &Graph{adj: adj}
+}
+
 // SwapPorts exchanges ports p and q at node v, updating the records of the two
 // affected neighbours. Swapping a port with itself is a no-op.
 func (g *Graph) SwapPorts(v, p, q int) {

@@ -20,7 +20,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/local"
-	"repro/internal/view"
 )
 
 // PigeonholeAdviceBits returns the number of advice bits below which two
@@ -47,13 +46,15 @@ type SelectionFooling struct {
 // G_β of G_{Δ,k} (α < β): the oracle advice that makes the Theorem 2.2
 // algorithm elect r_{α,2} in G_α is given, unchanged, to G_β; because G_β
 // contains two copies of T_{α,2} whose roots have the same view, both copies
-// elect themselves and Selection fails. The oracle's refinement routes
-// through the given engine (nil = a fresh throwaway one), so experiment suites
-// that already refined G_α reuse the cached classes.
+// elect themselves and Selection fails. The oracle's refinement and the
+// Lemma 2.8 cross-graph view comparisons route through the given engine
+// (nil = a fresh throwaway one), so experiment suites that already refined
+// G_α reuse the cached classes and no explicit view tree is ever built.
 func FoolSelection(eng *engine.Engine, delta, k, alpha, beta int) (*SelectionFooling, error) {
 	if alpha < 1 || beta <= alpha {
 		return nil, fmt.Errorf("lowerbound: need 1 <= alpha < beta, got %d, %d", alpha, beta)
 	}
+	eng = engine.OrNew(eng)
 	ga, err := construct.BuildGdk(delta, k, alpha)
 	if err != nil {
 		return nil, err
@@ -66,17 +67,16 @@ func FoolSelection(eng *engine.Engine, delta, k, alpha, beta int) (*SelectionFoo
 
 	// Lemma 2.8: the root of T_{α,2} has the same view at depth k in both
 	// graphs.
-	va := view.Compute(ga.G, ga.UniqueRoot, k)
 	rootsInBeta := gb.RootsByIndex[alpha-1][1]
 	out.ViewsEqual = true
 	for _, r := range rootsInBeta {
-		if !va.Equal(view.Compute(gb.G, r, k)) {
+		if !eng.SameViewAcross(ga.G, ga.UniqueRoot, gb.G, r, k) {
 			out.ViewsEqual = false
 		}
 	}
 
 	// Advice computed for G_α (it encodes B^k(r_{α,2})), then handed to G_β.
-	bits, err := (advice.ViewOracle{Depth: k, UseDepthOverride: true, Engine: engine.OrNew(eng)}).Advise(ga.G)
+	bits, err := (advice.ViewOracle{Depth: k, UseDepthOverride: true, Engine: eng}).Advise(ga.G)
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +109,11 @@ type PortFooling struct {
 // members whose σ sequences differ: the heavy root r_{j,1,1} has the same view
 // at depth k in both graphs, yet the unique port leading toward the cycle
 // differs, so an algorithm given the same advice answers incorrectly in at
-// least one of them.
-func FoolPortElection(delta, k int, sigmaA, sigmaB []int) (*PortFooling, error) {
+// least one of them. The cross-graph view comparison refines the disjoint
+// union of the two members through the given engine (nil = a fresh throwaway
+// one) instead of materialising the exponential-size view trees.
+func FoolPortElection(eng *engine.Engine, delta, k int, sigmaA, sigmaB []int) (*PortFooling, error) {
+	eng = engine.OrNew(eng)
 	ua, err := construct.BuildUdk(delta, k, sigmaA)
 	if err != nil {
 		return nil, err
@@ -132,7 +135,7 @@ func FoolPortElection(delta, k int, sigmaA, sigmaB []int) (*PortFooling, error) 
 	out := &PortFooling{Index: j + 1}
 	heavyA := ua.HeavyRoots[j][0]
 	heavyB := ub.HeavyRoots[j][0]
-	out.ViewsEqual = view.Compute(ua.G, heavyA, k).Equal(view.Compute(ub.G, heavyB, k))
+	out.ViewsEqual = eng.SameViewAcross(ua.G, heavyA, ub.G, heavyB, k)
 
 	portA, err := uniqueCyclePort(ua.G, heavyA, delta)
 	if err != nil {
@@ -183,8 +186,12 @@ type PathFooling struct {
 // that traces a simple path from it into the right half of J_α fails to do so
 // in J_β (it either stops being simple or never leaves the left half). Since a
 // correct PPE/CPPE algorithm electing a right-half leader must output such a
-// sequence, equal advice on the two graphs is contradictory.
-func FoolPathElection(mu, k int, yA, yB []bool) (*PathFooling, error) {
+// sequence, equal advice on the two graphs is contradictory. The cross-graph
+// view comparison refines the disjoint union of the two (~10^5-node) members
+// through the given engine (nil = a fresh throwaway one) — on these instances
+// the depth-k view trees this replaces are far larger than the graphs.
+func FoolPathElection(eng *engine.Engine, mu, k int, yA, yB []bool) (*PathFooling, error) {
+	eng = engine.OrNew(eng)
 	ja, err := construct.BuildJmk(mu, k, construct.JmkOptions{Y: yA})
 	if err != nil {
 		return nil, err
@@ -196,7 +203,7 @@ func FoolPathElection(mu, k int, yA, yB []bool) (*PathFooling, error) {
 	out := &PathFooling{}
 	va := ja.Border[0][0][0][0] // w_{1,1} in H_L of gadget 0
 	vb := jb.Border[0][0][0][0]
-	out.ViewsEqual = view.Compute(ja.G, va, k).Equal(view.Compute(jb.G, vb, k))
+	out.ViewsEqual = eng.SameViewAcross(ja.G, va, jb.G, vb, k)
 
 	// A witness port sequence in J_α: the shortest path from v_α to the ρ node
 	// of the first right-half gadget.

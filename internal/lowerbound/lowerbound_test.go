@@ -84,7 +84,7 @@ func TestFoolPortElection(t *testing.T) {
 	if sigmaB[3] == sigmaA[3] {
 		sigmaB[3] = sigmaB[3]%3 + 1
 	}
-	res, err := FoolPortElection(4, 1, sigmaA, sigmaB)
+	res, err := FoolPortElection(nil, 4, 1, sigmaA, sigmaB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestFoolPortElection(t *testing.T) {
 	if res.Index != 4 {
 		t.Errorf("differing index reported as %d, want 4", res.Index)
 	}
-	if _, err := FoolPortElection(4, 1, sigmaA, sigmaA); err == nil {
+	if _, err := FoolPortElection(nil, 4, 1, sigmaA, sigmaA); err == nil {
 		t.Error("identical sigmas accepted")
 	}
 }
@@ -118,7 +118,7 @@ func TestFoolPathElection(t *testing.T) {
 		yB[i] = yA[i]
 	}
 	yB[17] = !yB[17] // differ in a single position
-	res, err := FoolPathElection(2, 4, yA, yB)
+	res, err := FoolPathElection(nil, 2, 4, yA, yB)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@ package view
 
 import (
 	"fmt"
-	"strings"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -55,47 +55,266 @@ func DegreeClasses(g *graph.Graph) ([]int, int) {
 	return classes, len(ids)
 }
 
-// FillLevelSignatures computes the next-level signature of every node in
-// [lo, hi): the node's degree plus, per port, the far-end port number and
-// the previous class of the neighbour. The range split exists so callers can
-// fill disjoint ranges concurrently; ConsSignatures then assigns identifiers
-// sequentially, keeping the numbering deterministic.
-func FillLevelSignatures(g *graph.Graph, prev []int, sigs []string, lo, hi int) {
-	var sb strings.Builder
+// PairSigs holds one refinement level's integer-pair signatures: for every
+// node, the sequence of (far-end port, previous class of the neighbour) pairs
+// in port order, packed one pair per uint64, plus a 64-bit hash of the
+// sequence. Two nodes have equal next-level views exactly when their pair
+// sequences are equal (the node's own degree is the sequence length, so it
+// needs no separate encoding). The flat layout replaces the former
+// string-signature scheme: no per-node allocation or formatting happens on
+// the refinement hot path.
+type PairSigs struct {
+	n    int
+	off  []int    // off[v]..off[v+1] bounds node v's pairs in data; len n+1
+	data []uint64 // (farPort << 32) | prevClass, concatenated in port order
+	hash []uint64 // hash[v] = order-dependent hash of node v's pair sequence
+}
+
+// NewPairSigs allocates a signature buffer for one refinement level of g. The
+// buffer is reusable: Fill overwrites it completely, so callers refining many
+// levels of the same graph allocate it once.
+func NewPairSigs(g *graph.Graph) *PairSigs {
+	n := g.N()
+	off := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + g.Degree(v)
+	}
+	return &PairSigs{n: n, off: off, data: make([]uint64, off[n]), hash: make([]uint64, n)}
+}
+
+// mix64 is the splitmix64 finalizer, used to chain pair words into the
+// per-node signature hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fill computes the signatures of nodes [lo, hi) from the previous level's
+// classes. The range split exists so callers can fill disjoint ranges
+// concurrently; consing then assigns identifiers in a deterministic order
+// regardless of how the filling was parallelised.
+func (s *PairSigs) Fill(g *graph.Graph, prev []int, lo, hi int) {
 	for v := lo; v < hi; v++ {
-		sb.Reset()
-		fmt.Fprintf(&sb, "%d", g.Degree(v))
-		for p := 0; p < g.Degree(v); p++ {
+		base := s.off[v]
+		d := s.off[v+1] - base
+		h := uint64(0x9e3779b97f4a7c15) ^ uint64(d)
+		for p := 0; p < d; p++ {
 			half := g.Neighbor(v, p)
-			fmt.Fprintf(&sb, "|%d,%d", half.ToPort, prev[half.To])
+			w := uint64(half.ToPort)<<32 | uint64(uint32(prev[half.To]))
+			s.data[base+p] = w
+			h = mix64(h ^ w)
 		}
-		sigs[v] = sb.String()
+		s.hash[v] = h
 	}
 }
 
-// ConsSignatures hash-conses signatures into class identifiers assigned in
-// first-occurrence order — the canonical numbering every refinement API of
-// this code base produces — and returns the number of distinct classes.
-func ConsSignatures(sigs []string) ([]int, int) {
-	next := make([]int, len(sigs))
-	ids := make(map[string]int)
-	for v, sig := range sigs {
-		id, ok := ids[sig]
-		if !ok {
-			id = len(ids)
-			ids[sig] = id
-		}
-		next[v] = id
+// equal reports whether nodes u and v carry identical pair sequences.
+func (s *PairSigs) equal(u, v int) bool {
+	if s.off[u+1]-s.off[u] != s.off[v+1]-s.off[v] {
+		return false
 	}
-	return next, len(ids)
+	a := s.data[s.off[u]:s.off[u+1]]
+	b := s.data[s.off[v]:s.off[v+1]]
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tableSizeFor returns the open-addressing table size (a power of two) for
+// consing count signatures at load factor <= 1/2.
+func tableSizeFor(count int) int {
+	size := 4
+	for size < 2*count {
+		size <<= 1
+	}
+	return size
+}
+
+// ConsPairs hash-conses the filled signatures into class identifiers assigned
+// in first-occurrence order — the canonical numbering every refinement API of
+// this code base produces — and returns the number of distinct classes. An
+// open-addressing probe over the precomputed hashes replaces the former
+// string-keyed map: collisions fall back to a full pair-sequence comparison,
+// so the result is exact for any hash quality.
+func ConsPairs(s *PairSigs) ([]int, int) {
+	next := make([]int, s.n)
+	size := tableSizeFor(s.n)
+	mask := uint64(size - 1)
+	table := make([]int32, size) // slot holds node+1; 0 = empty
+	num := 0
+	for v := 0; v < s.n; v++ {
+		slot := s.hash[v] & mask
+		for {
+			t := table[slot]
+			if t == 0 {
+				table[slot] = int32(v + 1)
+				next[v] = num
+				num++
+				break
+			}
+			u := int(t - 1)
+			if s.hash[u] == s.hash[v] && s.equal(u, v) {
+				next[v] = next[u]
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	return next, num
+}
+
+// ConsPairsSharded is ConsPairs split across a two-phase sharded hash:
+// signatures are partitioned by hash into one shard per worker, each shard is
+// hash-consed concurrently (a signature lands in exactly one shard, so no
+// cross-shard coordination is needed), and a final sequential O(n) merge
+// assigns identifiers in first-occurrence order. The produced table is
+// byte-identical to ConsPairs at every worker count.
+func ConsPairsSharded(s *PairSigs, workers int) ([]int, int) {
+	if workers <= 1 || s.n < 2 {
+		return ConsPairs(s)
+	}
+	shards := 1
+	for shards < workers && shards < 64 {
+		shards <<= 1
+	}
+	shardMask := uint64(shards - 1)
+	n := s.n
+
+	// Bucketise nodes by shard with a parallel counting sort, so each shard
+	// worker walks only its own members (in ascending node order).
+	shardOf := make([]uint8, n)
+	counts := make([][]int32, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			counts[w] = make([]int32, shards)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]int32, shards)
+			for v := lo; v < hi; v++ {
+				sh := uint8(s.hash[v] & shardMask)
+				shardOf[v] = sh
+				local[sh]++
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Exclusive prefix sums over (shard, worker) give each worker's write
+	// offset into the per-shard segment of the member array; member order
+	// within a shard is ascending node order because workers own ascending
+	// node ranges.
+	offsets := make([][]int32, workers)
+	for w := range offsets {
+		offsets[w] = make([]int32, shards)
+	}
+	shardStart := make([]int32, shards+1)
+	var total int32
+	for sh := 0; sh < shards; sh++ {
+		shardStart[sh] = total
+		for w := 0; w < workers; w++ {
+			offsets[w][sh] = total
+			total += counts[w][sh]
+		}
+	}
+	shardStart[shards] = total
+	members := make([]int32, n)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cur := offsets[w]
+			for v := lo; v < hi; v++ {
+				sh := shardOf[v]
+				members[cur[sh]] = int32(v)
+				cur[sh]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 1: per-shard hash consing. rep[v] is the smallest node with the
+	// same signature as v (every signature belongs to exactly one shard, and
+	// shard members are scanned in ascending order).
+	rep := make([]int32, n)
+	for sh := 0; sh < shards; sh++ {
+		memb := members[shardStart[sh]:shardStart[sh+1]]
+		if len(memb) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(memb []int32) {
+			defer wg.Done()
+			size := tableSizeFor(len(memb))
+			mask := uint64(size - 1)
+			table := make([]int32, size) // slot holds node+1; 0 = empty
+			for _, v32 := range memb {
+				v := int(v32)
+				slot := (s.hash[v] >> 6) & mask // low bits picked the shard
+				for {
+					t := table[slot]
+					if t == 0 {
+						table[slot] = v32 + 1
+						rep[v] = v32
+						break
+					}
+					u := int(t - 1)
+					if s.hash[u] == s.hash[v] && s.equal(u, v) {
+						rep[v] = t - 1
+						break
+					}
+					slot = (slot + 1) & mask
+				}
+			}
+		}(memb)
+	}
+	wg.Wait()
+
+	// Phase 2: deterministic merge. A single array pass over the nodes in
+	// ascending order assigns identifiers in first-occurrence order — a
+	// node's representative never exceeds the node itself, so its identifier
+	// is always already assigned.
+	next := make([]int, n)
+	num := 0
+	for v := 0; v < n; v++ {
+		if r := int(rep[v]); r == v {
+			next[v] = num
+			num++
+		} else {
+			next[v] = next[r]
+		}
+	}
+	return next, num
 }
 
 // RefineStep computes one refinement level (depth h -> h+1) from the
 // previous level's classes.
 func RefineStep(g *graph.Graph, prev []int) ([]int, int) {
-	sigs := make([]string, g.N())
-	FillLevelSignatures(g, prev, sigs, 0, g.N())
-	return ConsSignatures(sigs)
+	sigs := NewPairSigs(g)
+	sigs.Fill(g, prev, 0, g.N())
+	return ConsPairs(sigs)
 }
 
 // NewRefinement wraps precomputed per-depth class tables in a Refinement.

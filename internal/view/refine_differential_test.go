@@ -1,0 +1,181 @@
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// differentialCorpus is the fixed part of the differential-test corpus:
+// the paper's examples, symmetric topologies (where many nodes share view
+// classes at every depth), trees, grids and a single-node edge case.
+func differentialCorpus(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	corpus := map[string]*graph.Graph{
+		"three-node-line": graph.ThreeNodeLine(),
+		"path-2":          graph.Path(2),
+		"path-9":          graph.Path(9),
+		"star-8":          graph.Star(8),
+		"ring-6":          graph.Ring(6),
+		"ring-7":          graph.Ring(7),
+		"complete-5":      graph.Complete(5),
+		"grid-3x4":        graph.Grid(3, 4),
+		"torus-4x5":       graph.Torus(4, 5),
+		"hypercube-3":     graph.Hypercube(3),
+		"fulltree-2-3":    graph.FullTree(2, 3),
+		"caterpillar-a":   graph.Caterpillar(4, []int{2, 0, 1, 3}),
+		"caterpillar-b":   graph.Caterpillar(6, []int{1, 2, 0, 3, 1, 0}),
+		"regular-3-10":    graph.RandomRegular(10, 3, rng),
+	}
+	return corpus
+}
+
+// TestIntegerSignaturesMatchStringReference: the integer-pair scheme produces
+// class tables byte-identical to the retired string-signature scheme — same
+// identifiers, not merely the same partition — at every depth up to past
+// stabilisation, over the fixed corpus.
+func TestIntegerSignaturesMatchStringReference(t *testing.T) {
+	for name, g := range differentialCorpus(t) {
+		maxDepth := g.N() + 2 // deliberately past stabilisation
+		got := Refine(g, maxDepth)
+		wantClasses, wantCounts := referenceRefine(g, maxDepth)
+		for h := 0; h <= maxDepth; h++ {
+			if !reflect.DeepEqual(got.ClassAt(h), wantClasses[h]) {
+				t.Errorf("%s depth %d: integer scheme %v, string reference %v",
+					name, h, got.ClassAt(h), wantClasses[h])
+			}
+			if got.NumClassesAt(h) != wantCounts[h] {
+				t.Errorf("%s depth %d: integer scheme %d classes, string reference %d",
+					name, h, got.NumClassesAt(h), wantCounts[h])
+			}
+		}
+	}
+}
+
+// TestIntegerSignaturesRandomSweep: a seeded random-graph sweep — many
+// seeds, varying sizes and densities — asserting per-level agreement of
+// RefineStep with the string reference from arbitrary (not only canonical)
+// previous-class tables.
+func TestIntegerSignaturesRandomSweep(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := n - 1 + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		name := fmt.Sprintf("seed-%d(n=%d,m=%d)", seed, n, m)
+
+		// Full refinements agree level by level.
+		maxDepth := n + 1
+		got := Refine(g, maxDepth)
+		wantClasses, wantCounts := referenceRefine(g, maxDepth)
+		for h := 0; h <= maxDepth; h++ {
+			if !reflect.DeepEqual(got.ClassAt(h), wantClasses[h]) || got.NumClassesAt(h) != wantCounts[h] {
+				t.Fatalf("%s depth %d: integer scheme diverged from string reference", name, h)
+			}
+		}
+
+		// One step from a random (non-canonical) previous partition: the two
+		// schemes must still assign identical identifiers.
+		prev := make([]int, n)
+		for v := range prev {
+			prev[v] = rng.Intn(n)
+		}
+		gotNext, gotNum := RefineStep(g, prev)
+		wantNext, wantNum := referenceRefineStep(g, prev)
+		if !reflect.DeepEqual(gotNext, wantNext) || gotNum != wantNum {
+			t.Fatalf("%s: RefineStep from a random partition diverged: %v (%d) vs %v (%d)",
+				name, gotNext, gotNum, wantNext, wantNum)
+		}
+	}
+}
+
+// TestConsPairsShardedMatchesSequential: the two-phase sharded consing is
+// byte-identical to the sequential pass at every worker count, including
+// worker counts far above the node count.
+func TestConsPairsShardedMatchesSequential(t *testing.T) {
+	graphs := differentialCorpus(t)
+	rng := rand.New(rand.NewSource(99))
+	for name, g := range graphs {
+		prev, _ := DegreeClasses(g)
+		for round := 0; round < 4; round++ {
+			if round == 3 {
+				// Final round from a random (non-canonical) partition, which
+				// exercises consing on arbitrary class identifiers.
+				prev = make([]int, g.N())
+				for v := range prev {
+					prev[v] = rng.Intn(g.N())
+				}
+			}
+			sigs := NewPairSigs(g)
+			sigs.Fill(g, prev, 0, g.N())
+			want, wantNum := ConsPairs(sigs)
+			for _, workers := range []int{1, 2, 3, 4, 8, 64} {
+				got, gotNum := ConsPairsSharded(sigs, workers)
+				if !reflect.DeepEqual(got, want) || gotNum != wantNum {
+					t.Fatalf("%s round %d workers %d: sharded consing diverged", name, round, workers)
+				}
+			}
+			prev = want
+		}
+	}
+}
+
+// TestPairSigsFillRanges: filling disjoint ranges (as the engine's worker
+// pool does) produces the same buffer as one full pass.
+func TestPairSigsFillRanges(t *testing.T) {
+	g := graph.Torus(5, 6)
+	prev, _ := DegreeClasses(g)
+	whole := NewPairSigs(g)
+	whole.Fill(g, prev, 0, g.N())
+	split := NewPairSigs(g)
+	for lo := 0; lo < g.N(); lo += 7 {
+		hi := lo + 7
+		if hi > g.N() {
+			hi = g.N()
+		}
+		split.Fill(g, prev, lo, hi)
+	}
+	if !reflect.DeepEqual(whole.data, split.data) || !reflect.DeepEqual(whole.hash, split.hash) {
+		t.Fatal("range-split Fill diverged from the full pass")
+	}
+}
+
+// TestMatchesAt: the graph-walking matcher agrees with materialising the
+// view tree and comparing, for matching and non-matching (node, depth)
+// combinations.
+func TestMatchesAt(t *testing.T) {
+	g := graph.Caterpillar(4, []int{2, 0, 1, 3})
+	h := 3
+	for v := 0; v < g.N(); v++ {
+		vw := Compute(g, v, h)
+		for u := 0; u < g.N(); u++ {
+			want := Compute(g, u, h).Equal(vw)
+			if got := MatchesAt(g, u, h, vw); got != want {
+				t.Errorf("MatchesAt(%d, %d) = %v, tree comparison says %v", u, h, got, want)
+			}
+		}
+		// Depth mismatches never match.
+		if MatchesAt(g, v, h+1, vw) {
+			t.Errorf("node %d: depth-%d tree matched at depth %d", v, h, h+1)
+		}
+		if MatchesAt(g, v, 0, vw) {
+			t.Errorf("node %d: expanded tree matched at depth 0", v)
+		}
+	}
+	// Depth-0 trees match exactly on degree.
+	for v := 0; v < g.N(); v++ {
+		leaf := Compute(g, v, 0)
+		for u := 0; u < g.N(); u++ {
+			if got, want := MatchesAt(g, u, 0, leaf), g.Degree(u) == g.Degree(v); got != want {
+				t.Errorf("depth-0 MatchesAt(%d) = %v, want %v", u, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// This file keeps the original string-signature refinement scheme as a
+// test-only reference implementation. The production scheme (PairSigs,
+// ConsPairs, ConsPairsSharded in refine.go) encodes per-node signatures as
+// []uint64 pair sequences and must produce byte-identical class tables —
+// same partition, same first-occurrence identifiers — at every depth; the
+// differential tests in refine_differential_test.go assert exactly that
+// against the functions below.
+
+// referenceFillLevelSignatures computes the next-level string signature of
+// every node in [lo, hi): the node's degree plus, per port, the far-end port
+// number and the previous class of the neighbour.
+func referenceFillLevelSignatures(g *graph.Graph, prev []int, sigs []string, lo, hi int) {
+	var sb strings.Builder
+	for v := lo; v < hi; v++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d", g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			half := g.Neighbor(v, p)
+			fmt.Fprintf(&sb, "|%d,%d", half.ToPort, prev[half.To])
+		}
+		sigs[v] = sb.String()
+	}
+}
+
+// referenceConsSignatures hash-conses string signatures into class
+// identifiers assigned in first-occurrence order.
+func referenceConsSignatures(sigs []string) ([]int, int) {
+	next := make([]int, len(sigs))
+	ids := make(map[string]int)
+	for v, sig := range sigs {
+		id, ok := ids[sig]
+		if !ok {
+			id = len(ids)
+			ids[sig] = id
+		}
+		next[v] = id
+	}
+	return next, len(ids)
+}
+
+// referenceRefineStep is the string-scheme analogue of RefineStep.
+func referenceRefineStep(g *graph.Graph, prev []int) ([]int, int) {
+	sigs := make([]string, g.N())
+	referenceFillLevelSignatures(g, prev, sigs, 0, g.N())
+	return referenceConsSignatures(sigs)
+}
+
+// referenceRefine is the string-scheme analogue of Refine: per-depth class
+// tables and class counts for depths 0..maxDepth.
+func referenceRefine(g *graph.Graph, maxDepth int) ([][]int, []int) {
+	cur, num := DegreeClasses(g)
+	classes := [][]int{cur}
+	counts := []int{num}
+	for h := 1; h <= maxDepth; h++ {
+		next, n := referenceRefineStep(g, classes[h-1])
+		classes = append(classes, next)
+		counts = append(counts, n)
+	}
+	return classes, counts
+}

@@ -132,6 +132,34 @@ func Compare(a, b *View) int {
 	return 0
 }
 
+// MatchesAt reports whether B^h(v) in g equals the given view tree, i.e.
+// whether Compute(g, v, h).Equal(vw) — but by walking the graph and the tree
+// simultaneously, so no candidate tree is ever materialised and mismatches
+// exit early. It is the primitive distributed machines use to locate
+// themselves on a decoded map by their gathered view.
+func MatchesAt(g *graph.Graph, v, h int, vw *View) bool {
+	d := g.Degree(v)
+	if vw.Degree != d {
+		return false
+	}
+	if h == 0 {
+		return !vw.Expanded
+	}
+	if !vw.Expanded {
+		return false
+	}
+	for p := 0; p < d; p++ {
+		half := g.Neighbor(v, p)
+		if vw.InPorts[p] != half.ToPort {
+			return false
+		}
+		if !MatchesAt(g, half.To, h-1, vw.Children[p]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Truncate returns a copy of the view truncated at depth h (h >= 0). If the
 // view is already shallower, the copy has the original depth.
 func (v *View) Truncate(h int) *View {
