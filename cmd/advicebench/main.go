@@ -6,6 +6,10 @@
 // Usage:
 //
 //	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
+//	            [-families caterpillar,random] [-min-nodes N] [-max-nodes N] [-list-corpus]
+//
+// The corpus flags filter the named graph set the cross-cutting experiments
+// (E1, E2) sweep; the parameterised experiments are unaffected.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/engine"
 )
 
@@ -24,8 +29,12 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
 	seed := flag.Int64("seed", 1, "seed for the randomised corpus graphs and class members")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty runs all")
-	parallel := flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = sequential)")
+	parallel := flag.Int("parallel", 0, "worker budget shared by experiments and their per-graph tasks (0 = GOMAXPROCS, 1 = sequential)")
 	stats := flag.Bool("stats", false, "report the refinement-engine cache counters after the run")
+	families := flag.String("families", "", "comma-separated family filter for the E1/E2 corpus (empty = all)")
+	minNodes := flag.Int("min-nodes", 0, "keep only corpus graphs with at least this many nodes (0 = no bound)")
+	maxNodes := flag.Int("max-nodes", 0, "keep only corpus graphs with at most this many nodes (0 = no bound)")
+	listCorpus := flag.Bool("list-corpus", false, "list the (filtered) E1/E2 corpus and exit")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -37,8 +46,26 @@ func main() {
 	}
 
 	eng := engine.New(0)
+	c := corpus.Default(*seed, eng.Feasible)
+	filter := corpus.Filter{MinNodes: *minNodes, MaxNodes: *maxNodes}
+	for _, fam := range strings.Split(*families, ",") {
+		if fam = strings.TrimSpace(fam); fam != "" {
+			filter.Families = append(filter.Families, fam)
+		}
+	}
+	if len(filter.Families) > 0 || filter.MinNodes > 0 || filter.MaxNodes > 0 {
+		c = c.Filter(filter)
+	}
+	if *listCorpus {
+		fmt.Printf("%-18s %-14s %s\n", "graph", "family", "nodes")
+		for _, name := range c.Names() {
+			fmt.Printf("%-18s %-14s %d\n", name, c.Family(name), c.Nodes(name))
+		}
+		return
+	}
+
 	start := time.Now()
-	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed, Engine: eng, Parallelism: *parallel})
+	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed, Engine: eng, Corpus: c, Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
 		// Print whatever was produced before the failure, then exit non-zero.

@@ -1,0 +1,118 @@
+// Command benchcmp compares two benchmark-delta JSON artifacts (the
+// BENCH_*.json files the CI workflow uploads, one per generation) and fails
+// when a benchmark regressed by more than the allowed ns_per_op ratio. It is
+// the comparison step that turns the artifact series into a regression gate:
+//
+//	benchcmp -old prev/BENCH_pr2.json -new BENCH_pr3.json -match 'Refine' -max-ratio 2
+//
+// Benchmarks present on only one side are reported but never fail the gate
+// (the benchmark set is allowed to evolve between generations).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// record is one benchmark measurement of a BENCH_*.json artifact.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// artifact is the top-level shape of a BENCH_*.json file.
+type artifact struct {
+	Bench []record `json:"bench"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous BENCH_*.json artifact")
+	newPath := flag.String("new", "", "current BENCH_*.json artifact")
+	match := flag.String("match", "", "regexp selecting the benchmarks the gate applies to (empty = all)")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new ns_per_op exceeds old by more than this factor")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	oldArt, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newArt, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	lines, regressions := compare(oldArt, newArt, re, *maxRatio)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.1fx\n", regressions, *maxRatio)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// compare reports one line per gated benchmark and the number of regressions
+// beyond maxRatio. Only benchmarks matching re and present in both artifacts
+// are gated; additions and removals are listed as informational.
+func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lines []string, regressions int) {
+	oldBy := make(map[string]record, len(oldArt.Bench))
+	for _, r := range oldArt.Bench {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(newArt.Bench))
+	for _, nr := range newArt.Bench {
+		seen[nr.Name] = true
+		if !re.MatchString(nr.Name) {
+			continue
+		}
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("NEW   %-45s %12.0f ns/op (no previous measurement)", nr.Name, nr.NsPerOp))
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			lines = append(lines, fmt.Sprintf("SKIP  %-45s previous ns/op is %0.f", nr.Name, or.NsPerOp))
+			continue
+		}
+		ratio := nr.NsPerOp / or.NsPerOp
+		status := "OK   "
+		if ratio > maxRatio {
+			status = "FAIL "
+			regressions++
+		}
+		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)", status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio))
+	}
+	for _, or := range oldArt.Bench {
+		if re.MatchString(or.Name) && !seen[or.Name] {
+			lines = append(lines, fmt.Sprintf("GONE  %-45s (present only in the previous artifact)", or.Name))
+		}
+	}
+	return lines, regressions
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func art(recs ...record) *artifact { return &artifact{Bench: recs} }
+
+func TestCompareGatesOnRatio(t *testing.T) {
+	oldArt := art(
+		record{Name: "BenchmarkRefineColdTorus", NsPerOp: 1000},
+		record{Name: "BenchmarkRefineCorpusSweepSmall", NsPerOp: 500},
+		record{Name: "BenchmarkOther", NsPerOp: 10},
+	)
+	newArt := art(
+		record{Name: "BenchmarkRefineColdTorus", NsPerOp: 1900},       // 1.9x: within the gate
+		record{Name: "BenchmarkRefineCorpusSweepSmall", NsPerOp: 1200}, // 2.4x: regression
+		record{Name: "BenchmarkOther", NsPerOp: 10000},                 // not matched: ignored
+	)
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Refine"), 2.0)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL  BenchmarkRefineCorpusSweepSmall") {
+		t.Errorf("missing FAIL line for the regressed benchmark:\n%s", joined)
+	}
+	if !strings.Contains(joined, "OK    BenchmarkRefineColdTorus") {
+		t.Errorf("missing OK line for the in-bounds benchmark:\n%s", joined)
+	}
+	if strings.Contains(joined, "BenchmarkOther") {
+		t.Errorf("unmatched benchmark leaked into the report:\n%s", joined)
+	}
+}
+
+func TestCompareHandlesAddedAndRemoved(t *testing.T) {
+	oldArt := art(record{Name: "BenchmarkRefineGone", NsPerOp: 100})
+	newArt := art(record{Name: "BenchmarkRefineNew", NsPerOp: 100})
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Refine"), 2.0)
+	if regressions != 0 {
+		t.Fatalf("additions/removals must not fail the gate; got %d regressions", regressions)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "NEW   BenchmarkRefineNew") || !strings.Contains(joined, "GONE  BenchmarkRefineGone") {
+		t.Errorf("missing NEW/GONE lines:\n%s", joined)
+	}
+}
+
+func TestCompareEmptyMatchGatesEverything(t *testing.T) {
+	oldArt := art(record{Name: "BenchmarkAnything", NsPerOp: 100})
+	newArt := art(record{Name: "BenchmarkAnything", NsPerOp: 300})
+	_, regressions := compare(oldArt, newArt, regexp.MustCompile(""), 2.0)
+	if regressions != 1 {
+		t.Fatalf("empty -match must gate every benchmark; got %d regressions", regressions)
+	}
+}

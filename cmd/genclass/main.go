@@ -9,11 +9,13 @@
 //	udk     -delta 4 -k 1 -sigma 1,2,3,1,2,3,1,2,3      (Figure 3)
 //	layer   -mu 3 -j 4                                  (Figure 4)
 //	jmk     -mu 2 -k 4 -gadgets 8                       (Figures 5–11)
+//	corpus  -name path-8 -seed 1                        (the E1/E2 corpus; empty -name lists it)
 //
 // Usage:
 //
 //	genclass -family gdk -delta 4 -k 1 -i 2 -dot g2.dot
 //	genclass -family layer -mu 3 -j 5
+//	genclass -family corpus -name random-0 -json r0.json
 package main
 
 import (
@@ -24,13 +26,14 @@ import (
 	"strings"
 
 	"repro/internal/construct"
+	"repro/internal/corpus"
 	"repro/internal/election"
 	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
 func main() {
-	family := flag.String("family", "gdk", "construction family: tree, gdk, udk, layer or jmk")
+	family := flag.String("family", "gdk", "construction family: tree, gdk, udk, layer, jmk or corpus")
 	delta := flag.Int("delta", 4, "maximum degree parameter Δ (tree, gdk, udk)")
 	k := flag.Int("k", 1, "time parameter k")
 	i := flag.Int("i", 2, "instance index within G_{Δ,k}")
@@ -40,23 +43,37 @@ func main() {
 	mu := flag.Int("mu", 2, "branching parameter µ (layer, jmk)")
 	j := flag.Int("j", 3, "layer index for -family layer")
 	gadgets := flag.Int("gadgets", 8, "gadget count for -family jmk (0 = faithful 2^z)")
+	name := flag.String("name", "", "graph name within -family corpus (empty = list the corpus)")
+	seed := flag.Int64("seed", 1, "seed for the -family corpus random graphs")
 	dotOut := flag.String("dot", "", "write the constructed graph as Graphviz DOT to this file")
 	jsonOut := flag.String("json", "", "write the constructed graph as JSON to this file")
 	indices := flag.Bool("indices", false, "also compute the election indices (may be slow on large instances)")
 	flag.Parse()
 
+	// One engine serves the corpus feasibility draws, the feasibility report,
+	// the ψ_S scan and the optional index computation, so every graph is
+	// refined exactly once.
+	eng := engine.New(0)
+
+	if strings.EqualFold(*family, "corpus") && *name == "" {
+		c := corpus.Default(*seed, eng.Feasible)
+		fmt.Printf("%-18s %-14s %s\n", "graph", "family", "nodes")
+		for _, n := range c.Names() {
+			fmt.Printf("%-18s %-14s %d\n", n, c.Family(n), c.Nodes(n))
+		}
+		return
+	}
+
 	g, labels, err := build(*family, buildParams{
 		delta: *delta, k: *k, i: *i, xSpec: *xSpec, variant: *variant,
 		sigmaSpec: *sigmaSpec, mu: *mu, j: *j, gadgets: *gadgets,
+		name: *name, seed: *seed, eng: eng,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genclass: %v\n", err)
 		os.Exit(1)
 	}
 
-	// One engine serves the feasibility report, the ψ_S scan and the optional
-	// index computation, so the instance is refined exactly once.
-	eng := engine.New(0)
 	fmt.Printf("family %s: n=%d, m=%d, Δ=%d, diameter=%d, feasible=%v\n",
 		*family, g.N(), g.NumEdges(), g.MaxDegree(), g.Diameter(), eng.Feasible(g))
 	depth, unique := eng.MinDepthSomeUnique(g)
@@ -98,6 +115,9 @@ type buildParams struct {
 	delta, k, i, variant int
 	xSpec, sigmaSpec     string
 	mu, j, gadgets       int
+	name                 string
+	seed                 int64
+	eng                  *engine.Engine
 }
 
 func build(family string, p buildParams) (*graph.Graph, map[int]string, error) {
@@ -154,6 +174,14 @@ func build(family string, p buildParams) (*graph.Graph, map[int]string, error) {
 			return nil, nil, err
 		}
 		return g, nil, nil
+
+	case "corpus":
+		c := corpus.Default(p.seed, p.eng.Feasible)
+		if !c.Has(p.name) {
+			return nil, nil, fmt.Errorf("unknown corpus graph %q (run -family corpus with no -name to list)", p.name)
+		}
+		fmt.Printf("corpus graph %s (family %s, seed %d)\n", p.name, c.Family(p.name), p.seed)
+		return c.Graph(p.name), nil, nil
 
 	case "jmk":
 		inst, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{NumGadgets: p.gadgets})

@@ -17,8 +17,13 @@ import (
 
 func main() {
 	// A caterpillar: a 4-node spine with 2, 0, 1 and 3 legs. Its degrees and
-	// port numbers break all symmetries, so election is feasible.
-	g := fourshades.Caterpillar(4, []int{2, 0, 1, 3})
+	// port numbers break all symmetries, so election is feasible. It is the
+	// "caterpillar-a" entry of the default experiment corpus — the same graph
+	// the E1/E2 tables measure — pulled from the corpus by name. (Building
+	// the corpus also draws its three small random members; construct the
+	// graph directly with fourshades.Caterpillar(4, []int{2, 0, 1, 3}) if you
+	// do not want the corpus.)
+	g := fourshades.DefaultCorpus(1).Graph("caterpillar-a")
 	fmt.Printf("network: %d nodes, %d edges, max degree %d\n", g.N(), g.NumEdges(), g.MaxDegree())
 
 	if !fourshades.Feasible(g) {

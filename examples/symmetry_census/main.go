@@ -17,35 +17,52 @@ import (
 )
 
 func main() {
-	networks := []struct {
-		name string
-		g    *fourshades.Graph
-	}{
-		{"two-node graph (paper's example)", fourshades.Path(2)},
-		{"oriented ring of 7", fourshades.Ring(7)},
-		{"3x3 torus", fourshades.Torus(3, 3)},
-		{"hypercube of dimension 3", fourshades.Hypercube(3)},
-		{"3-node line, ports 0,0,1,0 (paper's example)", fourshades.ThreeNodeLine()},
-		{"star with 6 leaves", fourshades.Star(7)},
-		{"path of 6", fourshades.Path(6)},
-		{"caterpillar 2,0,1", fourshades.Caterpillar(3, []int{2, 0, 1})},
-		{"random connected (n=10,m=14)", fourshades.RandomConnected(10, 14, fourshades.NewRand(11))},
-	}
+	// The survey is a corpus: named networks with families and lazy
+	// generators — the same workload type the experiment suite sweeps, so
+	// the census can be filtered by family or size like any other corpus.
+	census := fourshades.NewCorpus(
+		fourshades.CorpusSpec{Name: "two-node graph (paper's example)", Family: "paper-example", Nodes: 2,
+			Gen: func() *fourshades.Graph { return fourshades.Path(2) }},
+		fourshades.CorpusSpec{Name: "oriented ring of 7", Family: "ring", Nodes: 7,
+			Gen: func() *fourshades.Graph { return fourshades.Ring(7) }},
+		fourshades.CorpusSpec{Name: "3x3 torus", Family: "torus", Nodes: 9,
+			Gen: func() *fourshades.Graph { return fourshades.Torus(3, 3) }},
+		fourshades.CorpusSpec{Name: "hypercube of dimension 3", Family: "hypercube", Nodes: 8,
+			Gen: func() *fourshades.Graph { return fourshades.Hypercube(3) }},
+		fourshades.CorpusSpec{Name: "3-node line, ports 0,0,1,0 (paper's example)", Family: "paper-example", Nodes: 3,
+			Gen: func() *fourshades.Graph { return fourshades.ThreeNodeLine() }},
+		fourshades.CorpusSpec{Name: "star with 6 leaves", Family: "star", Nodes: 7,
+			Gen: func() *fourshades.Graph { return fourshades.Star(7) }},
+		fourshades.CorpusSpec{Name: "path of 6", Family: "path", Nodes: 6,
+			Gen: func() *fourshades.Graph { return fourshades.Path(6) }},
+		fourshades.CorpusSpec{Name: "caterpillar 2,0,1", Family: "caterpillar", Nodes: 6,
+			Gen: func() *fourshades.Graph { return fourshades.Caterpillar(3, []int{2, 0, 1}) }},
+		fourshades.CorpusSpec{Name: "random connected (n=10,m=14)", Family: "random", Nodes: 10,
+			Gen: func() *fourshades.Graph { return fourshades.RandomConnected(10, 14, fourshades.NewRand(11)) }},
+	)
 
 	fmt.Printf("%-45s %-10s %-30s\n", "network", "feasible?", "ψ_S ψ_PE ψ_PPE ψ_CPPE")
-	for _, nw := range networks {
-		if !fourshades.Feasible(nw.g) {
-			fmt.Printf("%-45s %-10s %s\n", nw.name, "no", "(two nodes share a view)")
+	for _, name := range census.Names() {
+		g := census.Graph(name)
+		if !fourshades.Feasible(g) {
+			fmt.Printf("%-45s %-10s %s\n", name, "no", "(two nodes share a view)")
 			continue
 		}
-		idx, err := fourshades.ElectionIndices(nw.g, fourshades.IndexOptions{})
+		idx, err := fourshades.ElectionIndices(g, fourshades.IndexOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-45s %-10s %3d %4d %5d %6d\n", nw.name, "yes",
+		fmt.Printf("%-45s %-10s %3d %4d %5d %6d\n", name, "yes",
 			idx[fourshades.Selection], idx[fourshades.PortElection],
 			idx[fourshades.PortPathElection], idx[fourshades.CompletePortPathElection])
 	}
+
+	// Corpus filters slice the census without regenerating anything: the
+	// paper's two hand-picked examples, and the sub-7-node networks.
+	examples := census.Filter(fourshades.CorpusFilter{Families: []string{"paper-example"}})
+	small := census.Filter(fourshades.CorpusFilter{MaxNodes: 6})
+	fmt.Printf("\npaper examples: %d of %d networks; at most 6 nodes: %d\n",
+		examples.Len(), census.Len(), small.Len())
 
 	// The engines agree: run minimum-time Selection on the same feasible
 	// network with all three engines and compare the elected leader.

@@ -16,7 +16,9 @@
 //   - the paper's graph-class constructions (BuildGdk, BuildUdk, BuildJmk) and
 //     lower-bound experiments (FoolSelection, FoolPortElection,
 //     FoolPathElection);
-//   - the experiment suite reproducing the paper's results (RunExperiments).
+//   - the experiment suite reproducing the paper's results (RunExperiments)
+//     and its corpus/workload subsystem (GraphCorpus, DefaultCorpus,
+//     CorpusFilter).
 //
 // See README.md for a quick start and DESIGN.md / EXPERIMENTS.md for the
 // mapping between the paper's claims and this code base.
@@ -30,6 +32,7 @@ import (
 	"repro/internal/bitstring"
 	"repro/internal/construct"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/election"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -99,6 +102,31 @@ func ViewClasses(g *Graph, maxDepth int) *view.Refinement {
 func SameViewAcross(g1 *Graph, v1 int, g2 *Graph, v2, depth int) bool {
 	return engine.Default.SameViewAcross(g1, v1, g2, v2, depth)
 }
+
+// ---- Corpora -----------------------------------------------------------------
+
+// GraphCorpus is an ordered collection of named graphs with lazy,
+// at-most-once generators and family/size filters — the workload unit the
+// experiment suite (and any corpus-sweeping caller) iterates.
+type GraphCorpus = corpus.Corpus
+
+// CorpusSpec declares one corpus entry: name, family, declared size and a
+// generator invoked at most once, on first access.
+type CorpusSpec = corpus.Spec
+
+// CorpusFilter selects corpus graphs by name, family and size.
+type CorpusFilter = corpus.Filter
+
+// NewCorpus builds a corpus from the given specs, in order.
+func NewCorpus(specs ...CorpusSpec) *GraphCorpus { return corpus.New(specs...) }
+
+// DefaultCorpus returns the named graph set the cross-cutting experiments
+// (E1, E2) measure: five small symmetry-free named topologies plus three
+// feasible random connected graphs drawn from seed. Feasibility of the
+// random candidates is checked through the shared engine. Pass it (filtered,
+// or replaced by NewCorpus) through ExperimentOptions.Corpus to restrict
+// what those experiments sweep.
+func DefaultCorpus(seed int64) *GraphCorpus { return corpus.Default(seed, engine.Default.Feasible) }
 
 // ---- Refinement engine -------------------------------------------------------
 

@@ -3,15 +3,14 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/construct"
+	"repro/internal/corpus"
 	"repro/internal/election"
 	"repro/internal/engine"
-	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/lowerbound"
 )
@@ -26,81 +25,99 @@ type Options struct {
 	// nil means a fresh engine per run. Sharing one engine across the suite
 	// (and across suites) deduplicates view refinements of the corpus graphs.
 	Engine *engine.Engine
-	// Parallelism bounds how many experiments All runs concurrently:
-	// 0 = GOMAXPROCS, 1 = sequential. Each experiment is deterministic given
-	// Options, so the produced tables are identical at every setting.
+	// Corpus overrides the named graph set the cross-cutting experiments
+	// (E1, E2) measure; nil means the default corpus (corpus.Default with
+	// this run's seed and engine). Filtered corpora — by family, size or
+	// name — restrict those experiments without touching the
+	// parameterised ones.
+	Corpus *corpus.Corpus
+	// Parallelism is the run's worker budget: the suite fans the experiments
+	// out through one bounded pool, and each experiment fans its per-graph
+	// and per-parameter-row tasks into the *same* pool, so idle capacity
+	// flows to whichever experiment has work left. 0 = GOMAXPROCS,
+	// 1 = strictly sequential. Every task is a deterministic function of
+	// Options and results are assembled in task order, so the produced
+	// tables are byte-identical at every setting.
 	Parallelism int
 
-	// shared carries the per-run corpus and engine across the experiments of
-	// one All invocation; experiments invoked individually get their own.
+	// shared carries the per-run corpus, engine and scheduler across the
+	// experiments of one All invocation; experiments invoked individually
+	// get their own.
 	shared *sharedState
 }
 
 // sharedState is the per-run state the experiments share: one refinement
-// engine and one lazily built corpus, so every experiment sees the same
-// graph objects and the engine caches refinements across experiments.
+// engine, one work pool and one lazily built corpus, so every experiment
+// sees the same graph objects, the engine caches refinements across
+// experiments, and all per-graph tasks compete for one worker budget.
 type sharedState struct {
 	eng        *engine.Engine
+	pool       *corpus.Pool
 	corpusOnce sync.Once
-	corpus     map[string]*graph.Graph
+	corpus     *corpus.Corpus
 }
 
-// withShared returns opt with the shared state (and its engine) populated.
+// withShared returns opt with the shared state (engine + pool) populated.
 func (o Options) withShared() Options {
 	if o.shared == nil {
 		eng := o.Engine
 		if eng == nil {
 			eng = engine.New(0)
 		}
-		o.shared = &sharedState{eng: eng}
+		o.shared = &sharedState{eng: eng, pool: corpus.NewPool(o.Parallelism)}
 	}
 	return o
 }
 
 // corpus returns the named feasible graphs used by the cross-cutting
 // experiments (E1, E2), built once per run.
-func (o Options) corpus() map[string]*graph.Graph {
+func (o Options) corpus() *corpus.Corpus {
 	s := o.shared
 	s.corpusOnce.Do(func() {
-		rng := rand.New(rand.NewSource(o.Seed))
-		graphs := map[string]*graph.Graph{
-			"three-node-line": graph.ThreeNodeLine(),
-			"path-8":          graph.Path(8),
-			"star-8":          graph.Star(8),
-			"caterpillar-a":   graph.Caterpillar(4, []int{2, 0, 1, 3}),
-			"caterpillar-b":   graph.Caterpillar(5, []int{1, 1, 0, 2, 1}),
+		if o.Corpus != nil {
+			s.corpus = o.Corpus
+			return
 		}
-		for i := 0; i < 3; i++ {
-			for tries := 0; tries < 50; tries++ {
-				n := 8 + rng.Intn(6)
-				m := n - 1 + rng.Intn(n)
-				if max := n * (n - 1) / 2; m > max {
-					m = max
-				}
-				g := graph.RandomConnected(n, m, rng)
-				if s.eng.Feasible(g) {
-					graphs[fmt.Sprintf("random-%d", i)] = g
-					break
-				}
-			}
-		}
-		s.corpus = graphs
+		s.corpus = corpus.Default(o.Seed, s.eng.Feasible)
 	})
 	return s.corpus
 }
 
-// sortedNames returns map keys in sorted order for deterministic tables.
-func sortedNames[M ~map[string]V, V any](m M) []string {
-	names := make([]string, 0, len(m))
-	for k := range m {
-		names = append(names, k)
-	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j-1] > names[j]; j-- {
-			names[j-1], names[j] = names[j], names[j-1]
+// rowOut is one fan-out task's outcome. rows are appended to the table in
+// task order; hardErr aborts the experiment discarding the table (the former
+// sequential loops returned (nil, err) for construction and simulation
+// errors), while rowErr is a verification failure recorded *in* the row,
+// after which the partially built table is returned alongside the error —
+// the two failure shapes of the sequential loops, reproduced exactly.
+type rowOut struct {
+	rows    [][]string
+	hardErr error
+	rowErr  error
+}
+
+func row(cells ...string) [][]string { return [][]string{cells} }
+
+// fanOut runs the n row tasks of one experiment through the run's shared
+// pool and returns their outcomes in task order.
+func fanOut(opt Options, n int, task func(i int) rowOut) []rowOut {
+	outs := make([]rowOut, n)
+	opt.shared.pool.Map(n, func(i int) { outs[i] = task(i) })
+	return outs
+}
+
+// assemble walks fan-out outcomes in task order and fills the table,
+// stopping exactly where the sequential loop would have stopped.
+func assemble(t *Table, outs []rowOut) (*Table, error) {
+	for _, o := range outs {
+		if o.hardErr != nil {
+			return nil, o.hardErr
+		}
+		t.Rows = append(t.Rows, o.rows...)
+		if o.rowErr != nil {
+			return t, o.rowErr
 		}
 	}
-	return names
+	return t, nil
 }
 
 // Experiment1Hierarchy (E1, Fact 1.1): election indices of the four tasks on a
@@ -113,16 +130,18 @@ func Experiment1Hierarchy(opt Options) (*Table, error) {
 		Header: []string{"graph", "n", "Δ", "ψ_S", "ψ_PE", "ψ_PPE", "ψ_CPPE", "hierarchy"},
 	}
 	graphs := opt.corpus()
-	for _, name := range sortedNames(graphs) {
-		g := graphs[name]
+	names := graphs.Names()
+	return assemble(t, fanOut(opt, len(names), func(i int) rowOut {
+		name := names[i]
+		g := graphs.Graph(name)
 		idx, err := election.Indices(g, election.Options{Engine: opt.shared.eng})
 		if err != nil {
-			return nil, fmt.Errorf("core: E1 %s: %w", name, err)
+			return rowOut{hardErr: fmt.Errorf("core: E1 %s: %w", name, err)}
 		}
 		ok := idx[election.CPPE] >= idx[election.PPE] &&
 			idx[election.PPE] >= idx[election.PE] &&
 			idx[election.PE] >= idx[election.S]
-		t.Rows = append(t.Rows, []string{
+		out := rowOut{rows: row(
 			name,
 			fmt.Sprint(g.N()),
 			fmt.Sprint(g.MaxDegree()),
@@ -131,12 +150,12 @@ func Experiment1Hierarchy(opt Options) (*Table, error) {
 			fmt.Sprint(idx[election.PPE]),
 			fmt.Sprint(idx[election.CPPE]),
 			fmt.Sprint(ok),
-		})
+		)}
 		if !ok {
-			return t, fmt.Errorf("core: E1 %s violates Fact 1.1", name)
+			out.rowErr = fmt.Errorf("core: E1 %s violates Fact 1.1", name)
 		}
-	}
-	return t, nil
+		return out
+	}))
 }
 
 // Experiment2SelectionAdvice (E2, Theorem 2.2): the Selection-with-advice
@@ -153,18 +172,20 @@ func Experiment2SelectionAdvice(opt Options) (*Table, error) {
 		},
 	}
 	graphs := opt.corpus()
-	for _, name := range sortedNames(graphs) {
-		g := graphs[name]
+	names := graphs.Names()
+	return assemble(t, fanOut(opt, len(names), func(i int) rowOut {
+		name := names[i]
+		g := graphs.Graph(name)
 		psi, err := election.Index(g, election.S, election.Options{Engine: opt.shared.eng})
 		if err != nil {
-			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
+			return rowOut{hardErr: fmt.Errorf("core: E2 %s: %w", name, err)}
 		}
 		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(opt.shared.eng, g, local.RunSequential)
 		if err != nil {
-			return nil, fmt.Errorf("core: E2 %s: %w", name, err)
+			return rowOut{hardErr: fmt.Errorf("core: E2 %s: %w", name, err)}
 		}
 		verified := election.Verify(election.S, g, outputs) == nil && rounds == psi
-		t.Rows = append(t.Rows, []string{
+		out := rowOut{rows: row(
 			name,
 			fmt.Sprint(g.MaxDegree()),
 			fmt.Sprint(psi),
@@ -172,12 +193,12 @@ func Experiment2SelectionAdvice(opt Options) (*Table, error) {
 			fmt.Sprint(bits),
 			fmt.Sprint(advice.GraphAdviceBits(g)),
 			fmt.Sprint(verified),
-		})
+		)}
 		if !verified {
-			return t, fmt.Errorf("core: E2 %s failed verification", name)
+			out.rowErr = fmt.Errorf("core: E2 %s failed verification", name)
 		}
-	}
-	return t, nil
+		return out
+	}))
 }
 
 // gdkParams are the G_{Δ,k} parameter points measured by E3/E4.
@@ -195,16 +216,17 @@ func Experiment3Gdk(opt Options) (*Table, error) {
 		Title:  "G_{Δ,k} construction — ψ_S(G_i) = k and |G_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}",
 		Header: []string{"Δ", "k", "instance i", "nodes", "ψ_S", "ψ_S = k", "class size"},
 	}
-	for _, p := range gdkParams {
+	return assemble(t, fanOut(opt, len(gdkParams), func(i int) rowOut {
+		p := gdkParams[i]
 		inst, err := construct.BuildGdk(p.Delta, p.K, p.Instance)
 		if err != nil {
-			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
+			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)}
 		}
 		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: p.K + 2, Engine: opt.shared.eng})
 		if err != nil {
-			return nil, fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)
+			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)}
 		}
-		t.Rows = append(t.Rows, []string{
+		out := rowOut{rows: row(
 			fmt.Sprint(p.Delta),
 			fmt.Sprint(p.K),
 			fmt.Sprint(p.Instance),
@@ -212,12 +234,12 @@ func Experiment3Gdk(opt Options) (*Table, error) {
 			fmt.Sprint(psi),
 			fmt.Sprint(psi == p.K),
 			construct.GdkClassSize(p.Delta, p.K).String(),
-		})
+		)}
 		if psi != p.K {
-			return t, fmt.Errorf("core: E3 Δ=%d k=%d: ψ_S = %d, want %d", p.Delta, p.K, psi, p.K)
+			out.rowErr = fmt.Errorf("core: E3 Δ=%d k=%d: ψ_S = %d, want %d", p.Delta, p.K, psi, p.K)
 		}
-	}
-	return t, nil
+		return out
+	}))
 }
 
 // Experiment4GdkLowerBound (E4, Theorem 2.9): the pigeonhole advice bound for
@@ -234,33 +256,35 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 			"the fooling column reuses the advice computed for G_α on G_β (α=2, β=3): at least two nodes elect themselves, so no algorithm below the pigeonhole bound can be correct",
 		},
 	}
-	for _, p := range []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}, {6, 2}} {
+	params := []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}, {6, 2}}
+	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
+		p := params[i]
 		lower := lowerbound.PigeonholeAdviceBits(construct.GdkClassSize(p.Delta, p.K))
 		inst, err := construct.BuildGdk(p.Delta, p.K, 2)
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		upper, err := algorithms.SelectionAdviceSize(opt.shared.eng, inst.G)
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		fool, err := lowerbound.FoolSelection(opt.shared.eng, p.Delta, p.K, 2, 3)
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
-		t.Rows = append(t.Rows, []string{
+		out := rowOut{rows: row(
 			fmt.Sprint(p.Delta),
 			fmt.Sprint(p.K),
 			fmt.Sprint(lower),
 			fmt.Sprint(upper),
 			fmt.Sprint(fool.ViewsEqual),
 			fmt.Sprint(fool.LeadersInBeta),
-		})
+		)}
 		if !fool.ViewsEqual || fool.LeadersInBeta < 2 {
-			return t, fmt.Errorf("core: E4 Δ=%d k=%d: fooling experiment failed", p.Delta, p.K)
+			out.rowErr = fmt.Errorf("core: E4 Δ=%d k=%d: fooling experiment failed", p.Delta, p.K)
 		}
-	}
-	return t, nil
+		return out
+	}))
 }
 
 // Experiment5Udk (E5, Section 3 constructions + Lemmas 3.6-3.9): on U_{Δ,k}
@@ -273,71 +297,83 @@ func Experiment5Udk(opt Options) (*Table, error) {
 		Title:  "U_{Δ,k} — ψ_S = ψ_PE = k; Lemma 3.9 algorithm verified with σ-advice",
 		Header: []string{"Δ", "k", "nodes", "no unique view at k-1", "PE rounds", "PE verified", "σ advice bits"},
 	}
+	// The σ draws share one rng, so they happen sequentially up front; the
+	// heavy per-instance work then fans out without touching shared state.
 	rng := rand.New(rand.NewSource(opt.Seed + 5))
-	for _, p := range []struct{ Delta, K int }{{4, 1}} {
-		sigma, err := construct.RandomSigma(p.Delta, p.K, rng)
-		if err != nil {
-			return nil, err
-		}
-		u, err := construct.BuildUdk(p.Delta, p.K, sigma)
-		if err != nil {
-			return nil, err
-		}
-		ref := opt.shared.eng.Refine(u.G, p.K)
-		lowerOK := len(ref.UniqueAt(p.K-1)) == 0
-		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
-		if err != nil {
-			return nil, fmt.Errorf("core: E5 Δ=%d k=%d: %w", p.Delta, p.K, err)
-		}
-		verified := election.Verify(election.PE, u.G, outputs) == nil && rounds == p.K
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(p.Delta),
-			fmt.Sprint(p.K),
-			fmt.Sprint(u.G.N()),
-			fmt.Sprint(lowerOK),
-			fmt.Sprint(rounds),
-			fmt.Sprint(verified),
-			fmt.Sprint(bits),
-		})
-		if !lowerOK || !verified {
-			return t, fmt.Errorf("core: E5 Δ=%d k=%d failed", p.Delta, p.K)
-		}
+	sigmaSmall, err := construct.RandomSigma(4, 1, rng)
+	if err != nil {
+		return nil, err
 	}
-	// A larger instance evaluated centrally (Δ=4, k=2 has ~10^5 nodes; the
-	// distributed execution would rebuild the map at every node).
+	var sigmaLarge []int
 	if !opt.Quick {
-		sigma, err := construct.RandomSigma(4, 2, rng)
+		sigmaLarge, err = construct.RandomSigma(4, 2, rng)
 		if err != nil {
 			return nil, err
-		}
-		u, err := construct.BuildUdk(4, 2, sigma)
-		if err != nil {
-			return nil, err
-		}
-		ref := opt.shared.eng.Refine(u.G, 2)
-		lowerOK := len(ref.UniqueAt(1)) == 0
-		depth, outputs, err := algorithms.UdkPortElectionOutputs(opt.shared.eng, u)
-		if err != nil {
-			return nil, err
-		}
-		// Full PE verification is Ω(n) per node; on this ~10^5-node instance
-		// the per-node validity is checked on a 1000-node sample (the single-
-		// leader condition is checked in full), see EXPERIMENTS.md.
-		sample := election.SampleNodes(u.G, 1000, opt.Seed)
-		verified := election.VerifySample(election.PE, u.G, outputs, sample) == nil &&
-			algorithms.CheckRealizable(opt.shared.eng, u.G, election.PE, depth, outputs) == nil && depth == 2
-		bits, err := u.SigmaAdvice()
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			"4", "2", fmt.Sprint(u.G.N()), fmt.Sprint(lowerOK), fmt.Sprint(depth), fmt.Sprintf("%v (sampled)", verified), fmt.Sprint(bits.Len()),
-		})
-		if !lowerOK || !verified {
-			return t, fmt.Errorf("core: E5 Δ=4 k=2 failed")
 		}
 	}
-	return t, nil
+	tasks := []func() rowOut{
+		func() rowOut {
+			const delta, k = 4, 1
+			u, err := construct.BuildUdk(delta, k, sigmaSmall)
+			if err != nil {
+				return rowOut{hardErr: err}
+			}
+			ref := opt.shared.eng.Refine(u.G, k)
+			lowerOK := len(ref.UniqueAt(k-1)) == 0
+			bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
+			if err != nil {
+				return rowOut{hardErr: fmt.Errorf("core: E5 Δ=%d k=%d: %w", delta, k, err)}
+			}
+			verified := election.Verify(election.PE, u.G, outputs) == nil && rounds == k
+			out := rowOut{rows: row(
+				fmt.Sprint(delta),
+				fmt.Sprint(k),
+				fmt.Sprint(u.G.N()),
+				fmt.Sprint(lowerOK),
+				fmt.Sprint(rounds),
+				fmt.Sprint(verified),
+				fmt.Sprint(bits),
+			)}
+			if !lowerOK || !verified {
+				out.rowErr = fmt.Errorf("core: E5 Δ=%d k=%d failed", delta, k)
+			}
+			return out
+		},
+	}
+	if !opt.Quick {
+		// A larger instance evaluated centrally (Δ=4, k=2 has ~10^5 nodes; the
+		// distributed execution would rebuild the map at every node).
+		tasks = append(tasks, func() rowOut {
+			u, err := construct.BuildUdk(4, 2, sigmaLarge)
+			if err != nil {
+				return rowOut{hardErr: err}
+			}
+			ref := opt.shared.eng.Refine(u.G, 2)
+			lowerOK := len(ref.UniqueAt(1)) == 0
+			depth, outputs, err := algorithms.UdkPortElectionOutputs(opt.shared.eng, u)
+			if err != nil {
+				return rowOut{hardErr: err}
+			}
+			// Full PE verification is Ω(n) per node; on this ~10^5-node instance
+			// the per-node validity is checked on a 1000-node sample (the single-
+			// leader condition is checked in full), see EXPERIMENTS.md.
+			sample := election.SampleNodes(u.G, 1000, opt.Seed)
+			verified := election.VerifySample(election.PE, u.G, outputs, sample) == nil &&
+				algorithms.CheckRealizable(opt.shared.eng, u.G, election.PE, depth, outputs) == nil && depth == 2
+			bits, err := u.SigmaAdvice()
+			if err != nil {
+				return rowOut{hardErr: err}
+			}
+			out := rowOut{rows: row(
+				"4", "2", fmt.Sprint(u.G.N()), fmt.Sprint(lowerOK), fmt.Sprint(depth), fmt.Sprintf("%v (sampled)", verified), fmt.Sprint(bits.Len()),
+			)}
+			if !lowerOK || !verified {
+				out.rowErr = fmt.Errorf("core: E5 Δ=4 k=2 failed")
+			}
+			return out
+		})
+	}
+	return assemble(t, fanOut(opt, len(tasks), func(i int) rowOut { return tasks[i]() }))
 }
 
 // Experiment6UdkLowerBound (E6, Theorem 3.11): the pigeonhole bound on advice
@@ -350,45 +386,55 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 		Title:  "Theorem 3.11 — advice for PE in minimum time is exponential in Δ while S stays polynomial",
 		Header: []string{"Δ", "k", "PE pigeonhole bound (bits)", "σ-advice upper bound (bits)", "S advice on same graph (bits)", "fooling: views equal", "fooling: ports differ"},
 	}
+	params := []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}}
+	// Pre-draw the σ of every materialisable row from the one shared rng, in
+	// row order, so the fan-out below stays byte-identical to a sequential run.
 	rng := rand.New(rand.NewSource(opt.Seed + 6))
-	for _, p := range []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}} {
-		lower := lowerbound.PigeonholeAdviceBits(construct.UdkClassSize(p.Delta, p.K))
-		row := []string{fmt.Sprint(p.Delta), fmt.Sprint(p.K), fmt.Sprint(lower)}
+	sigmas := make([][]int, len(params))
+	for i, p := range params {
 		if p.Delta == 4 && (p.K == 1 || !opt.Quick) {
 			sigmaA, err := construct.RandomSigma(p.Delta, p.K, rng)
 			if err != nil {
 				return nil, err
 			}
-			u, err := construct.BuildUdk(p.Delta, p.K, sigmaA)
-			if err != nil {
-				return nil, err
-			}
-			sig, err := u.SigmaAdvice()
-			if err != nil {
-				return nil, err
-			}
-			sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, u.G)
-			if err != nil {
-				return nil, err
-			}
-			sigmaB := append([]int(nil), sigmaA...)
-			sigmaB[0] = sigmaA[0]%(p.Delta-1) + 1
-			fool, err := lowerbound.FoolPortElection(opt.shared.eng, p.Delta, p.K, sigmaA, sigmaB)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprint(sig.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Disjoint))
-			if !fool.ViewsEqual || !fool.Disjoint {
-				return t, fmt.Errorf("core: E6 Δ=%d k=%d fooling failed", p.Delta, p.K)
-			}
-		} else {
+			sigmas[i] = sigmaA
+		}
+	}
+	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
+		p := params[i]
+		lower := lowerbound.PigeonholeAdviceBits(construct.UdkClassSize(p.Delta, p.K))
+		cells := []string{fmt.Sprint(p.Delta), fmt.Sprint(p.K), fmt.Sprint(lower)}
+		sigmaA := sigmas[i]
+		if sigmaA == nil {
 			// For larger parameters the class cannot be materialised; only the
 			// counting bound is reported (that is the content of the theorem).
-			row = append(row, "-", "-", "-", "-")
+			return rowOut{rows: row(append(cells, "-", "-", "-", "-")...)}
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t, nil
+		u, err := construct.BuildUdk(p.Delta, p.K, sigmaA)
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		sig, err := u.SigmaAdvice()
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, u.G)
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		sigmaB := append([]int(nil), sigmaA...)
+		sigmaB[0] = sigmaA[0]%(p.Delta-1) + 1
+		fool, err := lowerbound.FoolPortElection(opt.shared.eng, p.Delta, p.K, sigmaA, sigmaB)
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		out := rowOut{rows: row(append(cells,
+			fmt.Sprint(sig.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Disjoint))...)}
+		if !fool.ViewsEqual || !fool.Disjoint {
+			out.rowErr = fmt.Errorf("core: E6 Δ=%d k=%d fooling failed", p.Delta, p.K)
+		}
+		return out
+	}))
 }
 
 // Experiment7Jmk (E7, Section 4.1 constructions, Facts 4.1/4.2): layer-graph
@@ -403,17 +449,26 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 			"the last column checks Proposition 4.4 across two class members with different gadget counts: every ρ node has the same depth-(k-1) view in both, compared by refining the disjoint union through the shared engine (no view trees are built)",
 		},
 	}
-	for _, p := range []struct {
+	all := []struct {
 		Mu, K   int
 		gadgets int // 0 = faithful
-	}{{2, 4, 8}, {3, 4, 4}, {2, 4, 0}} {
+	}{{2, 4, 8}, {3, 4, 4}, {2, 4, 0}}
+	var params []struct {
+		Mu, K   int
+		gadgets int
+	}
+	for _, p := range all {
 		if p.gadgets == 0 && opt.Quick {
 			continue
 		}
+		params = append(params, p)
+	}
+	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
+		p := params[i]
 		z := construct.JmkZ(p.Mu, p.K)
 		inst, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: p.gadgets})
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		// A second member of the same class with a different gadget count:
 		// ρ's depth-(k-1) view must not depend on the member (Prop. 4.4).
@@ -423,10 +478,10 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 		}
 		companion, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: companionGadgets})
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		rhoEqual := opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], companion.G, companion.Rho[1], p.K-1)
-		t.Rows = append(t.Rows, []string{
+		out := rowOut{rows: row(
 			fmt.Sprint(p.Mu),
 			fmt.Sprint(p.K),
 			fmt.Sprint(z),
@@ -435,12 +490,12 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 			fmt.Sprintf("2^%d", (1 << uint(z-1))),
 			fmt.Sprint(inst.G.N()),
 			fmt.Sprint(rhoEqual),
-		})
+		)}
 		if !rhoEqual {
-			return t, fmt.Errorf("core: E7 µ=%d k=%d: ρ views differ across class members", p.Mu, p.K)
+			out.rowErr = fmt.Errorf("core: E7 µ=%d k=%d: ρ views differ across class members", p.Mu, p.K)
 		}
-	}
-	return t, nil
+		return out
+	}))
 }
 
 // Experiment8JmkIndices (E8, Lemmas 4.6-4.9): ψ_S = ψ_PPE = ψ_CPPE = k on
@@ -457,41 +512,55 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 			"reduced-gadget rows verify every node's output; the faithful row samples every ρ node, the first and last gadget, and random nodes (the full output vector is quadratic in the instance size)",
 		},
 	}
-	// Reduced instances: full verification.
-	for _, p := range []struct{ mu, k, gadgets int }{{2, 4, 8}, {3, 4, 2}} {
-		inst, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{NumGadgets: p.gadgets})
-		if err != nil {
-			return nil, err
-		}
-		depth, cppe, err := algorithms.JmkPathOutputs(inst, election.CPPE)
-		if err != nil {
-			return nil, err
-		}
-		_, ppe, err := algorithms.JmkPathOutputs(inst, election.PPE)
-		if err != nil {
-			return nil, err
-		}
-		cppeOK := election.Verify(election.CPPE, inst.G, cppe) == nil && depth == p.k &&
-			algorithms.CheckRealizable(opt.shared.eng, inst.G, election.CPPE, depth, cppe) == nil
-		ppeOK := election.Verify(election.PPE, inst.G, ppe) == nil
-		maxLen := 0
-		for _, o := range cppe {
-			if len(o.FullPath) > maxLen {
-				maxLen = len(o.FullPath)
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(p.gadgets), fmt.Sprint(inst.G.N()),
-			"(reduced)", fmt.Sprint(cppeOK), fmt.Sprint(ppeOK), fmt.Sprint(maxLen),
-		})
-		if !cppeOK || !ppeOK {
-			return t, fmt.Errorf("core: E8 reduced µ=%d failed", p.mu)
+	// Reduced instances (full verification) and, outside Quick mode, the
+	// faithful instance, all as independent tasks on the shared pool.
+	reduced := []struct{ mu, k, gadgets int }{{2, 4, 8}, {3, 4, 2}}
+	tasks := []func() rowOut{
+		func() rowOut { return e8Reduced(opt, reduced[0].mu, reduced[0].k, reduced[0].gadgets) },
+		func() rowOut { return e8Reduced(opt, reduced[1].mu, reduced[1].k, reduced[1].gadgets) },
+	}
+	if !opt.Quick {
+		tasks = append(tasks, func() rowOut { return e8Faithful(opt) })
+	}
+	return assemble(t, fanOut(opt, len(tasks), func(i int) rowOut { return tasks[i]() }))
+}
+
+// e8Reduced is one reduced-gadget E8 row: the Lemma 4.8 algorithm with every
+// node's output verified.
+func e8Reduced(opt Options, mu, k, gadgets int) rowOut {
+	inst, err := construct.BuildJmk(mu, k, construct.JmkOptions{NumGadgets: gadgets})
+	if err != nil {
+		return rowOut{hardErr: err}
+	}
+	depth, cppe, err := algorithms.JmkPathOutputs(inst, election.CPPE)
+	if err != nil {
+		return rowOut{hardErr: err}
+	}
+	_, ppe, err := algorithms.JmkPathOutputs(inst, election.PPE)
+	if err != nil {
+		return rowOut{hardErr: err}
+	}
+	cppeOK := election.Verify(election.CPPE, inst.G, cppe) == nil && depth == k &&
+		algorithms.CheckRealizable(opt.shared.eng, inst.G, election.CPPE, depth, cppe) == nil
+	ppeOK := election.Verify(election.PPE, inst.G, ppe) == nil
+	maxLen := 0
+	for _, o := range cppe {
+		if len(o.FullPath) > maxLen {
+			maxLen = len(o.FullPath)
 		}
 	}
-	if opt.Quick {
-		return t, nil
+	out := rowOut{rows: row(
+		fmt.Sprint(mu), fmt.Sprint(k), fmt.Sprint(gadgets), fmt.Sprint(inst.G.N()),
+		"(reduced)", fmt.Sprint(cppeOK), fmt.Sprint(ppeOK), fmt.Sprint(maxLen),
+	)}
+	if !cppeOK || !ppeOK {
+		out.rowErr = fmt.Errorf("core: E8 reduced µ=%d failed", mu)
 	}
-	// Faithful instance.
+	return out
+}
+
+// e8Faithful is the faithful-instance E8 row (sampled verification).
+func e8Faithful(opt Options) rowOut {
 	z := construct.JmkZ(2, 4)
 	rng := rand.New(rand.NewSource(opt.Seed + 8))
 	y := make([]bool, 1<<uint(z-1))
@@ -500,7 +569,7 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 	}
 	inst, err := construct.BuildJmk(2, 4, construct.JmkOptions{Y: y})
 	if err != nil {
-		return nil, err
+		return rowOut{hardErr: err}
 	}
 	ref := opt.shared.eng.Refine(inst.G, inst.K-1)
 	lowerOK := len(ref.UniqueAt(inst.K-1)) == 0
@@ -515,19 +584,18 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 		opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], inst.G, inst.Rho[inst.NumGadgets-1], inst.K-1)
 	rep, err := algorithms.VerifyJmkSample(inst, election.CPPE, 2048, opt.Seed)
 	if err != nil {
-		return nil, err
+		return rowOut{hardErr: err}
 	}
-	t.Rows = append(t.Rows, []string{
+	out := rowOut{rows: row(
 		"2", "4", fmt.Sprint(inst.NumGadgets), fmt.Sprint(inst.G.N()),
 		fmt.Sprintf("%v (ρ twins %v)", lowerOK, twinsOK), fmt.Sprintf("sampled %d ok", rep.Sampled), "(weakened)", fmt.Sprint(rep.MaxPathLen),
-	})
+	)}
 	if !lowerOK {
-		return t, fmt.Errorf("core: E8 faithful instance has a unique view at depth k-1")
+		out.rowErr = fmt.Errorf("core: E8 faithful instance has a unique view at depth k-1")
+	} else if !twinsOK {
+		out.rowErr = fmt.Errorf("core: E8 faithful instance violates the ρ twin spot-check")
 	}
-	if !twinsOK {
-		return t, fmt.Errorf("core: E8 faithful instance violates the ρ twin spot-check")
-	}
-	return t, nil
+	return out
 }
 
 // Experiment9JmkLowerBound (E9, Theorems 4.11/4.12): the pigeonhole bound
@@ -540,45 +608,46 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 		Title:  "Theorems 4.11/4.12 — advice for PPE/CPPE in minimum time is Ω(2^{Δ^{k/6}})",
 		Header: []string{"µ", "k", "z", "pigeonhole bound (bits)", "Y-advice upper bound (bits)", "S advice (Thm 2.2, bits)", "fooling: views equal", "fooling: separated"},
 	}
-	for _, p := range []struct{ mu, k int }{{2, 4}, {3, 4}, {4, 6}} {
+	params := []struct{ mu, k int }{{2, 4}, {3, 4}, {4, 6}}
+	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
+		p := params[i]
 		z := construct.JmkZ(p.mu, p.k)
 		lower := construct.AdviceLowerBoundBitsJmk(p.mu, p.k)
-		row := []string{fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(z), fmt.Sprintf("%.0f", lower)}
-		if p.mu == 2 && p.k == 4 && !opt.Quick {
-			rng := rand.New(rand.NewSource(opt.Seed + 9))
-			yA := make([]bool, 1<<uint(z-1))
-			yB := make([]bool, 1<<uint(z-1))
-			for i := range yA {
-				yA[i] = rng.Intn(2) == 1
-				yB[i] = yA[i]
-			}
-			yB[3] = !yB[3]
-			instA, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{Y: yA})
-			if err != nil {
-				return nil, err
-			}
-			yBits, err := instA.YAdvice()
-			if err != nil {
-				return nil, err
-			}
-			sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, instA.G)
-			if err != nil {
-				return nil, err
-			}
-			fool, err := lowerbound.FoolPathElection(opt.shared.eng, p.mu, p.k, yA, yB)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprint(yBits.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Separated))
-			if !fool.ViewsEqual || !fool.Separated {
-				return t, fmt.Errorf("core: E9 fooling failed")
-			}
-		} else {
-			row = append(row, "-", "-", "-", "-")
+		cells := []string{fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(z), fmt.Sprintf("%.0f", lower)}
+		if !(p.mu == 2 && p.k == 4 && !opt.Quick) {
+			return rowOut{rows: row(append(cells, "-", "-", "-", "-")...)}
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t, nil
+		rng := rand.New(rand.NewSource(opt.Seed + 9))
+		yA := make([]bool, 1<<uint(z-1))
+		yB := make([]bool, 1<<uint(z-1))
+		for i := range yA {
+			yA[i] = rng.Intn(2) == 1
+			yB[i] = yA[i]
+		}
+		yB[3] = !yB[3]
+		instA, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{Y: yA})
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		yBits, err := instA.YAdvice()
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, instA.G)
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		fool, err := lowerbound.FoolPathElection(opt.shared.eng, p.mu, p.k, yA, yB)
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		out := rowOut{rows: row(append(cells,
+			fmt.Sprint(yBits.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Separated))...)}
+		if !fool.ViewsEqual || !fool.Separated {
+			out.rowErr = fmt.Errorf("core: E9 fooling failed")
+		}
+		return out
+	}))
 }
 
 // Experiment10Separation (E10, headline result): for growing Δ, the measured /
@@ -601,15 +670,17 @@ func Experiment10Separation(opt Options) (*Table, error) {
 			"PE: pigeonhole bound |U_{Δ,k}| (exponential in Δ); PPE/CPPE: pigeonhole bound 2^(z-1)-1 ≈ 2^{Δ^{k/6}} (doubly exponential growth in Δ for fixed k)",
 		},
 	}
-	for _, delta := range []int{4, 5, 6, 7, 8} {
+	deltas := []int{4, 5, 6, 7, 8}
+	return assemble(t, fanOut(opt, len(deltas), func(i int) rowOut {
+		delta := deltas[i]
 		k := 1
 		inst, err := construct.BuildGdk(delta, k, 2)
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		sBits, err := algorithms.SelectionAdviceSize(opt.shared.eng, inst.G)
 		if err != nil {
-			return nil, err
+			return rowOut{hardErr: err}
 		}
 		peLower := construct.AdviceLowerBoundBitsUdk(delta, k)
 		// The paper's Section 4 bound uses µ = ⌈Δ/4⌉ (Δ >= 16); for the small
@@ -620,23 +691,24 @@ func Experiment10Separation(opt Options) (*Table, error) {
 			mu = 2
 		}
 		cppeLower := construct.AdviceLowerBoundBitsJmk(mu, 6)
-		t.Rows = append(t.Rows, []string{
+		return rowOut{rows: row(
 			fmt.Sprint(delta),
 			fmt.Sprint(k),
 			fmt.Sprint(sBits),
 			fmt.Sprintf("%.0f", peLower),
 			fmt.Sprintf("%.3g", cppeLower),
-		})
-	}
-	return t, nil
+		)}
+	}))
 }
 
-// All runs every experiment and returns the tables in order. The experiments
-// execute concurrently on a bounded worker pool (see Options.Parallelism)
-// and share one corpus and one refinement engine; each experiment is a
-// deterministic function of Options, so the tables are byte-identical to a
-// sequential (Parallelism = 1) run. As in the sequential run, the returned
-// prefix stops before the first (in experiment order) failing experiment.
+// All runs every experiment and returns the tables in order. The suite fans
+// the ten experiments out through one bounded pool (see Options.Parallelism)
+// shared with every experiment's own per-graph and per-row tasks, over one
+// corpus and one refinement engine; every task is a deterministic function
+// of Options and results are assembled in task order, so the tables are
+// byte-identical to a sequential (Parallelism = 1) run. As in the sequential
+// run, the returned prefix stops before the first (in experiment order)
+// failing experiment.
 func All(opt Options) ([]*Table, error) {
 	runners := []func(Options) (*Table, error){
 		Experiment1Hierarchy,
@@ -651,31 +723,15 @@ func All(opt Options) ([]*Table, error) {
 		Experiment10Separation,
 	}
 	opt = opt.withShared()
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(runners) {
-		par = len(runners)
-	}
 	type outcome struct {
 		table *Table
 		err   error
 	}
 	results := make([]outcome, len(runners))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, run := range runners {
-		wg.Add(1)
-		go func(i int, run func(Options) (*Table, error)) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			table, err := run(opt)
-			results[i] = outcome{table, err}
-		}(i, run)
-	}
-	wg.Wait()
+	opt.shared.pool.Map(len(runners), func(i int) {
+		table, err := runners[i](opt)
+		results[i] = outcome{table, err}
+	})
 	var tables []*Table
 	for _, r := range results {
 		if r.err != nil {

@@ -1,0 +1,219 @@
+// Package corpus is the workload subsystem of the experiment suite: named
+// graph sets with lazy, at-most-once generators, family and size filters,
+// and a shared bounded work pool that fans per-graph (and per-experiment)
+// tasks out with deterministic result assembly.
+//
+// A Corpus decouples *which* graphs an experiment measures from *how* they
+// are produced: entries are declared as Specs (name, family, expected size,
+// generator) and materialised on first use, so filtered views and repeated
+// sweeps never rebuild a graph. The companion Pool (see pool.go) is the
+// scheduler every experiment of a run shares; Collect assembles fan-out
+// results in index order, so tables are byte-identical at every worker
+// count.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Spec declares one corpus entry. Gen is called at most once, on first
+// access, no matter how many filtered views of the corpus share the entry.
+type Spec struct {
+	Name   string
+	Family string
+	// Nodes is the declared graph size, used by size filters without
+	// materialising the graph; 0 means unknown (a size filter then invokes
+	// the generator, still at most once).
+	Nodes int
+	Gen   func() *graph.Graph
+}
+
+// entry is one corpus member; the graph is built lazily, at most once.
+// Filtered corpora share entries with their parent, so the at-most-once
+// guarantee holds across every view of the corpus.
+type entry struct {
+	spec Spec
+	once sync.Once
+	g    *graph.Graph
+}
+
+func (e *entry) graph() *graph.Graph {
+	e.once.Do(func() { e.g = e.spec.Gen() })
+	return e.g
+}
+
+// nodes returns the entry's size, materialising the graph only when the
+// spec did not declare one.
+func (e *entry) nodes() int {
+	if e.spec.Nodes > 0 {
+		return e.spec.Nodes
+	}
+	return e.graph().N()
+}
+
+// Corpus is an ordered collection of named graphs. The iteration order of
+// Names is the insertion order of the Specs — a deterministic, stable order
+// that filtered views preserve — so experiment tables built by walking a
+// corpus never depend on scheduling or map iteration.
+type Corpus struct {
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// New builds a corpus from the given specs, in order. Duplicate or empty
+// names and nil generators are programming errors and panic.
+func New(specs ...Spec) *Corpus {
+	c := &Corpus{byName: make(map[string]*entry, len(specs))}
+	for _, s := range specs {
+		if s.Name == "" {
+			panic("corpus: spec with empty name")
+		}
+		if s.Gen == nil {
+			panic(fmt.Sprintf("corpus: spec %q has no generator", s.Name))
+		}
+		if _, dup := c.byName[s.Name]; dup {
+			panic(fmt.Sprintf("corpus: duplicate spec %q", s.Name))
+		}
+		e := &entry{spec: s}
+		c.entries = append(c.entries, e)
+		c.byName[s.Name] = e
+	}
+	return c
+}
+
+// Len returns the number of graphs in the corpus.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Names returns the graph names in the corpus's deterministic order.
+func (c *Corpus) Names() []string {
+	names := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		names[i] = e.spec.Name
+	}
+	return names
+}
+
+// Has reports whether the corpus contains a graph with the given name.
+func (c *Corpus) Has(name string) bool {
+	_, ok := c.byName[name]
+	return ok
+}
+
+// Family returns the declared family of the named graph ("" if unknown).
+func (c *Corpus) Family(name string) string {
+	if e, ok := c.byName[name]; ok {
+		return e.spec.Family
+	}
+	return ""
+}
+
+// Nodes returns the size of the named graph, from the declared hint when
+// present and by materialising the graph otherwise.
+func (c *Corpus) Nodes(name string) int {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("corpus: unknown graph %q", name))
+	}
+	return e.nodes()
+}
+
+// Graph returns the named graph, invoking its generator on first access.
+func (c *Corpus) Graph(name string) *graph.Graph {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("corpus: unknown graph %q", name))
+	}
+	return e.graph()
+}
+
+// Filter selects graphs by name, family and size. Zero fields mean "no
+// constraint"; a non-zero size bound consults the declared Nodes hint and
+// materialises only hint-less entries.
+type Filter struct {
+	Names    []string // keep only these names (empty = all)
+	Families []string // keep only these families (empty = all)
+	MinNodes int      // keep only graphs with >= this many nodes (0 = no bound)
+	MaxNodes int      // keep only graphs with <= this many nodes (0 = no bound)
+}
+
+// Filter returns the sub-corpus matching f, in the parent's order. The view
+// shares the parent's entries, so generators still run at most once per
+// graph across all views.
+func (c *Corpus) Filter(f Filter) *Corpus {
+	keepName := map[string]bool{}
+	for _, n := range f.Names {
+		keepName[n] = true
+	}
+	keepFamily := map[string]bool{}
+	for _, fam := range f.Families {
+		keepFamily[fam] = true
+	}
+	out := &Corpus{byName: make(map[string]*entry)}
+	for _, e := range c.entries {
+		if len(keepName) > 0 && !keepName[e.spec.Name] {
+			continue
+		}
+		if len(keepFamily) > 0 && !keepFamily[e.spec.Family] {
+			continue
+		}
+		if f.MinNodes > 0 || f.MaxNodes > 0 {
+			n := e.nodes()
+			if f.MinNodes > 0 && n < f.MinNodes {
+				continue
+			}
+			if f.MaxNodes > 0 && n > f.MaxNodes {
+				continue
+			}
+		}
+		out.entries = append(out.entries, e)
+		out.byName[e.spec.Name] = e
+	}
+	return out
+}
+
+// Default returns the corpus the cross-cutting experiments (E1, E2) measure:
+// five small named topologies whose degrees and ports break all symmetries,
+// plus three random connected graphs drawn from seed and accepted by the
+// feasible predicate (nil accepts everything; the experiment suite passes
+// its engine's Feasible). The random graphs are drawn eagerly — the draws
+// share one rng, so their content must not depend on access order — while
+// the named entries stay lazy.
+func Default(seed int64, feasible func(*graph.Graph) bool) *Corpus {
+	specs := []Spec{
+		{Name: "caterpillar-a", Family: "caterpillar", Nodes: 10,
+			Gen: func() *graph.Graph { return graph.Caterpillar(4, []int{2, 0, 1, 3}) }},
+		{Name: "caterpillar-b", Family: "caterpillar", Nodes: 10,
+			Gen: func() *graph.Graph { return graph.Caterpillar(5, []int{1, 1, 0, 2, 1}) }},
+		{Name: "path-8", Family: "path", Nodes: 8,
+			Gen: func() *graph.Graph { return graph.Path(8) }},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3; i++ {
+		for tries := 0; tries < 50; tries++ {
+			n := 8 + rng.Intn(6)
+			m := n - 1 + rng.Intn(n)
+			if max := n * (n - 1) / 2; m > max {
+				m = max
+			}
+			g := graph.RandomConnected(n, m, rng)
+			if feasible == nil || feasible(g) {
+				specs = append(specs, Spec{
+					Name: fmt.Sprintf("random-%d", i), Family: "random", Nodes: g.N(),
+					Gen: func() *graph.Graph { return g },
+				})
+				break
+			}
+		}
+	}
+	specs = append(specs,
+		Spec{Name: "star-8", Family: "star", Nodes: 8,
+			Gen: func() *graph.Graph { return graph.Star(8) }},
+		Spec{Name: "three-node-line", Family: "paper-example", Nodes: 3,
+			Gen: func() *graph.Graph { return graph.ThreeNodeLine() }},
+	)
+	return New(specs...)
+}

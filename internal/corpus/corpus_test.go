@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// countingSpec returns a spec whose generator bumps calls on every invocation.
+func countingSpec(name, family string, nodes int, calls *atomic.Int64, gen func() *graph.Graph) Spec {
+	return Spec{Name: name, Family: family, Nodes: nodes, Gen: func() *graph.Graph {
+		calls.Add(1)
+		return gen()
+	}}
+}
+
+func TestCorpusOrderAndAccessors(t *testing.T) {
+	var a, b atomic.Int64
+	c := New(
+		countingSpec("ring-6", "ring", 6, &a, func() *graph.Graph { return graph.Ring(6) }),
+		countingSpec("path-4", "path", 4, &b, func() *graph.Graph { return graph.Path(4) }),
+	)
+	if got := c.Names(); len(got) != 2 || got[0] != "ring-6" || got[1] != "path-4" {
+		t.Fatalf("Names = %v, want insertion order [ring-6 path-4]", got)
+	}
+	if c.Len() != 2 || !c.Has("ring-6") || c.Has("nope") {
+		t.Fatalf("Len/Has broken: len=%d", c.Len())
+	}
+	if c.Family("path-4") != "path" || c.Family("nope") != "" {
+		t.Fatalf("Family lookup broken")
+	}
+	// Declared size hints answer Nodes without invoking the generator.
+	if n := c.Nodes("ring-6"); n != 6 || a.Load() != 0 {
+		t.Fatalf("Nodes = %d with %d generator calls; want 6 with 0 calls", n, a.Load())
+	}
+	if g := c.Graph("ring-6"); g.N() != 6 {
+		t.Fatalf("Graph returned %d nodes, want 6", g.N())
+	}
+	if a.Load() != 1 {
+		t.Fatalf("generator ran %d times after one access, want 1", a.Load())
+	}
+}
+
+// TestGeneratorsInvokedAtMostOnce: however many filtered views exist and
+// however often each is walked, a graph's generator runs at most once.
+func TestGeneratorsInvokedAtMostOnce(t *testing.T) {
+	var calls [3]atomic.Int64
+	c := New(
+		countingSpec("ring-8", "ring", 8, &calls[0], func() *graph.Graph { return graph.Ring(8) }),
+		countingSpec("star-5", "star", 5, &calls[1], func() *graph.Graph { return graph.Star(5) }),
+		// No size hint: size filters must materialise this one (once).
+		countingSpec("path-7", "path", 0, &calls[2], func() *graph.Graph { return graph.Path(7) }),
+	)
+	views := []*Corpus{
+		c,
+		c.Filter(Filter{Families: []string{"ring", "path"}}),
+		c.Filter(Filter{MaxNodes: 7}), // materialises path-7 to decide
+		c.Filter(Filter{Names: []string{"star-5", "path-7"}}),
+	}
+	for round := 0; round < 3; round++ {
+		for _, v := range views {
+			for _, name := range v.Names() {
+				if v.Graph(name) == nil {
+					t.Fatalf("nil graph for %s", name)
+				}
+				_ = v.Nodes(name)
+			}
+		}
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("generator %d invoked %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := New(
+		Spec{Name: "a", Family: "ring", Nodes: 4, Gen: func() *graph.Graph { return graph.Ring(4) }},
+		Spec{Name: "b", Family: "ring", Nodes: 9, Gen: func() *graph.Graph { return graph.Ring(9) }},
+		Spec{Name: "c", Family: "path", Nodes: 6, Gen: func() *graph.Graph { return graph.Path(6) }},
+	)
+	cases := []struct {
+		f    Filter
+		want []string
+	}{
+		{Filter{}, []string{"a", "b", "c"}},
+		{Filter{Families: []string{"ring"}}, []string{"a", "b"}},
+		{Filter{MinNodes: 5}, []string{"b", "c"}},
+		{Filter{MaxNodes: 6}, []string{"a", "c"}},
+		{Filter{MinNodes: 5, MaxNodes: 8}, []string{"c"}},
+		{Filter{Names: []string{"c", "a"}}, []string{"a", "c"}}, // parent order wins
+		{Filter{Families: []string{"ring"}, MaxNodes: 5}, []string{"a"}},
+		{Filter{Families: []string{"none"}}, nil},
+	}
+	for _, tc := range cases {
+		got := c.Filter(tc.f).Names()
+		if len(got) != len(tc.want) {
+			t.Errorf("Filter(%+v) = %v, want %v", tc.f, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Filter(%+v) = %v, want %v", tc.f, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadSpecs(t *testing.T) {
+	mustPanic := func(name string, specs ...Spec) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: New did not panic", name)
+			}
+		}()
+		New(specs...)
+	}
+	gen := func() *graph.Graph { return graph.Ring(3) }
+	mustPanic("empty name", Spec{Name: "", Gen: gen})
+	mustPanic("nil gen", Spec{Name: "x"})
+	mustPanic("duplicate", Spec{Name: "x", Gen: gen}, Spec{Name: "x", Gen: gen})
+}
+
+func TestDefaultCorpus(t *testing.T) {
+	c := Default(1, nil)
+	want := []string{"caterpillar-a", "caterpillar-b", "path-8", "random-0", "random-1", "random-2", "star-8", "three-node-line"}
+	got := c.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Default corpus has %d graphs %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Default corpus order %v, want %v", got, want)
+		}
+	}
+	for _, name := range got {
+		g := c.Graph(name)
+		if g == nil {
+			t.Fatalf("%s: nil graph", name)
+		}
+		if n := c.Nodes(name); n != g.N() {
+			t.Errorf("%s: declared %d nodes, graph has %d", name, n, g.N())
+		}
+	}
+	// The random draws are a function of the seed alone.
+	d := Default(1, nil)
+	for _, name := range []string{"random-0", "random-1", "random-2"} {
+		if !graph.Isomorphic(c.Graph(name), d.Graph(name)) {
+			t.Errorf("%s differs across two Default(1) corpora", name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the bounded work pool one experiment run shares: the suite fans
+// the experiments out through it, and each experiment fans its per-graph
+// (or per-parameter-row) tasks out through the *same* pool, so a run's total
+// concurrency is bounded by one worker budget no matter how the work nests.
+//
+// The design keeps the concurrency structure channel-disciplined and easy to
+// reason about: a Map caller always executes tasks itself (pulling indices
+// from a shared atomic counter), and recruits at most workers-1 helper
+// goroutines, each gated by a token on a buffered channel shared by every
+// Map on the pool. Because the caller never blocks waiting for a token,
+// nested Maps cannot deadlock, and a saturated pool degrades to the caller
+// draining its own tasks — the idle-worker budget flows to whichever Map
+// has work left, which is what balances uneven per-graph loads across
+// experiments.
+type Pool struct {
+	workers int
+	tokens  chan struct{} // capacity workers-1; one token per helper goroutine
+}
+
+// NewPool returns a pool with the given worker budget; workers <= 0 means
+// GOMAXPROCS. A budget of 1 makes every Map a plain sequential loop.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, tokens: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the pool's worker budget.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs task(0), ..., task(n-1), using free pool capacity for
+// concurrency. Tasks are claimed from a shared counter, so helpers steal
+// whatever indices the caller has not reached yet; with a budget of 1 (or a
+// saturated pool) the caller simply runs every task in index order. Map
+// returns when all n tasks have completed.
+func (p *Pool) Map(n int, task func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				run()
+			}()
+			continue
+		default:
+		}
+		break // pool saturated; the caller drains the rest itself
+	}
+	run()
+	wg.Wait()
+}
+
+// Collect runs task(0..n-1) through the pool and assembles results and
+// errors in index order. Callers walk the two slices sequentially to build
+// their tables, reproducing exactly what a sequential loop would have
+// produced regardless of how the tasks were scheduled.
+func Collect[T any](p *Pool, n int, task func(int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	p.Map(n, func(i int) { out[i], errs[i] = task(i) })
+	return out, errs
+}

@@ -1,0 +1,137 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapSequentialWhenOneWorker: a budget of 1 runs tasks in index order on
+// the calling goroutine — no helpers, no interleaving.
+func TestMapSequentialWhenOneWorker(t *testing.T) {
+	p := NewPool(1)
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", p.Workers())
+	}
+	var order []int
+	p.Map(20, func(i int) { order = append(order, i) }) // no lock: must be sequential
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("task order %v is not sequential", order)
+		}
+	}
+	if len(order) != 20 {
+		t.Fatalf("ran %d tasks, want 20", len(order))
+	}
+}
+
+// TestMapCoversAllIndices: every index runs exactly once, at any budget.
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		p := NewPool(workers)
+		const n = 200
+		var runs [n]atomic.Int32
+		p.Map(n, func(i int) { runs[i].Add(1) })
+		for i := range runs {
+			if got := runs[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestMapBoundedConcurrency: a pool never runs more tasks at once than its
+// worker budget, even when several Maps nest.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const budget = 3
+	p := NewPool(budget)
+	var cur, peak atomic.Int32
+	task := func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	}
+	p.Map(8, func(i int) {
+		task(i)
+		p.Map(4, task) // nested fan-out shares the same budget
+	})
+	if got := peak.Load(); got > budget {
+		t.Fatalf("peak concurrency %d exceeds the budget %d", got, budget)
+	}
+}
+
+// TestNestedMapNoDeadlock: deeply nested Maps on a tiny pool must complete
+// (the caller always drains its own tasks, so saturation cannot deadlock).
+func TestNestedMapNoDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Map(4, func(int) {
+			p.Map(4, func(int) {
+				p.Map(4, func(int) { total.Add(1) })
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+	if total.Load() != 64 {
+		t.Fatalf("ran %d leaf tasks, want 64", total.Load())
+	}
+}
+
+// TestMapConcurrentCallers: independent Maps on one shared pool (the
+// experiment-suite shape) all complete and cover their indices.
+func TestMapConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Map(50, func(int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 300 {
+		t.Fatalf("ran %d tasks, want 300", total.Load())
+	}
+}
+
+// TestCollect assembles results and errors in index order regardless of
+// scheduling.
+func TestCollect(t *testing.T) {
+	p := NewPool(4)
+	boom := errors.New("boom")
+	out, errs := Collect(p, 50, func(i int) (string, error) {
+		if i%7 == 3 {
+			return "", fmt.Errorf("task %d: %w", i, boom)
+		}
+		return fmt.Sprintf("r%d", i), nil
+	})
+	for i := 0; i < 50; i++ {
+		if i%7 == 3 {
+			if !errors.Is(errs[i], boom) {
+				t.Fatalf("errs[%d] = %v, want wrapped boom", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil || out[i] != fmt.Sprintf("r%d", i) {
+			t.Fatalf("out[%d] = %q (err %v)", i, out[i], errs[i])
+		}
+	}
+}

@@ -233,8 +233,10 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		ent.classes = [][]int{classes}
 		ent.numClass = []int{num}
 	}
-	// One signature buffer serves every level of this extension; it is not
-	// retained past the call, so cached graphs cost only their class tables.
+	// One signature buffer serves every level of this extension, drawn from
+	// the capacity-keyed scratch pool and returned below, so extensions —
+	// even across many small graphs of a corpus sweep — allocate no
+	// per-extension buffer and cached graphs cost only their class tables.
 	var sigs *view.PairSigs
 	for len(ent.classes)-1 < depth {
 		h := len(ent.classes) // the level about to be produced
@@ -248,7 +250,7 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 			continue
 		}
 		if sigs == nil {
-			sigs = view.NewPairSigs(g)
+			sigs = view.GetPairSigs(g)
 		}
 		next, num := e.refineLevel(g, ent.classes[h-1], sigs)
 		ent.classes = append(ent.classes, next)
@@ -261,6 +263,7 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 			ent.stableAt = h - 1
 		}
 	}
+	view.PutPairSigs(sigs)
 }
 
 // refineLevel computes one refinement level from the previous one using the
@@ -316,7 +319,8 @@ func (e *Engine) StabilisationDepth(g *graph.Graph) int {
 }
 
 // Feasible reports whether leader election is possible in g at all (all
-// infinite views pairwise distinct); engine-cached analogue of view.Feasible.
+// infinite views pairwise distinct); engine-cached analogue of the view
+// package's Feasible.
 func (e *Engine) Feasible(g *graph.Graph) bool {
 	n := g.N()
 	if n == 1 {

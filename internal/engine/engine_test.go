@@ -303,6 +303,31 @@ func BenchmarkSameViewAcrossCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRefineCorpusSweepSmall measures a cold refinement sweep over many
+// small graphs — the E1/E2-style corpus workload the capacity-keyed PairSigs
+// scratch pool targets: every extension draws its signature buffer from the
+// pool instead of allocating one per graph.
+func BenchmarkRefineCorpusSweepSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var graphs []*graph.Graph
+	for i := 0; i < 64; i++ {
+		n := 8 + rng.Intn(24)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		graphs = append(graphs, graph.RandomConnected(n, m, rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(1)
+		for _, g := range graphs {
+			eng.Refine(g, 6)
+		}
+	}
+}
+
 func BenchmarkRefineCachedTorus(b *testing.B) {
 	g := graph.Torus(40, 40)
 	eng := New(0)

@@ -42,9 +42,12 @@ func (inc *Incremental) Stabilised() bool { return inc.num == inc.prevNum }
 // current depth.
 func (inc *Incremental) HasUnique() bool { return len(inc.Unique()) > 0 }
 
-// Unique returns the nodes whose view at the current depth is unique.
+// Unique returns the nodes whose view at the current depth is unique. Class
+// identifiers are dense (0..NumClasses-1, first-occurrence order), so the
+// occurrence counting is a slice pass, not a map — this is the test oracle
+// for the engine and runs on 100k-node graphs.
 func (inc *Incremental) Unique() []int {
-	count := make(map[int]int, inc.num)
+	count := make([]int, inc.num)
 	for _, id := range inc.classes {
 		count[id]++
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package view
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately drops items to shake out races — allocation
+// assertions on pooled paths are meaningless there.
+const raceEnabled = true

@@ -64,22 +64,25 @@ func DegreeClasses(g *graph.Graph) ([]int, int) {
 // string-signature scheme: no per-node allocation or formatting happens on
 // the refinement hot path.
 type PairSigs struct {
-	n    int
-	off  []int    // off[v]..off[v+1] bounds node v's pairs in data; len n+1
-	data []uint64 // (farPort << 32) | prevClass, concatenated in port order
-	hash []uint64 // hash[v] = order-dependent hash of node v's pair sequence
+	n     int
+	off   []int    // off[v]..off[v+1] bounds node v's pairs in data; len n+1
+	data  []uint64 // (farPort << 32) | prevClass, concatenated in port order
+	hash  []uint64 // hash[v] = order-dependent hash of node v's pair sequence
+	class int      // capacity class for recycling via PutPairSigs; -1 = not pooled
 }
 
 // NewPairSigs allocates a signature buffer for one refinement level of g. The
 // buffer is reusable: Fill overwrites it completely, so callers refining many
-// levels of the same graph allocate it once.
+// levels of the same graph allocate it once. Hot paths that sweep many graphs
+// should prefer GetPairSigs/PutPairSigs, which recycle buffers across graphs
+// through capacity-keyed pools.
 func NewPairSigs(g *graph.Graph) *PairSigs {
 	n := g.N()
 	off := make([]int, n+1)
 	for v := 0; v < n; v++ {
 		off[v+1] = off[v] + g.Degree(v)
 	}
-	return &PairSigs{n: n, off: off, data: make([]uint64, off[n]), hash: make([]uint64, n)}
+	return &PairSigs{n: n, class: -1, off: off, data: make([]uint64, off[n]), hash: make([]uint64, n)}
 }
 
 // mix64 is the splitmix64 finalizer, used to chain pair words into the
@@ -310,11 +313,15 @@ func ConsPairsSharded(s *PairSigs, workers int) ([]int, int) {
 }
 
 // RefineStep computes one refinement level (depth h -> h+1) from the
-// previous level's classes.
+// previous level's classes. The signature scratch buffer comes from (and
+// returns to) the capacity-keyed pool, so stepping through many graphs — or
+// many levels of one graph — does not allocate a fresh buffer per level.
 func RefineStep(g *graph.Graph, prev []int) ([]int, int) {
-	sigs := NewPairSigs(g)
+	sigs := GetPairSigs(g)
 	sigs.Fill(g, prev, 0, g.N())
-	return ConsPairs(sigs)
+	next, num := ConsPairs(sigs)
+	PutPairSigs(sigs)
+	return next, num
 }
 
 // NewRefinement wraps precomputed per-depth class tables in a Refinement.
@@ -375,9 +382,11 @@ func (r *Refinement) Members(v, h int) []int {
 }
 
 // UniqueAt returns the nodes whose depth-h view is unique in the graph.
+// Class identifiers are dense (0..NumClassesAt(h)-1, first-occurrence
+// order), so the occurrence counting is a slice pass, not a map.
 func (r *Refinement) UniqueAt(h int) []int {
 	c := r.ClassAt(h)
-	count := make(map[int]int)
+	count := make([]int, r.numClass[h])
 	for _, id := range c {
 		count[id]++
 	}

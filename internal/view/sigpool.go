@@ -1,0 +1,74 @@
+package view
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// pairSigsPools recycles PairSigs scratch buffers across refinement
+// extensions, one sync.Pool per power-of-two capacity class: class c holds
+// buffers whose three slices all have capacity >= 1<<c, so any buffer drawn
+// from a graph's class fits that graph without growing. Corpus sweeps over
+// many small graphs hit the same few classes over and over, which removes
+// the remaining per-extension allocation from the refinement hot path.
+var pairSigsPools [64]sync.Pool
+
+// capClass returns the capacity class of a buffer that must hold need
+// elements: the exponent of the smallest power of two >= need.
+func capClass(need int) int {
+	if need <= 1 {
+		return 0
+	}
+	return bits.Len(uint(need - 1))
+}
+
+// GetPairSigs returns a PairSigs buffer for one refinement level of g,
+// recycled from the capacity-keyed pool when possible. Fill overwrites the
+// buffer completely, so recycled contents never leak between graphs. Release
+// the buffer with PutPairSigs once its level has been consed; the consing
+// output does not alias the buffer, so releasing is always safe.
+func GetPairSigs(g *graph.Graph) *PairSigs {
+	n := g.N()
+	need := n + 1
+	if m := 2 * g.NumEdges(); m > need {
+		need = m
+	}
+	class := capClass(need)
+	var s *PairSigs
+	if v := pairSigsPools[class].Get(); v != nil {
+		s = v.(*PairSigs)
+	} else {
+		// Allocate every slice at the full class capacity so the buffer can
+		// be recycled for any graph of the class, whatever its node/edge mix.
+		c := 1 << class
+		s = &PairSigs{class: class, off: make([]int, 0, c), data: make([]uint64, 0, c), hash: make([]uint64, 0, c)}
+	}
+	s.reshape(g)
+	return s
+}
+
+// PutPairSigs returns a buffer obtained from GetPairSigs to its capacity
+// class. Buffers allocated directly with NewPairSigs are exactly sized, not
+// class sized, and are left for the garbage collector instead.
+func PutPairSigs(s *PairSigs) {
+	if s == nil || s.class < 0 {
+		return
+	}
+	pairSigsPools[s.class].Put(s)
+}
+
+// reshape resizes the buffer's slices for g and recomputes the per-node pair
+// offsets (the only shape state that carries over between Fills).
+func (s *PairSigs) reshape(g *graph.Graph) {
+	n := g.N()
+	s.n = n
+	s.off = s.off[:n+1]
+	s.off[0] = 0
+	for v := 0; v < n; v++ {
+		s.off[v+1] = s.off[v] + g.Degree(v)
+	}
+	s.data = s.data[:s.off[n]]
+	s.hash = s.hash[:n]
+}

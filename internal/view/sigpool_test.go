@@ -1,0 +1,104 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRefineStepPooledMatchesFresh interleaves pooled refinement steps across
+// graphs that share a capacity class and checks every result against a fresh,
+// exactly-sized buffer: recycled buffer contents must never leak into another
+// graph's classes.
+func TestRefineStepPooledMatchesFresh(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Ring(24),
+		graph.Path(25),
+		graph.Star(20),
+		graph.Caterpillar(6, []int{2, 0, 1, 3, 1, 0}),
+		graph.Torus(5, 5),
+	}
+	prev := make([][]int, len(graphs))
+	for i, g := range graphs {
+		prev[i], _ = DegreeClasses(g)
+	}
+	for round := 0; round < 4; round++ {
+		for i, g := range graphs {
+			got, gotNum := RefineStep(g, prev[i])
+			fresh := NewPairSigs(g)
+			fresh.Fill(g, prev[i], 0, g.N())
+			want, wantNum := ConsPairs(fresh)
+			if gotNum != wantNum {
+				t.Fatalf("round %d graph %d: pooled step found %d classes, fresh buffer %d", round, i, gotNum, wantNum)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("round %d graph %d node %d: pooled class %d, fresh class %d", round, i, v, got[v], want[v])
+				}
+			}
+			prev[i] = got
+		}
+	}
+}
+
+// TestGetPairSigsRecyclesAcrossGraphs asserts the pool actually removes the
+// per-extension buffer allocation on a many-small-graph sweep: once the
+// capacity classes are warm, a full Get/Fill/Put sweep allocates (almost)
+// nothing. The slack of one object absorbs a GC clearing a pool mid-run.
+func TestGetPairSigsRecyclesAcrossGraphs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; allocation counts are meaningless")
+	}
+	graphs := []*graph.Graph{graph.Ring(64), graph.Path(50), graph.Star(33), graph.Torus(6, 6)}
+	prev := make([][]int, len(graphs))
+	for i, g := range graphs {
+		prev[i], _ = DegreeClasses(g)
+	}
+	sweep := func() {
+		for i, g := range graphs {
+			s := GetPairSigs(g)
+			s.Fill(g, prev[i], 0, g.N())
+			PutPairSigs(s)
+		}
+	}
+	sweep() // warm the capacity classes
+	if avg := testing.AllocsPerRun(200, sweep); avg > 1 {
+		t.Errorf("pooled Get/Fill/Put sweep allocates %.2f objects on average; want ~0", avg)
+	}
+}
+
+// TestPutPairSigsIgnoresUnpooledBuffers: exactly-sized NewPairSigs buffers
+// must not enter the capacity-class pools (their slices are smaller than the
+// class capacity a later Get would rely on).
+func TestPutPairSigsIgnoresUnpooledBuffers(t *testing.T) {
+	g := graph.Ring(5) // needs capacity 10 < 16, so class 4 would be its pool
+	s := NewPairSigs(g)
+	if s.class != -1 {
+		t.Fatalf("NewPairSigs buffer has class %d, want -1 (unpooled)", s.class)
+	}
+	PutPairSigs(s)   // must be a no-op
+	PutPairSigs(nil) // must not panic
+	big := graph.Ring(8)
+	got := GetPairSigs(big) // 8 nodes, 16 pair words: same class 4
+	if cap(got.data) < 16 || cap(got.off) < 9 {
+		t.Fatalf("GetPairSigs returned an undersized buffer (data cap %d, off cap %d)", cap(got.data), cap(got.off))
+	}
+	PutPairSigs(got)
+}
+
+// BenchmarkRefineStepPooled is the allocation benchmark for the pooled
+// scratch path: one refinement step per small graph, buffers recycled.
+func BenchmarkRefineStepPooled(b *testing.B) {
+	graphs := []*graph.Graph{graph.Ring(64), graph.Path(50), graph.Star(33), graph.Torus(6, 6)}
+	prev := make([][]int, len(graphs))
+	for i, g := range graphs {
+		prev[i], _ = DegreeClasses(g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, g := range graphs {
+			RefineStep(g, prev[j])
+		}
+	}
+}
