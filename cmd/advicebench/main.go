@@ -6,22 +6,31 @@
 // Usage:
 //
 //	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
-//	            [-families caterpillar,random] [-min-nodes N] [-max-nodes N] [-list-corpus]
+//	            [-corpus NAME] [-families caterpillar,random] [-min-nodes N] [-max-nodes N]
+//	            [-list-corpus] [-list-corpora]
+//	advicebench -matrix [-families torus,hypercube] [-experiments census]
+//	            [-budgets 1,2,8] [-out SCENARIO_run.json]
 //
-// The corpus flags filter the named graph set the cross-cutting experiments
-// (E1, E2) sweep; the parameterised experiments are unaffected.
+// In suite mode the corpus flags pick and filter the named graph set the
+// cross-cutting experiments (E1, E2) sweep; the parameterised experiments are
+// unaffected. In -matrix mode the corpus × experiment × budget scenario
+// matrix runs instead: -families (or -corpus) names registered corpora,
+// -budgets the worker budgets, and -out writes the machine-readable
+// SCENARIO_*.json summary the nightly CI lane uploads.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -31,27 +40,47 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty runs all")
 	parallel := flag.Int("parallel", 0, "worker budget shared by experiments and their per-graph tasks (0 = GOMAXPROCS, 1 = sequential)")
 	stats := flag.Bool("stats", false, "report the refinement-engine cache counters after the run")
-	families := flag.String("families", "", "comma-separated family filter for the E1/E2 corpus (empty = all)")
+	corpusName := flag.String("corpus", "", "registered corpus for the E1/E2 sweep (see -list-corpora; empty = default)")
+	families := flag.String("families", "", "suite mode: family filter for the E1/E2 corpus; matrix mode: registered corpora to sweep (empty = all)")
 	minNodes := flag.Int("min-nodes", 0, "keep only corpus graphs with at least this many nodes (0 = no bound)")
 	maxNodes := flag.Int("max-nodes", 0, "keep only corpus graphs with at most this many nodes (0 = no bound)")
 	listCorpus := flag.Bool("list-corpus", false, "list the (filtered) E1/E2 corpus and exit")
+	listCorpora := flag.Bool("list-corpora", false, "list the registered corpora and exit")
+	matrix := flag.Bool("matrix", false, "run the corpus × experiment × budget scenario matrix instead of the suite")
+	experiments := flag.String("experiments", "", "matrix mode: comma-separated scenario experiments (empty = census)")
+	budgets := flag.String("budgets", "", "matrix mode: comma-separated worker budgets (empty = 0 = GOMAXPROCS)")
+	out := flag.String("out", "", "matrix mode: write the SCENARIO_*.json summary to this path")
 	flag.Parse()
 
-	wanted := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
-		if id != "" {
-			wanted[id] = true
+	if *listCorpora {
+		fmt.Println("registered corpora:", strings.Join(corpus.Corpora.Names(), ", "))
+		fmt.Println("scenario experiments:", strings.Join(scenario.ExperimentNames(), ", "))
+		return
+	}
+
+	filter := corpus.Filter{MinNodes: *minNodes, MaxNodes: *maxNodes}
+	if !*matrix {
+		filter.Families = splitList(*families)
+	}
+
+	if *matrix {
+		m := scenario.Matrix{
+			Corpora:     splitList(*families),
+			Experiments: splitList(*experiments),
+			Budgets:     splitInts(*budgets),
 		}
+		if len(m.Corpora) == 0 && *corpusName != "" {
+			m.Corpora = []string{*corpusName}
+		}
+		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter}, *out, *stats)
+		return
 	}
 
 	eng := engine.New(0)
-	c := corpus.Default(*seed, eng.Feasible)
-	filter := corpus.Filter{MinNodes: *minNodes, MaxNodes: *maxNodes}
-	for _, fam := range strings.Split(*families, ",") {
-		if fam = strings.TrimSpace(fam); fam != "" {
-			filter.Families = append(filter.Families, fam)
-		}
+	c, err := builtCorpus(*corpusName, *seed, eng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+		os.Exit(2)
 	}
 	if len(filter.Families) > 0 || filter.MinNodes > 0 || filter.MaxNodes > 0 {
 		c = c.Filter(filter)
@@ -62,6 +91,11 @@ func main() {
 			fmt.Printf("%-18s %-14s %d\n", name, c.Family(name), c.Nodes(name))
 		}
 		return
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range splitList(strings.ToUpper(*only)) {
+		wanted[id] = true
 	}
 
 	start := time.Now()
@@ -75,10 +109,87 @@ func main() {
 	printTables(tables, wanted, *markdown)
 	fmt.Printf("completed %d experiments in %v\n", countPrinted(tables, wanted), time.Since(start).Round(time.Millisecond))
 	if *stats {
-		s := eng.Stats()
-		fmt.Printf("engine: %d hits, %d misses, %d levels computed, %d stabilisation shortcuts, %d graphs cached\n",
-			s.Hits, s.Misses, s.Steps, s.Shortcuts, s.Graphs)
+		printStats(eng)
 	}
+}
+
+// runMatrix executes the scenario matrix, prints the per-cell outcomes, and
+// writes the JSON summary when -out is given. Failing cells are reported but
+// the summary is still written before exiting non-zero, so the artifact
+// records what happened.
+func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) {
+	eng := engine.New(0)
+	opt.Engine = eng
+	summary, err := scenario.Run(m, opt)
+	if err != nil && summary == nil {
+		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%-32s %6s %10s  %s\n", "cell", "rows", "wall", "status")
+	for _, cell := range summary.Cells {
+		status := "ok"
+		if cell.Err != "" {
+			status = "FAILED: " + cell.Err
+		}
+		fmt.Printf("%-32s %6d %9dms  %s\n", cell.Name(), cell.Rows, cell.WallMS, status)
+	}
+	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d budgets) in %dms, %d failed\n",
+		len(summary.Cells), len(summary.Corpora), len(summary.Experiments), len(summary.Budgets),
+		summary.WallMS, summary.Failed)
+	if stats {
+		printStats(eng)
+	}
+	if out != "" {
+		if werr := summary.WriteJSON(out); werr != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: writing %s: %v\n", out, werr)
+			os.Exit(2)
+		}
+		fmt.Printf("summary written to %s\n", out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// builtCorpus resolves the -corpus flag: empty means the default corpus,
+// anything else goes through the registry.
+func builtCorpus(name string, seed int64, eng *engine.Engine) (*corpus.Corpus, error) {
+	if name == "" {
+		return corpus.Default(seed, eng.Feasible), nil
+	}
+	return corpus.Corpora.Build(name, seed, eng.Feasible)
+}
+
+func printStats(eng *engine.Engine) {
+	s := eng.Stats()
+	fmt.Printf("engine: %d hits, %d misses, %d levels computed, %d stabilisation shortcuts, %d graphs cached\n",
+		s.Hits, s.Misses, s.Steps, s.Shortcuts, s.Graphs)
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitInts splits a comma-separated flag into integers (bad entries abort).
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: bad budget %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func printTables(tables []*core.Table, wanted map[string]bool, markdown bool) {

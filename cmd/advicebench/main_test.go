@@ -16,6 +16,18 @@ func fakeTables() []*core.Table {
 	}
 }
 
+func TestSplitHelpers(t *testing.T) {
+	if got := splitList(" torus, hypercube ,,"); len(got) != 2 || got[0] != "torus" || got[1] != "hypercube" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+	if got := splitInts("1, 2,8"); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Errorf("splitInts = %v", got)
+	}
+}
+
 func TestCountPrinted(t *testing.T) {
 	tables := fakeTables()
 	if got := countPrinted(tables, map[string]bool{}); got != 2 {

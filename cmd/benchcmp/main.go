@@ -107,7 +107,8 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 			status = "FAIL "
 			regressions++
 		}
-		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)", status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio))
+		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)%s",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio, memDelta(or, nr)))
 	}
 	for _, or := range oldArt.Bench {
 		if re.MatchString(or.Name) && !seen[or.Name] {
@@ -115,4 +116,30 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 		}
 	}
 	return lines, regressions
+}
+
+// memDelta renders the bytes/op and allocs/op movement of a gated benchmark.
+// Memory movement is reported, never gated: -benchmem numbers vary with the
+// allocator and GOMAXPROCS more than ns/op does, so they inform the diff
+// between artifacts without failing it. A column appears when either side
+// measured anything, so a regression from a zero-alloc baseline still shows;
+// the ratio is omitted when the old side is zero (absent or a true 0 — the
+// artifact format cannot tell them apart).
+func memDelta(or, nr record) string {
+	s := ""
+	if or.BytesPerOp > 0 || nr.BytesPerOp > 0 {
+		s += fmt.Sprintf("  %0.f -> %0.f B/op%s", or.BytesPerOp, nr.BytesPerOp, ratioSuffix(or.BytesPerOp, nr.BytesPerOp))
+	}
+	if or.AllocsPerOp > 0 || nr.AllocsPerOp > 0 {
+		s += fmt.Sprintf("  %0.f -> %0.f allocs/op%s", or.AllocsPerOp, nr.AllocsPerOp, ratioSuffix(or.AllocsPerOp, nr.AllocsPerOp))
+	}
+	return s
+}
+
+// ratioSuffix formats the new/old ratio, or nothing when old is zero.
+func ratioSuffix(old, new float64) string {
+	if old <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.2fx)", new/old)
 }

@@ -15,7 +15,7 @@ func TestCompareGatesOnRatio(t *testing.T) {
 		record{Name: "BenchmarkOther", NsPerOp: 10},
 	)
 	newArt := art(
-		record{Name: "BenchmarkRefineColdTorus", NsPerOp: 1900},       // 1.9x: within the gate
+		record{Name: "BenchmarkRefineColdTorus", NsPerOp: 1900},        // 1.9x: within the gate
 		record{Name: "BenchmarkRefineCorpusSweepSmall", NsPerOp: 1200}, // 2.4x: regression
 		record{Name: "BenchmarkOther", NsPerOp: 10000},                 // not matched: ignored
 	)
@@ -45,6 +45,55 @@ func TestCompareHandlesAddedAndRemoved(t *testing.T) {
 	joined := strings.Join(lines, "\n")
 	if !strings.Contains(joined, "NEW   BenchmarkRefineNew") || !strings.Contains(joined, "GONE  BenchmarkRefineGone") {
 		t.Errorf("missing NEW/GONE lines:\n%s", joined)
+	}
+}
+
+// TestCompareReportsMemoryWithoutGating: bytes/op and allocs/op ratios show
+// up on the comparison lines but never count as regressions, and sides
+// without -benchmem numbers stay silent.
+func TestCompareReportsMemoryWithoutGating(t *testing.T) {
+	oldArt := art(
+		record{Name: "BenchmarkRefineMem", NsPerOp: 1000, BytesPerOp: 100000, AllocsPerOp: 1000},
+		record{Name: "BenchmarkRefineNoMem", NsPerOp: 1000},
+	)
+	newArt := art(
+		record{Name: "BenchmarkRefineMem", NsPerOp: 1100, BytesPerOp: 500000, AllocsPerOp: 4000}, // 5x memory, ns fine
+		record{Name: "BenchmarkRefineNoMem", NsPerOp: 1100},
+	)
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Refine"), 2.0)
+	if regressions != 0 {
+		t.Fatalf("memory movement must not gate; got %d regressions\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "100000 -> 500000 B/op (5.00x)") {
+		t.Errorf("missing bytes/op ratio:\n%s", joined)
+	}
+	if !strings.Contains(joined, "1000 -> 4000 allocs/op (4.00x)") {
+		t.Errorf("missing allocs/op ratio:\n%s", joined)
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "BenchmarkRefineNoMem") && strings.Contains(line, "B/op") {
+			t.Errorf("benchmark without -benchmem numbers grew a memory column: %s", line)
+		}
+	}
+}
+
+// TestCompareShowsZeroBaselineMemory: a regression from a zero-alloc
+// baseline is still visible (no ratio — zero is indistinguishable from an
+// absent measurement in the artifact format — but the movement shows).
+func TestCompareShowsZeroBaselineMemory(t *testing.T) {
+	oldArt := art(record{Name: "BenchmarkRefineZeroAlloc", NsPerOp: 1000})
+	newArt := art(record{Name: "BenchmarkRefineZeroAlloc", NsPerOp: 1000, BytesPerOp: 80000, AllocsPerOp: 4000})
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Refine"), 2.0)
+	if regressions != 0 {
+		t.Fatalf("memory movement must not gate; got %d regressions", regressions)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "0 -> 80000 B/op") || !strings.Contains(joined, "0 -> 4000 allocs/op") {
+		t.Errorf("zero-baseline memory regression is invisible:\n%s", joined)
+	}
+	if strings.Contains(joined, "B/op (") || strings.Contains(joined, "allocs/op (") {
+		t.Errorf("ratio printed against a zero baseline:\n%s", joined)
 	}
 }
 

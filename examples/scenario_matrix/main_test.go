@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestBuildOnly pins this example into the tier-1 `go test ./...` sweep: the
+// package (including main and its helpers) must compile and vet cleanly even
+// though the walk-through itself only runs via `go run`.
+func TestBuildOnly(t *testing.T) {
+	_ = main // compile-time reference; the walk-through runs via go run
+}

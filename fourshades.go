@@ -18,7 +18,9 @@
 //     FoolPathElection);
 //   - the experiment suite reproducing the paper's results (RunExperiments)
 //     and its corpus/workload subsystem (GraphCorpus, DefaultCorpus,
-//     CorpusFilter).
+//     CorpusFilter);
+//   - the scenario-matrix subsystem (ScenarioMatrix, RunMatrix) and the
+//     corpus registry behind it (RegisteredCorpora, BuildCorpus).
 //
 // See README.md for a quick start and DESIGN.md / EXPERIMENTS.md for the
 // mapping between the paper's claims and this code base.
@@ -38,6 +40,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/lowerbound"
+	"repro/internal/scenario"
 	"repro/internal/view"
 )
 
@@ -127,6 +130,22 @@ func NewCorpus(specs ...CorpusSpec) *GraphCorpus { return corpus.New(specs...) }
 // or replaced by NewCorpus) through ExperimentOptions.Corpus to restrict
 // what those experiments sweep.
 func DefaultCorpus(seed int64) *GraphCorpus { return corpus.Default(seed, engine.Default.Feasible) }
+
+// CorpusRegistry makes corpora discoverable by name ("default", "torus",
+// "hypercube", "largerandom", plus anything the caller registers); the
+// scenario matrix resolves its Corpora field through one of these.
+type CorpusRegistry = corpus.Registry
+
+// RegisteredCorpora lists the names of the built-in corpus registry, in
+// registration order.
+func RegisteredCorpora() []string { return corpus.Corpora.Names() }
+
+// BuildCorpus builds a registered corpus by name; randomised members are
+// drawn from seed, and any feasibility screening runs through the shared
+// engine.
+func BuildCorpus(name string, seed int64) (*GraphCorpus, error) {
+	return corpus.Corpora.Build(name, seed, engine.Default.Feasible)
+}
 
 // ---- Refinement engine -------------------------------------------------------
 
@@ -314,6 +333,40 @@ type ExperimentOptions = core.Options
 // RunExperiments reproduces the paper's quantitative claims (experiments
 // E1–E10 of DESIGN.md) and returns their tables.
 func RunExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) { return core.All(opt) }
+
+// RunViewCensus sweeps a corpus through the shared engine and reports every
+// graph's refinement profile (classes, stabilisation depth, feasibility).
+// Unlike E1/E2 it is total on infeasible corpora such as torus or hypercube.
+func RunViewCensus(opt ExperimentOptions) (*ExperimentTable, error) {
+	return core.ExperimentViewCensus(opt)
+}
+
+// ---- Scenario matrix ---------------------------------------------------------
+
+// ScenarioMatrix declares a corpus × experiment × worker-budget sweep as
+// data; RunMatrix expands it into named cells and runs each through the
+// experiment runners on one shared engine.
+type ScenarioMatrix = scenario.Matrix
+
+// ScenarioOptions scopes a matrix run (seed, quick mode, engine, registry,
+// corpus filter).
+type ScenarioOptions = scenario.Options
+
+// ScenarioSummary is the machine-readable outcome of a matrix run — the
+// shape of the SCENARIO_*.json artifacts the nightly CI lane uploads.
+type ScenarioSummary = scenario.Summary
+
+// ScenarioCellResult is one executed cell of a ScenarioSummary.
+type ScenarioCellResult = scenario.CellResult
+
+// ScenarioExperiments lists the experiment names a ScenarioMatrix may use.
+func ScenarioExperiments() []string { return scenario.ExperimentNames() }
+
+// RunMatrix expands and executes a scenario matrix. Tables of the same
+// (corpus, experiment) cell are byte-identical at every worker budget.
+func RunMatrix(m ScenarioMatrix, opt ScenarioOptions) (*ScenarioSummary, error) {
+	return scenario.Run(m, opt)
+}
 
 // NewRand is a convenience wrapper so that examples do not need to import
 // math/rand just to seed the generators.

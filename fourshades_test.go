@@ -122,6 +122,39 @@ func TestFacadeExperimentsQuick(t *testing.T) {
 	}
 }
 
+// TestFacadeScenarioMatrix runs a small scenario matrix through the facade:
+// registry discovery, the census experiment, and per-cell tables that stay
+// byte-identical across worker budgets.
+func TestFacadeScenarioMatrix(t *testing.T) {
+	names := RegisteredCorpora()
+	if len(names) < 4 {
+		t.Fatalf("RegisteredCorpora = %v, want at least default/torus/hypercube/largerandom", names)
+	}
+	if c, err := BuildCorpus("hypercube", 1); err != nil || c.Len() == 0 {
+		t.Fatalf("BuildCorpus(hypercube) = %v, %v", c, err)
+	}
+	summary, err := RunMatrix(ScenarioMatrix{
+		Corpora:     []string{"torus", "hypercube"},
+		Experiments: []string{"census"},
+		Budgets:     []int{1, 8},
+	}, ScenarioOptions{Seed: 7, Filter: CorpusFilter{MaxNodes: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Cells) != 4 {
+		t.Fatalf("matrix ran %d cells, want 4", len(summary.Cells))
+	}
+	rendered := map[string]string{}
+	for _, cell := range summary.Cells {
+		key := cell.Corpus + "/" + cell.Experiment
+		if prev, seen := rendered[key]; !seen {
+			rendered[key] = cell.Table.Render()
+		} else if prev != cell.Table.Render() {
+			t.Errorf("%s: tables differ across budgets", cell.Name())
+		}
+	}
+}
+
 // TestFacadeFooling runs the small fooling experiments through the facade.
 func TestFacadeFooling(t *testing.T) {
 	sel, err := FoolSelection(4, 1, 2, 3)

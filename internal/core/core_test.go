@@ -153,6 +153,35 @@ func TestCorpusOptionRestrictsSweeps(t *testing.T) {
 	}
 }
 
+// TestViewCensus: the census sweeps any corpus — here the default (all
+// feasible, so every row shows a minimum unique depth) and the infeasible
+// ring — with byte-identical tables at every worker budget.
+func TestViewCensus(t *testing.T) {
+	eng := engine.New(0)
+	c := corpus.Default(1, eng.Feasible)
+	var want string
+	for _, par := range []int{1, 2, 8} {
+		table, err := ExperimentViewCensus(Options{Seed: 1, Engine: eng, Corpus: c, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(table.Rows) != c.Len() {
+			t.Fatalf("census has %d rows, want %d", len(table.Rows), c.Len())
+		}
+		for _, row := range table.Rows {
+			feasibleCol, uniqueCol := row[7], row[8]
+			if feasibleCol != "true" || uniqueCol == "-" {
+				t.Errorf("%s: feasible=%s unique=%s; the default corpus is all-feasible", row[0], feasibleCol, uniqueCol)
+			}
+		}
+		if got := table.Render(); want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("parallelism %d: census table differs from the sequential run", par)
+		}
+	}
+}
+
 // TestAllSharedEngineRefinesOnce: with one engine shared across the whole
 // concurrent suite, every (graph, depth) pair is refined at most once —
 // certified by Steps == CachedDepths with no evictions — and the corpus

@@ -105,6 +105,23 @@ func fanOut(opt Options, n int, task func(i int) rowOut) []rowOut {
 	return outs
 }
 
+// fanOutHinted is fanOut with a per-task cost hint: the heaviest rows are
+// dispatched first (corpus sweeps pass declared node counts), while outcomes
+// stay in task order so assemble produces identical tables at every budget.
+func fanOutHinted(opt Options, n int, cost func(i int) int, task func(i int) rowOut) []rowOut {
+	outs := make([]rowOut, n)
+	opt.shared.pool.MapHinted(n, cost, func(i int) { outs[i] = task(i) })
+	return outs
+}
+
+// corpusCost returns the cost hint of a corpus sweep: the node count of each
+// graph. Entries with a declared size hint answer without materialising;
+// hint-less entries materialise their graph (at most once, and it was about
+// to be built by the sweep anyway).
+func corpusCost(graphs *corpus.Corpus, names []string) func(int) int {
+	return func(i int) int { return graphs.Nodes(names[i]) }
+}
+
 // assemble walks fan-out outcomes in task order and fills the table,
 // stopping exactly where the sequential loop would have stopped.
 func assemble(t *Table, outs []rowOut) (*Table, error) {
@@ -131,7 +148,7 @@ func Experiment1Hierarchy(opt Options) (*Table, error) {
 	}
 	graphs := opt.corpus()
 	names := graphs.Names()
-	return assemble(t, fanOut(opt, len(names), func(i int) rowOut {
+	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
 		name := names[i]
 		g := graphs.Graph(name)
 		idx, err := election.Indices(g, election.Options{Engine: opt.shared.eng})
@@ -173,7 +190,7 @@ func Experiment2SelectionAdvice(opt Options) (*Table, error) {
 	}
 	graphs := opt.corpus()
 	names := graphs.Names()
-	return assemble(t, fanOut(opt, len(names), func(i int) rowOut {
+	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
 		name := names[i]
 		g := graphs.Graph(name)
 		psi, err := election.Index(g, election.S, election.Options{Engine: opt.shared.eng})
@@ -487,7 +504,7 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 			fmt.Sprint(z),
 			fmt.Sprint(construct.GadgetSize(p.Mu, p.K)),
 			construct.JmkNumGadgets(p.Mu, p.K).String(),
-			fmt.Sprintf("2^%d", (1 << uint(z-1))),
+			fmt.Sprintf("2^%d", (1<<uint(z-1))),
 			fmt.Sprint(inst.G.N()),
 			fmt.Sprint(rhoEqual),
 		)}
@@ -697,6 +714,47 @@ func Experiment10Separation(opt Options) (*Table, error) {
 			fmt.Sprint(sBits),
 			fmt.Sprintf("%.0f", peLower),
 			fmt.Sprintf("%.3g", cppeLower),
+		)}
+	}))
+}
+
+// ExperimentViewCensus (CENSUS) sweeps the run's corpus through the shared
+// engine and reports the view-refinement profile of every graph: number of
+// classes at depth 1 and at stabilisation, the stabilisation depth, the
+// feasibility verdict and the minimum depth at which some view is unique
+// (ψ_S for feasible graphs, "-" for infeasible ones). Unlike E1/E2 it is
+// total on every corpus — vertex-transitive families (torus, hypercube)
+// report 1 class and infeasibility instead of erroring — which makes it the
+// scenario matrix's default experiment.
+func ExperimentViewCensus(opt Options) (*Table, error) {
+	opt = opt.withShared()
+	t := &Table{
+		ID:     "CENSUS",
+		Title:  "view-class census — refinement profile of the corpus through the shared engine",
+		Header: []string{"graph", "family", "n", "Δ", "classes@1", "stab depth", "classes@stab", "feasible", "min unique depth"},
+	}
+	graphs := opt.corpus()
+	names := graphs.Names()
+	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
+		name := names[i]
+		g := graphs.Graph(name)
+		eng := opt.shared.eng
+		stab := eng.StabilisationDepth(g)
+		feasible := eng.Feasible(g)
+		uniqueCell := "-"
+		if depth, _ := eng.MinDepthSomeUnique(g); depth >= 0 {
+			uniqueCell = fmt.Sprint(depth)
+		}
+		return rowOut{rows: row(
+			name,
+			graphs.Family(name),
+			fmt.Sprint(g.N()),
+			fmt.Sprint(g.MaxDegree()),
+			fmt.Sprint(eng.NumClassesAt(g, 1)),
+			fmt.Sprint(stab),
+			fmt.Sprint(eng.NumClassesAt(g, stab)),
+			fmt.Sprint(feasible),
+			uniqueCell,
 		)}
 	}))
 }

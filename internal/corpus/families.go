@@ -1,0 +1,85 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// This file declares the named corpora beyond Default: regular lattices
+// (torus), hypercubes and large seeded random graphs. Each corpus is pure
+// Spec data — adding a size rung or a whole family is a data change, not a
+// code change — and every generator stays lazy and at-most-once, so a
+// filtered sweep materialises only the graphs it touches.
+
+// torusSizes is the 2D-torus size ladder of the torus corpus, from the
+// smallest legal torus to a 16k-node instance. Tori are vertex-transitive
+// (one view class at every depth), so even the largest rungs refine in a
+// handful of cheap levels; they exercise the stabilisation shortcut and the
+// infeasible end of the spectrum.
+var torusSizes = [][2]int{{3, 3}, {4, 6}, {8, 8}, {16, 16}, {32, 32}, {64, 64}, {128, 128}}
+
+// TorusCorpus returns the "torus" corpus: 2D tori across the size ladder,
+// named torus-RxC, family "torus".
+func TorusCorpus() *Corpus {
+	specs := make([]Spec, len(torusSizes))
+	for i, rc := range torusSizes {
+		r, c := rc[0], rc[1]
+		specs[i] = Spec{
+			Name:   fmt.Sprintf("torus-%dx%d", r, c),
+			Family: "torus",
+			Nodes:  r * c,
+			Gen:    func() *graph.Graph { return graph.Torus(r, c) },
+		}
+	}
+	return New(specs...)
+}
+
+// hypercubeDims are the dimensions of the hypercube corpus (8 to 1024 nodes).
+var hypercubeDims = []int{3, 4, 5, 6, 7, 8, 9, 10}
+
+// HypercubeCorpus returns the "hypercube" corpus: d-dimensional hypercubes,
+// named hypercube-D, family "hypercube". Like tori they are vertex-transitive
+// and infeasible, but with degree growing along the ladder.
+func HypercubeCorpus() *Corpus {
+	specs := make([]Spec, len(hypercubeDims))
+	for i, d := range hypercubeDims {
+		d := d
+		specs[i] = Spec{
+			Name:   fmt.Sprintf("hypercube-%d", d),
+			Family: "hypercube",
+			Nodes:  1 << uint(d),
+			Gen:    func() *graph.Graph { return graph.Hypercube(d) },
+		}
+	}
+	return New(specs...)
+}
+
+// largeRandomSizes is the size ladder of the largerandom corpus: node and
+// edge counts of seeded class-diverse random connected graphs, up to the
+// ~50k-node instance the engine benchmarks measure (m = 1.5n keeps the
+// graphs sparse enough that views stay diverse instead of collapsing).
+var largeRandomSizes = [][2]int{{1000, 1500}, {5000, 7500}, {20000, 30000}, {50000, 75000}}
+
+// LargeRandomCorpus returns the "largerandom" corpus: seeded random
+// connected graphs across the ladder, named largerandom-N, family
+// "largerandom". Each entry derives its own rng from seed and its position,
+// inside the lazy generator, so the draws are a function of the seed alone —
+// independent of which entries are materialised, and in which order.
+func LargeRandomCorpus(seed int64) *Corpus {
+	specs := make([]Spec, len(largeRandomSizes))
+	for i, nm := range largeRandomSizes {
+		i, n, m := i, nm[0], nm[1]
+		specs[i] = Spec{
+			Name:   fmt.Sprintf("largerandom-%d", n),
+			Family: "largerandom",
+			Nodes:  n,
+			Gen: func() *graph.Graph {
+				rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+				return graph.RandomConnected(n, m, rng)
+			},
+		}
+	}
+	return New(specs...)
+}

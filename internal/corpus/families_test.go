@@ -1,0 +1,158 @@
+package corpus
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRegistryLookup: the built-in registry resolves every family by name in
+// registration order, and unknown names report what is available.
+func TestRegistryLookup(t *testing.T) {
+	want := []string{"default", "torus", "hypercube", "largerandom"}
+	got := Corpora.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Corpora.Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Corpora.Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		if _, ok := Corpora.Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+		c, err := Corpora.Build(name, 1, nil)
+		if err != nil || c == nil || c.Len() == 0 {
+			t.Errorf("Build(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := Corpora.Build("nope", 1, nil); err == nil {
+		t.Error("Build of an unknown corpus did not error")
+	}
+}
+
+// TestRegistryRegisterPanics: empty names, nil builders and duplicates are
+// programming errors.
+func TestRegistryRegisterPanics(t *testing.T) {
+	mustPanic := func(label string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", label)
+			}
+		}()
+		f()
+	}
+	b := func(int64, func(*graph.Graph) bool) *Corpus { return TorusCorpus() }
+	r := NewRegistry()
+	r.Register("x", b)
+	mustPanic("empty name", func() { r.Register("", b) })
+	mustPanic("nil builder", func() { r.Register("y", nil) })
+	mustPanic("duplicate", func() { r.Register("x", b) })
+}
+
+// TestNewFamilyNodeCounts: every torus rung has r*c nodes of degree 4 and
+// every hypercube rung 2^d nodes of degree d — the declared size hints must
+// agree with the materialised graphs.
+func TestNewFamilyNodeCounts(t *testing.T) {
+	tor := TorusCorpus()
+	for _, name := range tor.Names() {
+		var r, c int
+		if _, err := fmt.Sscanf(name, "torus-%dx%d", &r, &c); err != nil {
+			t.Fatalf("unexpected torus name %q", name)
+		}
+		g := tor.Graph(name)
+		if g.N() != r*c || tor.Nodes(name) != g.N() {
+			t.Errorf("%s: declared %d nodes, graph has %d, want %d", name, tor.Nodes(name), g.N(), r*c)
+		}
+		if g.MaxDegree() != 4 {
+			t.Errorf("%s: max degree %d, want 4", name, g.MaxDegree())
+		}
+	}
+	hc := HypercubeCorpus()
+	for _, name := range hc.Names() {
+		var d int
+		if _, err := fmt.Sscanf(name, "hypercube-%d", &d); err != nil {
+			t.Fatalf("unexpected hypercube name %q", name)
+		}
+		g := hc.Graph(name)
+		if g.N() != 1<<uint(d) || hc.Nodes(name) != g.N() {
+			t.Errorf("%s: declared %d nodes, graph has %d, want %d", name, hc.Nodes(name), g.N(), 1<<uint(d))
+		}
+		if g.MaxDegree() != d {
+			t.Errorf("%s: max degree %d, want %d", name, g.MaxDegree(), d)
+		}
+	}
+}
+
+// TestFamilyFiltersIntersectNewFamilies: family and size filters cut through
+// the new corpora exactly like they do through Default — lazily, and without
+// touching entries the declared size hints already rule out.
+func TestFamilyFiltersIntersectNewFamilies(t *testing.T) {
+	tor := TorusCorpus().Filter(Filter{Families: []string{"torus"}, MaxNodes: 64})
+	want := []string{"torus-3x3", "torus-4x6", "torus-8x8"}
+	got := tor.Names()
+	if len(got) != len(want) {
+		t.Fatalf("filtered torus corpus %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("filtered torus corpus %v, want %v", got, want)
+		}
+	}
+	if n := TorusCorpus().Filter(Filter{Families: []string{"hypercube"}}).Len(); n != 0 {
+		t.Errorf("torus corpus matched family hypercube: %d entries", n)
+	}
+	if n := HypercubeCorpus().Filter(Filter{MinNodes: 100, MaxNodes: 600}).Len(); n != 3 {
+		// 2^7, 2^8, 2^9 are the dims within [100, 600].
+		t.Errorf("hypercube size filter kept %d entries, want 3", n)
+	}
+}
+
+// TestLargeRandomLazyAndSeeded: the largerandom generators stay lazy (a size
+// filter must not materialise ~50k-node graphs whose hints already decide),
+// run at most once per entry, and draw from the seed alone — the same seed
+// gives isomorphic graphs, independent of materialisation order.
+func TestLargeRandomLazyAndSeeded(t *testing.T) {
+	var calls atomic.Int64
+	counted := func(seed int64) *Corpus {
+		base := LargeRandomCorpus(seed)
+		specs := make([]Spec, 0, base.Len())
+		for _, name := range base.Names() {
+			name := name
+			specs = append(specs, Spec{
+				Name: name, Family: base.Family(name), Nodes: base.Nodes(name),
+				Gen: func() *graph.Graph { calls.Add(1); return base.Graph(name) },
+			})
+		}
+		return New(specs...)
+	}
+	c := counted(7)
+	small := c.Filter(Filter{MaxNodes: 1000})
+	if small.Len() != 1 || calls.Load() != 0 {
+		t.Fatalf("size filter kept %d entries and ran %d generators; want 1 and 0 (hints decide)", small.Len(), calls.Load())
+	}
+	g1 := small.Graph("largerandom-1000")
+	_ = c.Graph("largerandom-1000") // the filtered view shares the entry
+	if calls.Load() != 1 {
+		t.Fatalf("generator ran %d times, want exactly 1 across views", calls.Load())
+	}
+	if g1.N() != 1000 {
+		t.Fatalf("largerandom-1000 has %d nodes", g1.N())
+	}
+	// Same seed, fresh corpus, different access pattern: the identical graph
+	// (node ids, ports and all — the draw is a function of the seed alone).
+	g2 := LargeRandomCorpus(7).Graph("largerandom-1000")
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("largerandom-1000 has %d edges vs %d across two corpora with the same seed", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("largerandom-1000 edge %d differs across two corpora with the same seed", i)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -81,6 +82,30 @@ func (p *Pool) Map(n int, task func(int)) {
 	wg.Wait()
 }
 
+// MapHinted is Map with a per-task cost hint: tasks are claimed in order of
+// decreasing cost(i) (ties by index), so the heaviest tasks of a fan-out
+// start first instead of wherever corpus order put them — on an uneven sweep
+// that stops the largest graph from starting last on an otherwise draining
+// pool. The hint changes only the start order: every task still runs exactly
+// once and callers that key results by index (Collect) observe no
+// difference. A nil cost is Map.
+func (p *Pool) MapHinted(n int, cost func(int) int, task func(int)) {
+	if cost == nil || n <= 1 {
+		p.Map(n, task)
+		return
+	}
+	costs := make([]int, n) // evaluate each hint once, not O(n log n) times in the comparator
+	for i := range costs {
+		costs[i] = cost(i)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	p.Map(n, func(pos int) { task(order[pos]) })
+}
+
 // Collect runs task(0..n-1) through the pool and assembles results and
 // errors in index order. Callers walk the two slices sequentially to build
 // their tables, reproducing exactly what a sequential loop would have
@@ -89,5 +114,15 @@ func Collect[T any](p *Pool, n int, task func(int) (T, error)) ([]T, []error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	p.Map(n, func(i int) { out[i], errs[i] = task(i) })
+	return out, errs
+}
+
+// CollectHinted is Collect with MapHinted's cost-ordered dispatch: the
+// heaviest tasks start first, while the returned slices stay in index order
+// byte-for-byte identical to Collect's.
+func CollectHinted[T any](p *Pool, n int, cost func(int) int, task func(int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	p.MapHinted(n, cost, func(i int) { out[i], errs[i] = task(i) })
 	return out, errs
 }

@@ -112,6 +112,71 @@ func TestMapConcurrentCallers(t *testing.T) {
 	}
 }
 
+// TestMapHintedStartOrder: at budget 1 the hinted dispatch starts tasks in
+// decreasing-cost order (ties broken by index), so the heaviest graphs of a
+// sweep go first; every index still runs exactly once.
+func TestMapHintedStartOrder(t *testing.T) {
+	p := NewPool(1)
+	costs := []int{1, 100, 10, 50, 5, 10}
+	var started []int
+	p.MapHinted(len(costs), func(i int) int { return costs[i] }, func(i int) {
+		started = append(started, i) // budget 1: sequential, no lock needed
+	})
+	want := []int{1, 3, 2, 5, 4, 0} // desc cost; the two cost-10 tasks keep index order
+	if len(started) != len(want) {
+		t.Fatalf("started %d tasks, want %d", len(started), len(want))
+	}
+	for i := range want {
+		if started[i] != want[i] {
+			t.Fatalf("start order %v, want %v", started, want)
+		}
+	}
+}
+
+// TestMapHintedCoversAllIndices: the hinted dispatch runs every index exactly
+// once at any budget (and nil cost degrades to plain Map).
+func TestMapHintedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		for _, cost := range []func(int) int{nil, func(i int) int { return i % 7 }} {
+			p := NewPool(workers)
+			const n = 100
+			var runs [n]atomic.Int32
+			p.MapHinted(n, cost, func(i int) { runs[i].Add(1) })
+			for i := range runs {
+				if got := runs[i].Load(); got != 1 {
+					t.Fatalf("workers=%d: task %d ran %d times, want 1", workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCollectHintedIdenticalAcrossBudgets: CollectHinted keys results by
+// index, so the assembled slices are byte-identical to Collect's at every
+// worker budget no matter how the cost hints reorder the dispatch.
+func TestCollectHintedIdenticalAcrossBudgets(t *testing.T) {
+	const n = 60
+	task := func(i int) (string, error) {
+		if i%11 == 7 {
+			return "", fmt.Errorf("task %d failed", i)
+		}
+		return fmt.Sprintf("row-%03d", i), nil
+	}
+	cost := func(i int) int { return (i * 37) % 101 }
+	wantOut, wantErrs := Collect(NewPool(1), n, task)
+	for _, workers := range []int{1, 2, 8} {
+		out, errs := CollectHinted(NewPool(workers), n, cost, task)
+		for i := 0; i < n; i++ {
+			if out[i] != wantOut[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, out[i], wantOut[i])
+			}
+			if (errs[i] == nil) != (wantErrs[i] == nil) {
+				t.Fatalf("workers=%d: errs[%d] = %v, want %v", workers, i, errs[i], wantErrs[i])
+			}
+		}
+	}
+}
+
 // TestCollect assembles results and errors in index order regardless of
 // scheduling.
 func TestCollect(t *testing.T) {

@@ -1,0 +1,85 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Builder constructs a named corpus. seed drives any randomised members and
+// feasible (nil = accept everything) screens random candidates where the
+// family requires feasibility; deterministic families ignore both.
+type Builder func(seed int64, feasible func(*graph.Graph) bool) *Corpus
+
+// Registry makes corpora discoverable by name: the scenario matrix, the
+// command-line tools and the tests all resolve corpus names through one of
+// these instead of hard-coding constructor calls. Registration order is
+// preserved so listings are deterministic.
+type Registry struct {
+	mu    sync.RWMutex
+	names []string
+	by    map[string]Builder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]Builder)}
+}
+
+// Register adds a named builder. Empty names, nil builders and duplicates
+// are programming errors and panic.
+func (r *Registry) Register(name string, b Builder) {
+	if name == "" {
+		panic("corpus: registering an empty corpus name")
+	}
+	if b == nil {
+		panic(fmt.Sprintf("corpus: registering nil builder for %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.by[name]; dup {
+		panic(fmt.Sprintf("corpus: duplicate corpus %q", name))
+	}
+	r.names = append(r.names, name)
+	r.by[name] = b
+}
+
+// Names returns the registered corpus names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Lookup returns the builder registered under name.
+func (r *Registry) Lookup(name string) (Builder, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.by[name]
+	return b, ok
+}
+
+// Build resolves name and invokes its builder. Unknown names return an error
+// listing what is available (sorted, so the message is stable).
+func (r *Registry) Build(name string, seed int64, feasible func(*graph.Graph) bool) (*Corpus, error) {
+	b, ok := r.Lookup(name)
+	if !ok {
+		known := r.Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("corpus: unknown corpus %q (have %v)", name, known)
+	}
+	return b(seed, feasible), nil
+}
+
+// Corpora is the process-wide registry holding the built-in families. The
+// deterministic families ignore the seed and feasibility arguments.
+var Corpora = func() *Registry {
+	r := NewRegistry()
+	r.Register("default", Default)
+	r.Register("torus", func(int64, func(*graph.Graph) bool) *Corpus { return TorusCorpus() })
+	r.Register("hypercube", func(int64, func(*graph.Graph) bool) *Corpus { return HypercubeCorpus() })
+	r.Register("largerandom", func(seed int64, _ func(*graph.Graph) bool) *Corpus { return LargeRandomCorpus(seed) })
+	return r
+}()

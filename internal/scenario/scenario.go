@@ -1,0 +1,244 @@
+// Package scenario is the scenario-matrix subsystem: it expands a
+// corpus × experiment × worker-budget matrix into named cells, runs every
+// cell through the core experiment runners on one shared refinement engine,
+// and emits a machine-readable summary (the SCENARIO_*.json artifact the
+// nightly CI lane uploads).
+//
+// The matrix is pure data — Matrix{Corpora, Experiments, Budgets} — so a new
+// sweep is a config change, not a code change: corpora are resolved by name
+// through the corpus registry and experiments by name through this package's
+// experiment table. Each cell's tables are a deterministic function of the
+// matrix and seed; running the same (corpus, experiment) cell at different
+// budgets must produce byte-identical tables, which is what the race tests
+// and the nightly lane assert.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+)
+
+// Matrix declares a scenario sweep as data. Zero fields pick defaults:
+// every registered corpus, the census experiment (the only one total on
+// infeasible families), and a single GOMAXPROCS budget.
+type Matrix struct {
+	Corpora     []string `json:"corpora"`     // corpus registry names
+	Experiments []string `json:"experiments"` // scenario experiment names
+	Budgets     []int    `json:"budgets"`     // worker budgets (0 = GOMAXPROCS)
+}
+
+// Cell is one (corpus, experiment, budget) point of the expanded matrix.
+type Cell struct {
+	Corpus     string `json:"corpus"`
+	Experiment string `json:"experiment"`
+	Budget     int    `json:"budget"`
+}
+
+// Name returns the cell's stable identifier, e.g. "torus/census@2".
+func (c Cell) Name() string { return fmt.Sprintf("%s/%s@%d", c.Corpus, c.Experiment, c.Budget) }
+
+// CellResult is one executed cell of the summary.
+type CellResult struct {
+	Cell
+	Rows   int         `json:"rows"`
+	WallMS int64       `json:"wall_ms"`
+	Table  *core.Table `json:"table,omitempty"`
+	Err    string      `json:"error,omitempty"`
+}
+
+// Summary is the machine-readable outcome of a matrix run — the shape of the
+// SCENARIO_*.json artifact.
+type Summary struct {
+	Corpora     []string     `json:"corpora"`
+	Experiments []string     `json:"experiments"`
+	Budgets     []int        `json:"budgets"`
+	Cells       []CellResult `json:"cells"`
+	Engine      engine.Stats `json:"engine_stats"`
+	WallMS      int64        `json:"wall_ms"`
+	Failed      int          `json:"failed"`
+}
+
+// experiments maps scenario experiment names to their core runners. All
+// three are corpus-parameterised; census is the only one total on
+// infeasible corpora (torus, hypercube), hierarchy/advice require every
+// corpus graph to be feasible.
+var experiments = map[string]func(core.Options) (*core.Table, error){
+	"census":    core.ExperimentViewCensus,
+	"hierarchy": core.Experiment1Hierarchy,
+	"advice":    core.Experiment2SelectionAdvice,
+}
+
+// ExperimentNames returns the known scenario experiment names, sorted.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Options scopes a matrix run.
+type Options struct {
+	Seed  int64
+	Quick bool
+	// Engine is the refinement engine every cell shares; nil means one fresh
+	// engine for the whole run (cells at later budgets then hit the cache —
+	// the tables must be identical either way).
+	Engine *engine.Engine
+	// Registry resolves corpus names; nil means the built-in corpus.Corpora.
+	Registry *corpus.Registry
+	// Filter restricts every resolved corpus (the race tests cap MaxNodes so
+	// the 1/2/8-budget sweep stays fast); the zero Filter keeps everything.
+	Filter corpus.Filter
+}
+
+// Expand validates the matrix against the registry and returns its cells in
+// deterministic order: corpora × experiments × budgets, budget innermost, so
+// same-(corpus, experiment) cells at different budgets are adjacent.
+func (m Matrix) Expand(reg *corpus.Registry) ([]Cell, error) {
+	if reg == nil {
+		reg = corpus.Corpora
+	}
+	corpora := m.Corpora
+	if len(corpora) == 0 {
+		corpora = reg.Names()
+	}
+	for _, name := range corpora {
+		if _, ok := reg.Lookup(name); !ok {
+			known := reg.Names()
+			sort.Strings(known)
+			return nil, fmt.Errorf("scenario: unknown corpus %q (have %v)", name, known)
+		}
+	}
+	exps := m.Experiments
+	if len(exps) == 0 {
+		exps = []string{"census"}
+	}
+	for _, name := range exps {
+		if _, ok := experiments[name]; !ok {
+			return nil, fmt.Errorf("scenario: unknown experiment %q (have %v)", name, ExperimentNames())
+		}
+	}
+	budgets := m.Budgets
+	if len(budgets) == 0 {
+		budgets = []int{0}
+	}
+	cells := make([]Cell, 0, len(corpora)*len(exps)*len(budgets))
+	for _, c := range corpora {
+		for _, e := range exps {
+			for _, b := range budgets {
+				cells = append(cells, Cell{Corpus: c, Experiment: e, Budget: b})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Run expands and executes the matrix. Cells run one after another — each
+// cell saturates its own worker budget internally (the pool's cost-hinted
+// dispatch starts the heaviest graphs first), so per-cell wall times stay
+// meaningful. Corpora are built once per name and shared across cells, so
+// graph generators run at most once for the whole run. Failing cells are
+// recorded in the summary (Err, Failed) and the first failure is also
+// returned as an error after every cell has run.
+func Run(m Matrix, opt Options) (*Summary, error) {
+	reg := opt.Registry
+	if reg == nil {
+		reg = corpus.Corpora
+	}
+	cells, err := m.Expand(reg)
+	if err != nil {
+		return nil, err
+	}
+	eng := opt.Engine
+	if eng == nil {
+		eng = engine.New(0)
+	}
+	filtering := len(opt.Filter.Names) > 0 || len(opt.Filter.Families) > 0 ||
+		opt.Filter.MinNodes > 0 || opt.Filter.MaxNodes > 0
+	built := make(map[string]*corpus.Corpus)
+	corpusFor := func(name string) (*corpus.Corpus, error) {
+		if c, ok := built[name]; ok {
+			return c, nil
+		}
+		// Expand validated the name, but a registered builder may still
+		// misbehave; surface that as a cell failure, not a panic.
+		c, err := reg.Build(name, opt.Seed, eng.Feasible)
+		if err == nil && c == nil {
+			err = fmt.Errorf("corpus %q: builder returned nil", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if filtering {
+			c = c.Filter(opt.Filter)
+		}
+		built[name] = c
+		return c, nil
+	}
+	summary := &Summary{Cells: make([]CellResult, 0, len(cells))}
+	seenCorpora, seenExps, seenBudgets := map[string]bool{}, map[string]bool{}, map[int]bool{}
+	var firstErr error
+	start := time.Now()
+	for _, cell := range cells {
+		if !seenCorpora[cell.Corpus] {
+			seenCorpora[cell.Corpus] = true
+			summary.Corpora = append(summary.Corpora, cell.Corpus)
+		}
+		if !seenExps[cell.Experiment] {
+			seenExps[cell.Experiment] = true
+			summary.Experiments = append(summary.Experiments, cell.Experiment)
+		}
+		if !seenBudgets[cell.Budget] {
+			seenBudgets[cell.Budget] = true
+			summary.Budgets = append(summary.Budgets, cell.Budget)
+		}
+		res := CellResult{Cell: cell}
+		cellStart := time.Now()
+		var table *core.Table
+		c, err := corpusFor(cell.Corpus)
+		if err == nil {
+			table, err = experiments[cell.Experiment](core.Options{
+				Quick:       opt.Quick,
+				Seed:        opt.Seed,
+				Engine:      eng,
+				Corpus:      c,
+				Parallelism: cell.Budget,
+			})
+		}
+		res.WallMS = time.Since(cellStart).Milliseconds()
+		if table != nil {
+			res.Table = table
+			res.Rows = len(table.Rows)
+		}
+		if err != nil {
+			res.Err = err.Error()
+			summary.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("scenario: cell %s: %w", cell.Name(), err)
+			}
+		}
+		summary.Cells = append(summary.Cells, res)
+	}
+	summary.WallMS = time.Since(start).Milliseconds()
+	summary.Engine = eng.Stats()
+	return summary, firstErr
+}
+
+// WriteJSON writes the summary as indented JSON to path (the SCENARIO_*.json
+// artifact).
+func (s *Summary) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// TestExpandDefaultsAndOrder: zero fields expand to every registered corpus,
+// the census experiment and one GOMAXPROCS budget, with budgets innermost.
+func TestExpandDefaultsAndOrder(t *testing.T) {
+	cells, err := Matrix{}.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(corpus.Corpora.Names()); len(cells) != want {
+		t.Fatalf("default matrix has %d cells, want %d (one census cell per corpus)", len(cells), want)
+	}
+	cells, err = Matrix{Corpora: []string{"torus"}, Experiments: []string{"census"}, Budgets: []int{1, 2, 8}}.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"torus/census@1", "torus/census@2", "torus/census@8"}
+	if len(cells) != len(wantNames) {
+		t.Fatalf("expanded %d cells, want %d", len(cells), len(wantNames))
+	}
+	for i, cell := range cells {
+		if cell.Name() != wantNames[i] {
+			t.Errorf("cell %d is %s, want %s", i, cell.Name(), wantNames[i])
+		}
+	}
+}
+
+// TestExpandRejectsUnknownNames: unknown corpora and experiments are errors
+// naming what is available.
+func TestExpandRejectsUnknownNames(t *testing.T) {
+	if _, err := (Matrix{Corpora: []string{"nope"}}).Expand(nil); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown corpus error = %v", err)
+	}
+	if _, err := (Matrix{Experiments: []string{"nope"}}).Expand(nil); err == nil || !strings.Contains(err.Error(), "census") {
+		t.Errorf("unknown experiment error = %v (want it to list the known ones)", err)
+	}
+}
+
+// smallMatrixOptions caps the corpus rungs so the 1/2/8-budget sweep stays
+// fast enough for the race detector.
+func smallMatrixOptions(seed int64) Options {
+	return Options{Seed: seed, Quick: true, Filter: corpus.Filter{MaxNodes: 256}}
+}
+
+// TestMatrixByteIdenticalAcrossBudgets is the scenario-matrix determinism
+// assertion (run in CI under -race): the torus/hypercube census cells produce
+// byte-identical tables at worker budgets 1, 2 and 8, whether the budgets
+// share one engine (cache hits) or get a fresh engine each (cold runs).
+func TestMatrixByteIdenticalAcrossBudgets(t *testing.T) {
+	m := Matrix{
+		Corpora:     []string{"torus", "hypercube", "default"},
+		Experiments: []string{"census"},
+		Budgets:     []int{1, 2, 8},
+	}
+	summary, err := Run(m, smallMatrixOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Cells) != 9 {
+		t.Fatalf("ran %d cells, want 9", len(summary.Cells))
+	}
+	rendered := map[string]string{}
+	for _, cell := range summary.Cells {
+		key := cell.Corpus + "/" + cell.Experiment
+		text := cell.Table.Render() + cell.Table.Markdown()
+		if prev, seen := rendered[key]; !seen {
+			rendered[key] = text
+		} else if prev != text {
+			t.Errorf("%s: tables differ across worker budgets", cell.Name())
+		}
+	}
+	// A fresh engine per budget must produce the same bytes as the shared one.
+	for _, budget := range []int{1, 2, 8} {
+		cold, err := Run(Matrix{Corpora: m.Corpora, Experiments: m.Experiments, Budgets: []int{budget}},
+			Options{Seed: 1, Quick: true, Engine: engine.New(0), Filter: corpus.Filter{MaxNodes: 256}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range cold.Cells {
+			key := cell.Corpus + "/" + cell.Experiment
+			if got := cell.Table.Render() + cell.Table.Markdown(); got != rendered[key] {
+				t.Errorf("budget %d with a cold engine: %s differs from the shared-engine run", budget, key)
+			}
+		}
+	}
+}
+
+// TestMatrixSharedEngineRefinesOnce: across all budgets of the matrix every
+// (graph, depth) pair is refined at most once on the shared engine.
+func TestMatrixSharedEngineRefinesOnce(t *testing.T) {
+	m := Matrix{Corpora: []string{"torus", "hypercube"}, Budgets: []int{1, 2, 8}}
+	summary, err := Run(m, smallMatrixOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summary.Engine
+	if s.Evictions != 0 {
+		t.Fatalf("engine evicted %d graphs; the at-most-once assertion is void", s.Evictions)
+	}
+	if s.Steps != s.CachedDepths {
+		t.Errorf("engine computed %d levels but caches %d: some (graph, depth) was refined twice", s.Steps, s.CachedDepths)
+	}
+	if s.Hits == 0 {
+		t.Error("no cache hits across the budgets; the engine is not shared between cells")
+	}
+}
+
+// TestMatrixRecordsFailingCells: an experiment that cannot run on a corpus
+// (election indices on the vertex-transitive torus family) is recorded in
+// its cell and in Failed, every other cell still runs, and Run also returns
+// the first failure.
+func TestMatrixRecordsFailingCells(t *testing.T) {
+	m := Matrix{Corpora: []string{"torus"}, Experiments: []string{"hierarchy", "census"}, Budgets: []int{1}}
+	summary, err := Run(m, smallMatrixOptions(1))
+	if err == nil {
+		t.Fatal("Run did not surface the failing hierarchy cell")
+	}
+	if summary == nil || summary.Failed != 1 || len(summary.Cells) != 2 {
+		t.Fatalf("summary = %+v, want 2 cells with 1 failure", summary)
+	}
+	if summary.Cells[0].Err == "" || summary.Cells[1].Err != "" {
+		t.Errorf("cell errors = %q, %q; want only the hierarchy cell to fail",
+			summary.Cells[0].Err, summary.Cells[1].Err)
+	}
+	if summary.Cells[1].Rows == 0 {
+		t.Error("census cell after the failure produced no rows")
+	}
+}
+
+// TestMatrixRecordsNilBuilderCells: a registered builder that misbehaves
+// (returns a nil corpus) becomes a recorded cell failure, not a panic.
+func TestMatrixRecordsNilBuilderCells(t *testing.T) {
+	reg := corpus.NewRegistry()
+	reg.Register("broken", func(int64, func(*graph.Graph) bool) *corpus.Corpus { return nil })
+	reg.Register("hypercube", func(int64, func(*graph.Graph) bool) *corpus.Corpus { return corpus.HypercubeCorpus() })
+	summary, err := Run(Matrix{Corpora: []string{"broken", "hypercube"}, Budgets: []int{1}},
+		Options{Seed: 1, Registry: reg, Filter: corpus.Filter{MaxNodes: 64}})
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("Run error = %v, want the broken builder surfaced", err)
+	}
+	if summary.Failed != 1 || summary.Cells[0].Err == "" || summary.Cells[1].Err != "" {
+		t.Fatalf("summary = %+v, want only the broken cell to fail", summary)
+	}
+	if summary.Cells[1].Rows == 0 {
+		t.Error("healthy cell after the broken builder produced no rows")
+	}
+}
+
+// TestSummaryWriteJSON: the SCENARIO_*.json artifact round-trips with cells,
+// engine stats and wall time.
+func TestSummaryWriteJSON(t *testing.T) {
+	summary, err := Run(Matrix{Corpora: []string{"hypercube"}, Budgets: []int{1, 2}}, smallMatrixOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "SCENARIO_test.json")
+	if err := summary.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back.Cells) != len(summary.Cells) || back.Failed != 0 {
+		t.Fatalf("round-trip lost cells: %d vs %d", len(back.Cells), len(summary.Cells))
+	}
+	for i, cell := range back.Cells {
+		if cell.Rows == 0 || cell.Table == nil || len(cell.Table.Rows) != cell.Rows {
+			t.Errorf("cell %d (%s) round-tripped badly: rows=%d table=%v", i, cell.Name(), cell.Rows, cell.Table)
+		}
+	}
+	if back.Engine.Steps == 0 {
+		t.Error("engine stats missing from the artifact")
+	}
+}
