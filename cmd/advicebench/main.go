@@ -8,15 +8,20 @@
 //	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
 //	            [-corpus NAME] [-families caterpillar,random] [-min-nodes N] [-max-nodes N]
 //	            [-list-corpus] [-list-corpora]
-//	advicebench -matrix [-families torus,hypercube] [-experiments census]
-//	            [-budgets 1,2,8] [-out SCENARIO_run.json]
+//	advicebench -matrix [-families torus,hypercube] [-experiments E5,E7]
+//	            [-params quick] [-budgets 1,2,8] [-cell-workers N]
+//	            [-out SCENARIO_run.json]
 //
 // In suite mode the corpus flags pick and filter the named graph set the
 // cross-cutting experiments (E1, E2) sweep; the parameterised experiments are
-// unaffected. In -matrix mode the corpus × experiment × budget scenario
-// matrix runs instead: -families (or -corpus) names registered corpora,
-// -budgets the worker budgets, and -out writes the machine-readable
-// SCENARIO_*.json summary the nightly CI lane uploads.
+// unaffected. In -matrix mode the corpus × experiment × params × budget
+// scenario matrix runs instead: -families (or -corpus) names registered
+// corpora, -experiments any registered experiment (E1–E10, census; unknown
+// names are rejected with the registered list), -params named parameter sets
+// (default, quick), -budgets the per-cell worker budgets, -cell-workers the
+// run-wide cell-scheduling budget, and -out writes the machine-readable
+// SCENARIO_*.json summary the nightly CI lane uploads and cmd/scenariocmp
+// diffs.
 package main
 
 import (
@@ -46,15 +51,19 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "keep only corpus graphs with at most this many nodes (0 = no bound)")
 	listCorpus := flag.Bool("list-corpus", false, "list the (filtered) E1/E2 corpus and exit")
 	listCorpora := flag.Bool("list-corpora", false, "list the registered corpora and exit")
-	matrix := flag.Bool("matrix", false, "run the corpus × experiment × budget scenario matrix instead of the suite")
-	experiments := flag.String("experiments", "", "matrix mode: comma-separated scenario experiments (empty = census)")
+	matrix := flag.Bool("matrix", false, "run the corpus × experiment × params × budget scenario matrix instead of the suite")
+	experiments := flag.String("experiments", "", "matrix mode: comma-separated registered experiments (empty = census)")
+	params := flag.String("params", "", "matrix mode: comma-separated named param sets (empty = default)")
 	budgets := flag.String("budgets", "", "matrix mode: comma-separated worker budgets (empty = 0 = GOMAXPROCS)")
+	cellWorkers := flag.Int("cell-workers", 0, "matrix mode: run-wide cell-scheduling budget (0 = GOMAXPROCS, 1 = sequential cells)")
 	out := flag.String("out", "", "matrix mode: write the SCENARIO_*.json summary to this path")
 	flag.Parse()
 
 	if *listCorpora {
 		fmt.Println("registered corpora:", strings.Join(corpus.Corpora.Names(), ", "))
+		fmt.Println("registered experiments:", strings.Join(core.ExperimentNames(), ", "))
 		fmt.Println("scenario experiments:", strings.Join(scenario.ExperimentNames(), ", "))
+		fmt.Println("param sets:", strings.Join(core.ParamSetNames(), ", "))
 		return
 	}
 
@@ -67,12 +76,13 @@ func main() {
 		m := scenario.Matrix{
 			Corpora:     splitList(*families),
 			Experiments: splitList(*experiments),
+			Params:      splitList(*params),
 			Budgets:     splitInts(*budgets),
 		}
 		if len(m.Corpora) == 0 && *corpusName != "" {
 			m.Corpora = []string{*corpusName}
 		}
-		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter}, *out, *stats)
+		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter, CellWorkers: *cellWorkers}, *out, *stats)
 		return
 	}
 
@@ -95,6 +105,12 @@ func main() {
 
 	wanted := map[string]bool{}
 	for _, id := range splitList(strings.ToUpper(*only)) {
+		// Reject unknown ids instead of silently printing nothing for them.
+		if d, ok := core.Lookup(id); !ok || !d.Suite {
+			fmt.Fprintf(os.Stderr, "advicebench: unknown experiment %q in -only (have %s)\n",
+				id, strings.Join(suiteNames(), ", "))
+			os.Exit(2)
+		}
 		wanted[id] = true
 	}
 
@@ -133,8 +149,12 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) 
 		}
 		fmt.Printf("%-32s %6d %9dms  %s\n", cell.Name(), cell.Rows, cell.WallMS, status)
 	}
-	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d budgets) in %dms, %d failed\n",
-		len(summary.Cells), len(summary.Corpora), len(summary.Experiments), len(summary.Budgets),
+	sets := len(summary.Params)
+	if sets == 0 {
+		sets = 1
+	}
+	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d param sets × %d budgets) in %dms, %d failed\n",
+		len(summary.Cells), len(summary.Corpora), len(summary.Experiments), sets, len(summary.Budgets),
 		summary.WallMS, summary.Failed)
 	if stats {
 		printStats(eng)
@@ -150,6 +170,18 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) 
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// suiteNames lists the experiments of the suite (E1–E10) — what -only may
+// select.
+func suiteNames() []string {
+	var names []string
+	for _, d := range core.Experiments() {
+		if d.Suite {
+			names = append(names, d.Name)
+		}
+	}
+	return names
 }
 
 // builtCorpus resolves the -corpus flag: empty means the default corpus,

@@ -41,6 +41,29 @@ func TestCountPrinted(t *testing.T) {
 	}
 }
 
+// TestSuiteNames: -only validates against the registry's suite experiments —
+// exactly E1–E10, in registry order (census is matrix-only).
+func TestSuiteNames(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	got := suiteNames()
+	if len(got) != len(want) {
+		t.Fatalf("suiteNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("suiteNames() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range got {
+		if d, ok := core.Lookup(name); !ok || !d.Suite {
+			t.Errorf("%s: not a registered suite experiment", name)
+		}
+	}
+	if d, ok := core.Lookup("census"); !ok || d.Suite {
+		t.Error("census must be registered but excluded from -only's suite names")
+	}
+}
+
 // TestSmokeQuickSuite is the advicebench end-to-end smoke test: the quick
 // experiment suite runs through one shared engine exactly as `advicebench
 // -quick -stats` does, all tables materialise, and the engine certifies the

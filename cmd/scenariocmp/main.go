@@ -1,0 +1,122 @@
+// Command scenariocmp compares two scenario-matrix summaries (the
+// SCENARIO_*.json artifacts the nightly CI lane uploads, one per run) and
+// fails when a cell's row count drifted between them. It is the comparison
+// step that turns the artifact series into a determinism gate:
+//
+//	scenariocmp -old prev/SCENARIO_abc.json -new SCENARIO_def.json
+//
+// Row counts are the gated quantity — for a deterministic matrix they are a
+// function of the matrix alone, so a drift means a cell silently lost or
+// grew rows between runs. Wall-time movement and error-status changes are
+// reported but never gated (wall times vary with the runner), and cells
+// present on only one side (NEW/GONE) never fail — the matrix is allowed to
+// evolve between nightlies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "previous SCENARIO_*.json artifact")
+	newPath := flag.String("new", "", "current SCENARIO_*.json artifact")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "scenariocmp: -old and -new are required")
+		os.Exit(2)
+	}
+	oldArt, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariocmp: %v\n", err)
+		os.Exit(2)
+	}
+	newArt, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenariocmp: %v\n", err)
+		os.Exit(2)
+	}
+	lines, drifted := compare(oldArt, newArt)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if drifted > 0 {
+		fmt.Fprintf(os.Stderr, "scenariocmp: %d cell(s) drifted in row count\n", drifted)
+		os.Exit(1)
+	}
+}
+
+// load reads a SCENARIO_*.json artifact into the scenario package's own
+// summary shape — the same struct Run writes, so the cell key (Cell.Name)
+// can never drift from the producer's naming.
+func load(path string) (*scenario.Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s scenario.Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare reports one line per cell and the number of row-count drifts.
+// Only cells present in both artifacts are gated; additions, removals,
+// wall-time movement and error-status changes are informational.
+func compare(oldArt, newArt *scenario.Summary) (lines []string, drifted int) {
+	oldBy := make(map[string]scenario.CellResult, len(oldArt.Cells))
+	for _, c := range oldArt.Cells {
+		oldBy[c.Name()] = c
+	}
+	seen := make(map[string]bool, len(newArt.Cells))
+	for _, nc := range newArt.Cells {
+		name := nc.Name()
+		seen[name] = true
+		oc, ok := oldBy[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("NEW   %-40s %6d rows %8dms (no previous cell)", name, nc.Rows, nc.WallMS))
+			continue
+		}
+		status := "OK   "
+		if nc.Rows != oc.Rows {
+			status = "DRIFT"
+			drifted++
+		}
+		lines = append(lines, fmt.Sprintf("%s %-40s %6d -> %6d rows %8d -> %8dms%s%s",
+			status, name, oc.Rows, nc.Rows, oc.WallMS, nc.WallMS, wallRatio(oc.WallMS, nc.WallMS), errDelta(oc.Err, nc.Err)))
+	}
+	for _, oc := range oldArt.Cells {
+		if name := oc.Name(); !seen[name] {
+			lines = append(lines, fmt.Sprintf("GONE  %-40s (present only in the previous artifact)", name))
+		}
+	}
+	return lines, drifted
+}
+
+// wallRatio renders the new/old wall-time ratio; sub-millisecond cells on
+// either side render no ratio (the artifact's resolution cannot support
+// one).
+func wallRatio(old, new int64) string {
+	if old <= 0 || new <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.2fx)", float64(new)/float64(old))
+}
+
+// errDelta notes a cell whose error status changed between the artifacts —
+// reported, never gated (the row-count gate already catches the common case
+// of a cell erroring before emitting its rows).
+func errDelta(old, new string) string {
+	switch {
+	case old == "" && new != "":
+		return fmt.Sprintf("  now failing: %s", new)
+	case old != "" && new == "":
+		return "  recovered"
+	}
+	return ""
+}

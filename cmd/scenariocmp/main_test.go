@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func cell(corpus, experiment, params string, budget, rows int, wallMS int64, errText string) scenario.CellResult {
+	return scenario.CellResult{
+		Cell:   scenario.Cell{Corpus: corpus, Experiment: experiment, Params: params, Budget: budget},
+		Rows:   rows,
+		WallMS: wallMS,
+		Err:    errText,
+	}
+}
+
+func art(cells ...scenario.CellResult) *scenario.Summary { return &scenario.Summary{Cells: cells} }
+
+// TestCompareGatesOnlyRowDrift: matching cells with equal rows pass whatever
+// their wall times do; a row-count change is the one failing condition.
+func TestCompareGatesOnlyRowDrift(t *testing.T) {
+	oldArt := art(
+		cell("torus", "census", "", 1, 7, 100, ""),
+		cell("torus", "census", "", 2, 7, 50, ""),
+	)
+	newArt := art(
+		cell("torus", "census", "", 1, 7, 900, ""), // 9x slower: reported, not gated
+		cell("torus", "census", "", 2, 5, 50, ""),  // drift
+	)
+	lines, drifted := compare(oldArt, newArt)
+	if drifted != 1 {
+		t.Fatalf("drifted = %d, want 1\n%s", drifted, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "OK    torus/census@1") || !strings.Contains(joined, "(9.00x)") {
+		t.Errorf("slow cell not reported as OK with its ratio:\n%s", joined)
+	}
+	if !strings.Contains(joined, "DRIFT torus/census@2") || !strings.Contains(joined, "7 ->      5 rows") {
+		t.Errorf("drifting cell not reported:\n%s", joined)
+	}
+}
+
+// TestCompareKeysOnParams: cells of the same experiment at different param
+// sets are distinct (the key is scenario.Cell.Name, params included), and
+// the default set keys identically whether the artifact spells it out or
+// omits it.
+func TestCompareKeysOnParams(t *testing.T) {
+	oldArt := art(
+		cell("default", "E5", "default", 1, 2, 10, ""),
+		cell("default", "E5", "quick", 1, 1, 5, ""),
+	)
+	newArt := art(
+		cell("default", "E5", "", 1, 2, 11, ""), // omitted params = default set
+		cell("default", "E5", "quick", 1, 1, 6, ""),
+	)
+	lines, drifted := compare(oldArt, newArt)
+	joined := strings.Join(lines, "\n")
+	if drifted != 0 || strings.Contains(joined, "NEW") || strings.Contains(joined, "GONE") {
+		t.Fatalf("param-set cells did not key stably:\n%s", joined)
+	}
+	if !strings.Contains(joined, "default/E5#quick@1") {
+		t.Errorf("quick-set cell lost its params component:\n%s", joined)
+	}
+}
+
+// TestCompareNewAndGoneNeverFail: cells present on only one side are
+// informational — the matrix may evolve between nightlies.
+func TestCompareNewAndGoneNeverFail(t *testing.T) {
+	oldArt := art(cell("torus", "census", "", 1, 7, 0, ""))
+	newArt := art(cell("hypercube", "census", "", 1, 8, 0, ""))
+	lines, drifted := compare(oldArt, newArt)
+	if drifted != 0 {
+		t.Fatalf("drifted = %d, want 0", drifted)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "NEW   hypercube/census@1") {
+		t.Errorf("new cell not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "GONE  torus/census@1") {
+		t.Errorf("gone cell not reported:\n%s", joined)
+	}
+}
+
+// TestCompareReportsErrorTransitions: a cell that started or stopped
+// failing is annotated (but gated only through its row count).
+func TestCompareReportsErrorTransitions(t *testing.T) {
+	oldArt := art(
+		cell("a", "E1", "", 1, 3, 0, ""),
+		cell("b", "E1", "", 1, 3, 0, "boom"),
+	)
+	newArt := art(
+		cell("a", "E1", "", 1, 3, 0, "bad corpus"),
+		cell("b", "E1", "", 1, 3, 0, ""),
+	)
+	lines, drifted := compare(oldArt, newArt)
+	if drifted != 0 {
+		t.Fatalf("drifted = %d, want 0 (error transitions are not gated)", drifted)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "now failing: bad corpus") || !strings.Contains(joined, "recovered") {
+		t.Errorf("error transitions not annotated:\n%s", joined)
+	}
+}
+
+// TestLoadRealArtifact: scenariocmp reads what scenario.Summary.WriteJSON
+// writes — the same struct on both sides — params field included.
+func TestLoadRealArtifact(t *testing.T) {
+	summary := art(cell("default", "E5", "quick", 2, 1, 12, ""))
+	path := filepath.Join(t.TempDir(), "SCENARIO_x.json")
+	if err := summary.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	a, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != 1 || a.Cells[0].Name() != "default/E5#quick@2" {
+		t.Fatalf("loaded %+v", a)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("load of a missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Error("load of invalid JSON did not error")
+	}
+}

@@ -1,13 +1,18 @@
-// Scenario matrix: declare a corpus × experiment × worker-budget sweep as
-// data, run it through the shared refinement engine, and inspect the
-// machine-readable summary — the same subsystem behind `advicebench -matrix`
-// and the nightly CI lane.
+// Scenario matrix: declare a corpus × experiment × params × worker-budget
+// sweep as data, run it through the shared refinement engine on one run-wide
+// cost-hinted cell pool, and inspect the machine-readable summary — the same
+// subsystem behind `advicebench -matrix` and the nightly CI lane.
 //
-// The matrix here sweeps the small rungs of the torus and hypercube corpora
+// The first matrix sweeps the small rungs of the torus and hypercube corpora
 // through the view-class census at three worker budgets. Tables of the same
 // (corpus, experiment) cell are byte-identical at every budget; the census is
 // the experiment that stays total on these vertex-transitive (and hence
 // election-infeasible) families.
+//
+// The second matrix shows the params axis: any registered experiment
+// (E1–E10, census) expands into cells, and the parameterised ones (here E5
+// and E7) select a named parameter set — their grids are exported ParamPoint
+// data, not code.
 //
 // Run with:
 //
@@ -58,6 +63,28 @@ func main() {
 	// The engine ran every refinement once, no matter how many budgets
 	// revisited the same graphs.
 	s := summary.Engine
-	fmt.Printf("engine: %d hits, %d misses, %d levels computed across the whole matrix\n",
+	fmt.Printf("engine: %d hits, %d misses, %d levels computed across the whole matrix\n\n",
 		s.Hits, s.Misses, s.Steps)
+
+	// The params axis: E5 and E7 are parameterised experiments whose grids
+	// are registered data — inspect E5's default grid, then sweep the quick
+	// parameter set of both experiments through the matrix.
+	fmt.Printf("registered experiments: %v\n", fourshades.RegisteredExperiments())
+	for _, p := range fourshades.DefaultParams("E5") {
+		fmt.Printf("E5 default point %-6s fullOnly=%-5v values=%v\n", p.Name, p.FullOnly, p.Values)
+	}
+	sweep := fourshades.ScenarioMatrix{
+		Corpora:     []string{"default"},
+		Experiments: []string{"E5", "E7"},
+		Params:      []string{"quick"},
+		Budgets:     []int{1, 2},
+	}
+	paramSummary, err := fourshades.RunMatrix(sweep, fourshades.ScenarioOptions{Seed: 1, Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, cell := range paramSummary.Cells {
+		fmt.Printf("%-22s %d rows in %dms\n", cell.Name(), cell.Rows, cell.WallMS)
+	}
 }

@@ -16,9 +16,10 @@
 //   - the paper's graph-class constructions (BuildGdk, BuildUdk, BuildJmk) and
 //     lower-bound experiments (FoolSelection, FoolPortElection,
 //     FoolPathElection);
-//   - the experiment suite reproducing the paper's results (RunExperiments)
-//     and its corpus/workload subsystem (GraphCorpus, DefaultCorpus,
-//     CorpusFilter);
+//   - the experiment suite reproducing the paper's results (RunExperiments),
+//     the experiment registry and params-as-data behind it
+//     (RegisteredExperiments, DefaultParams, RunExperiment) and its
+//     corpus/workload subsystem (GraphCorpus, DefaultCorpus, CorpusFilter);
 //   - the scenario-matrix subsystem (ScenarioMatrix, RunMatrix) and the
 //     corpus registry behind it (RegisteredCorpora, BuildCorpus).
 //
@@ -330,6 +331,36 @@ type ExperimentTable = core.Table
 // ExperimentOptions scopes the experiment suite.
 type ExperimentOptions = core.Options
 
+// ExperimentDescriptor is one registered experiment: name, title, default
+// parameter grid and runner. The registry (RegisteredExperiments) is the
+// single list every layer — core.All, the scenario matrix, advicebench —
+// resolves experiments through.
+type ExperimentDescriptor = core.Descriptor
+
+// ExperimentParamPoint is one named row of a parameterised experiment's
+// grid; the E3–E10 grids are exported ParamPoint data, overridable per run
+// through ExperimentOptions.Params (or ScenarioOptions.Params).
+type ExperimentParamPoint = core.ParamPoint
+
+// RegisteredExperiments returns the registered experiment names in suite
+// order: E1–E10, then the census.
+func RegisteredExperiments() []string { return core.ExperimentNames() }
+
+// DefaultParams returns a copy of the named experiment's default parameter
+// grid (nil for unknown names and for the corpus sweeps E1/E2/census).
+func DefaultParams(name string) []ExperimentParamPoint { return core.DefaultParams(name) }
+
+// ExperimentParamSets returns the named parameter sets ("default", "quick")
+// a ScenarioMatrix.Params axis may select.
+func ExperimentParamSets() []string { return core.ParamSetNames() }
+
+// RunExperiment runs one registered experiment by name ("E5", "census",
+// case-insensitive); parameterised experiments resolve their grid from
+// opt.Params or their exported defaults.
+func RunExperiment(name string, opt ExperimentOptions) (*ExperimentTable, error) {
+	return core.RunExperiment(name, opt)
+}
+
 // RunExperiments reproduces the paper's quantitative claims (experiments
 // E1–E10 of DESIGN.md) and returns their tables.
 func RunExperiments(opt ExperimentOptions) ([]*ExperimentTable, error) { return core.All(opt) }
@@ -343,13 +374,14 @@ func RunViewCensus(opt ExperimentOptions) (*ExperimentTable, error) {
 
 // ---- Scenario matrix ---------------------------------------------------------
 
-// ScenarioMatrix declares a corpus × experiment × worker-budget sweep as
-// data; RunMatrix expands it into named cells and runs each through the
-// experiment runners on one shared engine.
+// ScenarioMatrix declares a corpus × experiment × params × worker-budget
+// sweep as data; RunMatrix expands it into named cells and runs each through
+// the experiment registry on one shared engine and one run-wide cost-hinted
+// cell pool.
 type ScenarioMatrix = scenario.Matrix
 
 // ScenarioOptions scopes a matrix run (seed, quick mode, engine, registry,
-// corpus filter).
+// corpus filter, parameter overrides, cell-scheduling budget).
 type ScenarioOptions = scenario.Options
 
 // ScenarioSummary is the machine-readable outcome of a matrix run — the
@@ -359,11 +391,14 @@ type ScenarioSummary = scenario.Summary
 // ScenarioCellResult is one executed cell of a ScenarioSummary.
 type ScenarioCellResult = scenario.CellResult
 
-// ScenarioExperiments lists the experiment names a ScenarioMatrix may use.
+// ScenarioExperiments lists the experiment names a ScenarioMatrix may use:
+// every registered experiment plus the legacy scenario aliases.
 func ScenarioExperiments() []string { return scenario.ExperimentNames() }
 
 // RunMatrix expands and executes a scenario matrix. Tables of the same
-// (corpus, experiment) cell are byte-identical at every worker budget.
+// (corpus, experiment, params) cell are byte-identical at every worker
+// budget; corpora whose entries stream are released when their last cell
+// completes.
 func RunMatrix(m ScenarioMatrix, opt ScenarioOptions) (*ScenarioSummary, error) {
 	return scenario.Run(m, opt)
 }

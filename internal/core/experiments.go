@@ -39,6 +39,12 @@ type Options struct {
 	// Options and results are assembled in task order, so the produced
 	// tables are byte-identical at every setting.
 	Parallelism int
+	// Params overrides the parameter grids of the registered experiments,
+	// keyed by canonical experiment name ("E3" ... "E10"). Experiments
+	// without an entry run their exported default grid; an entry replaces
+	// the grid wholesale (a nil or empty slice means no points). FullOnly
+	// points are still dropped in Quick mode.
+	Params map[string][]ParamPoint
 
 	// shared carries the per-run corpus, engine and scheduler across the
 	// experiments of one All invocation; experiments invoked individually
@@ -139,7 +145,9 @@ func assemble(t *Table, outs []rowOut) (*Table, error) {
 
 // Experiment1Hierarchy (E1, Fact 1.1): election indices of the four tasks on a
 // corpus of feasible graphs, verifying ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S.
-func Experiment1Hierarchy(opt Options) (*Table, error) {
+func Experiment1Hierarchy(opt Options) (*Table, error) { return RunExperiment("E1", opt) }
+
+func runHierarchy(opt Options) (*Table, error) {
 	opt = opt.withShared()
 	t := &Table{
 		ID:     "E1",
@@ -178,7 +186,9 @@ func Experiment1Hierarchy(opt Options) (*Table, error) {
 // Experiment2SelectionAdvice (E2, Theorem 2.2): the Selection-with-advice
 // algorithm is executed on every corpus graph; the advice size is compared
 // against (Δ-1)^{ψ_S}·log2 Δ and the rounds used against ψ_S.
-func Experiment2SelectionAdvice(opt Options) (*Table, error) {
+func Experiment2SelectionAdvice(opt Options) (*Table, error) { return RunExperiment("E2", opt) }
+
+func runSelectionAdvice(opt Options) (*Table, error) {
 	opt = opt.withShared()
 	t := &Table{
 		ID:     "E2",
@@ -218,42 +228,51 @@ func Experiment2SelectionAdvice(opt Options) (*Table, error) {
 	}))
 }
 
-// gdkParams are the G_{Δ,k} parameter points measured by E3/E4.
-var gdkParams = []struct{ Delta, K, Instance int }{
-	{4, 1, 3}, {5, 1, 2}, {6, 1, 2}, {4, 2, 2}, {3, 2, 2},
+// GdkParams is E3's default grid: the G_{Δ,k} instances whose structure is
+// checked. Keys: delta, k, instance (the class member i to build).
+var GdkParams = []ParamPoint{
+	{Name: "d4k1i3", Values: map[string]int{"delta": 4, "k": 1, "instance": 3}},
+	{Name: "d5k1i2", Values: map[string]int{"delta": 5, "k": 1, "instance": 2}},
+	{Name: "d6k1i2", Values: map[string]int{"delta": 6, "k": 1, "instance": 2}},
+	{Name: "d4k2i2", Values: map[string]int{"delta": 4, "k": 2, "instance": 2}},
+	{Name: "d3k2i2", Values: map[string]int{"delta": 3, "k": 2, "instance": 2}},
 }
 
 // Experiment3Gdk (E3, Section 2.2.1 + Fact 2.3 + Lemma 2.7): instances of
 // G_{Δ,k} are built and their structure checked: ψ_S equals k and the class
 // size matches the formula.
-func Experiment3Gdk(opt Options) (*Table, error) {
+func Experiment3Gdk(opt Options) (*Table, error) { return RunExperiment("E3", opt) }
+
+func runGdk(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E3",
 		Title:  "G_{Δ,k} construction — ψ_S(G_i) = k and |G_{Δ,k}| = (Δ-1)^{(Δ-2)(Δ-1)^{k-1}}",
 		Header: []string{"Δ", "k", "instance i", "nodes", "ψ_S", "ψ_S = k", "class size"},
 	}
-	return assemble(t, fanOut(opt, len(gdkParams), func(i int) rowOut {
-		p := gdkParams[i]
-		inst, err := construct.BuildGdk(p.Delta, p.K, p.Instance)
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		delta, k, instance := p.Int("delta"), p.Int("k"), p.Int("instance")
+		inst, err := construct.BuildGdk(delta, k, instance)
 		if err != nil {
-			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)}
+			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", delta, k, err)}
 		}
-		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: p.K + 2, Engine: opt.shared.eng})
+		psi, err := election.Index(inst.G, election.S, election.Options{MaxDepth: k + 2, Engine: opt.shared.eng})
 		if err != nil {
-			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", p.Delta, p.K, err)}
+			return rowOut{hardErr: fmt.Errorf("core: E3 Δ=%d k=%d: %w", delta, k, err)}
 		}
 		out := rowOut{rows: row(
-			fmt.Sprint(p.Delta),
-			fmt.Sprint(p.K),
-			fmt.Sprint(p.Instance),
+			fmt.Sprint(delta),
+			fmt.Sprint(k),
+			fmt.Sprint(instance),
 			fmt.Sprint(inst.G.N()),
 			fmt.Sprint(psi),
-			fmt.Sprint(psi == p.K),
-			construct.GdkClassSize(p.Delta, p.K).String(),
+			fmt.Sprint(psi == k),
+			construct.GdkClassSize(delta, k).String(),
 		)}
-		if psi != p.K {
-			out.rowErr = fmt.Errorf("core: E3 Δ=%d k=%d: ψ_S = %d, want %d", p.Delta, p.K, psi, p.K)
+		if psi != k {
+			out.rowErr = fmt.Errorf("core: E3 Δ=%d k=%d: ψ_S = %d, want %d", delta, k, psi, k)
 		}
 		return out
 	}))
@@ -263,8 +282,22 @@ func Experiment3Gdk(opt Options) (*Table, error) {
 // Selection on G_{Δ,k} plus the explicit fooling experiment (same advice on
 // G_α and G_β yields multiple leaders in G_β), compared with the measured
 // upper bound of the Theorem 2.2 oracle.
-func Experiment4GdkLowerBound(opt Options) (*Table, error) {
+func Experiment4GdkLowerBound(opt Options) (*Table, error) { return RunExperiment("E4", opt) }
+
+// GdkLowerBoundParams is E4's default grid. Keys: delta, k, alpha, beta —
+// alpha is the class member whose advice is measured and reused, beta the
+// member the fooling experiment replays it on.
+var GdkLowerBoundParams = []ParamPoint{
+	{Name: "d4k1", Values: map[string]int{"delta": 4, "k": 1, "alpha": 2, "beta": 3}},
+	{Name: "d5k1", Values: map[string]int{"delta": 5, "k": 1, "alpha": 2, "beta": 3}},
+	{Name: "d6k1", Values: map[string]int{"delta": 6, "k": 1, "alpha": 2, "beta": 3}},
+	{Name: "d4k2", Values: map[string]int{"delta": 4, "k": 2, "alpha": 2, "beta": 3}},
+	{Name: "d6k2", Values: map[string]int{"delta": 6, "k": 2, "alpha": 2, "beta": 3}},
+}
+
+func runGdkLowerBound(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E4",
 		Title:  "Theorem 2.9 — advice for S in minimum time needs Ω((Δ-1)^k log Δ) bits",
@@ -273,11 +306,12 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 			"the fooling column reuses the advice computed for G_α on G_β (α=2, β=3): at least two nodes elect themselves, so no algorithm below the pigeonhole bound can be correct",
 		},
 	}
-	params := []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}, {6, 2}}
-	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
-		p := params[i]
-		lower := lowerbound.PigeonholeAdviceBits(construct.GdkClassSize(p.Delta, p.K))
-		inst, err := construct.BuildGdk(p.Delta, p.K, 2)
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		delta, k := p.Int("delta"), p.Int("k")
+		alpha, beta := p.Int("alpha"), p.Int("beta")
+		lower := lowerbound.PigeonholeAdviceBits(construct.GdkClassSize(delta, k))
+		inst, err := construct.BuildGdk(delta, k, alpha)
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
@@ -285,20 +319,20 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
-		fool, err := lowerbound.FoolSelection(opt.shared.eng, p.Delta, p.K, 2, 3)
+		fool, err := lowerbound.FoolSelection(opt.shared.eng, delta, k, alpha, beta)
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
 		out := rowOut{rows: row(
-			fmt.Sprint(p.Delta),
-			fmt.Sprint(p.K),
+			fmt.Sprint(delta),
+			fmt.Sprint(k),
 			fmt.Sprint(lower),
 			fmt.Sprint(upper),
 			fmt.Sprint(fool.ViewsEqual),
 			fmt.Sprint(fool.LeadersInBeta),
 		)}
 		if !fool.ViewsEqual || fool.LeadersInBeta < 2 {
-			out.rowErr = fmt.Errorf("core: E4 Δ=%d k=%d: fooling experiment failed", p.Delta, p.K)
+			out.rowErr = fmt.Errorf("core: E4 Δ=%d k=%d: fooling experiment failed", delta, k)
 		}
 		return out
 	}))
@@ -307,127 +341,154 @@ func Experiment4GdkLowerBound(opt Options) (*Table, error) {
 // Experiment5Udk (E5, Section 3 constructions + Lemmas 3.6-3.9): on U_{Δ,k}
 // instances, ψ_S = ψ_PE = k, established by the refinement lower bound and by
 // running the Lemma 3.9 algorithm (with σ advice) on the LOCAL simulator.
-func Experiment5Udk(opt Options) (*Table, error) {
+func Experiment5Udk(opt Options) (*Table, error) { return RunExperiment("E5", opt) }
+
+// UdkParams is E5's default grid. Keys: delta, k, central — central = 1
+// evaluates the Lemma 3.9 algorithm centrally with sampled verification (the
+// ~10^5-node instances where the distributed execution would rebuild the map
+// at every node); central = 0 runs it on the LOCAL simulator with full
+// verification.
+var UdkParams = []ParamPoint{
+	{Name: "d4k1", Values: map[string]int{"delta": 4, "k": 1}},
+	{Name: "d4k2", FullOnly: true, Values: map[string]int{"delta": 4, "k": 2, "central": 1}},
+}
+
+func runUdk(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E5",
 		Title:  "U_{Δ,k} — ψ_S = ψ_PE = k; Lemma 3.9 algorithm verified with σ-advice",
 		Header: []string{"Δ", "k", "nodes", "no unique view at k-1", "PE rounds", "PE verified", "σ advice bits"},
 	}
-	// The σ draws share one rng, so they happen sequentially up front; the
-	// heavy per-instance work then fans out without touching shared state.
+	// The σ draws share one rng, so they happen sequentially up front, in
+	// point order; the heavy per-instance work then fans out without touching
+	// shared state.
 	rng := rand.New(rand.NewSource(opt.Seed + 5))
-	sigmaSmall, err := construct.RandomSigma(4, 1, rng)
-	if err != nil {
-		return nil, err
-	}
-	var sigmaLarge []int
-	if !opt.Quick {
-		sigmaLarge, err = construct.RandomSigma(4, 2, rng)
+	sigmas := make([][]int, len(points))
+	for i, p := range points {
+		sigma, err := construct.RandomSigma(p.Int("delta"), p.Int("k"), rng)
 		if err != nil {
 			return nil, err
 		}
+		sigmas[i] = sigma
 	}
-	tasks := []func() rowOut{
-		func() rowOut {
-			const delta, k = 4, 1
-			u, err := construct.BuildUdk(delta, k, sigmaSmall)
-			if err != nil {
-				return rowOut{hardErr: err}
-			}
-			ref := opt.shared.eng.Refine(u.G, k)
-			lowerOK := len(ref.UniqueAt(k-1)) == 0
-			bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
-			if err != nil {
-				return rowOut{hardErr: fmt.Errorf("core: E5 Δ=%d k=%d: %w", delta, k, err)}
-			}
-			verified := election.Verify(election.PE, u.G, outputs) == nil && rounds == k
-			out := rowOut{rows: row(
-				fmt.Sprint(delta),
-				fmt.Sprint(k),
-				fmt.Sprint(u.G.N()),
-				fmt.Sprint(lowerOK),
-				fmt.Sprint(rounds),
-				fmt.Sprint(verified),
-				fmt.Sprint(bits),
-			)}
-			if !lowerOK || !verified {
-				out.rowErr = fmt.Errorf("core: E5 Δ=%d k=%d failed", delta, k)
-			}
-			return out
-		},
-	}
-	if !opt.Quick {
-		// A larger instance evaluated centrally (Δ=4, k=2 has ~10^5 nodes; the
-		// distributed execution would rebuild the map at every node).
-		tasks = append(tasks, func() rowOut {
-			u, err := construct.BuildUdk(4, 2, sigmaLarge)
-			if err != nil {
-				return rowOut{hardErr: err}
-			}
-			ref := opt.shared.eng.Refine(u.G, 2)
-			lowerOK := len(ref.UniqueAt(1)) == 0
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		delta, k := p.Int("delta"), p.Int("k")
+		u, err := construct.BuildUdk(delta, k, sigmas[i])
+		if err != nil {
+			return rowOut{hardErr: err}
+		}
+		ref := opt.shared.eng.Refine(u.G, k)
+		lowerOK := len(ref.UniqueAt(k-1)) == 0
+		if p.Int("central") == 1 {
 			depth, outputs, err := algorithms.UdkPortElectionOutputs(opt.shared.eng, u)
 			if err != nil {
 				return rowOut{hardErr: err}
 			}
-			// Full PE verification is Ω(n) per node; on this ~10^5-node instance
-			// the per-node validity is checked on a 1000-node sample (the single-
-			// leader condition is checked in full), see EXPERIMENTS.md.
+			// Full PE verification is Ω(n) per node; on these ~10^5-node
+			// instances the per-node validity is checked on a 1000-node sample
+			// (the single-leader condition is checked in full), see
+			// EXPERIMENTS.md.
 			sample := election.SampleNodes(u.G, 1000, opt.Seed)
 			verified := election.VerifySample(election.PE, u.G, outputs, sample) == nil &&
-				algorithms.CheckRealizable(opt.shared.eng, u.G, election.PE, depth, outputs) == nil && depth == 2
+				algorithms.CheckRealizable(opt.shared.eng, u.G, election.PE, depth, outputs) == nil && depth == k
 			bits, err := u.SigmaAdvice()
 			if err != nil {
 				return rowOut{hardErr: err}
 			}
 			out := rowOut{rows: row(
-				"4", "2", fmt.Sprint(u.G.N()), fmt.Sprint(lowerOK), fmt.Sprint(depth), fmt.Sprintf("%v (sampled)", verified), fmt.Sprint(bits.Len()),
+				fmt.Sprint(delta), fmt.Sprint(k), fmt.Sprint(u.G.N()), fmt.Sprint(lowerOK), fmt.Sprint(depth), fmt.Sprintf("%v (sampled)", verified), fmt.Sprint(bits.Len()),
 			)}
 			if !lowerOK || !verified {
-				out.rowErr = fmt.Errorf("core: E5 Δ=4 k=2 failed")
+				out.rowErr = fmt.Errorf("core: E5 Δ=%d k=%d failed", delta, k)
 			}
 			return out
-		})
-	}
-	return assemble(t, fanOut(opt, len(tasks), func(i int) rowOut { return tasks[i]() }))
+		}
+		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
+		if err != nil {
+			return rowOut{hardErr: fmt.Errorf("core: E5 Δ=%d k=%d: %w", delta, k, err)}
+		}
+		verified := election.Verify(election.PE, u.G, outputs) == nil && rounds == k
+		out := rowOut{rows: row(
+			fmt.Sprint(delta),
+			fmt.Sprint(k),
+			fmt.Sprint(u.G.N()),
+			fmt.Sprint(lowerOK),
+			fmt.Sprint(rounds),
+			fmt.Sprint(verified),
+			fmt.Sprint(bits),
+		)}
+		if !lowerOK || !verified {
+			out.rowErr = fmt.Errorf("core: E5 Δ=%d k=%d failed", delta, k)
+		}
+		return out
+	}))
 }
 
 // Experiment6UdkLowerBound (E6, Theorem 3.11): the pigeonhole bound on advice
 // for PE on U_{Δ,k} versus the Theorem 2.2 advice for S on the same graphs,
 // plus the heavy-root fooling experiment.
-func Experiment6UdkLowerBound(opt Options) (*Table, error) {
+func Experiment6UdkLowerBound(opt Options) (*Table, error) { return RunExperiment("E6", opt) }
+
+// UdkLowerBoundParams is E6's default grid. Keys: delta, k, sigma — sigma
+// declares whether the row materialises a class member and runs the fooling
+// experiment: 1 = always, 2 = only outside Quick mode, 0/absent = never
+// (only the counting bound is reported, which is the content of the
+// theorem).
+var UdkLowerBoundParams = []ParamPoint{
+	{Name: "d4k1", Values: map[string]int{"delta": 4, "k": 1, "sigma": 1}},
+	{Name: "d5k1", Values: map[string]int{"delta": 5, "k": 1}},
+	{Name: "d6k1", Values: map[string]int{"delta": 6, "k": 1}},
+	{Name: "d4k2", Values: map[string]int{"delta": 4, "k": 2, "sigma": 2}},
+}
+
+// materialiseSigma decodes a point's sigma declaration (see
+// UdkLowerBoundParams).
+func materialiseSigma(p ParamPoint, quick bool) bool {
+	switch p.Int("sigma") {
+	case 1:
+		return true
+	case 2:
+		return !quick
+	}
+	return false
+}
+
+func runUdkLowerBound(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E6",
 		Title:  "Theorem 3.11 — advice for PE in minimum time is exponential in Δ while S stays polynomial",
 		Header: []string{"Δ", "k", "PE pigeonhole bound (bits)", "σ-advice upper bound (bits)", "S advice on same graph (bits)", "fooling: views equal", "fooling: ports differ"},
 	}
-	params := []struct{ Delta, K int }{{4, 1}, {5, 1}, {6, 1}, {4, 2}}
 	// Pre-draw the σ of every materialisable row from the one shared rng, in
 	// row order, so the fan-out below stays byte-identical to a sequential run.
 	rng := rand.New(rand.NewSource(opt.Seed + 6))
-	sigmas := make([][]int, len(params))
-	for i, p := range params {
-		if p.Delta == 4 && (p.K == 1 || !opt.Quick) {
-			sigmaA, err := construct.RandomSigma(p.Delta, p.K, rng)
+	sigmas := make([][]int, len(points))
+	for i, p := range points {
+		if materialiseSigma(p, opt.Quick) {
+			sigmaA, err := construct.RandomSigma(p.Int("delta"), p.Int("k"), rng)
 			if err != nil {
 				return nil, err
 			}
 			sigmas[i] = sigmaA
 		}
 	}
-	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
-		p := params[i]
-		lower := lowerbound.PigeonholeAdviceBits(construct.UdkClassSize(p.Delta, p.K))
-		cells := []string{fmt.Sprint(p.Delta), fmt.Sprint(p.K), fmt.Sprint(lower)}
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		delta, k := p.Int("delta"), p.Int("k")
+		lower := lowerbound.PigeonholeAdviceBits(construct.UdkClassSize(delta, k))
+		cells := []string{fmt.Sprint(delta), fmt.Sprint(k), fmt.Sprint(lower)}
 		sigmaA := sigmas[i]
 		if sigmaA == nil {
 			// For larger parameters the class cannot be materialised; only the
 			// counting bound is reported (that is the content of the theorem).
 			return rowOut{rows: row(append(cells, "-", "-", "-", "-")...)}
 		}
-		u, err := construct.BuildUdk(p.Delta, p.K, sigmaA)
+		u, err := construct.BuildUdk(delta, k, sigmaA)
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
@@ -440,15 +501,15 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 			return rowOut{hardErr: err}
 		}
 		sigmaB := append([]int(nil), sigmaA...)
-		sigmaB[0] = sigmaA[0]%(p.Delta-1) + 1
-		fool, err := lowerbound.FoolPortElection(opt.shared.eng, p.Delta, p.K, sigmaA, sigmaB)
+		sigmaB[0] = sigmaA[0]%(delta-1) + 1
+		fool, err := lowerbound.FoolPortElection(opt.shared.eng, delta, k, sigmaA, sigmaB)
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
 		out := rowOut{rows: row(append(cells,
 			fmt.Sprint(sig.Len()), fmt.Sprint(sBits), fmt.Sprint(fool.ViewsEqual), fmt.Sprint(fool.Disjoint))...)}
 		if !fool.ViewsEqual || !fool.Disjoint {
-			out.rowErr = fmt.Errorf("core: E6 Δ=%d k=%d fooling failed", p.Delta, p.K)
+			out.rowErr = fmt.Errorf("core: E6 Δ=%d k=%d fooling failed", delta, k)
 		}
 		return out
 	}))
@@ -456,8 +517,20 @@ func Experiment6UdkLowerBound(opt Options) (*Table, error) {
 
 // Experiment7Jmk (E7, Section 4.1 constructions, Facts 4.1/4.2): layer-graph
 // and class-size formulas, and construction of J instances.
-func Experiment7Jmk(opt Options) (*Table, error) {
+func Experiment7Jmk(opt Options) (*Table, error) { return RunExperiment("E7", opt) }
+
+// JmkParams is E7's default grid. Keys: mu, k, gadgets — gadgets = 0 (or
+// absent) builds the faithful instance with all 2^z gadgets, which is what
+// FullOnly keeps out of the quick suite.
+var JmkParams = []ParamPoint{
+	{Name: "mu2k4g8", Values: map[string]int{"mu": 2, "k": 4, "gadgets": 8}},
+	{Name: "mu3k4g4", Values: map[string]int{"mu": 3, "k": 4, "gadgets": 4}},
+	{Name: "mu2k4full", FullOnly: true, Values: map[string]int{"mu": 2, "k": 4}},
+}
+
+func runJmk(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E7",
 		Title:  "J_{µ,k} construction — layer sizes (Fact 4.1), z and class size (Fact 4.2)",
@@ -466,50 +539,37 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 			"the last column checks Proposition 4.4 across two class members with different gadget counts: every ρ node has the same depth-(k-1) view in both, compared by refining the disjoint union through the shared engine (no view trees are built)",
 		},
 	}
-	all := []struct {
-		Mu, K   int
-		gadgets int // 0 = faithful
-	}{{2, 4, 8}, {3, 4, 4}, {2, 4, 0}}
-	var params []struct {
-		Mu, K   int
-		gadgets int
-	}
-	for _, p := range all {
-		if p.gadgets == 0 && opt.Quick {
-			continue
-		}
-		params = append(params, p)
-	}
-	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
-		p := params[i]
-		z := construct.JmkZ(p.Mu, p.K)
-		inst, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: p.gadgets})
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		mu, k, gadgets := p.Int("mu"), p.Int("k"), p.Int("gadgets")
+		z := construct.JmkZ(mu, k)
+		inst, err := construct.BuildJmk(mu, k, construct.JmkOptions{NumGadgets: gadgets})
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
 		// A second member of the same class with a different gadget count:
 		// ρ's depth-(k-1) view must not depend on the member (Prop. 4.4).
 		companionGadgets := 4
-		if p.gadgets == 4 {
+		if gadgets == 4 {
 			companionGadgets = 8
 		}
-		companion, err := construct.BuildJmk(p.Mu, p.K, construct.JmkOptions{NumGadgets: companionGadgets})
+		companion, err := construct.BuildJmk(mu, k, construct.JmkOptions{NumGadgets: companionGadgets})
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
-		rhoEqual := opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], companion.G, companion.Rho[1], p.K-1)
+		rhoEqual := opt.shared.eng.SameViewAcross(inst.G, inst.Rho[0], companion.G, companion.Rho[1], k-1)
 		out := rowOut{rows: row(
-			fmt.Sprint(p.Mu),
-			fmt.Sprint(p.K),
+			fmt.Sprint(mu),
+			fmt.Sprint(k),
 			fmt.Sprint(z),
-			fmt.Sprint(construct.GadgetSize(p.Mu, p.K)),
-			construct.JmkNumGadgets(p.Mu, p.K).String(),
+			fmt.Sprint(construct.GadgetSize(mu, k)),
+			construct.JmkNumGadgets(mu, k).String(),
 			fmt.Sprintf("2^%d", (1<<uint(z-1))),
 			fmt.Sprint(inst.G.N()),
 			fmt.Sprint(rhoEqual),
 		)}
 		if !rhoEqual {
-			out.rowErr = fmt.Errorf("core: E7 µ=%d k=%d: ρ views differ across class members", p.Mu, p.K)
+			out.rowErr = fmt.Errorf("core: E7 µ=%d k=%d: ρ views differ across class members", mu, k)
 		}
 		return out
 	}))
@@ -519,8 +579,20 @@ func Experiment7Jmk(opt Options) (*Table, error) {
 // J_{µ,k}: the depth-(k-1) twin property on the faithful instance, and the
 // Lemma 4.8 algorithm verified (fully on reduced instances, by sampling on the
 // faithful one).
-func Experiment8JmkIndices(opt Options) (*Table, error) {
+func Experiment8JmkIndices(opt Options) (*Table, error) { return RunExperiment("E8", opt) }
+
+// JmkIndicesParams is E8's default grid. Keys: mu, k, gadgets — reduced
+// rows (gadgets > 0) verify every node's output, the faithful row
+// (gadgets = 0/absent, FullOnly) draws Y from the run's seed and samples.
+var JmkIndicesParams = []ParamPoint{
+	{Name: "mu2k4g8", Values: map[string]int{"mu": 2, "k": 4, "gadgets": 8}},
+	{Name: "mu3k4g2", Values: map[string]int{"mu": 3, "k": 4, "gadgets": 2}},
+	{Name: "mu2k4faithful", FullOnly: true, Values: map[string]int{"mu": 2, "k": 4}},
+}
+
+func runJmkIndices(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E8",
 		Title:  "Lemmas 4.6–4.9 — ψ_S = ψ_PPE = ψ_CPPE = k on J_{µ,k}; Lemma 4.8 algorithm verified",
@@ -529,17 +601,13 @@ func Experiment8JmkIndices(opt Options) (*Table, error) {
 			"reduced-gadget rows verify every node's output; the faithful row samples every ρ node, the first and last gadget, and random nodes (the full output vector is quadratic in the instance size)",
 		},
 	}
-	// Reduced instances (full verification) and, outside Quick mode, the
-	// faithful instance, all as independent tasks on the shared pool.
-	reduced := []struct{ mu, k, gadgets int }{{2, 4, 8}, {3, 4, 2}}
-	tasks := []func() rowOut{
-		func() rowOut { return e8Reduced(opt, reduced[0].mu, reduced[0].k, reduced[0].gadgets) },
-		func() rowOut { return e8Reduced(opt, reduced[1].mu, reduced[1].k, reduced[1].gadgets) },
-	}
-	if !opt.Quick {
-		tasks = append(tasks, func() rowOut { return e8Faithful(opt) })
-	}
-	return assemble(t, fanOut(opt, len(tasks), func(i int) rowOut { return tasks[i]() }))
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		if gadgets := p.Int("gadgets"); gadgets > 0 {
+			return e8Reduced(opt, p.Int("mu"), p.Int("k"), gadgets)
+		}
+		return e8Faithful(opt, p.Int("mu"), p.Int("k"))
+	}))
 }
 
 // e8Reduced is one reduced-gadget E8 row: the Lemma 4.8 algorithm with every
@@ -577,14 +645,14 @@ func e8Reduced(opt Options, mu, k, gadgets int) rowOut {
 }
 
 // e8Faithful is the faithful-instance E8 row (sampled verification).
-func e8Faithful(opt Options) rowOut {
-	z := construct.JmkZ(2, 4)
+func e8Faithful(opt Options, mu, k int) rowOut {
+	z := construct.JmkZ(mu, k)
 	rng := rand.New(rand.NewSource(opt.Seed + 8))
 	y := make([]bool, 1<<uint(z-1))
 	for i := range y {
 		y[i] = rng.Intn(2) == 1
 	}
-	inst, err := construct.BuildJmk(2, 4, construct.JmkOptions{Y: y})
+	inst, err := construct.BuildJmk(mu, k, construct.JmkOptions{Y: y})
 	if err != nil {
 		return rowOut{hardErr: err}
 	}
@@ -604,7 +672,7 @@ func e8Faithful(opt Options) rowOut {
 		return rowOut{hardErr: err}
 	}
 	out := rowOut{rows: row(
-		"2", "4", fmt.Sprint(inst.NumGadgets), fmt.Sprint(inst.G.N()),
+		fmt.Sprint(mu), fmt.Sprint(k), fmt.Sprint(inst.NumGadgets), fmt.Sprint(inst.G.N()),
 		fmt.Sprintf("%v (ρ twins %v)", lowerOK, twinsOK), fmt.Sprintf("sampled %d ok", rep.Sampled), "(weakened)", fmt.Sprint(rep.MaxPathLen),
 	)}
 	if !lowerOK {
@@ -618,20 +686,32 @@ func e8Faithful(opt Options) rowOut {
 // Experiment9JmkLowerBound (E9, Theorems 4.11/4.12): the pigeonhole bound
 // 2^(z-1)-1 bits for PPE/CPPE on J_{µ,k}, the matching Y-advice upper bound,
 // and the Lemma 4.10 fooling experiment.
-func Experiment9JmkLowerBound(opt Options) (*Table, error) {
+func Experiment9JmkLowerBound(opt Options) (*Table, error) { return RunExperiment("E9", opt) }
+
+// JmkLowerBoundParams is E9's default grid. Keys: mu, k, materialise —
+// materialise = 1 builds two class members outside Quick mode and runs the
+// Lemma 4.10 fooling experiment; other rows report only the counting bound.
+var JmkLowerBoundParams = []ParamPoint{
+	{Name: "mu2k4", Values: map[string]int{"mu": 2, "k": 4, "materialise": 1}},
+	{Name: "mu3k4", Values: map[string]int{"mu": 3, "k": 4}},
+	{Name: "mu4k6", Values: map[string]int{"mu": 4, "k": 6}},
+}
+
+func runJmkLowerBound(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:     "E9",
 		Title:  "Theorems 4.11/4.12 — advice for PPE/CPPE in minimum time is Ω(2^{Δ^{k/6}})",
 		Header: []string{"µ", "k", "z", "pigeonhole bound (bits)", "Y-advice upper bound (bits)", "S advice (Thm 2.2, bits)", "fooling: views equal", "fooling: separated"},
 	}
-	params := []struct{ mu, k int }{{2, 4}, {3, 4}, {4, 6}}
-	return assemble(t, fanOut(opt, len(params), func(i int) rowOut {
-		p := params[i]
-		z := construct.JmkZ(p.mu, p.k)
-		lower := construct.AdviceLowerBoundBitsJmk(p.mu, p.k)
-		cells := []string{fmt.Sprint(p.mu), fmt.Sprint(p.k), fmt.Sprint(z), fmt.Sprintf("%.0f", lower)}
-		if !(p.mu == 2 && p.k == 4 && !opt.Quick) {
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		mu, k := p.Int("mu"), p.Int("k")
+		z := construct.JmkZ(mu, k)
+		lower := construct.AdviceLowerBoundBitsJmk(mu, k)
+		cells := []string{fmt.Sprint(mu), fmt.Sprint(k), fmt.Sprint(z), fmt.Sprintf("%.0f", lower)}
+		if !(p.Int("materialise") == 1 && !opt.Quick) {
 			return rowOut{rows: row(append(cells, "-", "-", "-", "-")...)}
 		}
 		rng := rand.New(rand.NewSource(opt.Seed + 9))
@@ -642,7 +722,7 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 			yB[i] = yA[i]
 		}
 		yB[3] = !yB[3]
-		instA, err := construct.BuildJmk(p.mu, p.k, construct.JmkOptions{Y: yA})
+		instA, err := construct.BuildJmk(mu, k, construct.JmkOptions{Y: yA})
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
@@ -654,7 +734,7 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
-		fool, err := lowerbound.FoolPathElection(opt.shared.eng, p.mu, p.k, yA, yB)
+		fool, err := lowerbound.FoolPathElection(opt.shared.eng, mu, k, yA, yB)
 		if err != nil {
 			return rowOut{hardErr: err}
 		}
@@ -671,8 +751,21 @@ func Experiment9JmkLowerBound(opt Options) (*Table, error) {
 // proven advice sizes for S (polynomial in Δ) versus PE and CPPE in minimum
 // time (exponential in Δ) on graph classes where all election indices
 // coincide.
-func Experiment10Separation(opt Options) (*Table, error) {
+func Experiment10Separation(opt Options) (*Table, error) { return RunExperiment("E10", opt) }
+
+// SeparationParams is E10's default grid: one row per Δ at k = 1. Keys:
+// delta, k.
+var SeparationParams = []ParamPoint{
+	{Name: "d4", Values: map[string]int{"delta": 4, "k": 1}},
+	{Name: "d5", Values: map[string]int{"delta": 5, "k": 1}},
+	{Name: "d6", Values: map[string]int{"delta": 6, "k": 1}},
+	{Name: "d7", Values: map[string]int{"delta": 7, "k": 1}},
+	{Name: "d8", Values: map[string]int{"delta": 8, "k": 1}},
+}
+
+func runSeparation(opt Options, points []ParamPoint) (*Table, error) {
 	opt = opt.withShared()
+	points = activePoints(opt, points)
 	t := &Table{
 		ID:    "E10",
 		Title: "Headline separation — advice for minimum-time S vs PE vs PPE/CPPE",
@@ -687,10 +780,8 @@ func Experiment10Separation(opt Options) (*Table, error) {
 			"PE: pigeonhole bound |U_{Δ,k}| (exponential in Δ); PPE/CPPE: pigeonhole bound 2^(z-1)-1 ≈ 2^{Δ^{k/6}} (doubly exponential growth in Δ for fixed k)",
 		},
 	}
-	deltas := []int{4, 5, 6, 7, 8}
-	return assemble(t, fanOut(opt, len(deltas), func(i int) rowOut {
-		delta := deltas[i]
-		k := 1
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		delta, k := points[i].Int("delta"), points[i].Int("k")
 		inst, err := construct.BuildGdk(delta, k, 2)
 		if err != nil {
 			return rowOut{hardErr: err}
@@ -726,7 +817,9 @@ func Experiment10Separation(opt Options) (*Table, error) {
 // total on every corpus — vertex-transitive families (torus, hypercube)
 // report 1 class and infeasibility instead of erroring — which makes it the
 // scenario matrix's default experiment.
-func ExperimentViewCensus(opt Options) (*Table, error) {
+func ExperimentViewCensus(opt Options) (*Table, error) { return RunExperiment("census", opt) }
+
+func runViewCensus(opt Options) (*Table, error) {
 	opt = opt.withShared()
 	t := &Table{
 		ID:     "CENSUS",
@@ -759,26 +852,21 @@ func ExperimentViewCensus(opt Options) (*Table, error) {
 	}))
 }
 
-// All runs every experiment and returns the tables in order. The suite fans
-// the ten experiments out through one bounded pool (see Options.Parallelism)
-// shared with every experiment's own per-graph and per-row tasks, over one
-// corpus and one refinement engine; every task is a deterministic function
-// of Options and results are assembled in task order, so the tables are
+// All runs every suite experiment (the registry's E1–E10; the census is
+// matrix-only) and returns the tables in registry order. The suite fans the
+// experiments out through one bounded pool (see Options.Parallelism) shared
+// with every experiment's own per-graph and per-row tasks, over one corpus
+// and one refinement engine; every task is a deterministic function of
+// Options and results are assembled in task order, so the tables are
 // byte-identical to a sequential (Parallelism = 1) run. As in the sequential
 // run, the returned prefix stops before the first (in experiment order)
 // failing experiment.
 func All(opt Options) ([]*Table, error) {
-	runners := []func(Options) (*Table, error){
-		Experiment1Hierarchy,
-		Experiment2SelectionAdvice,
-		Experiment3Gdk,
-		Experiment4GdkLowerBound,
-		Experiment5Udk,
-		Experiment6UdkLowerBound,
-		Experiment7Jmk,
-		Experiment8JmkIndices,
-		Experiment9JmkLowerBound,
-		Experiment10Separation,
+	var runners []Descriptor
+	for _, d := range Experiments() {
+		if d.Suite {
+			runners = append(runners, d)
+		}
 	}
 	opt = opt.withShared()
 	type outcome struct {
@@ -787,7 +875,7 @@ func All(opt Options) ([]*Table, error) {
 	}
 	results := make([]outcome, len(runners))
 	opt.shared.pool.Map(len(runners), func(i int) {
-		table, err := runners[i](opt)
+		table, err := runners[i].Run(opt, resolvedPoints(runners[i], opt))
 		results[i] = outcome{table, err}
 	})
 	var tables []*Table

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamPoint is one named row of an experiment's parameter grid. The grids
+// of the parameterised experiments (E3–E10) are declared as exported slices
+// of these points — parameters are data, not code — so a sweep over a
+// different grid is an Options.Params override (or a scenario-matrix params
+// axis), not a source change.
+type ParamPoint struct {
+	// Name is the point's stable label, unique within its grid; scenario
+	// cells and failure reports refer to points by it.
+	Name string
+	// FullOnly marks points skipped in Quick mode (the faithful, ~10^5-node
+	// instances the quick suite avoids).
+	FullOnly bool
+	// Values holds the point's named integer parameters (delta, k, mu,
+	// gadgets, ...). Each experiment documents the keys it reads.
+	Values map[string]int
+}
+
+// Int returns the named value, or 0 when the point does not declare it.
+func (p ParamPoint) Int(key string) int { return p.Values[key] }
+
+// clone deep-copies the point so callers may mutate returned grids freely.
+func (p ParamPoint) clone() ParamPoint {
+	v := make(map[string]int, len(p.Values))
+	for k, x := range p.Values {
+		v[k] = x
+	}
+	return ParamPoint{Name: p.Name, FullOnly: p.FullOnly, Values: v}
+}
+
+// Descriptor is one registered experiment: a name, a one-line description,
+// the default parameter grid (nil for the corpus sweeps, which have no
+// params axis) and the runner. Run receives the resolved grid — the default
+// points, an Options.Params override, or a named subset — and must treat it
+// as read-only.
+type Descriptor struct {
+	Name   string
+	Title  string
+	Suite  bool // part of core.All (E1–E10); the census is matrix-only
+	Params []ParamPoint
+	Run    func(Options, []ParamPoint) (*Table, error)
+}
+
+// registry lists every experiment in suite order (E1–E10, then the census).
+// All, the ExperimentN* wrappers, the scenario matrix and the command-line
+// tools all resolve experiments through it; there is no other list to keep
+// in sync.
+var registry = []Descriptor{
+	{Name: "E1", Title: "Fact 1.1 — election-index hierarchy on a corpus", Suite: true,
+		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runHierarchy(opt) }},
+	{Name: "E2", Title: "Theorem 2.2 — Selection with advice on a corpus", Suite: true,
+		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runSelectionAdvice(opt) }},
+	{Name: "E3", Title: "G_{Δ,k} construction and ψ_S", Suite: true, Params: GdkParams, Run: runGdk},
+	{Name: "E4", Title: "Theorem 2.9 — Selection advice lower bound on G_{Δ,k}", Suite: true, Params: GdkLowerBoundParams, Run: runGdkLowerBound},
+	{Name: "E5", Title: "U_{Δ,k} — ψ_S = ψ_PE = k with σ-advice", Suite: true, Params: UdkParams, Run: runUdk},
+	{Name: "E6", Title: "Theorem 3.11 — Port Election advice lower bound on U_{Δ,k}", Suite: true, Params: UdkLowerBoundParams, Run: runUdkLowerBound},
+	{Name: "E7", Title: "J_{µ,k} construction — layer and class-size facts", Suite: true, Params: JmkParams, Run: runJmk},
+	{Name: "E8", Title: "Lemmas 4.6–4.9 — election indices on J_{µ,k}", Suite: true, Params: JmkIndicesParams, Run: runJmkIndices},
+	{Name: "E9", Title: "Theorems 4.11/4.12 — PPE/CPPE advice lower bound on J_{µ,k}", Suite: true, Params: JmkLowerBoundParams, Run: runJmkLowerBound},
+	{Name: "E10", Title: "Headline separation — S vs PE vs PPE/CPPE advice", Suite: true, Params: SeparationParams, Run: runSeparation},
+	{Name: "census", Title: "view-class census — refinement profile of a corpus",
+		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runViewCensus(opt) }},
+}
+
+// Experiments returns the registered experiments in suite order (E1–E10,
+// census). The slice is shared; callers must not mutate it.
+func Experiments() []Descriptor { return registry }
+
+// ExperimentNames returns the registered experiment names in suite order.
+func ExperimentNames() []string {
+	names := make([]string, len(registry))
+	for i, d := range registry {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Lookup resolves an experiment name, case-insensitively ("e5" finds E5).
+func Lookup(name string) (Descriptor, bool) {
+	for _, d := range registry {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// DefaultParams returns a deep copy of the named experiment's default grid
+// (nil for unknown names and for the corpus sweeps, which have no params).
+func DefaultParams(name string) []ParamPoint {
+	d, ok := Lookup(name)
+	if !ok || d.Params == nil {
+		return nil
+	}
+	out := make([]ParamPoint, len(d.Params))
+	for i, p := range d.Params {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+// Named parameter sets. "default" is the full declared grid; "quick" is the
+// grid without the FullOnly points — selecting the quick subset as data,
+// independent of Options.Quick (which additionally gates what the runners
+// materialise).
+var paramSetNames = []string{"default", "quick"}
+
+// ParamSetNames returns the named parameter sets every experiment supports.
+func ParamSetNames() []string { return append([]string(nil), paramSetNames...) }
+
+// ParamSet resolves the named parameter set of an experiment. Corpus sweeps
+// (no params) return nil for every set; unknown experiments or set names are
+// errors listing what is available.
+func ParamSet(experiment, set string) ([]ParamPoint, error) {
+	d, ok := Lookup(experiment)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (have %v)", experiment, ExperimentNames())
+	}
+	switch set {
+	case "", "default":
+		return DefaultParams(d.Name), nil
+	case "quick":
+		var out []ParamPoint
+		for _, p := range d.Params {
+			if !p.FullOnly {
+				out = append(out, p.clone())
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unknown param set %q (have %v)", set, paramSetNames)
+}
+
+// resolvedPoints picks the grid a run uses: an Options.Params override when
+// one is present under the experiment's canonical name, the descriptor's
+// default grid otherwise.
+func resolvedPoints(d Descriptor, opt Options) []ParamPoint {
+	if pts, ok := opt.Params[d.Name]; ok {
+		return pts
+	}
+	return d.Params
+}
+
+// RunExperiment runs the named registered experiment: the corpus sweeps
+// (E1, E2, census) over opt.Corpus, the parameterised experiments (E3–E10)
+// over their resolved grid. Unknown names are errors listing the registered
+// experiments.
+func RunExperiment(name string, opt Options) (*Table, error) {
+	d, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (have %v)", name, ExperimentNames())
+	}
+	return d.Run(opt, resolvedPoints(d, opt))
+}
+
+// activePoints drops the FullOnly points in Quick mode; every runner of a
+// parameterised experiment passes its grid through here first, so the quick
+// suite skips the faithful instances no matter where the grid came from.
+func activePoints(opt Options, points []ParamPoint) []ParamPoint {
+	if !opt.Quick {
+		return points
+	}
+	out := make([]ParamPoint, 0, len(points))
+	for _, p := range points {
+		if !p.FullOnly {
+			out = append(out, p)
+		}
+	}
+	return out
+}

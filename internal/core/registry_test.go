@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRegistryCoversEverySuiteExperimentExactlyOnce: the registry is the one
+// list of experiments — its suite entries are exactly E1–E10, once each, the
+// census is registered but not in the suite, and All produces the registry's
+// suite tables in registry order.
+func TestRegistryCoversEverySuiteExperimentExactlyOnce(t *testing.T) {
+	wantSuite := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	var suite []string
+	seen := map[string]int{}
+	for _, d := range Experiments() {
+		seen[d.Name]++
+		if d.Suite {
+			suite = append(suite, d.Name)
+		}
+		if d.Run == nil {
+			t.Errorf("%s has no runner", d.Name)
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("%s registered %d times", name, n)
+		}
+	}
+	if len(suite) != len(wantSuite) {
+		t.Fatalf("suite experiments %v, want %v", suite, wantSuite)
+	}
+	for i := range wantSuite {
+		if suite[i] != wantSuite[i] {
+			t.Fatalf("suite experiments %v, want %v", suite, wantSuite)
+		}
+	}
+	if d, ok := Lookup("census"); !ok || d.Suite {
+		t.Errorf("census: ok=%v suite=%v, want registered and matrix-only", ok, d.Suite)
+	}
+	tables, err := All(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(wantSuite) {
+		t.Fatalf("All returned %d tables, want %d", len(tables), len(wantSuite))
+	}
+	for i, table := range tables {
+		if table.ID != wantSuite[i] {
+			t.Errorf("All table %d is %s, want %s", i, table.ID, wantSuite[i])
+		}
+	}
+}
+
+// TestWrappersAreRegistryThin: every ExperimentN* function produces the same
+// bytes as running its registry entry by name — the wrappers hold no logic
+// of their own.
+func TestWrappersAreRegistryThin(t *testing.T) {
+	wrappers := map[string]func(Options) (*Table, error){
+		"E1":     Experiment1Hierarchy,
+		"E2":     Experiment2SelectionAdvice,
+		"E3":     Experiment3Gdk,
+		"E4":     Experiment4GdkLowerBound,
+		"E5":     Experiment5Udk,
+		"E6":     Experiment6UdkLowerBound,
+		"E7":     Experiment7Jmk,
+		"E8":     Experiment8JmkIndices,
+		"E9":     Experiment9JmkLowerBound,
+		"E10":    Experiment10Separation,
+		"census": ExperimentViewCensus,
+	}
+	eng := engine.New(0)
+	for name, wrapper := range wrappers {
+		opt := Options{Quick: true, Seed: 1, Engine: eng}
+		direct, err := wrapper(opt)
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", name, err)
+		}
+		viaRegistry, err := RunExperiment(name, opt)
+		if err != nil {
+			t.Fatalf("%s via registry: %v", name, err)
+		}
+		if direct.Render() != viaRegistry.Render() {
+			t.Errorf("%s: wrapper and registry tables differ", name)
+		}
+	}
+}
+
+// TestLookupCaseInsensitive: names resolve regardless of case; unknown names
+// report the registered list.
+func TestLookupCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"E5", "e5", "CENSUS", "census"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("E11"); ok {
+		t.Error("Lookup(E11) succeeded")
+	}
+	if _, err := RunExperiment("nope", Options{Quick: true, Seed: 1}); err == nil || !strings.Contains(err.Error(), "E10") {
+		t.Errorf("unknown experiment error = %v (want it to list the registered names)", err)
+	}
+}
+
+// TestDefaultParamsAreCopies: mutating a returned grid must not leak into
+// the registry's defaults.
+func TestDefaultParamsAreCopies(t *testing.T) {
+	grid := DefaultParams("E3")
+	if len(grid) != len(GdkParams) {
+		t.Fatalf("DefaultParams(E3) has %d points, want %d", len(grid), len(GdkParams))
+	}
+	grid[0].Values["delta"] = 99
+	grid[0].Name = "mutated"
+	if GdkParams[0].Values["delta"] == 99 || GdkParams[0].Name == "mutated" {
+		t.Error("mutating DefaultParams leaked into the registry grid")
+	}
+	if DefaultParams("census") != nil {
+		t.Error("census has params; corpus sweeps must return nil")
+	}
+	if DefaultParams("nope") != nil {
+		t.Error("unknown experiment returned params")
+	}
+}
+
+// TestParamSets: "default" is the full grid, "quick" drops FullOnly points,
+// unknown sets and experiments error with the known lists.
+func TestParamSets(t *testing.T) {
+	full, err := ParamSet("E5", "default")
+	if err != nil || len(full) != len(UdkParams) {
+		t.Fatalf("ParamSet(E5, default) = %d points, %v; want %d", len(full), err, len(UdkParams))
+	}
+	quick, err := ParamSet("E5", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range quick {
+		if p.FullOnly {
+			t.Errorf("quick set contains FullOnly point %s", p.Name)
+		}
+	}
+	if len(quick) != 1 || quick[0].Name != "d4k1" {
+		t.Errorf("ParamSet(E5, quick) = %v, want just d4k1", quick)
+	}
+	if _, err := ParamSet("E5", "nope"); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("unknown set error = %v", err)
+	}
+	if _, err := ParamSet("nope", "default"); err == nil || !strings.Contains(err.Error(), "E10") {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+}
+
+// TestOptionsParamsOverride: a grid override replaces the defaults
+// wholesale — one point, one row — and the row reflects the override's
+// values.
+func TestOptionsParamsOverride(t *testing.T) {
+	opt := Options{Quick: true, Seed: 1, Params: map[string][]ParamPoint{
+		"E3": {{Name: "only", Values: map[string]int{"delta": 4, "k": 1, "instance": 2}}},
+	}}
+	table, err := Experiment3Gdk(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("override produced %d rows, want 1", len(table.Rows))
+	}
+	if table.Rows[0][0] != "4" || table.Rows[0][2] != "2" {
+		t.Errorf("override row = %v, want Δ=4 instance=2", table.Rows[0])
+	}
+	// The same Options leave other experiments' grids alone.
+	e10, err := Experiment10Separation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e10.Rows) != len(SeparationParams) {
+		t.Errorf("E10 has %d rows under an E3 override, want %d", len(e10.Rows), len(SeparationParams))
+	}
+}
+
+// TestQuickDropsFullOnlyPoints: in Quick mode the FullOnly points vanish
+// from the table regardless of the grid they arrived through.
+func TestQuickDropsFullOnlyPoints(t *testing.T) {
+	table, err := Experiment5Udk(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("quick E5 has %d rows, want 1 (the FullOnly point must be dropped)", len(table.Rows))
+	}
+}

@@ -6,10 +6,13 @@
 // A Corpus decouples *which* graphs an experiment measures from *how* they
 // are produced: entries are declared as Specs (name, family, expected size,
 // generator) and materialised on first use, so filtered views and repeated
-// sweeps never rebuild a graph. The companion Pool (see pool.go) is the
-// scheduler every experiment of a run shares; Collect assembles fan-out
-// results in index order, so tables are byte-identical at every worker
-// count.
+// sweeps never rebuild a graph. Streamed entries (Spec.Stream) additionally
+// support Release — the graph is dropped once its consumers are done and
+// rebuilt deterministically if ever needed again — which is what lets the
+// scenario matrix sweep corpora whose combined size exceeds what a run
+// could keep alive. The companion Pool (see pool.go) is the scheduler every
+// experiment of a run shares; Collect assembles fan-out results in index
+// order, so tables are byte-identical at every worker count.
 package corpus
 
 import (
@@ -21,7 +24,9 @@ import (
 )
 
 // Spec declares one corpus entry. Gen is called at most once, on first
-// access, no matter how many filtered views of the corpus share the entry.
+// access, no matter how many filtered views of the corpus share the entry —
+// until Release drops a streamed entry's graph, after which the next access
+// rebuilds it.
 type Spec struct {
 	Name   string
 	Family string
@@ -29,21 +34,63 @@ type Spec struct {
 	// materialising the graph; 0 means unknown (a size filter then invokes
 	// the generator, still at most once).
 	Nodes int
-	Gen   func() *graph.Graph
+	// Stream marks the entry releasable: Corpus.Release drops its
+	// materialised graph, and a later access runs Gen again. Streamed
+	// generators must therefore be deterministic — a rebuilt graph must be
+	// identical to the dropped one — which is what lets a scenario run
+	// sweep corpora far larger than memory would allow if every graph
+	// stayed alive to the end.
+	Stream bool
+	Gen    func() *graph.Graph
+	// Drop, if set, observes every graph Release drops (streamed entries
+	// only). The probe corpora of the streaming tests count concurrent
+	// live builds through it.
+	Drop func(*graph.Graph)
 }
 
-// entry is one corpus member; the graph is built lazily, at most once.
-// Filtered corpora share entries with their parent, so the at-most-once
-// guarantee holds across every view of the corpus.
+// entry is one corpus member; the graph is built lazily, at most once (per
+// streaming generation). Filtered corpora share entries with their parent,
+// so the guarantee holds across every view of the corpus and a Release
+// through any view drops the graph for all of them.
 type entry struct {
 	spec Spec
-	once sync.Once
+	mu   sync.Mutex
+	live bool
 	g    *graph.Graph
 }
 
 func (e *entry) graph() *graph.Graph {
-	e.once.Do(func() { e.g = e.spec.Gen() })
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.live {
+		e.g = e.spec.Gen()
+		e.live = true
+	}
 	return e.g
+}
+
+// release drops the materialised graph of a streamed entry, reporting
+// whether anything was dropped. Non-streamed entries keep their graph for
+// the life of the corpus. fn (optional) observes the dropped graph after
+// the spec's own Drop hook.
+func (e *entry) release(fn func(*graph.Graph)) bool {
+	if !e.spec.Stream {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.live {
+		return false
+	}
+	g := e.g
+	e.g, e.live = nil, false
+	if e.spec.Drop != nil {
+		e.spec.Drop(g)
+	}
+	if fn != nil {
+		fn(g)
+	}
+	return true
 }
 
 // nodes returns the entry's size, materialising the graph only when the
@@ -128,6 +175,57 @@ func (c *Corpus) Graph(name string) *graph.Graph {
 		panic(fmt.Sprintf("corpus: unknown graph %q", name))
 	}
 	return e.graph()
+}
+
+// Release drops the materialised graphs of the corpus's streamed entries
+// (Spec.Stream) and returns how many it dropped. Non-streamed entries are
+// untouched. A dropped graph is rebuilt — identically, since streamed
+// generators are deterministic — on its next access, so releasing is purely
+// a memory trade: the scenario runner calls it when a corpus's last cell
+// completes, bounding how many large graphs a sweep holds alive at once.
+// Entries are shared with filtered views, so a Release through any view
+// drops the graphs for all of them.
+func (c *Corpus) Release() int { return c.ReleaseFunc(nil) }
+
+// ReleaseFunc is Release with an observer invoked for every dropped graph,
+// after the entry's own Drop hook. The scenario runner passes the engine's
+// Forget so a released graph's refinement tables leave the cache along with
+// the graph — without that, release would bound the corpus's memory but not
+// the engine's.
+func (c *Corpus) ReleaseFunc(fn func(*graph.Graph)) int {
+	released := 0
+	for _, e := range c.entries {
+		if e.release(fn) {
+			released++
+		}
+	}
+	return released
+}
+
+// Live returns the number of currently materialised entries — graphs built
+// and not (or not yet) released.
+func (c *Corpus) Live() int {
+	live := 0
+	for _, e := range c.entries {
+		e.mu.Lock()
+		if e.live {
+			live++
+		}
+		e.mu.Unlock()
+	}
+	return live
+}
+
+// DeclaredNodes sums the declared size hints of the corpus without
+// materialising anything; hint-less entries count as zero. It is the
+// cost-hint side of streaming: schedulers can weigh a corpus (and order the
+// cells that sweep it) before a single graph exists.
+func (c *Corpus) DeclaredNodes() int {
+	total := 0
+	for _, e := range c.entries {
+		total += e.spec.Nodes
+	}
+	return total
 }
 
 // Filter selects graphs by name, family and size. Zero fields mean "no

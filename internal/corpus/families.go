@@ -57,16 +57,24 @@ func HypercubeCorpus() *Corpus {
 }
 
 // largeRandomSizes is the size ladder of the largerandom corpus: node and
-// edge counts of seeded class-diverse random connected graphs, up to the
-// ~50k-node instance the engine benchmarks measure (m = 1.5n keeps the
-// graphs sparse enough that views stay diverse instead of collapsing).
-var largeRandomSizes = [][2]int{{1000, 1500}, {5000, 7500}, {20000, 30000}, {50000, 75000}}
+// edge counts of seeded class-diverse random connected graphs, up to a
+// 200k-node instance (m = 1.5n keeps the graphs sparse enough that views
+// stay diverse instead of collapsing). The top rung exists because the
+// corpus streams: a scenario run drops the whole ladder (graphs and their
+// engine refinement tables) as soon as the corpus's last cell completes,
+// so the ~276k-node ladder is resident only while its own cells run — not
+// kept alive for the rest of the matrix. Note the release granularity is
+// the corpus: while a census cell sweeps the ladder, every rung is live at
+// once, so ladders beyond this size should release per graph instead.
+var largeRandomSizes = [][2]int{{1000, 1500}, {5000, 7500}, {20000, 30000}, {50000, 75000}, {200000, 300000}}
 
 // LargeRandomCorpus returns the "largerandom" corpus: seeded random
 // connected graphs across the ladder, named largerandom-N, family
 // "largerandom". Each entry derives its own rng from seed and its position,
 // inside the lazy generator, so the draws are a function of the seed alone —
-// independent of which entries are materialised, and in which order.
+// independent of which entries are materialised, in which order, and of how
+// often a released entry is rebuilt. Every entry streams (Spec.Stream):
+// Release drops the built graphs, and a rebuild reproduces them bit for bit.
 func LargeRandomCorpus(seed int64) *Corpus {
 	specs := make([]Spec, len(largeRandomSizes))
 	for i, nm := range largeRandomSizes {
@@ -75,6 +83,7 @@ func LargeRandomCorpus(seed int64) *Corpus {
 			Name:   fmt.Sprintf("largerandom-%d", n),
 			Family: "largerandom",
 			Nodes:  n,
+			Stream: true,
 			Gen: func() *graph.Graph {
 				rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
 				return graph.RandomConnected(n, m, rng)

@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestStreamedReleaseAndRebuild: Release drops only streamed entries'
+// graphs (observed through the Drop hook), a later access rebuilds them,
+// and non-streamed entries keep their graph and their at-most-once
+// generator guarantee.
+func TestStreamedReleaseAndRebuild(t *testing.T) {
+	var gens, drops atomic.Int64
+	var pinnedGens atomic.Int64
+	c := New(
+		Spec{Name: "streamed", Family: "ring", Nodes: 9, Stream: true,
+			Gen:  func() *graph.Graph { gens.Add(1); return graph.Ring(9) },
+			Drop: func(g *graph.Graph) { drops.Add(1) }},
+		Spec{Name: "pinned", Family: "ring", Nodes: 5,
+			Gen: func() *graph.Graph { pinnedGens.Add(1); return graph.Ring(5) }},
+	)
+	if c.Live() != 0 {
+		t.Fatalf("fresh corpus has %d live graphs", c.Live())
+	}
+	g1 := c.Graph("streamed")
+	_ = c.Graph("pinned")
+	if c.Live() != 2 || gens.Load() != 1 {
+		t.Fatalf("after access: live=%d gens=%d, want 2 and 1", c.Live(), gens.Load())
+	}
+	if released := c.Release(); released != 1 || drops.Load() != 1 {
+		t.Fatalf("Release dropped %d entries (%d Drop calls), want 1 streamed entry", released, drops.Load())
+	}
+	if c.Live() != 1 {
+		t.Fatalf("after Release: %d live graphs, want 1 (the pinned entry)", c.Live())
+	}
+	// Releasing an already-released corpus is a no-op.
+	if released := c.Release(); released != 0 {
+		t.Fatalf("second Release dropped %d entries, want 0", released)
+	}
+	// The next access rebuilds — deterministically, so the graph is
+	// structurally identical to the dropped one.
+	g2 := c.Graph("streamed")
+	if gens.Load() != 2 {
+		t.Fatalf("generator ran %d times after release + access, want 2", gens.Load())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("rebuilt graph has %d edges, dropped one had %d", len(e2), len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("rebuilt graph differs from the dropped one at edge %d", i)
+		}
+	}
+	if pinnedGens.Load() != 1 {
+		t.Errorf("pinned generator ran %d times, want exactly 1 across the release", pinnedGens.Load())
+	}
+}
+
+// TestReleaseThroughFilteredView: filtered views share entries with their
+// parent, so releasing through either side drops the shared graph.
+func TestReleaseThroughFilteredView(t *testing.T) {
+	var gens atomic.Int64
+	c := New(Spec{Name: "s", Family: "ring", Nodes: 6, Stream: true,
+		Gen: func() *graph.Graph { gens.Add(1); return graph.Ring(6) }})
+	view := c.Filter(Filter{Families: []string{"ring"}})
+	_ = view.Graph("s")
+	if c.Live() != 1 || view.Live() != 1 {
+		t.Fatalf("live = %d/%d after access through the view", c.Live(), view.Live())
+	}
+	if c.Release() != 1 || view.Live() != 0 {
+		t.Fatalf("release through the parent did not drop the view's entry")
+	}
+	_ = c.Graph("s")
+	if view.Release() != 1 || c.Live() != 0 {
+		t.Fatalf("release through the view did not drop the parent's entry")
+	}
+	if gens.Load() != 2 {
+		t.Errorf("generator ran %d times, want 2 (one per generation)", gens.Load())
+	}
+}
+
+// TestDeclaredNodes: the sum of size hints answers without materialising;
+// hint-less entries count zero rather than forcing a build.
+func TestDeclaredNodes(t *testing.T) {
+	var gens atomic.Int64
+	c := New(
+		Spec{Name: "a", Family: "ring", Nodes: 10, Gen: func() *graph.Graph { gens.Add(1); return graph.Ring(10) }},
+		Spec{Name: "b", Family: "ring", Nodes: 7, Gen: func() *graph.Graph { gens.Add(1); return graph.Ring(7) }},
+		Spec{Name: "c", Family: "ring", Gen: func() *graph.Graph { gens.Add(1); return graph.Ring(3) }},
+	)
+	if got := c.DeclaredNodes(); got != 17 {
+		t.Errorf("DeclaredNodes = %d, want 17 (hint-less entries count 0)", got)
+	}
+	if gens.Load() != 0 {
+		t.Errorf("DeclaredNodes materialised %d graphs", gens.Load())
+	}
+	if got := c.Filter(Filter{Names: []string{"b"}}).DeclaredNodes(); got != 7 {
+		t.Errorf("filtered DeclaredNodes = %d, want 7", got)
+	}
+}
+
+// TestLargeRandomStreams: the largerandom ladder reaches 200k nodes, every
+// entry streams, and the declared total covers the whole ladder without
+// building anything.
+func TestLargeRandomStreams(t *testing.T) {
+	c := LargeRandomCorpus(1)
+	names := c.Names()
+	if names[len(names)-1] != "largerandom-200000" {
+		t.Fatalf("largerandom ladder tops out at %s, want largerandom-200000", names[len(names)-1])
+	}
+	want := 0
+	for _, nm := range largeRandomSizes {
+		want += nm[0]
+	}
+	if got := c.DeclaredNodes(); got != want {
+		t.Errorf("DeclaredNodes = %d, want %d", got, want)
+	}
+	if c.Live() != 0 {
+		t.Errorf("declared-size queries materialised %d graphs", c.Live())
+	}
+	// Build a small rung, release, confirm the streamed entry dropped.
+	_ = c.Graph("largerandom-1000")
+	if c.Live() != 1 || c.Release() != 1 || c.Live() != 0 {
+		t.Error("largerandom entries are not streamed")
+	}
+}

@@ -62,6 +62,7 @@ type Engine struct {
 	steps       atomic.Uint64
 	shortcuts   atomic.Uint64
 	evictions   atomic.Uint64
+	forgets     atomic.Uint64
 	unionsBuilt atomic.Uint64
 }
 
@@ -126,15 +127,16 @@ type Stats struct {
 	Steps        uint64 // refinement levels computed from scratch
 	Shortcuts    uint64 // levels served by the stabilisation shortcut
 	Evictions    uint64 // cached graphs dropped by the LRU bound
+	Forgotten    uint64 // cached graphs dropped by explicit Forget calls
 	Graphs       int    // graphs currently cached
 	CachedDepths uint64 // sum over cached graphs of levels computed from scratch
 	UnionsBuilt  uint64 // disjoint-union graphs materialised for SameViewAcross
 	UnionGraphs  int    // graph pairs currently in the union cache
 }
 
-// Stats returns a snapshot of the counters. When Evictions is zero,
-// Steps == CachedDepths certifies that every (graph, depth) pair was refined
-// at most once since the engine was created (or last Reset).
+// Stats returns a snapshot of the counters. When Evictions and Forgotten are
+// zero, Steps == CachedDepths certifies that every (graph, depth) pair was
+// refined at most once since the engine was created (or last Reset).
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Hits:        e.hits.Load(),
@@ -142,6 +144,7 @@ func (e *Engine) Stats() Stats {
 		Steps:       e.steps.Load(),
 		Shortcuts:   e.shortcuts.Load(),
 		Evictions:   e.evictions.Load(),
+		Forgotten:   e.forgets.Load(),
 		UnionsBuilt: e.unionsBuilt.Load(),
 	}
 	e.unionMu.Lock()
@@ -180,7 +183,56 @@ func (e *Engine) Reset() {
 	e.steps.Store(0)
 	e.shortcuts.Store(0)
 	e.evictions.Store(0)
+	e.forgets.Store(0)
 	e.unionsBuilt.Store(0)
+}
+
+// Forget drops every cached refinement involving g: its class tables, the
+// disjoint unions it participates in, and those unions' tables. A forgotten
+// graph that is queried again is simply recomputed, so Forget trades time
+// for memory. It is what makes streamed-corpus release effective — dropping
+// a released graph's corpus reference alone would leave its O(n)-per-level
+// class tables (and any union graphs) reachable from the engine until LRU
+// eviction — so the scenario runner calls it for every graph a corpus
+// release drops. Counted in Stats().Forgotten; like evictions, forgetting
+// voids the Steps == CachedDepths at-most-once certificate.
+func (e *Engine) Forget(g *graph.Graph) {
+	if g == nil {
+		return
+	}
+	// Collect the unions g participates in first: their union graphs'
+	// refinements live in the ordinary cache and must go with the pair. Both
+	// orders of a pair key the same record, so dedupe on the record.
+	var unionGraphs []*graph.Graph
+	e.unionMu.Lock()
+	seen := map[*unionRec]bool{}
+	for key, rec := range e.unions {
+		if key[0] != g && key[1] != g {
+			continue
+		}
+		delete(e.unions, key)
+		if seen[rec] {
+			continue
+		}
+		seen[rec] = true
+		e.unionLRU.Remove(rec.elem)
+		// Synchronise with any in-flight build — once.Do blocks until a
+		// running builder completes — so reading rec.u below is race-free.
+		rec.once.Do(func() {})
+		if rec.u != nil {
+			unionGraphs = append(unionGraphs, rec.u)
+		}
+	}
+	e.unionMu.Unlock()
+	e.mu.Lock()
+	for _, target := range append(unionGraphs, g) {
+		if ent, ok := e.entries[target]; ok {
+			e.lru.Remove(ent.elem)
+			delete(e.entries, target)
+			e.forgets.Add(1)
+		}
+	}
+	e.mu.Unlock()
 }
 
 // Refine returns a refinement of g covering depths 0..depth, computing only

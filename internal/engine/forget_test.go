@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestForgetDropsRefinementsAndUnions: Forget removes a graph's class
+// tables, the disjoint unions it participates in and their tables — leaving
+// unrelated graphs cached — and a forgotten graph is recomputed correctly
+// on the next query.
+func TestForgetDropsRefinementsAndUnions(t *testing.T) {
+	e := New(1)
+	g1, g2, g3 := graph.Ring(6), graph.Path(5), graph.Star(4)
+	e.Refine(g1, 3)
+	e.Refine(g2, 3)
+	e.Refine(g3, 3)
+	// Build a union involving g1 (refining it caches the union graph too).
+	if e.SameViewAcross(g1, 0, g2, 0, 2) {
+		t.Fatal("ring and path nodes report equal views")
+	}
+	before := e.Stats()
+	if before.Graphs != 4 || before.UnionGraphs != 1 {
+		t.Fatalf("stats before Forget: %d graphs, %d unions; want 4 and 1", before.Graphs, before.UnionGraphs)
+	}
+
+	e.Forget(g1)
+	after := e.Stats()
+	if after.Graphs != 2 {
+		t.Errorf("after Forget: %d graphs cached, want 2 (g2 and g3)", after.Graphs)
+	}
+	if after.UnionGraphs != 0 {
+		t.Errorf("after Forget: %d union pairs cached, want 0", after.UnionGraphs)
+	}
+	if after.Forgotten != 2 {
+		t.Errorf("Forgotten = %d, want 2 (the graph and its union)", after.Forgotten)
+	}
+	// Steps == CachedDepths no longer certifies at-most-once: forgetting
+	// removed cached depths without removing steps.
+	if after.Steps == after.CachedDepths {
+		t.Errorf("Steps (%d) == CachedDepths (%d) after Forget; the certificate should be void", after.Steps, after.CachedDepths)
+	}
+
+	// A forgotten graph recomputes from scratch, correctly.
+	ref := e.Refine(g1, 2)
+	if got := len(ref.UniqueAt(2)); got != 0 {
+		t.Errorf("ring re-refinement reports %d unique views, want 0", got)
+	}
+	if e.Stats().Graphs != 3 {
+		t.Errorf("re-refining the forgotten graph did not recache it")
+	}
+
+	// Forgetting a never-seen graph (or nil) is a no-op.
+	e.Forget(graph.Ring(9))
+	e.Forget(nil)
+	if got := e.Stats().Forgotten; got != 2 {
+		t.Errorf("no-op Forgets changed the counter to %d", got)
+	}
+}

@@ -1,16 +1,29 @@
 // Package scenario is the scenario-matrix subsystem: it expands a
-// corpus × experiment × worker-budget matrix into named cells, runs every
-// cell through the core experiment runners on one shared refinement engine,
-// and emits a machine-readable summary (the SCENARIO_*.json artifact the
-// nightly CI lane uploads).
+// corpus × experiment × params × worker-budget matrix into named cells, runs
+// every cell through the core experiment registry on one shared refinement
+// engine and one run-wide cell scheduler, and emits a machine-readable
+// summary (the SCENARIO_*.json artifact the nightly CI lane uploads and
+// cmd/scenariocmp diffs).
 //
-// The matrix is pure data — Matrix{Corpora, Experiments, Budgets} — so a new
-// sweep is a config change, not a code change: corpora are resolved by name
-// through the corpus registry and experiments by name through this package's
-// experiment table. Each cell's tables are a deterministic function of the
-// matrix and seed; running the same (corpus, experiment) cell at different
-// budgets must produce byte-identical tables, which is what the race tests
-// and the nightly lane assert.
+// The matrix is pure data — Matrix{Corpora, Experiments, Params, Budgets} —
+// so a new sweep is a config change, not a code change: corpora are resolved
+// by name through the corpus registry, experiments by name through the core
+// experiment registry (any registered experiment, E1–E10 and the census),
+// and parameter grids by named set ("default", "quick") or an explicit
+// Options.Params override. Each cell's tables are a deterministic function
+// of the matrix and seed; running the same (corpus, experiment, params) cell
+// at different budgets must produce byte-identical tables, which is what the
+// race tests and the nightly lane assert.
+//
+// Cells are scheduled on one run-wide cost-hinted pool: each cell declares
+// its cost as the corpus's declared node total times its parameter-row
+// count, so the heaviest cells start first and cells over different corpora
+// overlap. Corpora are built once per name, shared by all their cells, and
+// released (streamed entries dropped, see corpus.Spec.Stream, and their
+// engine state forgotten) when their last cell completes — so a run's
+// resident graphs are bounded by the corpora whose cells are in flight,
+// not accumulated across the whole matrix. (The granularity is the corpus:
+// a cell sweeping a corpus holds all of that corpus's graphs at once.)
 package scenario
 
 import (
@@ -18,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -27,22 +41,34 @@ import (
 
 // Matrix declares a scenario sweep as data. Zero fields pick defaults:
 // every registered corpus, the census experiment (the only one total on
-// infeasible families), and a single GOMAXPROCS budget.
+// infeasible families), the default parameter sets, and a single GOMAXPROCS
+// budget.
 type Matrix struct {
 	Corpora     []string `json:"corpora"`     // corpus registry names
-	Experiments []string `json:"experiments"` // scenario experiment names
+	Experiments []string `json:"experiments"` // core experiment names (E1–E10, census) or scenario aliases
+	Params      []string `json:"params"`      // named parameter sets (see core.ParamSetNames)
 	Budgets     []int    `json:"budgets"`     // worker budgets (0 = GOMAXPROCS)
 }
 
-// Cell is one (corpus, experiment, budget) point of the expanded matrix.
+// Cell is one (corpus, experiment, params, budget) point of the expanded
+// matrix. Params is empty for experiments without a parameter grid (the
+// corpus sweeps), whose params axis collapses to a single cell.
 type Cell struct {
 	Corpus     string `json:"corpus"`
 	Experiment string `json:"experiment"`
+	Params     string `json:"params,omitempty"`
 	Budget     int    `json:"budget"`
 }
 
-// Name returns the cell's stable identifier, e.g. "torus/census@2".
-func (c Cell) Name() string { return fmt.Sprintf("%s/%s@%d", c.Corpus, c.Experiment, c.Budget) }
+// Name returns the cell's stable identifier, e.g. "torus/census@2" or
+// "default/E5#quick@8". The params component appears only for non-default
+// parameter sets, so pre-params cell names are unchanged.
+func (c Cell) Name() string {
+	if c.Params == "" || c.Params == "default" {
+		return fmt.Sprintf("%s/%s@%d", c.Corpus, c.Experiment, c.Budget)
+	}
+	return fmt.Sprintf("%s/%s#%s@%d", c.Corpus, c.Experiment, c.Params, c.Budget)
+}
 
 // CellResult is one executed cell of the summary.
 type CellResult struct {
@@ -58,6 +84,7 @@ type CellResult struct {
 type Summary struct {
 	Corpora     []string     `json:"corpora"`
 	Experiments []string     `json:"experiments"`
+	Params      []string     `json:"params,omitempty"`
 	Budgets     []int        `json:"budgets"`
 	Cells       []CellResult `json:"cells"`
 	Engine      engine.Stats `json:"engine_stats"`
@@ -65,21 +92,29 @@ type Summary struct {
 	Failed      int          `json:"failed"`
 }
 
-// experiments maps scenario experiment names to their core runners. All
-// three are corpus-parameterised; census is the only one total on
-// infeasible corpora (torus, hypercube), hierarchy/advice require every
-// corpus graph to be feasible.
-var experiments = map[string]func(core.Options) (*core.Table, error){
-	"census":    core.ExperimentViewCensus,
-	"hierarchy": core.Experiment1Hierarchy,
-	"advice":    core.Experiment2SelectionAdvice,
+// aliases maps the legacy scenario experiment names (from before the core
+// registry existed) to registry names; both resolve.
+var aliases = map[string]string{
+	"hierarchy": "E1",
+	"advice":    "E2",
 }
 
-// ExperimentNames returns the known scenario experiment names, sorted.
+// resolveExperiment resolves a matrix experiment name — a core registry name
+// ("E5", "census", case-insensitive) or a scenario alias — to its registry
+// descriptor.
+func resolveExperiment(name string) (core.Descriptor, bool) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	return core.Lookup(name)
+}
+
+// ExperimentNames returns every name a Matrix may use, sorted: the core
+// registry names (E1–E10, census) plus the scenario aliases.
 func ExperimentNames() []string {
-	names := make([]string, 0, len(experiments))
-	for name := range experiments {
-		names = append(names, name)
+	names := core.ExperimentNames()
+	for alias := range aliases {
+		names = append(names, alias)
 	}
 	sort.Strings(names)
 	return names
@@ -98,11 +133,26 @@ type Options struct {
 	// Filter restricts every resolved corpus (the race tests cap MaxNodes so
 	// the 1/2/8-budget sweep stays fast); the zero Filter keeps everything.
 	Filter corpus.Filter
+	// Params overrides experiment parameter grids wholesale, keyed by
+	// canonical experiment name ("E3" ... "E10"). An override takes
+	// precedence over the cell's named parameter set.
+	Params map[string][]core.ParamPoint
+	// CellWorkers is the run-wide cell-scheduling budget: how many matrix
+	// cells may execute concurrently. 0 = GOMAXPROCS, 1 = strictly
+	// sequential (the pre-pool behaviour). Each cell still saturates its own
+	// per-cell worker budget internally, so the run's total concurrency is
+	// roughly CellWorkers × the cell budgets; per-cell tables are
+	// byte-identical at every setting, and per-cell wall times are still
+	// attributed per cell (overlapping cells share cores, so their wall
+	// times overlap).
+	CellWorkers int
 }
 
-// Expand validates the matrix against the registry and returns its cells in
-// deterministic order: corpora × experiments × budgets, budget innermost, so
-// same-(corpus, experiment) cells at different budgets are adjacent.
+// Expand validates the matrix against the registries and returns its cells
+// in deterministic order: corpora × experiments × params × budgets, budget
+// innermost, so same-(corpus, experiment, params) cells at different budgets
+// are adjacent. Experiments without a parameter grid collapse the params
+// axis to a single cell with an empty params component.
 func (m Matrix) Expand(reg *corpus.Registry) ([]Cell, error) {
 	if reg == nil {
 		reg = corpus.Corpora
@@ -123,32 +173,80 @@ func (m Matrix) Expand(reg *corpus.Registry) ([]Cell, error) {
 		exps = []string{"census"}
 	}
 	for _, name := range exps {
-		if _, ok := experiments[name]; !ok {
+		if _, ok := resolveExperiment(name); !ok {
 			return nil, fmt.Errorf("scenario: unknown experiment %q (have %v)", name, ExperimentNames())
+		}
+	}
+	sets := m.Params
+	if len(sets) == 0 {
+		sets = []string{"default"}
+	}
+	for _, set := range sets {
+		known := false
+		for _, name := range core.ParamSetNames() {
+			if set == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("scenario: unknown param set %q (have %v)", set, core.ParamSetNames())
 		}
 	}
 	budgets := m.Budgets
 	if len(budgets) == 0 {
 		budgets = []int{0}
 	}
-	cells := make([]Cell, 0, len(corpora)*len(exps)*len(budgets))
+	cells := make([]Cell, 0, len(corpora)*len(exps)*len(sets)*len(budgets))
 	for _, c := range corpora {
 		for _, e := range exps {
-			for _, b := range budgets {
-				cells = append(cells, Cell{Corpus: c, Experiment: e, Budget: b})
+			d, _ := resolveExperiment(e)
+			cellSets := sets
+			if d.Params == nil {
+				// No parameter grid: every named set resolves to the same
+				// (empty) grid, so the params axis would only duplicate
+				// cells. Collapse it.
+				cellSets = []string{""}
+			}
+			for _, set := range cellSets {
+				for _, b := range budgets {
+					cells = append(cells, Cell{Corpus: c, Experiment: e, Params: set, Budget: b})
+				}
 			}
 		}
 	}
 	return cells, nil
 }
 
-// Run expands and executes the matrix. Cells run one after another — each
-// cell saturates its own worker budget internally (the pool's cost-hinted
-// dispatch starts the heaviest graphs first), so per-cell wall times stay
-// meaningful. Corpora are built once per name and shared across cells, so
-// graph generators run at most once for the whole run. Failing cells are
-// recorded in the summary (Err, Failed) and the first failure is also
-// returned as an error after every cell has run.
+// corpusState is the shared per-name corpus of one run: built once, swept by
+// every cell that names it, and released (streamed graphs dropped) when the
+// last of those cells completes.
+type corpusState struct {
+	c         *corpus.Corpus
+	err       error
+	remaining int // cells not yet completed; guarded by Run's mu
+}
+
+// cellPoints resolves the parameter grid of one cell: an Options.Params
+// override when present, the cell's named set otherwise. Corpus sweeps
+// resolve to nil.
+func cellPoints(d core.Descriptor, cell Cell, opt Options) ([]core.ParamPoint, error) {
+	if pts, ok := opt.Params[d.Name]; ok {
+		return pts, nil
+	}
+	return core.ParamSet(d.Name, cell.Params)
+}
+
+// Run expands and executes the matrix on one run-wide cost-hinted cell pool
+// (see Options.CellWorkers): every cell declares its cost as the corpus's
+// declared node total × its parameter-row count, the heaviest cells are
+// dispatched first, and results are assembled in matrix order, so the
+// summary is deterministic no matter how the cells were scheduled. Corpora
+// are built once per name and shared across their cells; when a corpus's
+// last cell completes its streamed graphs are released, so a sweep's
+// resident graph set is bounded by the corpora still in flight. Failing
+// cells are recorded in the summary (Err, Failed) and the first failure (in
+// matrix order) is also returned as an error after every cell has run.
 func Run(m Matrix, opt Options) (*Summary, error) {
 	reg := opt.Registry
 	if reg == nil {
@@ -164,55 +262,81 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 	}
 	filtering := len(opt.Filter.Names) > 0 || len(opt.Filter.Families) > 0 ||
 		opt.Filter.MinNodes > 0 || opt.Filter.MaxNodes > 0
-	built := make(map[string]*corpus.Corpus)
-	corpusFor := func(name string) (*corpus.Corpus, error) {
-		if c, ok := built[name]; ok {
-			return c, nil
-		}
-		// Expand validated the name, but a registered builder may still
-		// misbehave; surface that as a cell failure, not a panic.
-		c, err := reg.Build(name, opt.Seed, eng.Feasible)
-		if err == nil && c == nil {
-			err = fmt.Errorf("corpus %q: builder returned nil", name)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if filtering {
-			c = c.Filter(opt.Filter)
-		}
-		built[name] = c
-		return c, nil
-	}
-	summary := &Summary{Cells: make([]CellResult, 0, len(cells))}
-	seenCorpora, seenExps, seenBudgets := map[string]bool{}, map[string]bool{}, map[int]bool{}
-	var firstErr error
+	// The clock starts before corpus construction: builders may do real work
+	// up front (the default corpus draws and feasibility-screens its random
+	// graphs), and the summary's wall time must cover it.
 	start := time.Now()
+
+	// Build every distinct corpus object up front (cheap: entries are lazy
+	// Specs; graphs materialise only when a cell sweeps them) so cost hints
+	// exist before the first cell is dispatched, and count each corpus's
+	// cells so the last one to finish can release the streamed graphs.
+	var mu sync.Mutex
+	states := make(map[string]*corpusState)
 	for _, cell := range cells {
-		if !seenCorpora[cell.Corpus] {
-			seenCorpora[cell.Corpus] = true
-			summary.Corpora = append(summary.Corpora, cell.Corpus)
+		s, ok := states[cell.Corpus]
+		if !ok {
+			s = &corpusState{}
+			// Expand validated the name, but a registered builder may still
+			// misbehave; surface that as a cell failure, not a panic.
+			c, err := reg.Build(cell.Corpus, opt.Seed, eng.Feasible)
+			if err == nil && c == nil {
+				err = fmt.Errorf("corpus %q: builder returned nil", cell.Corpus)
+			}
+			if err != nil {
+				s.err = err
+			} else {
+				if filtering {
+					c = c.Filter(opt.Filter)
+				}
+				s.c = c
+			}
+			states[cell.Corpus] = s
 		}
-		if !seenExps[cell.Experiment] {
-			seenExps[cell.Experiment] = true
-			summary.Experiments = append(summary.Experiments, cell.Experiment)
+		s.remaining++
+	}
+
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+	pool := corpus.NewPool(opt.CellWorkers)
+	cost := func(i int) int {
+		s := states[cells[i].Corpus]
+		if s.err != nil {
+			return 0
 		}
-		if !seenBudgets[cell.Budget] {
-			seenBudgets[cell.Budget] = true
-			summary.Budgets = append(summary.Budgets, cell.Budget)
+		nodes := s.c.DeclaredNodes()
+		rows := 1
+		if d, ok := resolveExperiment(cells[i].Experiment); ok && d.Params != nil {
+			if pts, err := cellPoints(d, cells[i], opt); err == nil && len(pts) > 0 {
+				rows = len(pts)
+			}
 		}
+		return nodes * rows
+	}
+	pool.MapHinted(len(cells), cost, func(i int) {
+		cell := cells[i]
 		res := CellResult{Cell: cell}
+		s := states[cell.Corpus]
 		cellStart := time.Now()
 		var table *core.Table
-		c, err := corpusFor(cell.Corpus)
+		err := s.err
 		if err == nil {
-			table, err = experiments[cell.Experiment](core.Options{
-				Quick:       opt.Quick,
-				Seed:        opt.Seed,
-				Engine:      eng,
-				Corpus:      c,
-				Parallelism: cell.Budget,
-			})
+			d, _ := resolveExperiment(cell.Experiment)
+			var points []core.ParamPoint
+			points, err = cellPoints(d, cell, opt)
+			if err == nil {
+				coreOpt := core.Options{
+					Quick:       opt.Quick,
+					Seed:        opt.Seed,
+					Engine:      eng,
+					Corpus:      s.c,
+					Parallelism: cell.Budget,
+				}
+				if d.Params != nil {
+					coreOpt.Params = map[string][]core.ParamPoint{d.Name: points}
+				}
+				table, err = core.RunExperiment(d.Name, coreOpt)
+			}
 		}
 		res.WallMS = time.Since(cellStart).Milliseconds()
 		if table != nil {
@@ -221,14 +345,50 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 		}
 		if err != nil {
 			res.Err = err.Error()
+			errs[i] = err
+		}
+		results[i] = res
+		mu.Lock()
+		s.remaining--
+		release := s.remaining == 0 && s.c != nil
+		mu.Unlock()
+		if release {
+			// Dropped graphs also leave the engine's refinement cache, so a
+			// streamed sweep's resident set really is bounded by the corpora
+			// in flight — not accumulated in the engine until LRU eviction.
+			s.c.ReleaseFunc(eng.Forget)
+		}
+	})
+
+	summary := &Summary{Cells: results}
+	summary.WallMS = time.Since(start).Milliseconds()
+	seenCorpora, seenExps := map[string]bool{}, map[string]bool{}
+	seenSets, seenBudgets := map[string]bool{}, map[int]bool{}
+	var firstErr error
+	for i, cell := range cells {
+		if !seenCorpora[cell.Corpus] {
+			seenCorpora[cell.Corpus] = true
+			summary.Corpora = append(summary.Corpora, cell.Corpus)
+		}
+		if !seenExps[cell.Experiment] {
+			seenExps[cell.Experiment] = true
+			summary.Experiments = append(summary.Experiments, cell.Experiment)
+		}
+		if cell.Params != "" && !seenSets[cell.Params] {
+			seenSets[cell.Params] = true
+			summary.Params = append(summary.Params, cell.Params)
+		}
+		if !seenBudgets[cell.Budget] {
+			seenBudgets[cell.Budget] = true
+			summary.Budgets = append(summary.Budgets, cell.Budget)
+		}
+		if errs[i] != nil {
 			summary.Failed++
 			if firstErr == nil {
-				firstErr = fmt.Errorf("scenario: cell %s: %w", cell.Name(), err)
+				firstErr = fmt.Errorf("scenario: cell %s: %w", cell.Name(), errs[i])
 			}
 		}
-		summary.Cells = append(summary.Cells, res)
 	}
-	summary.WallMS = time.Since(start).Milliseconds()
 	summary.Engine = eng.Stats()
 	return summary, firstErr
 }

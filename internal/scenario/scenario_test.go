@@ -5,8 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -45,6 +47,56 @@ func TestExpandRejectsUnknownNames(t *testing.T) {
 	}
 	if _, err := (Matrix{Experiments: []string{"nope"}}).Expand(nil); err == nil || !strings.Contains(err.Error(), "census") {
 		t.Errorf("unknown experiment error = %v (want it to list the known ones)", err)
+	}
+}
+
+// TestExpandParamsAxis: parameterised experiments expand one cell per named
+// param set; corpus sweeps (no grid) collapse the params axis to a single
+// unnamed cell, so the pre-params cell names are unchanged.
+func TestExpandParamsAxis(t *testing.T) {
+	cells, err := Matrix{
+		Corpora:     []string{"default"},
+		Experiments: []string{"E5", "census"},
+		Params:      []string{"default", "quick"},
+		Budgets:     []int{1, 2},
+	}.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{
+		"default/E5@1", "default/E5@2", // params "default" is omitted from the name
+		"default/E5#quick@1", "default/E5#quick@2",
+		"default/census@1", "default/census@2", // params axis collapsed
+	}
+	if len(cells) != len(wantNames) {
+		t.Fatalf("expanded %d cells %v, want %d", len(cells), cells, len(wantNames))
+	}
+	for i, cell := range cells {
+		if cell.Name() != wantNames[i] {
+			t.Errorf("cell %d is %s, want %s", i, cell.Name(), wantNames[i])
+		}
+	}
+	if cells[4].Params != "" {
+		t.Errorf("census cell carries params %q, want empty", cells[4].Params)
+	}
+	if _, err := (Matrix{Params: []string{"nope"}}).Expand(nil); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Errorf("unknown param set error = %v (want it to list the known sets)", err)
+	}
+}
+
+// TestExpandResolvesRegistryNamesAndAliases: any registered experiment name
+// (case-insensitive) and the legacy aliases expand; the alias and its
+// canonical name address the same runner.
+func TestExpandResolvesRegistryNamesAndAliases(t *testing.T) {
+	for _, name := range []string{"E1", "e5", "E10", "census", "hierarchy", "advice"} {
+		if _, err := (Matrix{Corpora: []string{"default"}, Experiments: []string{name}}).Expand(nil); err != nil {
+			t.Errorf("Expand rejected experiment %q: %v", name, err)
+		}
+	}
+	d1, _ := resolveExperiment("hierarchy")
+	d2, _ := resolveExperiment("E1")
+	if d1.Name != d2.Name {
+		t.Errorf("alias hierarchy resolves to %s, want E1", d1.Name)
 	}
 }
 
@@ -155,6 +207,239 @@ func TestMatrixRecordsNilBuilderCells(t *testing.T) {
 	}
 	if summary.Cells[1].Rows == 0 {
 		t.Error("healthy cell after the broken builder produced no rows")
+	}
+}
+
+// TestMatrixAllRegisteredExperimentsByteIdentical is the registry-era
+// determinism assertion (run in CI under -race): every registered experiment
+// — E1–E10 and the census — over the default and torus corpora produces
+// byte-identical per-cell tables at worker budgets 1, 2 and 8, failing cells
+// included (E1/E2 cannot run on the vertex-transitive torus; their cells
+// must fail identically at every budget).
+func TestMatrixAllRegisteredExperimentsByteIdentical(t *testing.T) {
+	m := Matrix{
+		Corpora:     []string{"default", "torus"},
+		Experiments: core.ExperimentNames(),
+		Budgets:     []int{1, 2, 8},
+	}
+	summary, err := Run(m, Options{Seed: 1, Quick: true, Filter: corpus.Filter{MaxNodes: 64}})
+	if err == nil {
+		t.Fatal("Run did not surface the E1/E2-on-torus failures")
+	}
+	wantCells := 2 * len(core.ExperimentNames()) * 3
+	if len(summary.Cells) != wantCells {
+		t.Fatalf("ran %d cells, want %d", len(summary.Cells), wantCells)
+	}
+	rendered := map[string]string{}
+	for _, cell := range summary.Cells {
+		key := cell.Corpus + "/" + cell.Experiment
+		text := cell.Err
+		if cell.Table != nil {
+			text += cell.Table.Render() + cell.Table.Markdown()
+		}
+		if prev, seen := rendered[key]; !seen {
+			rendered[key] = text
+		} else if prev != text {
+			t.Errorf("%s: tables differ across worker budgets", cell.Name())
+		}
+	}
+	// The torus failures are E1/E2 (and their aliases only); every
+	// parameterised experiment and the census must succeed on both corpora.
+	for _, cell := range summary.Cells {
+		infeasibleSweep := cell.Corpus == "torus" && (cell.Experiment == "E1" || cell.Experiment == "E2")
+		if infeasibleSweep && cell.Err == "" {
+			t.Errorf("%s: expected the infeasible sweep to fail", cell.Name())
+		}
+		if !infeasibleSweep && cell.Err != "" {
+			t.Errorf("%s: unexpected failure %s", cell.Name(), cell.Err)
+		}
+	}
+}
+
+// TestMatrixFailingParamPointCells: a parameterised experiment whose grid
+// contains a failing point (Δ=2 cannot be built) records the failing cell,
+// surfaces it in the summary and the returned error, and every other cell
+// still emits its rows — at cell budgets 1 and 8.
+func TestMatrixFailingParamPointCells(t *testing.T) {
+	badGrid := []core.ParamPoint{
+		{Name: "ok", Values: map[string]int{"delta": 4, "k": 1, "instance": 2}},
+		{Name: "bad", Values: map[string]int{"delta": 2, "k": 1, "instance": 1}},
+	}
+	for _, budget := range []int{1, 8} {
+		m := Matrix{Corpora: []string{"default"}, Experiments: []string{"E3", "census"}, Budgets: []int{budget}}
+		summary, err := Run(m, Options{
+			Seed: 1, Quick: true,
+			Filter: corpus.Filter{MaxNodes: 64},
+			Params: map[string][]core.ParamPoint{"E3": badGrid},
+		})
+		if err == nil || !strings.Contains(err.Error(), "E3") {
+			t.Fatalf("budget %d: Run error = %v, want the E3 cell surfaced", budget, err)
+		}
+		if summary.Failed != 1 || len(summary.Cells) != 2 {
+			t.Fatalf("budget %d: summary = %+v, want 2 cells with 1 failure", budget, summary)
+		}
+		e3, census := summary.Cells[0], summary.Cells[1]
+		if e3.Err == "" || !strings.Contains(e3.Err, "Δ >= 3") {
+			t.Errorf("budget %d: E3 cell error = %q, want the Δ=2 build failure", budget, e3.Err)
+		}
+		// A construction failure is a hard error: the cell's table is
+		// discarded exactly as the sequential loop discards it, so the cell
+		// records the error and no rows.
+		if e3.Rows != 0 || e3.Table != nil {
+			t.Errorf("budget %d: E3 cell kept %d rows after a hard error, want a discarded table", budget, e3.Rows)
+		}
+		if census.Err != "" || census.Rows == 0 {
+			t.Errorf("budget %d: census cell after the failure: err=%q rows=%d", budget, census.Err, census.Rows)
+		}
+	}
+}
+
+// TestMatrixCellWorkersByteIdentical: the run-wide cell pool is a scheduling
+// choice, not a semantic one — sequential cells, GOMAXPROCS cells and an
+// oversubscribed cell budget all produce the same summary tables in the
+// same order.
+func TestMatrixCellWorkersByteIdentical(t *testing.T) {
+	m := Matrix{Corpora: []string{"torus", "hypercube"}, Budgets: []int{1, 2}}
+	var want []string
+	for _, workers := range []int{1, 0, 4} {
+		opt := smallMatrixOptions(1)
+		opt.CellWorkers = workers
+		summary, err := Run(m, opt)
+		if err != nil {
+			t.Fatalf("cell workers %d: %v", workers, err)
+		}
+		var got []string
+		for _, cell := range summary.Cells {
+			got = append(got, cell.Name()+"\n"+cell.Table.Render())
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("cell workers %d: cell %d differs from the sequential run", workers, i)
+			}
+		}
+	}
+}
+
+// streamProbe builds registry corpora whose streamed entries count live
+// builds through the Spec Gen/Drop hooks, so tests can assert the peak
+// number of concurrently resident graphs.
+type streamProbe struct {
+	live, peak atomic.Int64
+}
+
+func (p *streamProbe) corpus(entries int, size func(int) int) corpus.Builder {
+	return func(int64, func(*graph.Graph) bool) *corpus.Corpus {
+		specs := make([]corpus.Spec, entries)
+		for i := range specs {
+			n := size(i)
+			specs[i] = corpus.Spec{
+				Name: graphName(i), Family: "probe", Nodes: n, Stream: true,
+				Gen: func() *graph.Graph {
+					if l := p.live.Add(1); l > p.peak.Load() {
+						p.peak.Store(l)
+					}
+					return graph.Ring(n)
+				},
+				Drop: func(*graph.Graph) { p.live.Add(-1) },
+			}
+		}
+		return corpus.New(specs...)
+	}
+}
+
+func graphName(i int) string { return "probe-" + string(rune('a'+i)) }
+
+// TestMatrixStreamingBoundsLiveGraphs is the peak-resident-graphs assertion:
+// with sequential cells over two streamed probe corpora, each corpus's
+// graphs are dropped when its last cell completes, so the peak number of
+// live graphs is one corpus's worth — not the whole matrix's.
+func TestMatrixStreamingBoundsLiveGraphs(t *testing.T) {
+	probe := &streamProbe{}
+	reg := corpus.NewRegistry()
+	reg.Register("s1", probe.corpus(3, func(i int) int { return 8 + i }))
+	reg.Register("s2", probe.corpus(3, func(i int) int { return 16 + i }))
+	m := Matrix{Corpora: []string{"s1", "s2"}, Budgets: []int{1, 2}}
+	summary, err := Run(m, Options{Seed: 1, Registry: reg, CellWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Cells) != 4 {
+		t.Fatalf("ran %d cells, want 4", len(summary.Cells))
+	}
+	if live := probe.live.Load(); live != 0 {
+		t.Errorf("%d graphs still live after the run; every streamed corpus must be released", live)
+	}
+	if peak := probe.peak.Load(); peak != 3 {
+		t.Errorf("peak live graphs = %d, want 3 (one corpus at a time, not %d)", peak, 6)
+	}
+}
+
+// TestMatrixStreamedCorpusByteIdentical: streamed largerandom cells are
+// byte-identical to fully-materialised ones at budgets 1, 2 and 8, the run
+// releases the streamed corpus, and a second run over the released corpus
+// rebuilds the graphs and reproduces the same bytes (run in CI under -race).
+func TestMatrixStreamedCorpusByteIdentical(t *testing.T) {
+	// One registry serves the same streamed corpus object to both runs (so
+	// the second run exercises release + rebuild), and a pinned copy whose
+	// entries pre-materialise and never stream.
+	streamed := corpus.LargeRandomCorpus(1)
+	reg := corpus.NewRegistry()
+	reg.Register("streamed", func(int64, func(*graph.Graph) bool) *corpus.Corpus { return streamed })
+	reg.Register("pinned", func(int64, func(*graph.Graph) bool) *corpus.Corpus {
+		lr := corpus.LargeRandomCorpus(1).Filter(corpus.Filter{MaxNodes: 1000})
+		specs := make([]corpus.Spec, 0, lr.Len())
+		for _, name := range lr.Names() {
+			g := lr.Graph(name)
+			specs = append(specs, corpus.Spec{
+				Name: name, Family: lr.Family(name), Nodes: g.N(),
+				Gen: func() *graph.Graph { return g },
+			})
+		}
+		return corpus.New(specs...)
+	})
+	opt := Options{Seed: 1, Quick: true, Registry: reg, Filter: corpus.Filter{MaxNodes: 1000}}
+	run := func(corpora ...string) map[string]string {
+		eng := engine.New(0)
+		runOpt := opt
+		runOpt.Engine = eng
+		summary, err := Run(Matrix{Corpora: corpora, Budgets: []int{1, 2, 8}}, runOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Release forgets the dropped graphs' engine state too, so nothing
+		// streamed lingers in the refinement cache after the run.
+		if corpora[0] == "streamed" {
+			if s := eng.Stats(); s.Graphs != 0 {
+				t.Errorf("engine still caches %d graphs after the streamed run, want 0", s.Graphs)
+			}
+		}
+		tables := map[string]string{}
+		for _, cell := range summary.Cells {
+			key := cell.Experiment + "@" + string(rune('0'+cell.Budget))
+			tables[key] = cell.Table.Render() + cell.Table.Markdown()
+		}
+		return tables
+	}
+	first := run("streamed")
+	if live := streamed.Live(); live != 0 {
+		t.Fatalf("%d streamed graphs still live after the run", live)
+	}
+	second := run("streamed") // forces release + rebuild of every graph
+	pinned := run("pinned")
+	for key, table := range first {
+		if second[key] != table {
+			t.Errorf("%s: rebuilt streamed cell differs from the first run", key)
+		}
+		if pinned[key] != table {
+			t.Errorf("%s: streamed cell differs from the fully-materialised corpus", key)
+		}
+	}
+	if len(first) == 0 || len(first) != len(pinned) {
+		t.Fatalf("cell sets differ: %d streamed vs %d pinned", len(first), len(pinned))
 	}
 }
 
