@@ -356,6 +356,125 @@ func BenchmarkSubstrateFeasibility(b *testing.B) {
 	}
 }
 
+// --- Deep refinement: level-persistent bucketisation -----------------------------
+//
+// The scaling-curve benchmarks behind BENCH_pr6.json: many refinement levels
+// on large graphs, where carrying the partition across levels (view/persist.go)
+// pays. Each benchmark reports nodes-levels/sec — nodes × levels refined per
+// wall second — the throughput row the nightly lane records alongside ns/op.
+// The *ConsPairs variants drive the retired per-level path (full signature
+// fill + global hash-consing at every level, no state carried) as the measured
+// baseline; the view package's differential tests keep the two paths
+// byte-identical, so the delta between the pairs is pure mechanism.
+
+const deepLevels = 8
+
+// reportNodesLevels attaches the refinement-throughput metric after a timed
+// loop that refined the whole graph deepLevels deep once per iteration.
+func reportNodesLevels(b *testing.B, nodes int) {
+	b.ReportMetric(float64(nodes)*float64(deepLevels)*float64(b.N)/b.Elapsed().Seconds(), "nodes-levels/sec")
+}
+
+// consRefineDeep is the retired per-level refinement: a full fill and a
+// global cons pass at every level, mirroring the consRefine oracle of the
+// view package's differential tests.
+func consRefineDeep(g *Graph, maxDepth int) {
+	cur, _ := view.DegreeClasses(g)
+	sigs := view.GetPairSigs(g)
+	for h := 1; h <= maxDepth; h++ {
+		sigs.Fill(g, cur, 0, g.N())
+		cur, _ = view.ConsPairs(sigs)
+	}
+	view.PutPairSigs(sigs)
+}
+
+// deepRandomGraph is the class-diverse half of the scaling pair: a sparse
+// 50k-node random graph whose degree spread splits the partition quickly, so
+// most classes go singleton within a few levels and the persistent path's
+// split-only work shrinks level over level.
+func deepRandomGraph(b *testing.B) *Graph {
+	b.Helper()
+	return RandomConnected(50_000, 75_000, NewRand(6))
+}
+
+// BenchmarkRefineDeepTorus: ~102k-node torus, 8 levels, persistent path. A
+// torus is vertex-transitive, so the partition is one giant block that never
+// splits — this measures the incremental fill+cons machinery with zero
+// singleton savings, the persistent scheme's worst case.
+func BenchmarkRefineDeepTorus(b *testing.B) {
+	g := Torus(320, 320)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Refine(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
+// BenchmarkRefineDeepTorusConsPairs: same torus and depth through the retired
+// per-level path.
+func BenchmarkRefineDeepTorusConsPairs(b *testing.B) {
+	g := Torus(320, 320)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consRefineDeep(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
+// BenchmarkRefineDeepRandom: 50k class-diverse random graph, 8 levels,
+// persistent path — the case the split-only invariant was built for.
+func BenchmarkRefineDeepRandom(b *testing.B) {
+	g := deepRandomGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Refine(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
+// BenchmarkRefineDeepRandomConsPairs: same random graph and depth through the
+// retired per-level path, which pays the full O(n) fill+cons at every level
+// no matter how much of the partition is already singleton.
+func BenchmarkRefineDeepRandomConsPairs(b *testing.B) {
+	g := deepRandomGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consRefineDeep(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
+// BenchmarkRefineDeepEngineCold: the same deep refinement through a fresh
+// engine per iteration — what a streamed corpus rung pays the first (and,
+// with per-graph release, only) time it touches a graph.
+func BenchmarkRefineDeepEngineCold(b *testing.B) {
+	g := deepRandomGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewEngine(0).Refine(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
+// BenchmarkRefineDeepEngineWarm: the deep refinement served from a warm
+// engine — the steady state of a pinned (non-streamed) corpus entry.
+func BenchmarkRefineDeepEngineWarm(b *testing.B) {
+	g := deepRandomGraph(b)
+	eng := NewEngine(0)
+	eng.Refine(g, deepLevels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Refine(g, deepLevels)
+	}
+	reportNodesLevels(b, g.N())
+}
+
 func BenchmarkSubstrateMapAdviceAllTasks(b *testing.B) {
 	g := ThreeNodeLine()
 	b.ReportAllocs()

@@ -7,10 +7,10 @@
 //
 //	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
 //	            [-corpus NAME] [-families caterpillar,random] [-min-nodes N] [-max-nodes N]
-//	            [-list-corpus] [-list-corpora]
+//	            [-params file:grid.json] [-max-rss-mb N] [-list-corpus] [-list-corpora]
 //	advicebench -matrix [-families torus,hypercube] [-experiments E5,E7]
-//	            [-params quick] [-budgets 1,2,8] [-cell-workers N]
-//	            [-out SCENARIO_run.json]
+//	            [-params quick,file:grid.json] [-budgets 1,2,8] [-cell-workers N]
+//	            [-max-rss-mb N] [-out SCENARIO_run.json]
 //
 // In suite mode the corpus flags pick and filter the named graph set the
 // cross-cutting experiments (E1, E2) sweep; the parameterised experiments are
@@ -21,7 +21,15 @@
 // (default, quick), -budgets the per-cell worker budgets, -cell-workers the
 // run-wide cell-scheduling budget, and -out writes the machine-readable
 // SCENARIO_*.json summary the nightly CI lane uploads and cmd/scenariocmp
-// diffs.
+// diffs. Cells whose experiment × corpus pairing the corpus traits rule out
+// (E1/E2 on infeasible families) are reported as skipped, not failed.
+//
+// A -params entry of the form file:PATH (either mode) loads parameter-grid
+// overrides from a JSON file mapping experiment names to ParamPoint lists
+// (see core.ParseParamsGrids); loaded grids replace the named experiments'
+// default grids wholesale. -max-rss-mb asserts a peak-RSS ceiling after the
+// run (Linux; the nightly million-node census rung runs under one), exiting
+// non-zero when the process's peak resident set exceeded it.
 package main
 
 import (
@@ -53,7 +61,8 @@ func main() {
 	listCorpora := flag.Bool("list-corpora", false, "list the registered corpora and exit")
 	matrix := flag.Bool("matrix", false, "run the corpus × experiment × params × budget scenario matrix instead of the suite")
 	experiments := flag.String("experiments", "", "matrix mode: comma-separated registered experiments (empty = census)")
-	params := flag.String("params", "", "matrix mode: comma-separated named param sets (empty = default)")
+	params := flag.String("params", "", "comma-separated named param sets (matrix axis) and/or file:PATH grid-override files")
+	maxRSSMB := flag.Int64("max-rss-mb", 0, "fail if the process's peak RSS exceeds this many MiB after the run (0 = no bound; Linux only)")
 	budgets := flag.String("budgets", "", "matrix mode: comma-separated worker budgets (empty = 0 = GOMAXPROCS)")
 	cellWorkers := flag.Int("cell-workers", 0, "matrix mode: run-wide cell-scheduling budget (0 = GOMAXPROCS, 1 = sequential cells)")
 	out := flag.String("out", "", "matrix mode: write the SCENARIO_*.json summary to this path")
@@ -72,17 +81,21 @@ func main() {
 		filter.Families = splitList(*families)
 	}
 
+	paramSets, paramGrids := parseParamsFlag(*params)
+
 	if *matrix {
 		m := scenario.Matrix{
 			Corpora:     splitList(*families),
 			Experiments: splitList(*experiments),
-			Params:      splitList(*params),
+			Params:      paramSets,
 			Budgets:     splitInts(*budgets),
 		}
 		if len(m.Corpora) == 0 && *corpusName != "" {
 			m.Corpora = []string{*corpusName}
 		}
-		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter, CellWorkers: *cellWorkers}, *out, *stats)
+		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter,
+			CellWorkers: *cellWorkers, Params: paramGrids}, *out, *stats)
+		assertPeakRSS(*maxRSSMB)
 		return
 	}
 
@@ -115,7 +128,8 @@ func main() {
 	}
 
 	start := time.Now()
-	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed, Engine: eng, Corpus: c, Parallelism: *parallel})
+	tables, err := core.All(core.Options{Quick: *quick, Seed: *seed, Engine: eng, Corpus: c,
+		Parallelism: *parallel, Params: paramGrids})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
 		// Print whatever was produced before the failure, then exit non-zero.
@@ -126,6 +140,66 @@ func main() {
 	fmt.Printf("completed %d experiments in %v\n", countPrinted(tables, wanted), time.Since(start).Round(time.Millisecond))
 	if *stats {
 		printStats(eng)
+	}
+	assertPeakRSS(*maxRSSMB)
+}
+
+// parseParamsFlag splits the -params flag into named parameter sets (the
+// matrix's params axis) and grid-override maps loaded from file:PATH entries.
+// Grids from multiple files merge; two files overriding the same experiment
+// conflict and abort.
+func parseParamsFlag(s string) ([]string, map[string][]core.ParamPoint) {
+	var sets []string
+	var grids map[string][]core.ParamPoint
+	for _, part := range splitList(s) {
+		path, isFile := strings.CutPrefix(part, "file:")
+		if !isFile {
+			sets = append(sets, part)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: -params %s: %v\n", part, err)
+			os.Exit(2)
+		}
+		loaded, err := core.ParseParamsGrids(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: -params %s: %v\n", part, err)
+			os.Exit(2)
+		}
+		if grids == nil {
+			grids = loaded
+			continue
+		}
+		for name, points := range loaded {
+			if _, dup := grids[name]; dup {
+				fmt.Fprintf(os.Stderr, "advicebench: -params: two files override %s\n", name)
+				os.Exit(2)
+			}
+			grids[name] = points
+		}
+	}
+	return sets, grids
+}
+
+// assertPeakRSS enforces -max-rss-mb: it reports the process's peak resident
+// set and exits non-zero when the bound is exceeded. A zero bound disables
+// the check; platforms without RSS accounting reject a non-zero bound rather
+// than silently passing.
+func assertPeakRSS(maxMB int64) {
+	if maxMB <= 0 {
+		return
+	}
+	rss, ok := peakRSSBytes()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "advicebench: -max-rss-mb is not supported on this platform")
+		os.Exit(2)
+	}
+	mb := rss >> 20
+	fmt.Printf("peak RSS: %d MiB (bound %d MiB)\n", mb, maxMB)
+	if mb > maxMB {
+		fmt.Fprintf(os.Stderr, "advicebench: peak RSS %d MiB exceeds the -max-rss-mb bound of %d MiB\n", mb, maxMB)
+		os.Exit(1)
 	}
 }
 
@@ -144,7 +218,10 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) 
 	fmt.Printf("%-32s %6s %10s  %s\n", "cell", "rows", "wall", "status")
 	for _, cell := range summary.Cells {
 		status := "ok"
-		if cell.Err != "" {
+		switch {
+		case cell.Skipped:
+			status = "skipped: " + cell.Reason
+		case cell.Err != "":
 			status = "FAILED: " + cell.Err
 		}
 		fmt.Printf("%-32s %6d %9dms  %s\n", cell.Name(), cell.Rows, cell.WallMS, status)
@@ -153,9 +230,9 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) 
 	if sets == 0 {
 		sets = 1
 	}
-	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d param sets × %d budgets) in %dms, %d failed\n",
+	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d param sets × %d budgets) in %dms, %d failed, %d skipped\n",
 		len(summary.Cells), len(summary.Corpora), len(summary.Experiments), sets, len(summary.Budgets),
-		summary.WallMS, summary.Failed)
+		summary.WallMS, summary.Failed, summary.Skipped)
 	if stats {
 		printStats(eng)
 	}

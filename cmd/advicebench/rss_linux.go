@@ -1,0 +1,15 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// peakRSSBytes returns the process's peak resident set size in bytes. Linux
+// reports ru_maxrss in KiB.
+func peakRSSBytes() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return ru.Maxrss * 1024, true
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes reports that peak-RSS accounting is unavailable; -max-rss-mb
+// then rejects a non-zero bound instead of silently passing.
+func peakRSSBytes() (int64, bool) { return 0, false }

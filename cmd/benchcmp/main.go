@@ -24,6 +24,11 @@ type record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NodesLevelsPerSec is the refinement-throughput metric the deep
+	// benchmarks report via b.ReportMetric (nodes × levels refined per
+	// second) — the scaling-curve number. Reported, never gated: throughput
+	// varies with the runner exactly like ns/op, and ns/op already gates.
+	NodesLevelsPerSec float64 `json:"nodes_levels_per_sec,omitempty"`
 }
 
 // artifact is the top-level shape of a BENCH_*.json file.
@@ -94,7 +99,8 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 		}
 		or, ok := oldBy[nr.Name]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("NEW   %-45s %12.0f ns/op (no previous measurement)", nr.Name, nr.NsPerOp))
+			lines = append(lines, fmt.Sprintf("NEW   %-45s %12.0f ns/op%s (no previous measurement)",
+				nr.Name, nr.NsPerOp, newThroughput(nr)))
 			continue
 		}
 		if or.NsPerOp <= 0 {
@@ -107,8 +113,8 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 			status = "FAIL "
 			regressions++
 		}
-		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)%s",
-			status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio, memDelta(or, nr)))
+		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)%s%s",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio, throughputDelta(or, nr), memDelta(or, nr)))
 	}
 	for _, or := range oldArt.Bench {
 		if re.MatchString(or.Name) && !seen[or.Name] {
@@ -134,6 +140,27 @@ func memDelta(or, nr record) string {
 		s += fmt.Sprintf("  %0.f -> %0.f allocs/op%s", or.AllocsPerOp, nr.AllocsPerOp, ratioSuffix(or.AllocsPerOp, nr.AllocsPerOp))
 	}
 	return s
+}
+
+// throughputDelta renders the nodes·levels/sec movement of a gated
+// benchmark — the refinement scaling-curve metric. Like memory it is
+// reported, never gated. The column appears when either side measured it, so
+// a benchmark gaining or losing the metric still shows.
+func throughputDelta(or, nr record) string {
+	if or.NodesLevelsPerSec <= 0 && nr.NodesLevelsPerSec <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %0.f -> %0.f nodes-levels/sec%s",
+		or.NodesLevelsPerSec, nr.NodesLevelsPerSec, ratioSuffix(or.NodesLevelsPerSec, nr.NodesLevelsPerSec))
+}
+
+// newThroughput renders the throughput of a benchmark with no previous
+// measurement.
+func newThroughput(nr record) string {
+	if nr.NodesLevelsPerSec <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %0.f nodes-levels/sec", nr.NodesLevelsPerSec)
 }
 
 // ratioSuffix formats the new/old ratio, or nothing when old is zero.

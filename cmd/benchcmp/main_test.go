@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -103,5 +104,49 @@ func TestCompareEmptyMatchGatesEverything(t *testing.T) {
 	_, regressions := compare(oldArt, newArt, regexp.MustCompile(""), 2.0)
 	if regressions != 1 {
 		t.Fatalf("empty -match must gate every benchmark; got %d regressions", regressions)
+	}
+}
+
+// TestCompareReportsThroughputWithoutGating: nodes-levels/sec movement shows
+// up on the comparison lines (including NEW lines) but never counts as a
+// regression, and benchmarks without the metric stay silent.
+func TestCompareReportsThroughputWithoutGating(t *testing.T) {
+	oldArt := art(
+		record{Name: "BenchmarkRefineDeepTorus", NsPerOp: 1000, NodesLevelsPerSec: 4e6},
+		record{Name: "BenchmarkRefinePlain", NsPerOp: 1000},
+	)
+	newArt := art(
+		record{Name: "BenchmarkRefineDeepTorus", NsPerOp: 1100, NodesLevelsPerSec: 1e6}, // 4x slower throughput, ns fine
+		record{Name: "BenchmarkRefinePlain", NsPerOp: 1100},
+		record{Name: "BenchmarkRefineDeepRandom", NsPerOp: 500, NodesLevelsPerSec: 8e6},
+	)
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Refine"), 2.0)
+	if regressions != 0 {
+		t.Fatalf("throughput movement must not gate; got %d regressions\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "4000000 -> 1000000 nodes-levels/sec (0.25x)") {
+		t.Errorf("throughput movement not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "NEW   BenchmarkRefineDeepRandom") || !strings.Contains(joined, "8000000 nodes-levels/sec") {
+		t.Errorf("new benchmark's throughput not reported:\n%s", joined)
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "BenchmarkRefinePlain") && strings.Contains(line, "nodes-levels") {
+			t.Errorf("metric-less benchmark grew a throughput column: %s", line)
+		}
+	}
+}
+
+// TestThroughputRoundTripsJSON: the nodes_levels_per_sec field survives the
+// artifact round-trip (the CI awk step writes it, compare reads it).
+func TestThroughputRoundTripsJSON(t *testing.T) {
+	var a artifact
+	doc := `{"bench": [{"name": "BenchmarkRefineDeepTorus", "iterations": 3, "ns_per_op": 12.5, "nodes_levels_per_sec": 4200000}]}`
+	if err := json.Unmarshal([]byte(doc), &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Bench[0].NodesLevelsPerSec != 4200000 {
+		t.Fatalf("nodes_levels_per_sec = %v, want 4200000", a.Bench[0].NodesLevelsPerSec)
 	}
 }

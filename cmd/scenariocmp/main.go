@@ -8,9 +8,12 @@
 // Row counts are the gated quantity — for a deterministic matrix they are a
 // function of the matrix alone, so a drift means a cell silently lost or
 // grew rows between runs. Wall-time movement and error-status changes are
-// reported but never gated (wall times vary with the runner), and cells
-// present on only one side (NEW/GONE) never fail — the matrix is allowed to
-// evolve between nightlies.
+// reported but never gated (wall times vary with the runner), cells present
+// on only one side (NEW/GONE) never fail — the matrix is allowed to evolve
+// between nightlies — and cells that are skipped on either side (experiment
+// × corpus pairings ruled out by corpus traits) are reported as skip
+// transitions instead of row drifts, since a skip legitimately carries zero
+// rows.
 package main
 
 import (
@@ -82,6 +85,10 @@ func compare(oldArt, newArt *scenario.Summary) (lines []string, drifted int) {
 			lines = append(lines, fmt.Sprintf("NEW   %-40s %6d rows %8dms (no previous cell)", name, nc.Rows, nc.WallMS))
 			continue
 		}
+		if oc.Skipped || nc.Skipped {
+			lines = append(lines, fmt.Sprintf("SKIP  %-40s %s", name, skipDelta(oc, nc)))
+			continue
+		}
 		status := "OK   "
 		if nc.Rows != oc.Rows {
 			status = "DRIFT"
@@ -106,6 +113,21 @@ func wallRatio(old, new int64) string {
 		return ""
 	}
 	return fmt.Sprintf(" (%.2fx)", float64(new)/float64(old))
+}
+
+// skipDelta describes a cell skipped on either side: stable skips and skip
+// transitions are both informational — a transition means the matrix's
+// trait-compatibility decisions changed between runs, which is a deliberate
+// registry or matrix change, not silent drift.
+func skipDelta(oc, nc scenario.CellResult) string {
+	switch {
+	case oc.Skipped && nc.Skipped:
+		return fmt.Sprintf("skipped on both sides (%s)", nc.Reason)
+	case nc.Skipped:
+		return fmt.Sprintf("now skipped: %s (was %d rows)", nc.Reason, oc.Rows)
+	default:
+		return fmt.Sprintf("no longer skipped: %d rows (was: %s)", nc.Rows, oc.Reason)
+	}
 }
 
 // errDelta notes a cell whose error status changed between the artifacts —

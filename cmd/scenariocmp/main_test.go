@@ -132,3 +132,38 @@ func TestLoadRealArtifact(t *testing.T) {
 		t.Error("load of invalid JSON did not error")
 	}
 }
+
+// TestCompareReportsSkipTransitions: cells skipped on either side are
+// reported as skip transitions — with the recorded reason — and never gate,
+// even though a skip carries zero rows.
+func TestCompareReportsSkipTransitions(t *testing.T) {
+	skipped := func(corpus, experiment string, budget int, reason string) scenario.CellResult {
+		c := cell(corpus, experiment, "", budget, 0, 0, "")
+		c.Skipped, c.Reason = true, reason
+		return c
+	}
+	oldArt := art(
+		skipped("torus", "E1", 1, "E1 requires feasible graphs"),
+		skipped("torus", "E2", 1, "E2 requires feasible graphs"),
+		cell("torus", "census", "", 1, 7, 10, ""),
+	)
+	newArt := art(
+		skipped("torus", "E1", 1, "E1 requires feasible graphs"), // stable skip
+		cell("torus", "E2", "", 1, 7, 10, ""),                    // no longer skipped
+		skipped("torus", "census", 1, "census now gated"),        // newly skipped
+	)
+	lines, drifted := compare(oldArt, newArt)
+	if drifted != 0 {
+		t.Fatalf("skip transitions must not gate; got %d drifts\n%s", drifted, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "SKIP  torus/E1@1") || !strings.Contains(joined, "skipped on both sides (E1 requires feasible graphs)") {
+		t.Errorf("stable skip not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "no longer skipped: 7 rows") {
+		t.Errorf("skip-to-run transition not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "now skipped: census now gated (was 7 rows)") {
+		t.Errorf("run-to-skip transition not reported:\n%s", joined)
+	}
+}

@@ -148,6 +148,17 @@ func BuildCorpus(name string, seed int64) (*GraphCorpus, error) {
 	return corpus.Corpora.Build(name, seed, engine.Default.Feasible)
 }
 
+// CorpusTraits are the declared properties of a registered corpus family
+// (today: whether every member certifies Feasible). The scenario matrix
+// consults them to skip experiment × corpus pairings the experiment's
+// requirements rule out, with a recorded reason, instead of running the cell
+// into a failure.
+type CorpusTraits = corpus.Traits
+
+// RegisteredCorpusTraits returns the declared traits of a registered corpus
+// (the zero Traits for unknown names — nothing is certified).
+func RegisteredCorpusTraits(name string) CorpusTraits { return corpus.Corpora.Traits(name) }
+
 // ---- Refinement engine -------------------------------------------------------
 
 // RefinementEngine is the concurrency-safe, memoizing view-refinement engine
@@ -353,6 +364,14 @@ func DefaultParams(name string) []ExperimentParamPoint { return core.DefaultPara
 // ExperimentParamSets returns the named parameter sets ("default", "quick")
 // a ScenarioMatrix.Params axis may select.
 func ExperimentParamSets() []string { return core.ParamSetNames() }
+
+// ParseExperimentParams parses a JSON document mapping experiment names to
+// replacement parameter grids (the `-params file:grid.json` format of
+// cmd/advicebench: {"E5": [{"name": "...", "values": {...}}, ...]}) and
+// returns the grids keyed by canonical experiment name.
+func ParseExperimentParams(data []byte) (map[string][]ExperimentParamPoint, error) {
+	return core.ParseParamsGrids(data)
+}
 
 // RunExperiment runs one registered experiment by name ("E5", "census",
 // case-insensitive); parameterised experiments resolve their grid from

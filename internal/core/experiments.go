@@ -45,6 +45,16 @@ type Options struct {
 	// the grid wholesale (a nil or empty slice means no points). FullOnly
 	// points are still dropped in Quick mode.
 	Params map[string][]ParamPoint
+	// GraphDone, if set, is called by the corpus sweeps (E1, E2, census)
+	// exactly once per graph, when that graph's task finishes — success,
+	// verification failure or hard error alike. It is the per-graph
+	// streaming hook: the scenario runner refcounts a run's sweep tasks per
+	// corpus entry through it and releases each graph (corpus entry plus
+	// engine tables) as soon as its last task across all cells completes,
+	// bounding a ladder sweep's peak resident set by its largest rung. The
+	// callback may run concurrently from pool workers and must be
+	// thread-safe.
+	GraphDone func(name string)
 
 	// shared carries the per-run corpus, engine and scheduler across the
 	// experiments of one All invocation; experiments invoked individually
@@ -158,6 +168,9 @@ func runHierarchy(opt Options) (*Table, error) {
 	names := graphs.Names()
 	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
 		name := names[i]
+		if opt.GraphDone != nil {
+			defer opt.GraphDone(name)
+		}
 		g := graphs.Graph(name)
 		idx, err := election.Indices(g, election.Options{Engine: opt.shared.eng})
 		if err != nil {
@@ -202,6 +215,9 @@ func runSelectionAdvice(opt Options) (*Table, error) {
 	names := graphs.Names()
 	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
 		name := names[i]
+		if opt.GraphDone != nil {
+			defer opt.GraphDone(name)
+		}
 		g := graphs.Graph(name)
 		psi, err := election.Index(g, election.S, election.Options{Engine: opt.shared.eng})
 		if err != nil {
@@ -830,6 +846,9 @@ func runViewCensus(opt Options) (*Table, error) {
 	names := graphs.Names()
 	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
 		name := names[i]
+		if opt.GraphDone != nil {
+			defer opt.GraphDone(name)
+		}
 		g := graphs.Graph(name)
 		eng := opt.shared.eng
 		stab := eng.StabilisationDepth(g)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file parses parameter grids from JSON, completing the params-as-data
+// story: the declared grids are exported slices, named subsets are resolved
+// by ParamSet, and ad-hoc grids arrive from files (-params file:grid.json on
+// the command line). A grid file maps experiment names to lists of points in
+// the ParamPoint JSON shape:
+//
+//	{
+//	  "E5": [
+//	    {"name": "d3k2", "values": {"delta": 3, "k": 2}},
+//	    {"name": "d4k3-full", "full_only": true, "values": {"delta": 4, "k": 3}}
+//	  ]
+//	}
+//
+// Experiments absent from the file keep their default grids.
+
+// ParseParamsGrids decodes a params-grid JSON document into an Options.Params
+// override map. Every key must name a registered parameterised experiment
+// (the corpus sweeps have no params axis), every grid must be non-empty, and
+// point names must be non-empty and unique within their grid — the same
+// invariants the declared default grids uphold, validated here so a bad file
+// fails loudly at load time instead of producing confusing cell names
+// mid-run. Returned names are canonicalised ("e5" in the file becomes "E5"),
+// matching how resolvedPoints looks overrides up.
+func ParseParamsGrids(data []byte) (map[string][]ParamPoint, error) {
+	var raw map[string][]ParamPoint
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("core: parsing params grids: %w", err)
+	}
+	out := make(map[string][]ParamPoint, len(raw))
+	for name, points := range raw {
+		d, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("core: params grid for unknown experiment %q (have %v)", name, ExperimentNames())
+		}
+		if d.Params == nil {
+			return nil, fmt.Errorf("core: params grid for %s, which has no params axis", d.Name)
+		}
+		if len(points) == 0 {
+			return nil, fmt.Errorf("core: empty params grid for %s", d.Name)
+		}
+		seen := make(map[string]bool, len(points))
+		for _, p := range points {
+			if p.Name == "" {
+				return nil, fmt.Errorf("core: params grid for %s has a point with no name", d.Name)
+			}
+			if seen[p.Name] {
+				return nil, fmt.Errorf("core: params grid for %s repeats point %q", d.Name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+		if _, dup := out[d.Name]; dup {
+			return nil, fmt.Errorf("core: params grids name %s twice (case-insensitive keys collide)", d.Name)
+		}
+		out[d.Name] = points
+	}
+	return out, nil
+}

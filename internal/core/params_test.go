@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParseParamsGrids: a well-formed grid file decodes into an
+// Options.Params override map with canonicalised experiment names, JSON
+// round-trips the full ParamPoint shape (full_only, values), and experiments
+// absent from the file are absent from the map.
+func TestParseParamsGrids(t *testing.T) {
+	grids, err := ParseParamsGrids([]byte(`{
+		"e5": [
+			{"name": "d3k1", "values": {"delta": 3, "k": 1}},
+			{"name": "d4k2-full", "full_only": true, "values": {"delta": 4, "k": 2, "central": 1}}
+		],
+		"E10": [
+			{"name": "d4", "values": {"delta": 4, "k": 1}}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseParamsGrids: %v", err)
+	}
+	if len(grids) != 2 {
+		t.Fatalf("parsed %d grids, want 2", len(grids))
+	}
+	e5, ok := grids["E5"]
+	if !ok {
+		t.Fatalf(`grid keyed "e5" was not canonicalised to E5: %v`, grids)
+	}
+	if len(e5) != 2 || e5[0].Name != "d3k1" || e5[0].Int("delta") != 3 {
+		t.Fatalf("E5 grid decoded wrong: %+v", e5)
+	}
+	if !e5[1].FullOnly || e5[1].Int("central") != 1 {
+		t.Fatalf("full_only/values did not round-trip: %+v", e5[1])
+	}
+	if _, present := grids["E3"]; present {
+		t.Error("an experiment absent from the file appeared in the map")
+	}
+}
+
+// TestParseParamsGridsRejects: the loader fails loudly on malformed JSON,
+// unknown experiments, experiments without a params axis, empty grids, and
+// unnamed or duplicate points.
+func TestParseParamsGridsRejects(t *testing.T) {
+	cases := []struct {
+		label, doc, wantErr string
+	}{
+		{"malformed", `{"E5": [`, "parsing params grids"},
+		{"unknown experiment", `{"E99": [{"name": "p", "values": {}}]}`, "unknown experiment"},
+		{"no params axis", `{"census": [{"name": "p", "values": {}}]}`, "no params axis"},
+		{"empty grid", `{"E5": []}`, "empty params grid"},
+		{"unnamed point", `{"E5": [{"values": {"delta": 3}}]}`, "no name"},
+		{"duplicate point", `{"E5": [{"name": "p", "values": {}}, {"name": "p", "values": {}}]}`, "repeats point"},
+	}
+	for _, c := range cases {
+		_, err := ParseParamsGrids([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: ParseParamsGrids accepted the document", c.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.label, err, c.wantErr)
+		}
+	}
+}
+
+// TestParsedGridDrivesRun: a file-loaded grid plugs straight into
+// Options.Params and restricts the experiment to the file's points.
+func TestParsedGridDrivesRun(t *testing.T) {
+	grids, err := ParseParamsGrids([]byte(`{"E3": [{"name": "only", "values": {"delta": 4, "k": 1, "instance": 2}}]}`))
+	if err != nil {
+		t.Fatalf("ParseParamsGrids: %v", err)
+	}
+	table, err := RunExperiment("E3", Options{Quick: true, Seed: 1, Params: grids})
+	if err != nil {
+		t.Fatalf("E3 with a file grid: %v", err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("E3 ran %d rows, want the file grid's 1", len(table.Rows))
+	}
+}
+
+// TestCorpusSweepDescriptors: exactly E1, E2 and the census are corpus
+// sweeps, and of those exactly E1 and E2 require feasible corpora.
+func TestCorpusSweepDescriptors(t *testing.T) {
+	wantSweep := map[string]bool{"E1": true, "E2": true, "census": true}
+	wantFeasible := map[string]bool{"E1": true, "E2": true}
+	for _, d := range Experiments() {
+		if d.CorpusSweep != wantSweep[d.Name] {
+			t.Errorf("%s: CorpusSweep = %v, want %v", d.Name, d.CorpusSweep, wantSweep[d.Name])
+		}
+		if d.NeedsFeasible != wantFeasible[d.Name] {
+			t.Errorf("%s: NeedsFeasible = %v, want %v", d.Name, d.NeedsFeasible, wantFeasible[d.Name])
+		}
+		if d.NeedsFeasible && !d.CorpusSweep {
+			t.Errorf("%s: NeedsFeasible without CorpusSweep makes no sense", d.Name)
+		}
+	}
+}
+
+// TestGraphDoneFiresOncePerGraph: the corpus sweeps call the GraphDone hook
+// exactly once per corpus entry, at every worker budget.
+func TestGraphDoneFiresOncePerGraph(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		for _, exp := range []string{"E1", "E2", "census"} {
+			var mu sync.Mutex
+			counts := map[string]int{}
+			opt := Options{Quick: true, Seed: 1, Parallelism: par, GraphDone: func(name string) {
+				mu.Lock()
+				counts[name]++
+				mu.Unlock()
+			}}
+			if _, err := RunExperiment(exp, opt); err != nil {
+				t.Fatalf("%s (par=%d): %v", exp, par, err)
+			}
+			opt2 := Options{Quick: true, Seed: 1, Parallelism: par}
+			opt2 = opt2.withShared()
+			names := opt2.corpus().Names()
+			if len(counts) != len(names) {
+				t.Fatalf("%s (par=%d): GraphDone saw %d graphs, corpus has %d", exp, par, len(counts), len(names))
+			}
+			for _, name := range names {
+				if counts[name] != 1 {
+					t.Errorf("%s (par=%d): GraphDone fired %d times for %s, want 1", exp, par, counts[name], name)
+				}
+			}
+		}
+	}
+}

@@ -10,16 +10,19 @@ import (
 // of these points — parameters are data, not code — so a sweep over a
 // different grid is an Options.Params override (or a scenario-matrix params
 // axis), not a source change.
+// The JSON field tags make grids loadable from files (-params file:grid.json):
+// a grid file is a map from experiment name to a list of points in exactly
+// this shape — see ParseParamsGrids.
 type ParamPoint struct {
 	// Name is the point's stable label, unique within its grid; scenario
 	// cells and failure reports refer to points by it.
-	Name string
+	Name string `json:"name"`
 	// FullOnly marks points skipped in Quick mode (the faithful, ~10^5-node
 	// instances the quick suite avoids).
-	FullOnly bool
+	FullOnly bool `json:"full_only,omitempty"`
 	// Values holds the point's named integer parameters (delta, k, mu,
 	// gadgets, ...). Each experiment documents the keys it reads.
-	Values map[string]int
+	Values map[string]int `json:"values"`
 }
 
 // Int returns the named value, or 0 when the point does not declare it.
@@ -44,7 +47,18 @@ type Descriptor struct {
 	Title  string
 	Suite  bool // part of core.All (E1–E10); the census is matrix-only
 	Params []ParamPoint
-	Run    func(Options, []ParamPoint) (*Table, error)
+	// CorpusSweep marks experiments that walk Options.Corpus graph by graph
+	// (E1, E2, census). Only these participate in per-graph streaming: the
+	// scenario runner refcounts each corpus entry across a run's sweep cells
+	// and releases the graph when its last task completes.
+	CorpusSweep bool
+	// NeedsFeasible marks corpus sweeps that execute election algorithms and
+	// therefore require every corpus graph to be feasible (E1, E2). The
+	// scenario matrix pairs them only with corpora whose registered Traits
+	// certify feasibility, skipping other pairings with a recorded reason
+	// instead of failing mid-run.
+	NeedsFeasible bool
+	Run           func(Options, []ParamPoint) (*Table, error)
 }
 
 // registry lists every experiment in suite order (E1–E10, then the census).
@@ -53,8 +67,10 @@ type Descriptor struct {
 // in sync.
 var registry = []Descriptor{
 	{Name: "E1", Title: "Fact 1.1 — election-index hierarchy on a corpus", Suite: true,
+		CorpusSweep: true, NeedsFeasible: true,
 		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runHierarchy(opt) }},
 	{Name: "E2", Title: "Theorem 2.2 — Selection with advice on a corpus", Suite: true,
+		CorpusSweep: true, NeedsFeasible: true,
 		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runSelectionAdvice(opt) }},
 	{Name: "E3", Title: "G_{Δ,k} construction and ψ_S", Suite: true, Params: GdkParams, Run: runGdk},
 	{Name: "E4", Title: "Theorem 2.9 — Selection advice lower bound on G_{Δ,k}", Suite: true, Params: GdkLowerBoundParams, Run: runGdkLowerBound},
@@ -65,7 +81,8 @@ var registry = []Descriptor{
 	{Name: "E9", Title: "Theorems 4.11/4.12 — PPE/CPPE advice lower bound on J_{µ,k}", Suite: true, Params: JmkLowerBoundParams, Run: runJmkLowerBound},
 	{Name: "E10", Title: "Headline separation — S vs PE vs PPE/CPPE advice", Suite: true, Params: SeparationParams, Run: runSeparation},
 	{Name: "census", Title: "view-class census — refinement profile of a corpus",
-		Run: func(opt Options, _ []ParamPoint) (*Table, error) { return runViewCensus(opt) }},
+		CorpusSweep: true,
+		Run:         func(opt Options, _ []ParamPoint) (*Table, error) { return runViewCensus(opt) }},
 }
 
 // Experiments returns the registered experiments in suite order (E1–E10,

@@ -202,6 +202,28 @@ func (c *Corpus) ReleaseFunc(fn func(*graph.Graph)) int {
 	return released
 }
 
+// ReleaseEntry drops the materialised graph of one named streamed entry,
+// reporting whether anything was dropped (false for non-streamed, unbuilt or
+// already-released entries; unknown names panic, like every other lookup).
+// It is the per-graph granularity the scenario runner's per-entry refcounts
+// release through: a ladder being swept drops each rung as its last task
+// completes, so the sweep's peak resident set is the largest rung — not the
+// whole ladder, as corpus-level Release granularity would make it.
+func (c *Corpus) ReleaseEntry(name string) bool { return c.ReleaseEntryFunc(name, nil) }
+
+// ReleaseEntryFunc is ReleaseEntry with an observer invoked for the dropped
+// graph (after the spec's own Drop hook) — the scenario runner passes the
+// engine's Forget, exactly as with ReleaseFunc. Entries are shared with
+// filtered views, so a per-entry release through any view drops the graph
+// for all of them.
+func (c *Corpus) ReleaseEntryFunc(name string, fn func(*graph.Graph)) bool {
+	e, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("corpus: unknown graph %q", name))
+	}
+	return e.release(fn)
+}
+
 // Live returns the number of currently materialised entries — graphs built
 // and not (or not yet) released.
 func (c *Corpus) Live() int {

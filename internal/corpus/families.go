@@ -14,11 +14,17 @@ import (
 // filtered sweep materialises only the graphs it touches.
 
 // torusSizes is the 2D-torus size ladder of the torus corpus, from the
-// smallest legal torus to a 16k-node instance. Tori are vertex-transitive
+// smallest legal torus to a million-node instance. Tori are vertex-transitive
 // (one view class at every depth), so even the largest rungs refine in a
 // handful of cheap levels; they exercise the stabilisation shortcut and the
-// infeasible end of the spectrum.
-var torusSizes = [][2]int{{3, 3}, {4, 6}, {8, 8}, {16, 16}, {32, 32}, {64, 64}, {128, 128}}
+// infeasible end of the spectrum. Rungs of at least torusStreamFrom nodes
+// stream (the generator is pure, so a dropped rung rebuilds bit for bit):
+// with per-entry release a sweep drops each large torus as its last task
+// completes instead of keeping the whole ladder alive.
+var torusSizes = [][2]int{{3, 3}, {4, 6}, {8, 8}, {16, 16}, {32, 32}, {64, 64}, {128, 128}, {512, 512}, {1024, 1024}}
+
+// torusStreamFrom is the node count from which torus rungs stream.
+const torusStreamFrom = 200_000
 
 // TorusCorpus returns the "torus" corpus: 2D tori across the size ladder,
 // named torus-RxC, family "torus".
@@ -30,6 +36,7 @@ func TorusCorpus() *Corpus {
 			Name:   fmt.Sprintf("torus-%dx%d", r, c),
 			Family: "torus",
 			Nodes:  r * c,
+			Stream: r*c >= torusStreamFrom,
 			Gen:    func() *graph.Graph { return graph.Torus(r, c) },
 		}
 	}
@@ -58,15 +65,16 @@ func HypercubeCorpus() *Corpus {
 
 // largeRandomSizes is the size ladder of the largerandom corpus: node and
 // edge counts of seeded class-diverse random connected graphs, up to a
-// 200k-node instance (m = 1.5n keeps the graphs sparse enough that views
-// stay diverse instead of collapsing). The top rung exists because the
-// corpus streams: a scenario run drops the whole ladder (graphs and their
-// engine refinement tables) as soon as the corpus's last cell completes,
-// so the ~276k-node ladder is resident only while its own cells run — not
-// kept alive for the rest of the matrix. Note the release granularity is
-// the corpus: while a census cell sweeps the ladder, every rung is live at
-// once, so ladders beyond this size should release per graph instead.
-var largeRandomSizes = [][2]int{{1000, 1500}, {5000, 7500}, {20000, 30000}, {50000, 75000}, {200000, 300000}}
+// million-node instance (m = 1.5n keeps the graphs sparse enough that views
+// stay diverse instead of collapsing). The 500k and 1M rungs exist because
+// release is per graph, not merely per corpus: the scenario runner's
+// per-entry refcounts drop each rung (graph and its engine refinement
+// tables) as soon as the last task touching it across all cells completes,
+// so a census sweep's peak resident set is O(largest rung) — the nightly
+// lane asserts the 1M rung under an explicit peak-RSS bound — instead of
+// the ~1.8M-node ladder total that corpus-granularity release would keep
+// alive for the whole sweep.
+var largeRandomSizes = [][2]int{{1000, 1500}, {5000, 7500}, {20000, 30000}, {50000, 75000}, {200000, 300000}, {500000, 750000}, {1000000, 1500000}}
 
 // LargeRandomCorpus returns the "largerandom" corpus: seeded random
 // connected graphs across the ladder, named largerandom-N, family

@@ -64,9 +64,18 @@ func TestNewFamilyNodeCounts(t *testing.T) {
 		if _, err := fmt.Sscanf(name, "torus-%dx%d", &r, &c); err != nil {
 			t.Fatalf("unexpected torus name %q", name)
 		}
+		if tor.Nodes(name) != r*c {
+			t.Errorf("%s: declared %d nodes, want %d", name, tor.Nodes(name), r*c)
+		}
+		if r*c >= torusStreamFrom {
+			// The streamed large rungs only have their hints checked here;
+			// materialising million-node tori belongs to the nightly lane,
+			// not the race-detector unit run.
+			continue
+		}
 		g := tor.Graph(name)
-		if g.N() != r*c || tor.Nodes(name) != g.N() {
-			t.Errorf("%s: declared %d nodes, graph has %d, want %d", name, tor.Nodes(name), g.N(), r*c)
+		if g.N() != r*c {
+			t.Errorf("%s: graph has %d nodes, want %d", name, g.N(), r*c)
 		}
 		if g.MaxDegree() != 4 {
 			t.Errorf("%s: max degree %d, want 4", name, g.MaxDegree())

@@ -13,24 +13,45 @@ import (
 // family requires feasibility; deterministic families ignore both.
 type Builder func(seed int64, feasible func(*graph.Graph) bool) *Corpus
 
+// Traits declares what a registered corpus guarantees about every graph it
+// builds. The scenario matrix consults them to decide corpus × experiment
+// compatibility up front — an experiment whose requirements a corpus does
+// not certify is skipped with a recorded reason instead of failing mid-run.
+// The zero Traits certifies nothing.
+type Traits struct {
+	// Feasible certifies that every member graph is feasible for leader
+	// election (all infinite views pairwise distinct). The corpus sweeps
+	// that execute election algorithms (E1, E2) require it; families built
+	// around vertex-transitive or otherwise symmetric graphs must not claim
+	// it.
+	Feasible bool
+}
+
 // Registry makes corpora discoverable by name: the scenario matrix, the
 // command-line tools and the tests all resolve corpus names through one of
 // these instead of hard-coding constructor calls. Registration order is
 // preserved so listings are deterministic.
 type Registry struct {
-	mu    sync.RWMutex
-	names []string
-	by    map[string]Builder
+	mu     sync.RWMutex
+	names  []string
+	by     map[string]Builder
+	traits map[string]Traits
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{by: make(map[string]Builder)}
+	return &Registry{by: make(map[string]Builder), traits: make(map[string]Traits)}
 }
 
-// Register adds a named builder. Empty names, nil builders and duplicates
-// are programming errors and panic.
+// Register adds a named builder with zero traits (no guarantees certified).
+// Empty names, nil builders and duplicates are programming errors and panic.
 func (r *Registry) Register(name string, b Builder) {
+	r.RegisterWithTraits(name, Traits{}, b)
+}
+
+// RegisterWithTraits adds a named builder along with the guarantees its
+// corpora certify (see Traits).
+func (r *Registry) RegisterWithTraits(name string, t Traits, b Builder) {
 	if name == "" {
 		panic("corpus: registering an empty corpus name")
 	}
@@ -44,6 +65,15 @@ func (r *Registry) Register(name string, b Builder) {
 	}
 	r.names = append(r.names, name)
 	r.by[name] = b
+	r.traits[name] = t
+}
+
+// Traits returns the registered traits of name (the zero Traits for unknown
+// names — an unknown corpus certifies nothing).
+func (r *Registry) Traits(name string) Traits {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.traits[name]
 }
 
 // Names returns the registered corpus names in registration order.
@@ -77,7 +107,12 @@ func (r *Registry) Build(name string, seed int64, feasible func(*graph.Graph) bo
 // deterministic families ignore the seed and feasibility arguments.
 var Corpora = func() *Registry {
 	r := NewRegistry()
-	r.Register("default", Default)
+	// The default corpus certifies feasibility: its named members are chosen
+	// feasible and its random draws are screened through the feasible
+	// predicate, so the election-executing sweeps (E1, E2) are total on it.
+	// The lattice families are vertex-transitive (never feasible), and the
+	// largerandom draws are not screened, so none of them certify it.
+	r.RegisterWithTraits("default", Traits{Feasible: true}, Default)
 	r.Register("torus", func(int64, func(*graph.Graph) bool) *Corpus { return TorusCorpus() })
 	r.Register("hypercube", func(int64, func(*graph.Graph) bool) *Corpus { return HypercubeCorpus() })
 	r.Register("largerandom", func(seed int64, _ func(*graph.Graph) bool) *Corpus { return LargeRandomCorpus(seed) })

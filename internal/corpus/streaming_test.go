@@ -82,6 +82,102 @@ func TestReleaseThroughFilteredView(t *testing.T) {
 	}
 }
 
+// TestReleaseEntry: per-entry release drops exactly the named streamed
+// graph — other live entries, streamed or pinned, stay resident — and
+// reports false for non-streamed, unbuilt and already-released entries.
+func TestReleaseEntry(t *testing.T) {
+	var drops atomic.Int64
+	var observed atomic.Int64
+	c := New(
+		Spec{Name: "s1", Family: "ring", Nodes: 4, Stream: true,
+			Gen:  func() *graph.Graph { return graph.Ring(4) },
+			Drop: func(*graph.Graph) { drops.Add(1) }},
+		Spec{Name: "s2", Family: "ring", Nodes: 6, Stream: true,
+			Gen: func() *graph.Graph { return graph.Ring(6) }},
+		Spec{Name: "pinned", Family: "ring", Nodes: 5,
+			Gen: func() *graph.Graph { return graph.Ring(5) }},
+	)
+	// Unbuilt streamed entry: nothing to drop.
+	if c.ReleaseEntry("s1") {
+		t.Fatal("ReleaseEntry dropped an unbuilt entry")
+	}
+	_ = c.Graph("s1")
+	_ = c.Graph("s2")
+	_ = c.Graph("pinned")
+	if !c.ReleaseEntryFunc("s1", func(g *graph.Graph) {
+		if g.N() != 4 {
+			t.Errorf("observer saw a %d-node graph, want the 4-node s1", g.N())
+		}
+		observed.Add(1)
+	}) {
+		t.Fatal("ReleaseEntryFunc did not drop the live streamed entry")
+	}
+	if drops.Load() != 1 || observed.Load() != 1 {
+		t.Fatalf("drops=%d observed=%d after per-entry release, want 1 and 1", drops.Load(), observed.Load())
+	}
+	// Only s1 dropped: s2 and the pinned entry are still live.
+	if c.Live() != 2 {
+		t.Fatalf("%d live graphs after releasing s1, want 2", c.Live())
+	}
+	// Releasing again is a no-op; pinned entries never release.
+	if c.ReleaseEntry("s1") {
+		t.Error("second ReleaseEntry of s1 reported a drop")
+	}
+	if c.ReleaseEntry("pinned") || c.Live() != 2 {
+		t.Error("ReleaseEntry touched a non-streamed entry")
+	}
+	// Unknown names panic, like every other corpus lookup.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ReleaseEntry of an unknown name did not panic")
+			}
+		}()
+		c.ReleaseEntry("nope")
+	}()
+}
+
+// TestReleaseEntryThroughFilteredView: filtered views share entries with
+// their parent, so a per-entry release through either side drops the shared
+// graph for all views, and the next access through any view rebuilds it.
+func TestReleaseEntryThroughFilteredView(t *testing.T) {
+	var gens atomic.Int64
+	c := New(Spec{Name: "s", Family: "ring", Nodes: 6, Stream: true,
+		Gen: func() *graph.Graph { gens.Add(1); return graph.Ring(6) }})
+	view := c.Filter(Filter{Families: []string{"ring"}})
+	_ = view.Graph("s")
+	if !c.ReleaseEntry("s") || view.Live() != 0 {
+		t.Fatal("per-entry release through the parent did not drop the view's entry")
+	}
+	_ = c.Graph("s")
+	if !view.ReleaseEntry("s") || c.Live() != 0 {
+		t.Fatal("per-entry release through the view did not drop the parent's entry")
+	}
+	if gens.Load() != 2 {
+		t.Errorf("generator ran %d times, want 2 (one per generation)", gens.Load())
+	}
+}
+
+// TestRegistryTraits: the default corpus certifies feasibility, the
+// symmetric lattice families and the unscreened random family do not, and
+// unknown names certify nothing.
+func TestRegistryTraits(t *testing.T) {
+	if !Corpora.Traits("default").Feasible {
+		t.Error("default corpus does not certify Feasible")
+	}
+	for _, name := range []string{"torus", "hypercube", "largerandom", "no-such-corpus"} {
+		if Corpora.Traits(name).Feasible {
+			t.Errorf("%s corpus claims Feasible", name)
+		}
+	}
+	r := NewRegistry()
+	r.RegisterWithTraits("t", Traits{Feasible: true},
+		func(int64, func(*graph.Graph) bool) *Corpus { return TorusCorpus() })
+	if !r.Traits("t").Feasible {
+		t.Error("RegisterWithTraits did not record the traits")
+	}
+}
+
 // TestDeclaredNodes: the sum of size hints answers without materialising;
 // hint-less entries count zero rather than forcing a build.
 func TestDeclaredNodes(t *testing.T) {
@@ -102,14 +198,14 @@ func TestDeclaredNodes(t *testing.T) {
 	}
 }
 
-// TestLargeRandomStreams: the largerandom ladder reaches 200k nodes, every
-// entry streams, and the declared total covers the whole ladder without
-// building anything.
+// TestLargeRandomStreams: the largerandom ladder reaches a million nodes,
+// every entry streams, and the declared total covers the whole ladder
+// without building anything.
 func TestLargeRandomStreams(t *testing.T) {
 	c := LargeRandomCorpus(1)
 	names := c.Names()
-	if names[len(names)-1] != "largerandom-200000" {
-		t.Fatalf("largerandom ladder tops out at %s, want largerandom-200000", names[len(names)-1])
+	if names[len(names)-1] != "largerandom-1000000" {
+		t.Fatalf("largerandom ladder tops out at %s, want largerandom-1000000", names[len(names)-1])
 	}
 	want := 0
 	for _, nm := range largeRandomSizes {

@@ -82,7 +82,14 @@ type entry struct {
 	numClass []int
 	computed int // levels computed from scratch (excludes stabilisation aliases)
 	stableAt int // smallest h with partition(h) == partition(h+1); -1 if unknown
-	elem     *list.Element
+	// part is the level-persistent bucketisation state (view.LevelPartition)
+	// carried across extensions, so a later Refine call to a deeper depth
+	// repartitions only the classes that can still split. It is dropped once
+	// the partition stabilises (deeper levels alias the stabilised table and
+	// the O(n) partition state would be dead weight) and rebuilt from the
+	// deepest cached class table if an unstabilised entry is extended again.
+	part *view.LevelPartition
+	elem *list.Element
 }
 
 // Default is the process-wide shared engine used by callers that do not
@@ -288,8 +295,13 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 	// One signature buffer serves every level of this extension, drawn from
 	// the capacity-keyed scratch pool and returned below, so extensions —
 	// even across many small graphs of a corpus sweep — allocate no
-	// per-extension buffer and cached graphs cost only their class tables.
+	// per-extension buffer and cached graphs cost only their class tables
+	// (plus, until stabilisation, the persistent partition state).
 	var sigs *view.PairSigs
+	workers := e.workers
+	if g.N() < e.parallelThreshold {
+		workers = 1
+	}
 	for len(ent.classes)-1 < depth {
 		h := len(ent.classes) // the level about to be produced
 		if ent.stableAt >= 0 {
@@ -304,7 +316,15 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		if sigs == nil {
 			sigs = view.GetPairSigs(g)
 		}
-		next, num := e.refineLevel(g, ent.classes[h-1], sigs)
+		if ent.part == nil {
+			ent.part = view.NewLevelPartition(ent.classes[h-1], ent.numClass[h-1])
+		}
+		// The persistent partition repartitions only the classes the previous
+		// level split (singletons are skipped outright) and assigns
+		// identifiers in the canonical first-occurrence order, so the tables
+		// are byte-identical to the per-level consing scheme at every worker
+		// count — the engine tests assert this against view's oracles.
+		next, num := ent.part.Step(g, sigs, ent.classes[h-1], workers)
 		ent.classes = append(ent.classes, next)
 		ent.numClass = append(ent.numClass, num)
 		ent.computed++
@@ -313,38 +333,10 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		// means an unchanged partition — and it stays fixed forever after.
 		if num == ent.numClass[h-1] {
 			ent.stableAt = h - 1
+			ent.part = nil
 		}
 	}
 	view.PutPairSigs(sigs)
-}
-
-// refineLevel computes one refinement level from the previous one using the
-// view package's integer-pair signature scheme, reusing the caller's
-// signature buffer. On large graphs the signatures are filled in parallel
-// across the worker pool and hash-consed by the two-phase sharded pass;
-// identifier assignment ends in a deterministic first-occurrence-order merge,
-// so the numbering is identical regardless of parallelism.
-func (e *Engine) refineLevel(g *graph.Graph, prev []int, sigs *view.PairSigs) ([]int, int) {
-	n := g.N()
-	if e.workers <= 1 || n < e.parallelThreshold {
-		sigs.Fill(g, prev, 0, n)
-		return view.ConsPairs(sigs)
-	}
-	chunk := (n + e.workers - 1) / e.workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			sigs.Fill(g, prev, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return view.ConsPairsSharded(sigs, e.workers)
 }
 
 // stabilisationLocked extends the cached tables until stabilisation is

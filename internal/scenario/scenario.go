@@ -18,12 +18,18 @@
 // Cells are scheduled on one run-wide cost-hinted pool: each cell declares
 // its cost as the corpus's declared node total times its parameter-row
 // count, so the heaviest cells start first and cells over different corpora
-// overlap. Corpora are built once per name, shared by all their cells, and
-// released (streamed entries dropped, see corpus.Spec.Stream, and their
-// engine state forgotten) when their last cell completes — so a run's
-// resident graphs are bounded by the corpora whose cells are in flight,
-// not accumulated across the whole matrix. (The granularity is the corpus:
-// a cell sweeping a corpus holds all of that corpus's graphs at once.)
+// overlap. Corpora are built once per name and shared by all their cells.
+// Release is per graph, not per corpus: the run refcounts every corpus entry
+// across its sweep cells (core.Options.GraphDone) and drops each streamed
+// graph — with its engine refinement tables — the moment its last task
+// across all cells completes, so a ladder sweep's peak resident set is its
+// largest rung, not the ladder total. A corpus-level release when the last
+// cell of a corpus completes remains as a backstop.
+//
+// Corpus × experiment compatibility is decided up front from registered
+// corpus traits: an experiment requiring feasible graphs (E1, E2) paired
+// with a corpus that does not certify feasibility yields a cell marked
+// Skipped with a recorded reason — visible in the summary, never a failure.
 package scenario
 
 import (
@@ -77,6 +83,13 @@ type CellResult struct {
 	WallMS int64       `json:"wall_ms"`
 	Table  *core.Table `json:"table,omitempty"`
 	Err    string      `json:"error,omitempty"`
+	// Skipped marks a cell the run decided not to execute — the experiment's
+	// declared corpus requirements are not certified by the corpus's traits
+	// (e.g. E1 on a vertex-transitive family). Reason says why. Skipped
+	// cells are not failures: they carry no table, cost nothing to schedule,
+	// and do not participate in per-entry streaming refcounts.
+	Skipped bool   `json:"skipped,omitempty"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // Summary is the machine-readable outcome of a matrix run — the shape of the
@@ -90,6 +103,7 @@ type Summary struct {
 	Engine      engine.Stats `json:"engine_stats"`
 	WallMS      int64        `json:"wall_ms"`
 	Failed      int          `json:"failed"`
+	Skipped     int          `json:"skipped,omitempty"`
 }
 
 // aliases maps the legacy scenario experiment names (from before the core
@@ -219,12 +233,19 @@ func (m Matrix) Expand(reg *corpus.Registry) ([]Cell, error) {
 }
 
 // corpusState is the shared per-name corpus of one run: built once, swept by
-// every cell that names it, and released (streamed graphs dropped) when the
-// last of those cells completes.
+// every cell that names it, released graph by graph as the sweep tasks
+// touching each entry drain, with a corpus-level release when the last cell
+// completes as a backstop.
 type corpusState struct {
 	c         *corpus.Corpus
 	err       error
 	remaining int // cells not yet completed; guarded by Run's mu
+	// refs counts, per corpus entry, the sweep tasks that have not yet
+	// completed: one per entry per non-skipped corpus-sweep cell, decremented
+	// through core.Options.GraphDone. At zero the entry is released —
+	// streamed graph dropped and its engine tables forgotten — while other
+	// cells of the run are still running. Guarded by Run's mu.
+	refs map[string]int
 }
 
 // cellPoints resolves the parameter grid of one cell: an Options.Params
@@ -267,13 +288,27 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 	// graphs), and the summary's wall time must cover it.
 	start := time.Now()
 
+	// Decide corpus × experiment compatibility up front: an experiment that
+	// declares corpus requirements (NeedsFeasible) pairs only with corpora
+	// whose registered traits certify them; other pairings are skipped with
+	// a recorded reason. skips[i] is the reason, "" for cells that run.
+	skips := make([]string, len(cells))
+	for i, cell := range cells {
+		d, _ := resolveExperiment(cell.Experiment)
+		if d.NeedsFeasible && !reg.Traits(cell.Corpus).Feasible {
+			skips[i] = fmt.Sprintf("%s requires feasible graphs; corpus %q does not certify feasibility", d.Name, cell.Corpus)
+		}
+	}
+
 	// Build every distinct corpus object up front (cheap: entries are lazy
 	// Specs; graphs materialise only when a cell sweeps them) so cost hints
-	// exist before the first cell is dispatched, and count each corpus's
-	// cells so the last one to finish can release the streamed graphs.
+	// exist before the first cell is dispatched, count each corpus's cells
+	// so the last one to finish can release the streamed graphs, and
+	// refcount each corpus entry across the non-skipped sweep cells so a
+	// graph is released the moment its last task completes.
 	var mu sync.Mutex
 	states := make(map[string]*corpusState)
-	for _, cell := range cells {
+	for i, cell := range cells {
 		s, ok := states[cell.Corpus]
 		if !ok {
 			s = &corpusState{}
@@ -290,10 +325,19 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 					c = c.Filter(opt.Filter)
 				}
 				s.c = c
+				s.refs = make(map[string]int, c.Len())
 			}
 			states[cell.Corpus] = s
 		}
 		s.remaining++
+		if skips[i] != "" || s.c == nil {
+			continue
+		}
+		if d, ok := resolveExperiment(cell.Experiment); ok && d.CorpusSweep {
+			for _, name := range s.c.Names() {
+				s.refs[name]++
+			}
+		}
 	}
 
 	results := make([]CellResult, len(cells))
@@ -301,7 +345,7 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 	pool := corpus.NewPool(opt.CellWorkers)
 	cost := func(i int) int {
 		s := states[cells[i].Corpus]
-		if s.err != nil {
+		if s.err != nil || skips[i] != "" {
 			return 0
 		}
 		nodes := s.c.DeclaredNodes()
@@ -317,6 +361,27 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 		cell := cells[i]
 		res := CellResult{Cell: cell}
 		s := states[cell.Corpus]
+		done := func() {
+			mu.Lock()
+			s.remaining--
+			release := s.remaining == 0 && s.c != nil
+			mu.Unlock()
+			if release {
+				// Backstop to the per-entry releases below: when the corpus's
+				// last cell completes, whatever is still live (entries kept by
+				// failed or skipped accounting, non-swept materialisations)
+				// is dropped, and dropped graphs also leave the engine's
+				// refinement cache — so a streamed sweep's resident set is
+				// bounded even if a sweep misbehaves.
+				s.c.ReleaseFunc(eng.Forget)
+			}
+		}
+		if reason := skips[i]; reason != "" {
+			res.Skipped, res.Reason = true, reason
+			results[i] = res
+			done()
+			return
+		}
 		cellStart := time.Now()
 		var table *core.Table
 		err := s.err
@@ -335,6 +400,22 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 				if d.Params != nil {
 					coreOpt.Params = map[string][]core.ParamPoint{d.Name: points}
 				}
+				if d.CorpusSweep {
+					// Per-graph streaming: every sweep task reports its graph
+					// when it finishes; the entry whose tasks across all cells
+					// have drained is released immediately — graph dropped,
+					// engine tables forgotten — so the peak resident set of a
+					// ladder sweep is its largest rung.
+					coreOpt.GraphDone = func(name string) {
+						mu.Lock()
+						s.refs[name]--
+						release := s.refs[name] == 0
+						mu.Unlock()
+						if release {
+							s.c.ReleaseEntryFunc(name, eng.Forget)
+						}
+					}
+				}
 				table, err = core.RunExperiment(d.Name, coreOpt)
 			}
 		}
@@ -348,16 +429,7 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 			errs[i] = err
 		}
 		results[i] = res
-		mu.Lock()
-		s.remaining--
-		release := s.remaining == 0 && s.c != nil
-		mu.Unlock()
-		if release {
-			// Dropped graphs also leave the engine's refinement cache, so a
-			// streamed sweep's resident set really is bounded by the corpora
-			// in flight — not accumulated in the engine until LRU eviction.
-			s.c.ReleaseFunc(eng.Forget)
-		}
+		done()
 	})
 
 	summary := &Summary{Cells: results}
@@ -381,6 +453,9 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 		if !seenBudgets[cell.Budget] {
 			seenBudgets[cell.Budget] = true
 			summary.Budgets = append(summary.Budgets, cell.Budget)
+		}
+		if results[i].Skipped {
+			summary.Skipped++
 		}
 		if errs[i] != nil {
 			summary.Failed++

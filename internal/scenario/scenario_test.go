@@ -169,25 +169,38 @@ func TestMatrixSharedEngineRefinesOnce(t *testing.T) {
 	}
 }
 
-// TestMatrixRecordsFailingCells: an experiment that cannot run on a corpus
-// (election indices on the vertex-transitive torus family) is recorded in
-// its cell and in Failed, every other cell still runs, and Run also returns
-// the first failure.
-func TestMatrixRecordsFailingCells(t *testing.T) {
+// TestMatrixSkipsIncompatibleCells: an experiment whose corpus requirements
+// the corpus's registered traits do not certify (election indices on the
+// vertex-transitive torus family) is skipped with a recorded reason — not
+// run, not failed — while every other cell still runs.
+func TestMatrixSkipsIncompatibleCells(t *testing.T) {
 	m := Matrix{Corpora: []string{"torus"}, Experiments: []string{"hierarchy", "census"}, Budgets: []int{1}}
 	summary, err := Run(m, smallMatrixOptions(1))
-	if err == nil {
-		t.Fatal("Run did not surface the failing hierarchy cell")
+	if err != nil {
+		t.Fatalf("Run failed on a matrix whose incompatible cells should skip: %v", err)
 	}
-	if summary == nil || summary.Failed != 1 || len(summary.Cells) != 2 {
-		t.Fatalf("summary = %+v, want 2 cells with 1 failure", summary)
+	if summary.Failed != 0 || summary.Skipped != 1 || len(summary.Cells) != 2 {
+		t.Fatalf("failed=%d skipped=%d cells=%d, want 0/1/2", summary.Failed, summary.Skipped, len(summary.Cells))
 	}
-	if summary.Cells[0].Err == "" || summary.Cells[1].Err != "" {
-		t.Errorf("cell errors = %q, %q; want only the hierarchy cell to fail",
-			summary.Cells[0].Err, summary.Cells[1].Err)
+	hier := summary.Cells[0]
+	if !hier.Skipped || hier.Err != "" || hier.Table != nil || hier.Rows != 0 {
+		t.Errorf("hierarchy cell = %+v, want a skipped cell with no table and no error", hier)
 	}
-	if summary.Cells[1].Rows == 0 {
-		t.Error("census cell after the failure produced no rows")
+	if !strings.Contains(hier.Reason, "feasib") || !strings.Contains(hier.Reason, "torus") {
+		t.Errorf("skip reason %q does not name the requirement and the corpus", hier.Reason)
+	}
+	census := summary.Cells[1]
+	if census.Skipped || census.Err != "" || census.Rows == 0 {
+		t.Errorf("census cell = %+v, want it to run normally", census)
+	}
+	// On a corpus certifying feasibility the same cell runs.
+	summary, err = Run(Matrix{Corpora: []string{"default"}, Experiments: []string{"hierarchy"}, Budgets: []int{1}},
+		smallMatrixOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Skipped != 0 || summary.Cells[0].Rows == 0 {
+		t.Errorf("hierarchy on the feasible default corpus skipped or empty: %+v", summary.Cells[0])
 	}
 }
 
@@ -213,9 +226,9 @@ func TestMatrixRecordsNilBuilderCells(t *testing.T) {
 // TestMatrixAllRegisteredExperimentsByteIdentical is the registry-era
 // determinism assertion (run in CI under -race): every registered experiment
 // — E1–E10 and the census — over the default and torus corpora produces
-// byte-identical per-cell tables at worker budgets 1, 2 and 8, failing cells
-// included (E1/E2 cannot run on the vertex-transitive torus; their cells
-// must fail identically at every budget).
+// byte-identical per-cell outcomes at worker budgets 1, 2 and 8, skipped
+// cells included (E1/E2 cannot run on the vertex-transitive torus; their
+// cells must skip with the identical reason at every budget).
 func TestMatrixAllRegisteredExperimentsByteIdentical(t *testing.T) {
 	m := Matrix{
 		Corpora:     []string{"default", "torus"},
@@ -223,34 +236,38 @@ func TestMatrixAllRegisteredExperimentsByteIdentical(t *testing.T) {
 		Budgets:     []int{1, 2, 8},
 	}
 	summary, err := Run(m, Options{Seed: 1, Quick: true, Filter: corpus.Filter{MaxNodes: 64}})
-	if err == nil {
-		t.Fatal("Run did not surface the E1/E2-on-torus failures")
+	if err != nil {
+		t.Fatalf("Run failed: %v (incompatible sweeps should skip, not fail)", err)
 	}
 	wantCells := 2 * len(core.ExperimentNames()) * 3
 	if len(summary.Cells) != wantCells {
 		t.Fatalf("ran %d cells, want %d", len(summary.Cells), wantCells)
 	}
+	if summary.Failed != 0 || summary.Skipped != 6 {
+		t.Fatalf("failed=%d skipped=%d, want 0 failures and 6 skips (E1, E2 on torus × 3 budgets)",
+			summary.Failed, summary.Skipped)
+	}
 	rendered := map[string]string{}
 	for _, cell := range summary.Cells {
 		key := cell.Corpus + "/" + cell.Experiment
-		text := cell.Err
+		text := cell.Err + cell.Reason
 		if cell.Table != nil {
 			text += cell.Table.Render() + cell.Table.Markdown()
 		}
 		if prev, seen := rendered[key]; !seen {
 			rendered[key] = text
 		} else if prev != text {
-			t.Errorf("%s: tables differ across worker budgets", cell.Name())
+			t.Errorf("%s: outcomes differ across worker budgets", cell.Name())
 		}
 	}
-	// The torus failures are E1/E2 (and their aliases only); every
-	// parameterised experiment and the census must succeed on both corpora.
+	// The torus skips are E1/E2 only; every parameterised experiment and the
+	// census must succeed on both corpora.
 	for _, cell := range summary.Cells {
 		infeasibleSweep := cell.Corpus == "torus" && (cell.Experiment == "E1" || cell.Experiment == "E2")
-		if infeasibleSweep && cell.Err == "" {
-			t.Errorf("%s: expected the infeasible sweep to fail", cell.Name())
+		if infeasibleSweep != cell.Skipped {
+			t.Errorf("%s: skipped = %v, want %v", cell.Name(), cell.Skipped, infeasibleSweep)
 		}
-		if !infeasibleSweep && cell.Err != "" {
+		if cell.Err != "" {
 			t.Errorf("%s: unexpected failure %s", cell.Name(), cell.Err)
 		}
 	}
@@ -375,6 +392,60 @@ func TestMatrixStreamingBoundsLiveGraphs(t *testing.T) {
 	}
 	if peak := probe.peak.Load(); peak != 3 {
 		t.Errorf("peak live graphs = %d, want 3 (one corpus at a time, not %d)", peak, 6)
+	}
+}
+
+// TestMatrixPerEntryStreamingPeakOne is the per-graph streaming assertion:
+// a census sweep of a multi-rung streamed ladder with a sequential per-cell
+// worker budget drops each rung as its task completes, so the peak number of
+// concurrently live graphs is exactly one — not the ladder length, as
+// corpus-granularity release would make it. The run-wide cell-worker budget
+// is a scheduling choice and must not change the bound.
+func TestMatrixPerEntryStreamingPeakOne(t *testing.T) {
+	const rungs = 5
+	for _, cellWorkers := range []int{1, 8} {
+		probe := &streamProbe{}
+		reg := corpus.NewRegistry()
+		reg.Register("ladder", probe.corpus(rungs, func(i int) int { return 8 + 4*i }))
+		m := Matrix{Corpora: []string{"ladder"}, Experiments: []string{"census"}, Budgets: []int{1}}
+		summary, err := Run(m, Options{Seed: 1, Registry: reg, CellWorkers: cellWorkers})
+		if err != nil {
+			t.Fatalf("cell workers %d: %v", cellWorkers, err)
+		}
+		if rows := summary.Cells[0].Rows; rows != rungs {
+			t.Fatalf("cell workers %d: census emitted %d rows, want %d", cellWorkers, rows, rungs)
+		}
+		if live := probe.live.Load(); live != 0 {
+			t.Errorf("cell workers %d: %d graphs still live after the run", cellWorkers, live)
+		}
+		if peak := probe.peak.Load(); peak != 1 {
+			t.Errorf("cell workers %d: peak live graphs = %d, want 1 (release is per graph, not per corpus)",
+				cellWorkers, peak)
+		}
+	}
+}
+
+// TestMatrixPerEntryReleaseRebuildsDeterministically: per-graph release
+// through the run's filtered corpus view leaves nothing live in the shared
+// parent corpus, and a second sweep over the released corpus rebuilds every
+// rung and reproduces byte-identical tables.
+func TestMatrixPerEntryReleaseRebuildsDeterministically(t *testing.T) {
+	shared := corpus.LargeRandomCorpus(3)
+	reg := corpus.NewRegistry()
+	reg.Register("lr", func(int64, func(*graph.Graph) bool) *corpus.Corpus { return shared })
+	run := func() string {
+		summary, err := Run(Matrix{Corpora: []string{"lr"}, Experiments: []string{"census"}, Budgets: []int{1}},
+			Options{Seed: 1, Registry: reg, Filter: corpus.Filter{MaxNodes: 5000}, Engine: engine.New(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live := shared.Live(); live != 0 {
+			t.Fatalf("%d graphs live in the shared parent corpus after the run; per-entry release through the filtered view must drop them", live)
+		}
+		return summary.Cells[0].Table.Render() + summary.Cells[0].Table.Markdown()
+	}
+	if first, second := run(), run(); first != second {
+		t.Error("rebuilt sweep differs from the first run")
 	}
 }
 

@@ -1,0 +1,345 @@
+package view
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the level-persistent bucketisation scheme: refinement state
+// that survives from one level to the next, so each level repartitions only
+// the classes that can still split instead of re-bucketising every node from
+// scratch.
+//
+// The scheme rests on the split-only invariant of canonical refinement
+// sequences (level 0 = DegreeClasses, each later level consed from the
+// previous one): the per-level partitions are nested — classes only split,
+// they never merge or exchange members. Concretely, two nodes with equal
+// level-(h+1) signatures always share their level-h class:
+//
+//   - a level-(h+1) signature is the port-ordered sequence of
+//     (far port, level-h class of neighbour) pairs;
+//   - level-h classes determine level-(h-1) classes (induction: equal level-1
+//     signatures have equal length, i.e. equal degree, i.e. equal level-0
+//     class; for h > 1, projecting each neighbour's level-h class to its
+//     level-(h-1) class turns an equal pair of level-(h+1) signatures into an
+//     equal pair of level-h signatures, hence equal level-h classes);
+//   - so equal level-(h+1) signatures project to equal level-h signatures,
+//     which cons to the same level-h class.
+//
+// Therefore a signature-equality group never crosses a previous-level class
+// boundary, and consing each class block locally yields exactly the global
+// signature groups. Singleton classes can never split again, so they are
+// skipped entirely — no signature fill, no consing — which is where deep
+// refinements win: as the partition shatters, the per-level work shrinks to
+// the still-ambiguous remainder instead of staying O(n + m) per level.
+//
+// Identifier assignment stays byte-identical to ConsPairs/ConsPairsSharded:
+// a block's members are kept in ascending node order (sub-blocks are emitted
+// in scan order, so the order survives every split), making each group's
+// representative its minimum member, and a final sequential ascending pass
+// assigns identifiers in first-occurrence order — the canonical numbering
+// every refinement API of this code base produces. ConsPairs and the string
+// reference scheme are retained unchanged as differential oracles.
+
+// LevelPartition carries one graph's refinement partition across levels. It
+// is only valid along a canonical refinement sequence: construct it from a
+// level's class table, then call Step once per subsequent level with the
+// class table the previous Step (or the constructor) produced. Arbitrary
+// (non-canonical) previous partitions void the split-only invariant; use
+// RefineStep for those.
+type LevelPartition struct {
+	n       int
+	members []int32        // permutation of the nodes; each active block owns one segment, ascending within it
+	blocks  [][2]int32     // active (size >= 2) blocks as [start, end) segments of members, in stable order
+	rep     []int32        // rep[v] = smallest node whose latest-step signature equals v's; rep[v] = v for singletons
+	scratch []splitScratch // per-worker split scratch, kept across Steps so deep refinements allocate it once
+}
+
+// scratchFor returns k split scratches, growing the kept slice on demand.
+// Scratches persist across Steps — on a level that splits little (the deep
+// steady state) every buffer is already big enough and splitting allocates
+// nothing.
+func (p *LevelPartition) scratchFor(k int) []splitScratch {
+	for len(p.scratch) < k {
+		p.scratch = append(p.scratch, splitScratch{})
+	}
+	return p.scratch[:k]
+}
+
+// NewLevelPartition builds persistent partition state from one level's class
+// table (identifiers dense in 0..numClass-1, first-occurrence order — the
+// numbering DegreeClasses, Refine and the engine produce). A counting sort
+// groups the nodes into class blocks, ascending within each block; this is
+// the only full-width bucketisation the scheme ever performs — every later
+// level is an incremental repartition of the blocks that split.
+func NewLevelPartition(classes []int, numClass int) *LevelPartition {
+	n := len(classes)
+	p := &LevelPartition{
+		n:       n,
+		members: make([]int32, n),
+		rep:     make([]int32, n),
+	}
+	count := make([]int32, numClass+1)
+	for _, c := range classes {
+		count[c]++
+	}
+	start := make([]int32, numClass+1)
+	var total int32
+	for c := 0; c < numClass; c++ {
+		start[c] = total
+		total += count[c]
+	}
+	start[numClass] = total
+	cur := append([]int32(nil), start[:numClass]...)
+	for v := 0; v < n; v++ {
+		c := classes[v]
+		p.members[cur[c]] = int32(v)
+		cur[c]++
+		p.rep[v] = int32(v)
+	}
+	for c := 0; c < numClass; c++ {
+		if count[c] >= 2 {
+			p.blocks = append(p.blocks, [2]int32{start[c], start[c+1]})
+		}
+	}
+	return p
+}
+
+// ActiveNodes returns the number of nodes still in non-singleton blocks —
+// the per-level signature work the next Step will do. Exposed for tests and
+// benchmarks asserting that the work set shrinks as the partition shatters.
+func (p *LevelPartition) ActiveNodes() int {
+	active := 0
+	for _, b := range p.blocks {
+		active += int(b[1] - b[0])
+	}
+	return active
+}
+
+// splitScratch is the per-worker scratch of Step's block splitting, reused
+// across the blocks of a worker's chunk (and across levels when the caller
+// keeps the partition alive), so splitting allocates O(workers) buffers per
+// level instead of O(blocks).
+type splitScratch struct {
+	table   []int32 // open addressing: slot -> group id + 1; 0 = empty
+	touched []int32 // slots written while splitting the current block
+	groupOf []int32 // member index -> group id
+	rep     []int32 // group id -> representative (first-seen, i.e. minimum, member)
+	count   []int32 // group id -> member count
+	startAt []int32 // group id -> offset of the group's sub-block within the block
+	cursor  []int32 // scatter cursors over startAt
+	order   []int32 // scatter buffer for the re-grouped member segment
+}
+
+func (ws *splitScratch) ensure(m int) {
+	if size := tableSizeFor(m); len(ws.table) < size {
+		ws.table = make([]int32, size)
+	}
+	if cap(ws.groupOf) < m {
+		ws.groupOf = make([]int32, m)
+		ws.rep = make([]int32, m)
+		ws.count = make([]int32, m)
+		ws.startAt = make([]int32, m)
+		ws.cursor = make([]int32, m)
+		ws.order = make([]int32, m)
+	}
+}
+
+// splitBlock conses the (already filled) signatures of one block's members,
+// records every member's representative in p.rep, rewrites the block's
+// member segment into sub-block order when it splits, and appends the
+// still-active (size >= 2) sub-blocks to out. Members stay in ascending node
+// order within every sub-block, so representatives remain minima.
+func (p *LevelPartition) splitBlock(sigs *PairSigs, ws *splitScratch, b [2]int32, out [][2]int32) [][2]int32 {
+	memb := p.members[b[0]:b[1]]
+	m := len(memb)
+	ws.ensure(m)
+	size := tableSizeFor(m)
+	mask := uint64(size - 1)
+	groups := int32(0)
+	for idx, v32 := range memb {
+		v := int(v32)
+		slot := sigs.hash[v] & mask
+		for {
+			t := ws.table[slot]
+			if t == 0 {
+				gid := groups
+				groups++
+				ws.table[slot] = gid + 1
+				ws.touched = append(ws.touched, int32(slot))
+				ws.rep[gid] = v32
+				ws.count[gid] = 1
+				ws.groupOf[idx] = gid
+				p.rep[v] = v32
+				break
+			}
+			gid := t - 1
+			u := int(ws.rep[gid])
+			if sigs.hash[u] == sigs.hash[v] && sigs.equal(u, v) {
+				ws.count[gid]++
+				ws.groupOf[idx] = gid
+				p.rep[v] = ws.rep[gid]
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	for _, s := range ws.touched {
+		ws.table[s] = 0
+	}
+	ws.touched = ws.touched[:0]
+	if groups == 1 {
+		// The block did not split; it stays active as-is.
+		return append(out, b)
+	}
+	// Stable scatter into group order: groups are numbered in first-occurrence
+	// order and members visited in ascending order, so every sub-block segment
+	// is again ascending.
+	var off int32
+	for gid := int32(0); gid < groups; gid++ {
+		ws.startAt[gid] = off
+		ws.cursor[gid] = off
+		off += ws.count[gid]
+	}
+	order := ws.order[:m]
+	for idx, v32 := range memb {
+		gid := ws.groupOf[idx]
+		order[ws.cursor[gid]] = v32
+		ws.cursor[gid]++
+	}
+	copy(memb, order)
+	for gid := int32(0); gid < groups; gid++ {
+		if ws.count[gid] >= 2 {
+			lo := b[0] + ws.startAt[gid]
+			out = append(out, [2]int32{lo, lo + ws.count[gid]})
+		}
+	}
+	return out
+}
+
+// chunkBlocksBySize partitions the block list into at most `workers`
+// contiguous ranges of roughly equal total member count, so one oversized
+// block cannot serialise the whole level behind it.
+func chunkBlocksBySize(blocks [][2]int32, total, workers int) [][2]int {
+	per := (total + workers - 1) / workers
+	var out [][2]int
+	lo, acc := 0, 0
+	for i, b := range blocks {
+		acc += int(b[1] - b[0])
+		if acc >= per {
+			out = append(out, [2]int{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(blocks) {
+		out = append(out, [2]int{lo, len(blocks)})
+	}
+	return out
+}
+
+// parallelStepThreshold is the active-node count below which Step runs
+// sequentially regardless of the worker budget: goroutine fan-out costs more
+// than it saves on small remainders.
+const parallelStepThreshold = 2048
+
+// Step advances the partition by one refinement level and returns the new
+// class table and class count, byte-identical to what ConsPairs (and
+// ConsPairsSharded, and the string reference scheme) would produce for the
+// same level. prev must be the class table the previous Step (or the
+// constructor) produced; sigs is the level's signature scratch buffer. Only
+// members of non-singleton blocks have their signatures filled and consed —
+// the incremental repartition that replaces the former per-level counting
+// sorts — and identifier assignment is a final sequential ascending pass, so
+// the result is independent of the worker count.
+func (p *LevelPartition) Step(g *graph.Graph, sigs *PairSigs, prev []int, workers int) ([]int, int) {
+	active := p.ActiveNodes()
+	if workers <= 1 || active < parallelStepThreshold {
+		p.stepSequential(g, sigs, prev)
+	} else {
+		p.stepParallel(g, sigs, prev, workers)
+	}
+	// First-occurrence identifier assignment: a representative is its group's
+	// minimum member, so its identifier is always assigned before any other
+	// member reads it.
+	next := make([]int, p.n)
+	num := 0
+	for v := range next {
+		if r := int(p.rep[v]); r == v {
+			next[v] = num
+			num++
+		} else {
+			next[v] = next[r]
+		}
+	}
+	return next, num
+}
+
+func (p *LevelPartition) stepSequential(g *graph.Graph, sigs *PairSigs, prev []int) {
+	ws := &p.scratchFor(1)[0]
+	var out [][2]int32
+	for _, b := range p.blocks {
+		sigs.FillNodes(g, prev, p.members[b[0]:b[1]])
+		out = p.splitBlock(sigs, ws, b, out)
+	}
+	p.blocks = out
+}
+
+func (p *LevelPartition) stepParallel(g *graph.Graph, sigs *PairSigs, prev []int, workers int) {
+	// Fill the active members' signatures in parallel, splitting inside
+	// blocks freely (per-node fills are independent), so one giant block —
+	// the typical shape of the first level — does not serialise the fill.
+	active := p.ActiveNodes()
+	per := (active + workers - 1) / workers
+	segs := make([][]int32, 0, workers+len(p.blocks))
+	for _, b := range p.blocks {
+		seg := p.members[b[0]:b[1]]
+		for len(seg) > per {
+			segs = append(segs, seg[:per])
+			seg = seg[per:]
+		}
+		segs = append(segs, seg)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				sigs.FillNodes(g, prev, segs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Split the blocks in parallel chunks balanced by member count. Chunks
+	// are contiguous block ranges and each emits its sub-blocks in order, so
+	// the concatenated block list — and every p.rep write, block-local by the
+	// split-only invariant — is identical to the sequential pass.
+	chunks := chunkBlocksBySize(p.blocks, active, workers)
+	outs := make([][][2]int32, len(chunks))
+	wss := p.scratchFor(len(chunks))
+	for ci, ch := range chunks {
+		wg.Add(1)
+		go func(ci int, ch [2]int) {
+			defer wg.Done()
+			var out [][2]int32
+			for _, b := range p.blocks[ch[0]:ch[1]] {
+				out = p.splitBlock(sigs, &wss[ci], b, out)
+			}
+			outs[ci] = out
+		}(ci, ch)
+	}
+	wg.Wait()
+	merged := p.blocks[:0]
+	for _, out := range outs {
+		merged = append(merged, out...)
+	}
+	p.blocks = merged
+}

@@ -1,0 +1,158 @@
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// persistentRefine runs a full canonical refinement through LevelPartition
+// at the given worker count, the way the engine drives it.
+func persistentRefine(g *graph.Graph, maxDepth, workers int) ([][]int, []int) {
+	cur, num := DegreeClasses(g)
+	classes, counts := [][]int{cur}, []int{num}
+	p := NewLevelPartition(cur, num)
+	sigs := NewPairSigs(g)
+	for h := 1; h <= maxDepth; h++ {
+		next, n2 := p.Step(g, sigs, classes[h-1], workers)
+		classes = append(classes, next)
+		counts = append(counts, n2)
+	}
+	return classes, counts
+}
+
+// consRefine is the retired per-level path — full fill + ConsPairs every
+// level — kept as the differential oracle for the persistent scheme.
+func consRefine(g *graph.Graph, maxDepth int) ([][]int, []int) {
+	cur, num := DegreeClasses(g)
+	classes, counts := [][]int{cur}, []int{num}
+	sigs := NewPairSigs(g)
+	for h := 1; h <= maxDepth; h++ {
+		sigs.Fill(g, classes[h-1], 0, g.N())
+		next, n2 := ConsPairs(sigs)
+		classes = append(classes, next)
+		counts = append(counts, n2)
+	}
+	return classes, counts
+}
+
+// TestPersistentMatchesConsPairs: the level-persistent bucketisation
+// produces class tables byte-identical to the per-level ConsPairs oracle —
+// same identifiers, not merely the same partition — at every depth up to
+// past stabilisation, over the fixed corpus, at worker counts spanning
+// sequential, oversubscribed and in-between.
+func TestPersistentMatchesConsPairs(t *testing.T) {
+	for name, g := range differentialCorpus(t) {
+		maxDepth := g.N() + 2 // deliberately past stabilisation
+		wantClasses, wantCounts := consRefine(g, maxDepth)
+		for _, workers := range []int{1, 2, 3, 4, 8, 64} {
+			gotClasses, gotCounts := persistentRefine(g, maxDepth, workers)
+			for h := 0; h <= maxDepth; h++ {
+				if !reflect.DeepEqual(gotClasses[h], wantClasses[h]) || gotCounts[h] != wantCounts[h] {
+					t.Fatalf("%s workers %d depth %d: persistent %v (%d), oracle %v (%d)",
+						name, workers, h, gotClasses[h], gotCounts[h], wantClasses[h], wantCounts[h])
+				}
+			}
+		}
+	}
+}
+
+// TestPersistentRandomSweep: a seeded random-graph sweep — many seeds,
+// varying sizes and densities, including sizes past the parallel-step
+// threshold — asserting per-level agreement of the persistent scheme with
+// the ConsPairs oracle and the string reference at several worker counts.
+func TestPersistentRandomSweep(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		if seed >= 10 {
+			// Two large draws cross parallelStepThreshold, so the parallel
+			// fill + chunked split path runs against the oracle too.
+			n = parallelStepThreshold + rng.Intn(1000)
+		}
+		m := n - 1 + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.RandomConnected(n, m, rng)
+		name := fmt.Sprintf("seed-%d(n=%d,m=%d)", seed, n, m)
+		maxDepth := 8
+		if n < 64 {
+			maxDepth = n + 1
+		}
+		wantClasses, wantCounts := consRefine(g, maxDepth)
+		if n < 64 {
+			refClasses, refCounts := referenceRefine(g, maxDepth)
+			for h := 0; h <= maxDepth; h++ {
+				if !reflect.DeepEqual(wantClasses[h], refClasses[h]) || wantCounts[h] != refCounts[h] {
+					t.Fatalf("%s depth %d: ConsPairs oracle diverged from string reference", name, h)
+				}
+			}
+		}
+		for _, workers := range []int{1, 3, 8} {
+			gotClasses, gotCounts := persistentRefine(g, maxDepth, workers)
+			for h := 0; h <= maxDepth; h++ {
+				if !reflect.DeepEqual(gotClasses[h], wantClasses[h]) || gotCounts[h] != wantCounts[h] {
+					t.Fatalf("%s workers %d depth %d: persistent scheme diverged from the oracle", name, workers, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPersistentSkipsSingletons: once a class shrinks to one member it never
+// splits again, so the active-node count is monotonically non-increasing and
+// reaches zero exactly when the partition is discrete — at which point Step
+// still produces the correct (identity-numbered) tables without touching a
+// single signature.
+func TestPersistentSkipsSingletons(t *testing.T) {
+	g := graph.Caterpillar(6, []int{1, 2, 0, 3, 1, 0})
+	cur, num := DegreeClasses(g)
+	p := NewLevelPartition(cur, num)
+	sigs := NewPairSigs(g)
+	prevActive := p.ActiveNodes()
+	for h := 1; h <= g.N()+2; h++ {
+		next, n2 := p.Step(g, sigs, cur, 1)
+		if a := p.ActiveNodes(); a > prevActive {
+			t.Fatalf("depth %d: active nodes grew %d -> %d", h, prevActive, a)
+		} else {
+			prevActive = a
+		}
+		if n2 == g.N() && p.ActiveNodes() != 0 {
+			t.Fatalf("depth %d: partition discrete but %d nodes still active", h, p.ActiveNodes())
+		}
+		cur, num = next, n2
+	}
+	if num != g.N() {
+		t.Fatalf("caterpillar did not discretise: %d classes of %d nodes", num, g.N())
+	}
+	for v, c := range cur {
+		if c != v {
+			t.Fatalf("discrete partition is not identity-numbered at %d: %d", v, c)
+		}
+	}
+}
+
+// TestNewLevelPartitionFromCachedLevel: rebuilding the partition from a
+// mid-sequence class table (as the engine does when a cached entry resumes
+// after its partition was dropped) continues the sequence with tables
+// byte-identical to an uninterrupted run.
+func TestNewLevelPartitionFromCachedLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(40, 70, rng)
+	maxDepth := 10
+	want, wantCounts := consRefine(g, maxDepth)
+	for resumeAt := 1; resumeAt < 5; resumeAt++ {
+		p := NewLevelPartition(want[resumeAt], wantCounts[resumeAt])
+		sigs := NewPairSigs(g)
+		for h := resumeAt + 1; h <= maxDepth; h++ {
+			next, num := p.Step(g, sigs, want[h-1], 2)
+			if !reflect.DeepEqual(next, want[h]) || num != wantCounts[h] {
+				t.Fatalf("resume at %d, depth %d: diverged from the uninterrupted run", resumeAt, h)
+			}
+		}
+	}
+}

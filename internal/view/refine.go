@@ -19,7 +19,13 @@ type Refinement struct {
 	numClass []int   // number of distinct classes at depth h
 }
 
-// Refine computes view classes for all depths 0..maxDepth.
+// Refine computes view classes for all depths 0..maxDepth. The levels are
+// produced by the level-persistent bucketisation scheme (see persist.go):
+// the partition carries over from level to level and only split classes are
+// repartitioned, with singleton classes skipped outright, so deep
+// refinements cost per level what is still ambiguous — not O(n + m). The
+// class tables are byte-identical to the per-level RefineStep/ConsPairs
+// path, which the differential tests keep as an oracle.
 func Refine(g *graph.Graph, maxDepth int) *Refinement {
 	if maxDepth < 0 {
 		panic("view: negative depth")
@@ -28,11 +34,17 @@ func Refine(g *graph.Graph, maxDepth int) *Refinement {
 	cur, num := DegreeClasses(g)
 	r.classes = append(r.classes, cur)
 	r.numClass = append(r.numClass, num)
+	if maxDepth == 0 {
+		return r
+	}
+	p := NewLevelPartition(cur, num)
+	sigs := GetPairSigs(g)
 	for h := 1; h <= maxDepth; h++ {
-		next, num := RefineStep(g, r.classes[h-1])
+		next, num := p.Step(g, sigs, r.classes[h-1], 1)
 		r.classes = append(r.classes, next)
 		r.numClass = append(r.numClass, num)
 	}
+	PutPairSigs(sigs)
 	return r
 }
 
@@ -102,6 +114,26 @@ func mix64(x uint64) uint64 {
 // regardless of how the filling was parallelised.
 func (s *PairSigs) Fill(g *graph.Graph, prev []int, lo, hi int) {
 	for v := lo; v < hi; v++ {
+		base := s.off[v]
+		d := s.off[v+1] - base
+		h := uint64(0x9e3779b97f4a7c15) ^ uint64(d)
+		for p := 0; p < d; p++ {
+			half := g.Neighbor(v, p)
+			w := uint64(half.ToPort)<<32 | uint64(uint32(prev[half.To]))
+			s.data[base+p] = w
+			h = mix64(h ^ w)
+		}
+		s.hash[v] = h
+	}
+}
+
+// FillNodes computes the signatures of exactly the given nodes. It is the
+// fill primitive of the level-persistent scheme (persist.go), which fills
+// only the members of still-splittable classes; disjoint node sets may be
+// filled concurrently.
+func (s *PairSigs) FillNodes(g *graph.Graph, prev []int, nodes []int32) {
+	for _, v32 := range nodes {
+		v := int(v32)
 		base := s.off[v]
 		d := s.off[v+1] - base
 		h := uint64(0x9e3779b97f4a7c15) ^ uint64(d)
