@@ -7,10 +7,10 @@
 //
 //	advicebench [-quick] [-markdown] [-seed N] [-only E5] [-parallel N] [-stats]
 //	            [-corpus NAME] [-families caterpillar,random] [-min-nodes N] [-max-nodes N]
-//	            [-params file:grid.json] [-max-rss-mb N] [-list-corpus] [-list-corpora]
+//	            [-params file:grid.json] [-max-rss-mb N] [-store DIR] [-list-corpus] [-list-corpora]
 //	advicebench -matrix [-families torus,hypercube] [-experiments E5,E7]
 //	            [-params quick,file:grid.json] [-budgets 1,2,8] [-cell-workers N]
-//	            [-max-rss-mb N] [-out SCENARIO_run.json]
+//	            [-max-rss-mb N] [-store DIR] [-out SCENARIO_run.json]
 //
 // In suite mode the corpus flags pick and filter the named graph set the
 // cross-cutting experiments (E1, E2) sweep; the parameterised experiments are
@@ -30,6 +30,12 @@
 // default grids wholesale. -max-rss-mb asserts a peak-RSS ceiling after the
 // run (Linux; the nightly million-node census rung runs under one), exiting
 // non-zero when the process's peak resident set exceeded it.
+//
+// -store DIR (either mode) attaches the persistent refinement store in DIR
+// to the run's engine: refinements persisted by earlier runs (or by
+// fourshadesd) are loaded instead of recomputed, and whatever this run
+// refines is written through for the next one — a repeated run over an
+// unchanged corpus is warm-start, reporting zero refinement steps.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
@@ -66,6 +73,7 @@ func main() {
 	budgets := flag.String("budgets", "", "matrix mode: comma-separated worker budgets (empty = 0 = GOMAXPROCS)")
 	cellWorkers := flag.Int("cell-workers", 0, "matrix mode: run-wide cell-scheduling budget (0 = GOMAXPROCS, 1 = sequential cells)")
 	out := flag.String("out", "", "matrix mode: write the SCENARIO_*.json summary to this path")
+	storeDir := flag.String("store", "", "persistent refinement store directory (empty = none); repeated runs warm-start from it")
 	flag.Parse()
 
 	if *listCorpora {
@@ -83,6 +91,30 @@ func main() {
 
 	paramSets, paramGrids := parseParamsFlag(*params)
 
+	eng := engine.New(0)
+	var st *store.FileStore
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+			os.Exit(2)
+		}
+		eng.SetStore(st)
+	}
+	// closeStore flushes the write-through rows before any exit path; the
+	// error paths below that os.Exit without it only lose the final fsync,
+	// not the rows (Save writes through the kernel immediately).
+	closeStore := func() {
+		if st == nil {
+			return
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: closing store: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *matrix {
 		m := scenario.Matrix{
 			Corpora:     splitList(*families),
@@ -93,13 +125,17 @@ func main() {
 		if len(m.Corpora) == 0 && *corpusName != "" {
 			m.Corpora = []string{*corpusName}
 		}
-		runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter,
-			CellWorkers: *cellWorkers, Params: paramGrids}, *out, *stats)
+		err := runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter,
+			CellWorkers: *cellWorkers, Params: paramGrids}, *out, *stats, eng)
+		closeStore()
 		assertPeakRSS(*maxRSSMB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	eng := engine.New(0)
 	c, err := builtCorpus(*corpusName, *seed, eng)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
@@ -134,6 +170,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
 		// Print whatever was produced before the failure, then exit non-zero.
 		printTables(tables, wanted, *markdown)
+		closeStore()
 		os.Exit(1)
 	}
 	printTables(tables, wanted, *markdown)
@@ -141,6 +178,7 @@ func main() {
 	if *stats {
 		printStats(eng)
 	}
+	closeStore()
 	assertPeakRSS(*maxRSSMB)
 }
 
@@ -203,12 +241,11 @@ func assertPeakRSS(maxMB int64) {
 	}
 }
 
-// runMatrix executes the scenario matrix, prints the per-cell outcomes, and
-// writes the JSON summary when -out is given. Failing cells are reported but
-// the summary is still written before exiting non-zero, so the artifact
-// records what happened.
-func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) {
-	eng := engine.New(0)
+// runMatrix executes the scenario matrix over the given engine, prints the
+// per-cell outcomes, and writes the JSON summary when -out is given. Failing
+// cells are reported and returned as the error — but the summary is still
+// written first, so the artifact records what happened.
+func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool, eng *engine.Engine) error {
 	opt.Engine = eng
 	summary, err := scenario.Run(m, opt)
 	if err != nil && summary == nil {
@@ -243,10 +280,7 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool) 
 		}
 		fmt.Printf("summary written to %s\n", out)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "advicebench: %v\n", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 // suiteNames lists the experiments of the suite (E1–E10) — what -only may
@@ -274,6 +308,10 @@ func printStats(eng *engine.Engine) {
 	s := eng.Stats()
 	fmt.Printf("engine: %d hits, %d misses, %d levels computed, %d stabilisation shortcuts, %d graphs cached\n",
 		s.Hits, s.Misses, s.Steps, s.Shortcuts, s.Graphs)
+	if s.StoreHits+s.StoreMisses+s.StoreSaves+s.StoreErrs > 0 {
+		fmt.Printf("store: %d hits, %d misses, %d saves, %d errors\n",
+			s.StoreHits, s.StoreMisses, s.StoreSaves, s.StoreErrs)
+	}
 }
 
 // splitList splits a comma-separated flag into trimmed non-empty entries.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8714", "listen address")
+	storeDir := flag.String("store", "", "refinement store directory (empty = in-memory only)")
+	seed := flag.Int64("seed", 1, "seed for randomised corpora")
+	workers := flag.Int("workers", 0, "engine signature workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	eng := engine.New(*workers)
+	var st *store.FileStore
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("fourshadesd: %v", err)
+		}
+		eng.SetStore(st)
+		stats := st.Stats()
+		log.Printf("store: %s (%d records, %d bytes)", *storeDir, stats.Records, stats.Bytes)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(eng, st, corpus.Corpora, *seed).handler(),
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
+	// the store — a clean shutdown must leave every refinement the process
+	// computed on disk for the next one to warm-start from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("fourshadesd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("fourshadesd: shutdown: %v", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil && !errors.Is(err, os.ErrClosed) {
+			log.Printf("fourshadesd: closing store: %v", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "store flushed")
+		}
+	}
+}

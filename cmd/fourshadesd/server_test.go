@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+func newTestServer(t testing.TB, dir string) (*server, *httptest.Server) {
+	t.Helper()
+	eng := engine.New(1)
+	var st *store.FileStore
+	if dir != "" {
+		var err error
+		st, err = store.Open(dir)
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		t.Cleanup(func() { st.Close() })
+		eng.SetStore(st)
+	}
+	srv := newServer(eng, st, corpus.Corpora, 1)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t testing.TB, ts *httptest.Server, path, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// ringJSON is an inline triangle in the wire format (n + port-numbered
+// edges), with consistently oriented ports (0 = next, 1 = previous) so the
+// graph is fully symmetric: every node sees the same view at every depth.
+const ringJSON = `{"n":3,"edges":[{"u":0,"pu":0,"v":1,"pv":1},{"u":1,"pu":0,"v":2,"pv":1},{"u":2,"pu":0,"v":0,"pv":1}]}`
+
+// TestDaemonSmoke drives every endpoint once over the default corpus and an
+// inline graph: the client-visible smoke test of the serving surface.
+func TestDaemonSmoke(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %v (status %v)", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	var corpora struct {
+		Corpora []struct {
+			Name     string `json:"name"`
+			Feasible bool   `json:"feasible"`
+		} `json:"corpora"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/corpora")
+	if err != nil {
+		t.Fatalf("GET /v1/corpora: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&corpora); err != nil {
+		t.Fatalf("decoding corpora: %v", err)
+	}
+	resp.Body.Close()
+	foundDefault := false
+	for _, c := range corpora.Corpora {
+		if c.Name == "default" {
+			foundDefault = true
+			if !c.Feasible {
+				t.Error("default corpus not marked feasible")
+			}
+		}
+	}
+	if !foundDefault {
+		t.Fatalf("corpus listing %v missing default", corpora.Corpora)
+	}
+
+	// Census over the whole default corpus.
+	var census struct {
+		Rows []censusRow `json:"rows"`
+	}
+	if resp := postJSON(t, ts, "/v1/census", `{"corpus":"default"}`, &census); resp.StatusCode != http.StatusOK {
+		t.Fatalf("census status %v", resp.Status)
+	}
+	if len(census.Rows) == 0 {
+		t.Fatal("census over default corpus returned no rows")
+	}
+	for _, row := range census.Rows {
+		if row.Nodes <= 0 || row.StabilisationDepth < 0 {
+			t.Errorf("census row %+v has impossible shape", row)
+		}
+		if !row.Feasible {
+			t.Errorf("default corpus member %s reported infeasible", row.Name)
+		}
+	}
+
+	// Census of an inline graph: the triangle is vertex-transitive, hence
+	// infeasible with one class.
+	census.Rows = nil
+	postJSON(t, ts, "/v1/census", fmt.Sprintf(`{"graph":%s}`, ringJSON), &census)
+	if len(census.Rows) != 1 {
+		t.Fatalf("inline census returned %d rows", len(census.Rows))
+	}
+	if row := census.Rows[0]; row.Feasible || row.ClassesAtStable != 1 || row.MinDepthSomeUnique != -1 {
+		t.Errorf("triangle census %+v, want infeasible single-class", row)
+	}
+
+	// Advice sizes over a feasible member and the infeasible inline graph.
+	var advice struct {
+		Rows []struct {
+			Name  string `json:"name"`
+			Bits  int    `json:"advice_bits"`
+			Error string `json:"error"`
+		} `json:"rows"`
+	}
+	postJSON(t, ts, "/v1/advice", `{"corpus":"default","name":"path-8"}`, &advice)
+	if len(advice.Rows) != 1 || advice.Rows[0].Error != "" || advice.Rows[0].Bits <= 0 {
+		t.Errorf("advice for path-8: %+v", advice.Rows)
+	}
+	advice.Rows = nil
+	postJSON(t, ts, "/v1/advice", fmt.Sprintf(`{"graph":%s}`, ringJSON), &advice)
+	if len(advice.Rows) != 1 || advice.Rows[0].Error == "" {
+		t.Errorf("advice for infeasible triangle: %+v, want per-row error", advice.Rows)
+	}
+
+	// Election indices of a corpus member; ψ is monotone S ≤ PE ≤ PPE ≤ CPPE.
+	var idx struct {
+		Indices map[string]int `json:"indices"`
+	}
+	postJSON(t, ts, "/v1/indices", `{"corpus":"default","name":"path-8"}`, &idx)
+	if len(idx.Indices) != 4 {
+		t.Fatalf("indices = %v, want all four tasks", idx.Indices)
+	}
+	if !(idx.Indices["S"] <= idx.Indices["PE"] && idx.Indices["PE"] <= idx.Indices["PPE"] && idx.Indices["PPE"] <= idx.Indices["CPPE"]) {
+		t.Errorf("indices %v violate S ≤ PE ≤ PPE ≤ CPPE", idx.Indices)
+	}
+
+	// Cross-graph view equality: path-8 endpoints vs an inline triangle
+	// node disagree already at depth 0 (degree 1 vs 2); two symmetric
+	// triangle corners agree at every depth.
+	var sv struct {
+		Same bool `json:"same"`
+	}
+	postJSON(t, ts, "/v1/sameview", fmt.Sprintf(`{"a":{"corpus":"default","name":"path-8"},"v1":0,"b":{"graph":%s},"v2":0,"depth":2}`, ringJSON), &sv)
+	if sv.Same {
+		t.Error("path endpoint and triangle corner report equal views")
+	}
+	postJSON(t, ts, "/v1/sameview", fmt.Sprintf(`{"a":{"graph":%s},"v1":0,"b":{"graph":%s},"v2":1,"depth":3}`, ringJSON, ringJSON), &sv)
+	if !sv.Same {
+		t.Error("symmetric triangle corners report distinct views")
+	}
+
+	// Stats reflect the traffic and the attached store.
+	var stats struct {
+		Engine engine.Stats   `json:"engine"`
+		Store  *store.Stats   `json:"store"`
+		Daemon map[string]int `json:"daemon"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	resp.Body.Close()
+	if stats.Engine.Steps == 0 {
+		t.Error("stats report zero refinement steps after a census")
+	}
+	if stats.Store == nil || stats.Store.Records == 0 {
+		t.Errorf("store stats %+v, want persisted records", stats.Store)
+	}
+	if stats.Daemon["requests"] == 0 || stats.Daemon["computed"] == 0 {
+		t.Errorf("daemon counters %v, want traffic recorded", stats.Daemon)
+	}
+}
+
+// TestDaemonBadRequests: malformed bodies and unknown names are client
+// errors with a JSON error field, never 500s or crashes.
+func TestDaemonBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	cases := []struct {
+		path, body string
+	}{
+		{"/v1/census", `{`},
+		{"/v1/census", `{"corpus":"no-such-corpus"}`},
+		{"/v1/census", `{"corpus":"default","name":"no-such-graph"}`},
+		{"/v1/census", `{}`},
+		{"/v1/census", `{"graph":{"n":2,"edges":[{"u":0,"pu":0,"v":0,"pv":0}]}}`},
+		{"/v1/sameview", fmt.Sprintf(`{"a":{"graph":%s},"v1":99,"b":{"graph":%s},"v2":0,"depth":1}`, ringJSON, ringJSON)},
+		{"/v1/indices", fmt.Sprintf(`{"graph":%s,"tasks":["XYZ"]}`, ringJSON)},
+	}
+	for _, c := range cases {
+		var out struct {
+			Error string `json:"error"`
+		}
+		resp := postJSON(t, ts, c.path, c.body, &out)
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("POST %s %q: status %v, want a 4xx", c.path, c.body, resp.Status)
+		}
+		if out.Error == "" {
+			t.Errorf("POST %s %q: no error field in response", c.path, c.body)
+		}
+	}
+}
+
+// TestSingleFlightDedup is the concurrency half of the store satellite test:
+// N identical concurrent requests must run the computation once — the rest
+// join the in-flight call and share its answer. To make the overlap
+// deterministic (timing-based overlap is unreliable on small machines), the
+// test plays the in-flight computation itself: it occupies the flight slot
+// for the request key before any request arrives, posts N identical
+// requests — every one of them must join that in-flight call rather than
+// compute — and then completes the call, releasing all N with the shared
+// answer. Run under -race.
+func TestSingleFlightDedup(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	const n = 16
+	body := `{"corpus":"default","name":"path-8"}`
+	key := "/v1/census\x00" + body
+
+	inflight := &flightCall{done: make(chan struct{})}
+	srv.flight.mu.Lock()
+	srv.flight.m = map[string]*flightCall{key: inflight}
+	srv.flight.mu.Unlock()
+
+	sentinel := censusRow{Name: "shared-sentinel", Nodes: 8}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/census", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out struct {
+				Rows []censusRow `json:"rows"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if len(out.Rows) != 1 || out.Rows[0] != sentinel {
+				errs <- fmt.Errorf("request did not share the in-flight answer: %+v", out.Rows)
+			}
+		}()
+	}
+	// Wait until all N requests are counted (each increments before joining
+	// the flight), then complete the in-flight call they are waiting on.
+	for srv.requests.Load() < n {
+		runtime.Gosched()
+	}
+	inflight.val = map[string]any{"rows": []censusRow{sentinel}}
+	close(inflight.done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if computed, deduped := srv.computed.Load(), srv.deduped.Load(); computed != 0 || deduped != n {
+		t.Errorf("computed=%d deduped=%d, want 0 and %d: every request must join the in-flight call", computed, deduped, n)
+	}
+	srv.flight.mu.Lock()
+	delete(srv.flight.m, key)
+	srv.flight.mu.Unlock()
+}
+
+// TestFlightGroupSemantics: sequential calls recompute (completed calls are
+// forgotten), errors are shared, and results reach the caller unchanged.
+func TestFlightGroupSemantics(t *testing.T) {
+	var g flightGroup
+	calls := 0
+	for i := 1; i <= 3; i++ {
+		v, shared, err := g.do("k", func() (any, error) { calls++; return calls, nil })
+		if err != nil || shared || v != i {
+			t.Fatalf("call %d: v=%v shared=%v err=%v, want fresh computation", i, v, shared, err)
+		}
+	}
+	wantErr := fmt.Errorf("boom")
+	_, _, err := g.do("k", func() (any, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, _, err := g.do("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatalf("failed call was not forgotten: %v", err)
+	}
+}
+
+// BenchmarkDaemonMixedQuery measures serving throughput on a warm engine
+// over a mixed stream (census member, advice, cross-graph sameview, stats) —
+// the daemon-side load number the roadmap's serving item asks for.
+func BenchmarkDaemonMixedQuery(b *testing.B) {
+	_, ts := newTestServer(b, "")
+	queries := []struct {
+		path, body string
+	}{
+		{"/v1/census", `{"corpus":"default","name":"path-8"}`},
+		{"/v1/advice", `{"corpus":"default","name":"caterpillar-a"}`},
+		{"/v1/sameview", `{"a":{"corpus":"default","name":"path-8"},"v1":0,"b":{"corpus":"default","name":"caterpillar-a"},"v2":0,"depth":3}`},
+		{"/v1/census", `{"corpus":"default"}`},
+	}
+	// Warm the engine so the benchmark measures serving, not first-touch
+	// refinement.
+	for _, q := range queries {
+		postJSON(b, ts, q.path, q.body, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		resp, err := http.Post(ts.URL+q.path, "application/json", bytes.NewReader([]byte(q.body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/s")
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/local"
 	"repro/internal/lowerbound"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/view"
 )
 
@@ -184,6 +185,29 @@ func NewEngine(workers int) *RefinementEngine { return engine.New(workers) }
 // should create per-request engines with NewEngine, or call Reset on this
 // one, instead.
 func DefaultEngine() *RefinementEngine { return engine.Default }
+
+// ---- Persistent refinement store ---------------------------------------------
+
+// RefinementStore is the disk-backed, content-addressed refinement store: a
+// single-file append-log keyed by GraphContentHash × the engine's refinement
+// scheme version. Attach one to an engine with RefinementEngine.SetStore and
+// the engine consults it before computing and writes through after, so a
+// second run over the same graphs performs zero refinement steps. Forget
+// leaves persisted rows intact — persistence is the point.
+type RefinementStore = store.FileStore
+
+// RefinementStoreStats is a snapshot of a store's record count and log size.
+type RefinementStoreStats = store.Stats
+
+// OpenRefinementStore opens (creating as needed) the refinement store in
+// dir, replaying its log and truncating any torn tail from a crashed writer.
+func OpenRefinementStore(dir string) (*RefinementStore, error) { return store.Open(dir) }
+
+// GraphContentHash is the content address of a graph: a SHA-256 over its
+// exact port-numbered adjacency. Labelled identity, not isomorphism — class
+// tables are node-indexed, so the store must never serve one graph's tables
+// for another's nodes.
+var GraphContentHash = graph.ContentHash
 
 // ---- Tasks, outputs, election indices ----------------------------------------
 

@@ -57,6 +57,11 @@ type entry struct {
 	mu   sync.Mutex
 	live bool
 	g    *graph.Graph
+	// measured caches the size of a hint-less entry once a graph has been
+	// built to count it, so size filters never materialise the same entry
+	// twice — and, for streamed entries, never leave a graph alive that only
+	// existed to be measured.
+	measured int
 }
 
 func (e *entry) graph() *graph.Graph {
@@ -93,13 +98,35 @@ func (e *entry) release(fn func(*graph.Graph)) bool {
 	return true
 }
 
-// nodes returns the entry's size, materialising the graph only when the
-// spec did not declare one.
+// nodes returns the entry's size, materialising the graph only when the spec
+// did not declare one — and then only once: the measured size is cached on
+// the entry. A streamed entry that was not live beforehand is released again
+// after measuring (through the spec's Drop hook, like any release), so a
+// size filter over a streamed corpus stays a metadata pass instead of
+// quietly defeating streaming by leaving every hint-less rung alive.
 func (e *entry) nodes() int {
 	if e.spec.Nodes > 0 {
 		return e.spec.Nodes
 	}
-	return e.graph().N()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.measured > 0 {
+		return e.measured
+	}
+	wasLive := e.live
+	if !e.live {
+		e.g = e.spec.Gen()
+		e.live = true
+	}
+	e.measured = e.g.N()
+	if !wasLive && e.spec.Stream {
+		g := e.g
+		e.g, e.live = nil, false
+		if e.spec.Drop != nil {
+			e.spec.Drop(g)
+		}
+	}
+	return e.measured
 }
 
 // Corpus is an ordered collection of named graphs. The iteration order of

@@ -223,3 +223,49 @@ func TestLargeRandomStreams(t *testing.T) {
 		t.Error("largerandom entries are not streamed")
 	}
 }
+
+// TestSizeFilterReleasesStreamedMeasurement is the regression test for the
+// streaming leak in entry.nodes(): a size filter over hint-less streamed
+// entries used to materialise each graph to measure it and leave it live,
+// quietly defeating streaming. Measuring must release the graph again
+// (observed through the Drop hook, like any release) and cache the size so
+// a second filter pass does not rebuild anything.
+func TestSizeFilterReleasesStreamedMeasurement(t *testing.T) {
+	var gens, drops atomic.Int64
+	c := New(
+		Spec{Name: "rung-a", Family: "ring", Stream: true, // no Nodes hint
+			Gen:  func() *graph.Graph { gens.Add(1); return graph.Ring(12) },
+			Drop: func(g *graph.Graph) { drops.Add(1) }},
+		Spec{Name: "rung-b", Family: "ring", Stream: true, // no Nodes hint
+			Gen:  func() *graph.Graph { gens.Add(1); return graph.Ring(30) },
+			Drop: func(g *graph.Graph) { drops.Add(1) }},
+	)
+	small := c.Filter(Filter{MaxNodes: 20})
+	if got := small.Names(); len(got) != 1 || got[0] != "rung-a" {
+		t.Fatalf("Filter kept %v, want [rung-a]", got)
+	}
+	if c.Live() != 0 {
+		t.Errorf("size filter left %d streamed graphs live, want 0", c.Live())
+	}
+	if gens.Load() != 2 || drops.Load() != 2 {
+		t.Errorf("measuring ran gens=%d drops=%d, want 2 and 2", gens.Load(), drops.Load())
+	}
+	// The measured sizes are cached: another size-bounded view re-measures
+	// nothing.
+	large := c.Filter(Filter{MinNodes: 20})
+	if got := large.Names(); len(got) != 1 || got[0] != "rung-b" {
+		t.Fatalf("second Filter kept %v, want [rung-b]", got)
+	}
+	if gens.Load() != 2 {
+		t.Errorf("second size filter re-ran generators (gens=%d, want 2)", gens.Load())
+	}
+	// A graph already live for a real consumer is measured in place, not
+	// dropped out from under it.
+	g := c.Graph("rung-a")
+	if n := c.Nodes("rung-a"); n != 12 || g == nil {
+		t.Fatalf("Nodes(rung-a) = %d, want 12", n)
+	}
+	if c.Live() != 1 {
+		t.Errorf("measuring a live graph released it (live=%d, want 1)", c.Live())
+	}
+}

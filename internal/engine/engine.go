@@ -36,6 +36,41 @@ import (
 	"repro/internal/view"
 )
 
+// SchemeVersion identifies the refinement scheme producing the class tables:
+// integer-pair signatures consed in first-occurrence order (the PairSigs /
+// LevelPartition scheme of the view package). Persisted tables carry it, and
+// a store serving a different version must report a miss rather than hand
+// back tables whose class identifiers mean something else. Bump it whenever
+// the canonical numbering (not just the speed) of the refinement changes.
+const SchemeVersion = 2
+
+// StoredRefinement is the persisted refinement state of one graph: the class
+// tables for depths 0..len(Classes)-1 and, when the partition stabilised
+// within them, the stabilisation depth (-1 otherwise). Deeper levels alias
+// the stabilised table, so a stabilised record answers queries at every
+// depth; the engine trims what it saves accordingly. The slices are shared
+// with the engine's cache — implementations must treat them as immutable.
+type StoredRefinement struct {
+	Classes  [][]int
+	NumClass []int
+	StableAt int
+}
+
+// Store is the persistence hook of the engine: a disk-backed (or remote)
+// refinement store the engine consults before computing and writes through
+// after, keyed by the graph's content hash (graph.ContentHash) — the scheme
+// version half of the key is the implementation's concern, so a multi-backend
+// swap is pure configuration. Load reports ok=false for unknown keys (and
+// for records of a foreign scheme version); a non-nil error means the store
+// itself failed, which the engine counts (Stats.StoreErrs) and treats as a
+// miss — persistence must never turn a computable refinement into a failure.
+// Implementations must be safe for concurrent use: the engine calls Load and
+// Save from many per-graph extensions at once.
+type Store interface {
+	Load(key string) (StoredRefinement, bool, error)
+	Save(key string, rec StoredRefinement) error
+}
+
 // Engine is a concurrency-safe, memoizing view-refinement engine. The zero
 // value is not usable; construct instances with New. Independent graphs
 // refine concurrently; concurrent requests for the same graph serialise on a
@@ -52,10 +87,19 @@ type Engine struct {
 	// Cross-graph comparison state: disjoint-union graphs, cached per
 	// unordered graph pair so that repeated SameViewAcross calls (and their
 	// refinements, which live in the ordinary entry cache above) are paid
-	// once. Both orders of a pair key the same record.
+	// once. Both orders of a pair key the same record, and byMember indexes
+	// the records by member graph so Forget touches only the unions
+	// involving the forgotten graph — not the whole union map.
 	unionMu  sync.Mutex
 	unions   map[[2]*graph.Graph]*unionRec
+	byMember map[*graph.Graph]map[*unionRec]struct{}
 	unionLRU *list.List // of [2]*graph.Graph in canonical order
+
+	// store, when set (SetStore), persists refinements across processes:
+	// consulted before an entry's first extension, written through after
+	// every extension that computed new levels. Set it before the engine's
+	// first query; it is read without synchronisation afterwards.
+	store Store
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -64,15 +108,38 @@ type Engine struct {
 	evictions   atomic.Uint64
 	forgets     atomic.Uint64
 	unionsBuilt atomic.Uint64
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeSaves  atomic.Uint64
+	storeErrs   atomic.Uint64
 }
 
 // unionRec is the cached disjoint union of one unordered graph pair. The
-// union graph is built lazily, at most once, outside the engine locks.
+// union graph is built lazily, at most once, outside the engine locks; the
+// builder (union) owns the build — Forget only ever *reads* u under mu, so a
+// concurrent Forget can never leave a SameViewAcross caller holding a record
+// whose graph was silently skipped (the sync.Once this replaces let Forget
+// consume the once before the builder ran, and Refine(nil, …) panicked).
 type unionRec struct {
-	once sync.Once
 	a, b *graph.Graph // the canonical order: the union lists a's nodes first
-	u    *graph.Graph
+
+	mu    sync.Mutex
+	built bool
+	u     *graph.Graph
+
 	elem *list.Element
+}
+
+// union returns the record's disjoint-union graph, building it at most once.
+func (rec *unionRec) union(e *Engine) *graph.Graph {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.built {
+		rec.u = graph.DisjointUnion(rec.a, rec.b)
+		rec.built = true
+		e.unionsBuilt.Add(1)
+	}
+	return rec.u
 }
 
 // entry is the cached refinement state of one graph, grown lazily.
@@ -90,6 +157,18 @@ type entry struct {
 	// deepest cached class table if an unstabilised entry is extended again.
 	part *view.LevelPartition
 	elem *list.Element
+	// key is the graph's content hash, computed once per entry when a store
+	// is attached; consulted marks that the store was asked (hit or miss),
+	// so repeated extensions never re-read persisted state.
+	key       string
+	consulted bool
+	// savedLevels/savedStable track what the store already holds, so the
+	// write-through re-saves on geometric growth (levels doubled) and at
+	// stabilisation instead of once per level — a stabilisation search
+	// extends level by level, and per-level saves would write the quadratic
+	// sum of all prefixes.
+	savedLevels int
+	savedStable bool
 }
 
 // Default is the process-wide shared engine used by callers that do not
@@ -109,9 +188,20 @@ func New(workers int) *Engine {
 		entries:           make(map[*graph.Graph]*entry),
 		lru:               list.New(),
 		unions:            make(map[[2]*graph.Graph]*unionRec),
+		byMember:          make(map[*graph.Graph]map[*unionRec]struct{}),
 		unionLRU:          list.New(),
 	}
 }
+
+// SetStore attaches a persistent refinement store: every entry's first
+// extension consults it before computing (a hit warm-starts the entry — the
+// loaded levels count as neither Steps nor CachedDepths) and every extension
+// that computed new levels writes the deepest state back through it. Forget
+// and LRU eviction leave persisted rows intact — persistence is the point; a
+// forgotten graph that is queried again reloads instead of recomputing.
+// Attach the store before the engine's first query; the field is read
+// without synchronisation afterwards.
+func (e *Engine) SetStore(s Store) { e.store = s }
 
 // OrNew returns e, or a fresh throwaway engine when e is nil. It is the
 // library-wide nil-engine convention: passing nil never shares process-global
@@ -139,6 +229,10 @@ type Stats struct {
 	CachedDepths uint64 // sum over cached graphs of levels computed from scratch
 	UnionsBuilt  uint64 // disjoint-union graphs materialised for SameViewAcross
 	UnionGraphs  int    // graph pairs currently in the union cache
+	StoreHits    uint64 // entries warm-started from the persistent store
+	StoreMisses  uint64 // store consultations that found nothing usable
+	StoreSaves   uint64 // refinement records written through to the store
+	StoreErrs    uint64 // store operations that failed (treated as misses)
 }
 
 // Stats returns a snapshot of the counters. When Evictions and Forgotten are
@@ -153,6 +247,10 @@ func (e *Engine) Stats() Stats {
 		Evictions:   e.evictions.Load(),
 		Forgotten:   e.forgets.Load(),
 		UnionsBuilt: e.unionsBuilt.Load(),
+		StoreHits:   e.storeHits.Load(),
+		StoreMisses: e.storeMisses.Load(),
+		StoreSaves:  e.storeSaves.Load(),
+		StoreErrs:   e.storeErrs.Load(),
 	}
 	e.unionMu.Lock()
 	s.UnionGraphs = e.unionLRU.Len()
@@ -175,7 +273,9 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Reset drops every cached refinement and union graph and zeroes the counters.
+// Reset drops every cached refinement and union graph and zeroes the
+// counters. An attached store stays attached (and untouched): reset clears
+// the in-memory cache, not the persisted rows.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.entries = make(map[*graph.Graph]*entry)
@@ -183,6 +283,7 @@ func (e *Engine) Reset() {
 	e.mu.Unlock()
 	e.unionMu.Lock()
 	e.unions = make(map[[2]*graph.Graph]*unionRec)
+	e.byMember = make(map[*graph.Graph]map[*unionRec]struct{})
 	e.unionLRU.Init()
 	e.unionMu.Unlock()
 	e.hits.Store(0)
@@ -192,6 +293,10 @@ func (e *Engine) Reset() {
 	e.evictions.Store(0)
 	e.forgets.Store(0)
 	e.unionsBuilt.Store(0)
+	e.storeHits.Store(0)
+	e.storeMisses.Store(0)
+	e.storeSaves.Store(0)
+	e.storeErrs.Store(0)
 }
 
 // Forget drops every cached refinement involving g: its class tables, the
@@ -202,33 +307,32 @@ func (e *Engine) Reset() {
 // class tables (and any union graphs) reachable from the engine until LRU
 // eviction — so the scenario runner calls it for every graph a corpus
 // release drops. Counted in Stats().Forgotten; like evictions, forgetting
-// voids the Steps == CachedDepths at-most-once certificate.
+// voids the Steps == CachedDepths at-most-once certificate. An attached
+// store is deliberately untouched: persisted rows outlive Forget, so a
+// forgotten graph warm-starts from disk instead of recomputing.
 func (e *Engine) Forget(g *graph.Graph) {
 	if g == nil {
 		return
 	}
-	// Collect the unions g participates in first: their union graphs'
-	// refinements live in the ordinary cache and must go with the pair. Both
-	// orders of a pair key the same record, so dedupe on the record.
+	// Collect the unions g participates in — via the per-member index, so a
+	// streamed release calling Forget once per graph costs O(unions touching
+	// g), not O(all cached unions). The union graphs' refinements live in
+	// the ordinary cache and must go with the pair.
 	var unionGraphs []*graph.Graph
 	e.unionMu.Lock()
-	seen := map[*unionRec]bool{}
-	for key, rec := range e.unions {
-		if key[0] != g && key[1] != g {
-			continue
-		}
-		delete(e.unions, key)
-		if seen[rec] {
-			continue
-		}
-		seen[rec] = true
-		e.unionLRU.Remove(rec.elem)
-		// Synchronise with any in-flight build — once.Do blocks until a
-		// running builder completes — so reading rec.u below is race-free.
-		rec.once.Do(func() {})
+	for rec := range e.byMember[g] {
+		e.removeUnionLocked(rec)
+		// The builder owns the build (see unionRec); here we only read. A
+		// build racing this Forget publishes rec.u under rec.mu: if it wins,
+		// the union graph is collected below; if it loses, the builder's
+		// caller refines a union whose record has left the maps — that
+		// entry lingers until LRU eviction, which is the documented
+		// semantics of racing Forget against in-flight queries.
+		rec.mu.Lock()
 		if rec.u != nil {
 			unionGraphs = append(unionGraphs, rec.u)
 		}
+		rec.mu.Unlock()
 	}
 	e.unionMu.Unlock()
 	e.mu.Lock()
@@ -240,6 +344,22 @@ func (e *Engine) Forget(g *graph.Graph) {
 		}
 	}
 	e.mu.Unlock()
+}
+
+// removeUnionLocked unlinks one union record from every index: both key
+// orders, the LRU list and the per-member sets. Caller holds unionMu.
+func (e *Engine) removeUnionLocked(rec *unionRec) {
+	delete(e.unions, [2]*graph.Graph{rec.a, rec.b})
+	delete(e.unions, [2]*graph.Graph{rec.b, rec.a})
+	e.unionLRU.Remove(rec.elem)
+	for _, m := range [...]*graph.Graph{rec.a, rec.b} {
+		if set := e.byMember[m]; set != nil {
+			delete(set, rec)
+			if len(set) == 0 {
+				delete(e.byMember, m)
+			}
+		}
+	}
 }
 
 // Refine returns a refinement of g covering depths 0..depth, computing only
@@ -286,7 +406,15 @@ func (e *Engine) entryFor(g *graph.Graph) *entry {
 }
 
 // extendLocked grows the cached tables of g up to depth. Caller holds ent.mu.
+// With a store attached, the entry's first extension consults the persisted
+// record before computing (a hit warm-starts the tables — loaded levels are
+// neither Steps nor CachedDepths) and any extension that computed new levels
+// writes the deepest state back through.
 func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
+	if e.store != nil && !ent.consulted {
+		e.consultStoreLocked(g, ent)
+	}
+	computedBefore := ent.computed
 	if len(ent.classes) == 0 {
 		classes, num := view.DegreeClasses(g)
 		ent.classes = [][]int{classes}
@@ -337,6 +465,89 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		}
 	}
 	view.PutPairSigs(sigs)
+	if e.store != nil && ent.computed > computedBefore {
+		// Write through on geometric growth and at stabilisation: the total
+		// bytes written stay within a small constant of the final record,
+		// and the stabilised record — the one that answers every depth — is
+		// always persisted.
+		levels := storedLevels(ent)
+		if (ent.stableAt >= 0 && !ent.savedStable) || levels >= 2*ent.savedLevels {
+			e.writeThroughLocked(ent)
+		}
+	}
+}
+
+// storedLevels returns how many levels of the entry are worth persisting:
+// everything up to stabilisation — deeper levels alias the stabilised table
+// and are reconstructed by the shortcut on load.
+func storedLevels(ent *entry) int {
+	levels := len(ent.classes)
+	if ent.stableAt >= 0 && ent.stableAt+1 < levels {
+		levels = ent.stableAt + 1
+	}
+	return levels
+}
+
+// consultStoreLocked asks the store for the entry's persisted refinement,
+// adopting the record when it is deeper than what memory holds. Loaded
+// levels count as neither Steps nor CachedDepths — they were not computed —
+// so a fully warm run reports Stats().Steps == 0. Caller holds ent.mu.
+func (e *Engine) consultStoreLocked(g *graph.Graph, ent *entry) {
+	ent.consulted = true
+	if ent.key == "" {
+		ent.key = graph.ContentHash(g)
+	}
+	rec, ok, err := e.store.Load(ent.key)
+	if err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	if !ok {
+		e.storeMisses.Add(1)
+		return
+	}
+	// Defensive validation: a record of the wrong shape (however it got
+	// there) is a store error, never adopted — class tables indexed by the
+	// wrong nodes would corrupt every downstream answer.
+	if len(rec.Classes) == 0 || len(rec.Classes) != len(rec.NumClass) {
+		e.storeErrs.Add(1)
+		return
+	}
+	for _, c := range rec.Classes {
+		if len(c) != g.N() {
+			e.storeErrs.Add(1)
+			return
+		}
+	}
+	if len(rec.Classes) > len(ent.classes) {
+		ent.classes = rec.Classes
+		ent.numClass = rec.NumClass
+		ent.stableAt = rec.StableAt
+		ent.part = nil
+		ent.savedLevels = len(rec.Classes)
+		ent.savedStable = rec.StableAt >= 0
+	}
+	e.storeHits.Add(1)
+}
+
+// writeThroughLocked persists the entry's deepest state, trimmed at
+// stabilisation. Save errors are counted and otherwise ignored — persistence
+// must never turn a computable refinement into a failure. Caller holds
+// ent.mu; the saved slices are shared with the cache and immutable.
+func (e *Engine) writeThroughLocked(ent *entry) {
+	levels := storedLevels(ent)
+	rec := StoredRefinement{
+		Classes:  ent.classes[:levels],
+		NumClass: ent.numClass[:levels],
+		StableAt: ent.stableAt,
+	}
+	if err := e.store.Save(ent.key, rec); err != nil {
+		e.storeErrs.Add(1)
+		return
+	}
+	e.storeSaves.Add(1)
+	ent.savedLevels = levels
+	ent.savedStable = ent.stableAt >= 0
 }
 
 // stabilisationLocked extends the cached tables until stabilisation is
@@ -460,12 +671,18 @@ func (e *Engine) unionFor(g1, g2 *graph.Graph) *unionRec {
 	rec.elem = e.unionLRU.PushFront([2]*graph.Graph{g1, g2})
 	e.unions[[2]*graph.Graph{g1, g2}] = rec
 	e.unions[[2]*graph.Graph{g2, g1}] = rec
+	for _, m := range [...]*graph.Graph{g1, g2} {
+		set := e.byMember[m]
+		if set == nil {
+			set = make(map[*unionRec]struct{})
+			e.byMember[m] = set
+		}
+		set[rec] = struct{}{}
+	}
 	for e.unionLRU.Len() > e.maxGraphs {
 		oldest := e.unionLRU.Back()
 		pair := oldest.Value.([2]*graph.Graph)
-		e.unionLRU.Remove(oldest)
-		delete(e.unions, pair)
-		delete(e.unions, [2]*graph.Graph{pair[1], pair[0]})
+		e.removeUnionLocked(e.unions[pair])
 	}
 	return rec
 }
@@ -487,15 +704,12 @@ func (e *Engine) SameViewAcross(g1 *graph.Graph, v1 int, g2 *graph.Graph, v2, de
 		return e.SameView(g1, v1, v2, depth)
 	}
 	rec := e.unionFor(g1, g2)
-	rec.once.Do(func() {
-		rec.u = graph.DisjointUnion(rec.a, rec.b)
-		e.unionsBuilt.Add(1)
-	})
+	u := rec.union(e)
 	i1, i2 := v1, v2
 	if g1 == rec.a {
 		i2 += rec.a.N()
 	} else {
 		i1 += rec.a.N()
 	}
-	return e.Refine(rec.u, depth).SameView(i1, i2, depth)
+	return e.Refine(u, depth).SameView(i1, i2, depth)
 }

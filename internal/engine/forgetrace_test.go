@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestForgetSameViewAcrossRace is the regression test for the union-build
+// race: Forget used to synchronise with in-flight builds by consuming the
+// record's sync.Once (rec.once.Do(func() {})), which could win the once
+// before the SameViewAcross caller's builder ran — leaving rec.u == nil and
+// panicking inside Refine(nil, …). The builder now owns the build, so
+// hammering Forget against concurrent SameViewAcross on the same graph pair
+// must never panic, and the comparisons must keep answering correctly.
+//
+// The window only exists on a freshly created union record, between unionFor
+// returning and the build running — every Forget here drops the pair, so the
+// comparison loops re-open it constantly. Free-running loops (no per-
+// iteration barrier) are what make the schedule land inside it: each
+// thread's preemption points fall at random positions of the others' loop
+// bodies, and the comparison body is kept as small as possible (tiny graphs,
+// depth 0, so one iteration is unionFor + union build + degree classes) to
+// maximise the fraction of it the window occupies. Run under -race so the
+// detector also checks the rec.u publication.
+func TestForgetSameViewAcrossRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	e := New(1)
+	// Triangle nodes have degree 2, the 2-path's nodes degree 1, so the
+	// graphs are distinguishable at depth 0 and every comparison below must
+	// answer false — at the cheapest possible per-iteration cost.
+	g1, g2 := graph.Ring(3), graph.Path(2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if e.SameViewAcross(g1, w%3, g2, w%2, 0) {
+					t.Error("triangle and path nodes report equal views")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			e.Forget(g1)
+		}
+	}()
+	time.Sleep(4 * time.Second)
+	stop.Store(true)
+	wg.Wait()
+	// The engine is still coherent after the storm.
+	if e.SameViewAcross(g1, 0, g2, 0, 3) {
+		t.Error("post-race: triangle and path nodes report equal views")
+	}
+	if !e.SameViewAcross(g1, 0, g1, 1, 3) {
+		t.Error("post-race: symmetric triangle nodes report distinct views")
+	}
+}
+
+// TestForgetTouchesOnlyOwnUnions: Forget releases exactly the unions the
+// forgotten graph participates in — the per-member index replaced a scan of
+// the whole union map — leaving unrelated pairs cached and queryable.
+func TestForgetTouchesOnlyOwnUnions(t *testing.T) {
+	e := New(1)
+	g1, g2, g3, g4 := graph.Ring(6), graph.Path(5), graph.Star(4), graph.Ring(5)
+	e.SameViewAcross(g1, 0, g2, 0, 2) // union {g1, g2}
+	e.SameViewAcross(g2, 0, g3, 0, 2) // union {g2, g3}
+	e.SameViewAcross(g3, 0, g4, 0, 2) // union {g3, g4}
+	if got := e.Stats().UnionGraphs; got != 3 {
+		t.Fatalf("UnionGraphs = %d, want 3", got)
+	}
+
+	e.Forget(g2)
+	after := e.Stats()
+	if after.UnionGraphs != 1 {
+		t.Errorf("after Forget(g2): %d union pairs cached, want 1 ({g3, g4})", after.UnionGraphs)
+	}
+	// The surviving pair still answers from cache, and the dropped pairs
+	// recompute correctly.
+	if e.SameViewAcross(g3, 0, g4, 0, 2) {
+		t.Error("star and ring nodes report equal views")
+	}
+	if e.SameViewAcross(g1, 0, g2, 0, 2) {
+		t.Error("recomputed ring/path comparison reports equal views")
+	}
+	if got := e.Stats().UnionGraphs; got != 2 {
+		t.Errorf("re-querying a forgotten pair did not recache it (UnionGraphs = %d, want 2)", got)
+	}
+}

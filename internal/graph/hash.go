@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ContentHash returns a hex-encoded SHA-256 of the graph's exact
+// port-numbered adjacency structure: node count, then per node the degree and
+// the (To, ToPort) halves in port order. It is labelled-graph identity — two
+// graphs hash equal exactly when they have the same nodes, edges and port
+// assignments, not merely when they are isomorphic — which is the right key
+// for persisting per-node refinement tables: class tables are indexed by node
+// identifier, so anything weaker would attach one graph's tables to another's
+// nodes. Graphs are immutable after construction, so the hash is stable; it
+// is the content-addressed half of the refinement-store key (the scheme
+// version is the other half — see the store package).
+func ContentHash(g *Graph) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x int) {
+		n := binary.PutUvarint(buf[:], uint64(x))
+		h.Write(buf[:n])
+	}
+	put(g.N())
+	for v := range g.adj {
+		put(len(g.adj[v]))
+		for _, half := range g.adj[v] {
+			put(half.To)
+			put(half.ToPort)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// benchGraphs is the census workload of the cold-vs-warm pair: a mix of
+// lattice and tree topologies large enough that refinement dominates the
+// cold run.
+func benchGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Torus(8, 8),
+		graph.Torus(16, 16),
+		graph.Grid(12, 12),
+		graph.Hypercube(6),
+		graph.Caterpillar(12, []int{2, 0, 1, 3, 0, 2, 1, 0, 4, 1, 0, 2}),
+	}
+}
+
+// censusOver runs the census queries (stabilisation depth, classes there,
+// minimum unique depth) over every graph — the per-graph work a nightly
+// census cell performs.
+func censusOver(e *engine.Engine, graphs []*graph.Graph) {
+	for _, g := range graphs {
+		d := e.StabilisationDepth(g)
+		e.NumClassesAt(g, d)
+		e.MinDepthSomeUnique(g)
+	}
+}
+
+// BenchmarkRefineStoreColdCensus measures the full cold path: open an empty
+// store, refine the census workload from scratch (writing through), close.
+// Its warm twin below answers the same census from disk; the ratio is the
+// store's end-to-end win.
+func BenchmarkRefineStoreColdCensus(b *testing.B) {
+	graphs := benchGraphs()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := engine.New(1)
+		e.SetStore(s)
+		censusOver(e, graphs)
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefineStoreWarmCensus measures the warm path: a store persisted
+// by an earlier run is reopened by a fresh process (fresh engine), and the
+// census must load every table instead of recomputing — zero refinement
+// steps, asserted.
+func BenchmarkRefineStoreWarmCensus(b *testing.B) {
+	graphs := benchGraphs()
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := engine.New(1)
+	seed.SetStore(s)
+	censusOver(seed, graphs)
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := engine.New(1)
+		e.SetStore(s)
+		censusOver(e, graphs)
+		if steps := e.Stats().Steps; steps != 0 {
+			b.Fatalf("warm census performed %d refinement steps", steps)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

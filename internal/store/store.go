@@ -1,0 +1,379 @@
+// Package store persists refinement state across processes: a
+// content-addressed, disk-backed store the engine consults before computing
+// and writes through after (engine.Store). Keys are
+// graph.ContentHash × engine.SchemeVersion — the hash names the exact
+// port-numbered graph, the scheme version the canonical numbering that
+// produced the tables — and depth is carried inside the record (one record
+// per graph holds levels 0..deepest, trimmed at stabilisation), so "which
+// levels are known" is one lookup, not a scan over per-depth keys. The
+// layout is a single-file append-log (FileStore); the key design is the
+// contract, so swapping in a LevelDB- or server-backed implementation later
+// is pure configuration against the same engine hook.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// LogName is the single file a FileStore keeps inside its directory.
+const LogName = "refinements.log"
+
+// recordMagic frames every record; a mismatch means the tail is torn (or the
+// file is foreign) and reading stops there.
+const recordMagic = 0x46535231 // "FSR1"
+
+// maxPayload bounds a single record; larger declared lengths are treated as
+// corruption rather than allocated.
+const maxPayload = 1 << 30
+
+// indexed locates one live record in the log.
+type indexed struct {
+	off    int64
+	length int64 // full frame: header + payload + crc
+	levels int
+	stable bool
+}
+
+// FileStore is a disk-backed engine.Store over a single append-only log
+// file. Records are framed (magic, payload length, payload, CRC-32) and
+// append-ordered; the newest record for a key wins, and Open truncates a
+// torn tail (a crash mid-append loses at most the record being written) and
+// compacts the log when superseded records outweigh live ones. Save never
+// regresses: a record shallower than the one already held for its key is
+// skipped. Safe for concurrent use.
+type FileStore struct {
+	mu    sync.RWMutex
+	f     *os.File
+	size  int64 // append offset
+	dead  int64 // bytes held by superseded records
+	index map[string]indexed
+	path  string
+}
+
+var _ engine.Store = (*FileStore)(nil)
+
+// Open opens (creating if needed) the store in dir. It replays the log to
+// build the in-memory key index, truncates any torn tail, and compacts when
+// more than half the file is superseded records.
+func Open(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, LogName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &FileStore{f: f, index: make(map[string]indexed), path: path}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if s.dead > s.size-s.dead {
+		if err := s.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replay scans the log from the start, indexing the newest record per key
+// and truncating at the first malformed frame.
+func (s *FileStore) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	total := info.Size()
+	var off int64
+	for off < total {
+		key, rec, frameLen, err := s.readFrame(off, total)
+		if err != nil {
+			// Torn tail: everything before off replayed cleanly, so keep it
+			// and drop the rest.
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", terr)
+			}
+			break
+		}
+		if old, ok := s.index[key]; ok {
+			s.dead += old.length
+		}
+		s.index[key] = indexed{off: off, length: frameLen, levels: len(rec.Classes), stable: rec.StableAt >= 0}
+		off += frameLen
+	}
+	s.size = off
+	return nil
+}
+
+// readFrame decodes the frame at off, returning the key, record and frame
+// length. limit bounds how far the frame may extend (the file size during
+// replay). Any malformation is an error.
+func (s *FileStore) readFrame(off, limit int64) (string, engine.StoredRefinement, int64, error) {
+	var zero engine.StoredRefinement
+	var hdr [8]byte
+	if off+int64(len(hdr)) > limit {
+		return "", zero, 0, errors.New("store: short header")
+	}
+	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+		return "", zero, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+		return "", zero, 0, errors.New("store: bad magic")
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+	if plen <= 0 || plen > maxPayload || off+8+plen+4 > limit {
+		return "", zero, 0, errors.New("store: bad payload length")
+	}
+	buf := make([]byte, plen+4)
+	if _, err := s.f.ReadAt(buf, off+8); err != nil {
+		return "", zero, 0, err
+	}
+	payload, sum := buf[:plen], binary.LittleEndian.Uint32(buf[plen:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", zero, 0, errors.New("store: checksum mismatch")
+	}
+	key, rec, err := decodePayload(payload)
+	if err != nil {
+		return "", zero, 0, err
+	}
+	return key, rec, 8 + plen + 4, nil
+}
+
+// Load implements engine.Store. Unknown keys (and records written by a
+// foreign scheme version, which replay already refuses to index — see
+// decodePayload) report ok=false.
+func (s *FileStore) Load(key string) (engine.StoredRefinement, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.index[key]
+	if !ok {
+		return engine.StoredRefinement{}, false, nil
+	}
+	_, rec, _, err := s.readFrame(idx.off, idx.off+idx.length)
+	if err != nil {
+		return engine.StoredRefinement{}, false, fmt.Errorf("store: load %s: %w", key[:8], err)
+	}
+	return rec, true, nil
+}
+
+// Save implements engine.Store: appends a new record for key, superseding
+// any older one. A record no deeper than the one already held is skipped —
+// concurrent engines warm-started at different times must never shrink what
+// the store knows.
+func (s *FileStore) Save(key string, rec engine.StoredRefinement) error {
+	payload := encodePayload(key, rec)
+	frame := make([]byte, 8+len(payload)+4)
+	binary.LittleEndian.PutUint32(frame[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[8:], payload)
+	binary.LittleEndian.PutUint32(frame[8+len(payload):], crc32.ChecksumIEEE(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[key]; ok {
+		if old.levels > len(rec.Classes) || (old.levels == len(rec.Classes) && (old.stable || rec.StableAt < 0)) {
+			return nil
+		}
+		s.dead += old.length
+	}
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	s.index[key] = indexed{off: s.size, length: int64(len(frame)), levels: len(rec.Classes), stable: rec.StableAt >= 0}
+	s.size += int64(len(frame))
+	if s.dead > s.size-s.dead {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites only the live records into a fresh log and atomically
+// replaces the old one. Caller holds s.mu.
+func (s *FileStore) compactLocked() error {
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	newIndex := make(map[string]indexed, len(s.index))
+	var off int64
+	for key, idx := range s.index {
+		buf := make([]byte, idx.length)
+		if _, err := s.f.ReadAt(buf, idx.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if _, err := tmp.WriteAt(buf, off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		newIndex[key] = indexed{off: off, length: idx.length, levels: idx.levels, stable: idx.stable}
+		off += idx.length
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.f.Close()
+	s.f = tmp
+	s.index = newIndex
+	s.size = off
+	s.dead = 0
+	return nil
+}
+
+// Flush forces buffered writes to stable storage.
+func (s *FileStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close flushes and closes the log. The store is unusable afterwards.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Stats reports the store's resident shape.
+type Stats struct {
+	Records   int   // live keys
+	Bytes     int64 // log size on disk
+	DeadBytes int64 // bytes held by superseded records
+}
+
+// Stats returns a snapshot of the store's shape.
+func (s *FileStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Records: len(s.index), Bytes: s.size, DeadBytes: s.dead}
+}
+
+// encodePayload serialises one record: key, scheme version, node count,
+// level count, stableAt+1 (so -1 encodes as 0), then per level the class
+// count followed by the n class identifiers. All integers are uvarints.
+func encodePayload(key string, rec engine.StoredRefinement) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x int) {
+		n := binary.PutUvarint(tmp[:], uint64(x))
+		buf = append(buf, tmp[:n]...)
+	}
+	put(len(key))
+	buf = append(buf, key...)
+	put(engine.SchemeVersion)
+	n := 0
+	if len(rec.Classes) > 0 {
+		n = len(rec.Classes[0])
+	}
+	put(n)
+	put(len(rec.Classes))
+	put(rec.StableAt + 1)
+	for d, level := range rec.Classes {
+		put(rec.NumClass[d])
+		for _, c := range level {
+			put(c)
+		}
+	}
+	return buf
+}
+
+// decodePayload is the inverse of encodePayload. A record written by a
+// different scheme version decodes as an error: its class identifiers mean
+// something else, and replay must leave it unindexed so Load misses.
+func decodePayload(payload []byte) (string, engine.StoredRefinement, error) {
+	var zero engine.StoredRefinement
+	r := &payloadReader{buf: payload}
+	keyLen := r.next()
+	key := r.bytes(keyLen)
+	version := r.next()
+	n := r.next()
+	levels := r.next()
+	stablePlus := r.next()
+	if r.err != nil {
+		return "", zero, r.err
+	}
+	if version != engine.SchemeVersion {
+		return "", zero, fmt.Errorf("store: record scheme version %d, engine %d", version, engine.SchemeVersion)
+	}
+	if levels <= 0 || n <= 0 || stablePlus > levels {
+		return "", zero, errors.New("store: malformed record shape")
+	}
+	rec := engine.StoredRefinement{
+		Classes:  make([][]int, levels),
+		NumClass: make([]int, levels),
+		StableAt: stablePlus - 1,
+	}
+	for d := 0; d < levels; d++ {
+		rec.NumClass[d] = r.next()
+		level := make([]int, n)
+		for v := range level {
+			level[v] = r.next()
+		}
+		rec.Classes[d] = level
+	}
+	if r.err != nil {
+		return "", zero, r.err
+	}
+	if len(r.buf) != r.pos {
+		return "", zero, errors.New("store: trailing bytes in record")
+	}
+	return string(key), rec, nil
+}
+
+// payloadReader walks a payload, latching the first error.
+type payloadReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *payloadReader) next() int {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	r.pos += n
+	return int(x)
+}
+
+func (r *payloadReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}

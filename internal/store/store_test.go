@@ -1,0 +1,258 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// refineAll drives one engine over the graphs deep enough to stabilise each,
+// returning the class tables it computed.
+func refineAll(e *engine.Engine, graphs []*graph.Graph) [][][]int {
+	tables := make([][][]int, len(graphs))
+	for i, g := range graphs {
+		d := e.StabilisationDepth(g)
+		ref := e.Refine(g, d)
+		levels := make([][]int, d+1)
+		for h := 0; h <= d; h++ {
+			levels[h] = ref.ClassAt(h)
+		}
+		tables[i] = levels
+	}
+	return tables
+}
+
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{graph.Ring(8), graph.Path(9), graph.Star(6), graph.Grid(3, 4)}
+}
+
+// TestRoundTripRestartDurability is the tentpole's durability contract:
+// refine with a store attached, kill the engine, reopen the store from disk
+// in a fresh engine, and the warm run must produce byte-identical class
+// tables while performing zero refinement steps.
+func TestRoundTripRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	graphs := testGraphs()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cold := engine.New(1)
+	cold.SetStore(s)
+	coldTables := refineAll(cold, graphs)
+	coldStats := cold.Stats()
+	if coldStats.Steps == 0 {
+		t.Fatal("cold run performed no refinement steps")
+	}
+	if coldStats.StoreSaves == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Process restart: fresh store handle, fresh engine, same graphs.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	warm := engine.New(1)
+	warm.SetStore(s2)
+	warmTables := refineAll(warm, graphs)
+	warmStats := warm.Stats()
+	if warmStats.Steps != 0 {
+		t.Errorf("warm run performed %d refinement steps, want 0", warmStats.Steps)
+	}
+	if warmStats.StoreHits != uint64(len(graphs)) {
+		t.Errorf("warm run StoreHits = %d, want %d", warmStats.StoreHits, len(graphs))
+	}
+	if !reflect.DeepEqual(coldTables, warmTables) {
+		t.Error("warm class tables differ from cold ones")
+	}
+}
+
+// TestDeepestRecordWins: saving a shallower record for a key the store
+// already holds deeper state for is a no-op, in both the index and on disk.
+func TestDeepestRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	deep := engine.StoredRefinement{
+		Classes:  [][]int{{0, 0, 0}, {0, 1, 0}, {0, 1, 2}},
+		NumClass: []int{1, 2, 3},
+		StableAt: 2,
+	}
+	shallow := engine.StoredRefinement{
+		Classes:  [][]int{{0, 0, 0}},
+		NumClass: []int{1},
+		StableAt: -1,
+	}
+	if err := s.Save("k", deep); err != nil {
+		t.Fatalf("Save deep: %v", err)
+	}
+	sizeAfterDeep := s.Stats().Bytes
+	if err := s.Save("k", shallow); err != nil {
+		t.Fatalf("Save shallow: %v", err)
+	}
+	if got := s.Stats().Bytes; got != sizeAfterDeep {
+		t.Errorf("shallow save grew the log: %d -> %d bytes", sizeAfterDeep, got)
+	}
+	rec, ok, err := s.Load("k")
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(rec, deep) {
+		t.Errorf("Load returned %+v, want the deep record", rec)
+	}
+}
+
+// TestTornTailTruncation: a crash mid-append leaves a half-written frame;
+// Open must keep every complete record and drop only the tail.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := engine.StoredRefinement{Classes: [][]int{{0, 1}}, NumClass: []int{2}, StableAt: 0}
+	if err := s.Save("alive", rec); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	intact := s.Stats().Bytes
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	path := filepath.Join(dir, LogName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame: valid magic, declared length, no payload.
+	if _, err := f.Write([]byte{0x31, 0x52, 0x53, 0x46, 0xff, 0x00, 0x00, 0x00, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Bytes; got != intact {
+		t.Errorf("log size after truncation = %d, want %d", got, intact)
+	}
+	got, ok, err := s2.Load("alive")
+	if err != nil || !ok {
+		t.Fatalf("Load after truncation: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("record survived wrong: %+v", got)
+	}
+}
+
+// TestCompaction: repeatedly deepening one key's record accumulates dead
+// bytes; once they outweigh live ones the log is rewritten to live records
+// only, and a reopen still serves the deepest state.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	n := 16
+	var last engine.StoredRefinement
+	for levels := 1; levels <= 12; levels++ {
+		rec := engine.StoredRefinement{StableAt: -1}
+		for d := 0; d < levels; d++ {
+			level := make([]int, n)
+			for v := range level {
+				level[v] = v % (d + 1)
+			}
+			rec.Classes = append(rec.Classes, level)
+			rec.NumClass = append(rec.NumClass, d+1)
+		}
+		if err := s.Save("grow", rec); err != nil {
+			t.Fatalf("Save levels=%d: %v", levels, err)
+		}
+		last = rec
+	}
+	st := s.Stats()
+	if st.DeadBytes > st.Bytes-st.DeadBytes {
+		t.Errorf("dead bytes (%d) still outweigh live (%d); compaction never ran", st.DeadBytes, st.Bytes-st.DeadBytes)
+	}
+	if st.Records != 1 {
+		t.Errorf("Records = %d, want 1", st.Records)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer s2.Close()
+	rec, ok, err := s2.Load("grow")
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(rec, last) {
+		t.Error("compacted store lost the deepest record")
+	}
+}
+
+// TestConcurrentSaveLoad exercises the store from many goroutines under
+// -race: per-key last-writer-wins with deepest-record preference, no torn
+// reads.
+func TestConcurrentSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			for levels := 1; levels <= 8; levels++ {
+				rec := engine.StoredRefinement{StableAt: -1}
+				for d := 0; d < levels; d++ {
+					rec.Classes = append(rec.Classes, []int{0, 1, d % 3})
+					rec.NumClass = append(rec.NumClass, d+1)
+				}
+				if err := s.Save(key, rec); err != nil {
+					t.Errorf("Save %s: %v", key, err)
+					return
+				}
+				got, ok, err := s.Load(key)
+				if err != nil || !ok {
+					t.Errorf("Load %s: ok=%v err=%v", key, ok, err)
+					return
+				}
+				if len(got.Classes) < levels {
+					t.Errorf("Load %s returned %d levels, want >= %d", key, len(got.Classes), levels)
+					return
+				}
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := s.Stats().Records; got != len(keys) {
+		t.Errorf("Records = %d, want %d", got, len(keys))
+	}
+}
