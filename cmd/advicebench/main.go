@@ -10,6 +10,7 @@
 //	            [-params file:grid.json] [-max-rss-mb N] [-store DIR] [-list-corpus] [-list-corpora]
 //	advicebench -matrix [-families torus,hypercube] [-experiments E5,E7]
 //	            [-params quick,file:grid.json] [-budgets 1,2,8] [-cell-workers N]
+//	            [-costs SCENARIO_prev.json] [-shard k/n]
 //	            [-max-rss-mb N] [-store DIR] [-out SCENARIO_run.json]
 //
 // In suite mode the corpus flags pick and filter the named graph set the
@@ -23,6 +24,15 @@
 // SCENARIO_*.json summary the nightly CI lane uploads and cmd/scenariocmp
 // diffs. Cells whose experiment × corpus pairing the corpus traits rule out
 // (E1/E2 on infeasible families) are reported as skipped, not failed.
+//
+// -costs PATH feeds a previous run's SCENARIO_*.json back as the measured
+// per-cell cost model: cells are dispatched (and, with -shard, partitioned)
+// by what they actually cost last run, with NEW cells estimated from the
+// static hint. A missing or malformed costs file degrades to static hints
+// with a warning — the cost model is a scheduling aid and must never fail a
+// run. -shard k/n runs only the k-th of n deterministic cost-balanced slices
+// of the matrix (launch n processes with shards 1/n..n/n and fuse their
+// -out artifacts with `scenariocmp -merge`).
 //
 // A -params entry of the form file:PATH (either mode) loads parameter-grid
 // overrides from a JSON file mapping experiment names to ParamPoint lists
@@ -72,6 +82,8 @@ func main() {
 	maxRSSMB := flag.Int64("max-rss-mb", 0, "fail if the process's peak RSS exceeds this many MiB after the run (0 = no bound; Linux only)")
 	budgets := flag.String("budgets", "", "matrix mode: comma-separated worker budgets (empty = 0 = GOMAXPROCS)")
 	cellWorkers := flag.Int("cell-workers", 0, "matrix mode: run-wide cell-scheduling budget (0 = GOMAXPROCS, 1 = sequential cells)")
+	costsPath := flag.String("costs", "", "matrix mode: previous SCENARIO_*.json whose measured per-cell wall times rank and partition the cells (malformed = warn and fall back to static hints)")
+	shardSpec := flag.String("shard", "", "matrix mode: run only shard k/n of the cost-balanced cell partition (e.g. 2/3; empty = all cells)")
 	out := flag.String("out", "", "matrix mode: write the SCENARIO_*.json summary to this path")
 	storeDir := flag.String("store", "", "persistent refinement store directory (empty = none); repeated runs warm-start from it")
 	flag.Parse()
@@ -125,8 +137,14 @@ func main() {
 		if len(m.Corpora) == 0 && *corpusName != "" {
 			m.Corpora = []string{*corpusName}
 		}
-		err := runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter,
-			CellWorkers: *cellWorkers, Params: paramGrids}, *out, *stats, eng)
+		shard, err := scenario.ParseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advicebench: -shard: %v\n", err)
+			os.Exit(2)
+		}
+		err = runMatrix(m, scenario.Options{Seed: *seed, Quick: *quick, Filter: filter,
+			CellWorkers: *cellWorkers, Params: paramGrids,
+			Costs: loadCostsLenient(*costsPath), Shard: shard}, *out, *stats, eng)
 		closeStore()
 		assertPeakRSS(*maxRSSMB)
 		if err != nil {
@@ -134,6 +152,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *shardSpec != "" || *costsPath != "" {
+		fmt.Fprintln(os.Stderr, "advicebench: -shard and -costs apply to -matrix mode only")
+		os.Exit(2)
 	}
 
 	c, err := builtCorpus(*corpusName, *seed, eng)
@@ -220,6 +242,22 @@ func parseParamsFlag(s string) ([]string, map[string][]core.ParamPoint) {
 	return sets, grids
 }
 
+// loadCostsLenient resolves the -costs flag. The cost model is a scheduling
+// aid: a missing, unreadable or malformed artifact warns and degrades to the
+// static hints rather than failing the run — last night's artifact being
+// corrupt must not take the nightly down. An empty path is simply no costs.
+func loadCostsLenient(path string) map[string]int64 {
+	if path == "" {
+		return nil
+	}
+	costs, err := scenario.LoadCosts(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advicebench: -costs: %v; falling back to static cost hints\n", err)
+		return nil
+	}
+	return costs
+}
+
 // assertPeakRSS enforces -max-rss-mb: it reports the process's peak resident
 // set and exits non-zero when the bound is exceeded. A zero bound disables
 // the check; platforms without RSS accounting reject a non-zero bound rather
@@ -267,9 +305,20 @@ func runMatrix(m scenario.Matrix, opt scenario.Options, out string, stats bool, 
 	if sets == 0 {
 		sets = 1
 	}
-	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d param sets × %d budgets) in %dms, %d failed, %d skipped\n",
+	shardNote := ""
+	if summary.Shard != "" {
+		shardNote = fmt.Sprintf(" [shard %s of %d total cells]", summary.Shard, summary.TotalCells)
+	}
+	fmt.Printf("matrix: %d cells (%d corpora × %d experiments × %d param sets × %d budgets) in %dms, %d failed, %d skipped%s\n",
 		len(summary.Cells), len(summary.Corpora), len(summary.Experiments), sets, len(summary.Budgets),
-		summary.WallMS, summary.Failed, summary.Skipped)
+		summary.WallMS, summary.Failed, summary.Skipped, shardNote)
+	if sched := summary.Sched; sched != nil {
+		fmt.Printf("sched: %d cell workers, makespan %dms, imbalance %.3f (max/mean worker busy)\n",
+			sched.CellWorkers, sched.MakespanMS, sched.Imbalance)
+		for _, s := range sched.Stragglers {
+			fmt.Printf("  straggler %-40s %6dms compute, %6dms queued\n", s.Cell, s.WallMS, s.QueueMS)
+		}
+	}
 	if stats {
 		printStats(eng)
 	}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
 )
 
 // fakeTables builds a minimal table set for the selection/printing helpers.
@@ -61,6 +64,37 @@ func TestSuiteNames(t *testing.T) {
 	}
 	if d, ok := core.Lookup("census"); !ok || d.Suite {
 		t.Error("census must be registered but excluded from -only's suite names")
+	}
+}
+
+// TestLoadCostsLenient: the -costs resolver is lenient by design — an empty
+// path means no cost model, and a missing or malformed artifact degrades to
+// nil (static hints) instead of failing, because a corrupt previous artifact
+// must never take the nightly down. A valid artifact loads normally.
+func TestLoadCostsLenient(t *testing.T) {
+	if got := loadCostsLenient(""); got != nil {
+		t.Errorf("empty path loaded %v, want nil", got)
+	}
+	dir := t.TempDir()
+	if got := loadCostsLenient(filepath.Join(dir, "missing.json")); got != nil {
+		t.Errorf("missing file loaded %v, want nil (degrade to static hints)", got)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadCostsLenient(bad); got != nil {
+		t.Errorf("malformed file loaded %v, want nil (degrade to static hints)", got)
+	}
+	good := filepath.Join(dir, "SCENARIO_prev.json")
+	summary := &scenario.Summary{Cells: []scenario.CellResult{
+		{Cell: scenario.Cell{Corpus: "torus", Experiment: "census", Budget: 1}, Rows: 7, WallMS: 42},
+	}}
+	if err := summary.WriteJSON(good); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadCostsLenient(good); len(got) != 1 || got["torus/census@1"] != 42 {
+		t.Errorf("valid artifact loaded %v, want the measured cell", got)
 	}
 }
 

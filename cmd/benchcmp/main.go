@@ -29,6 +29,13 @@ type record struct {
 	// second) — the scaling-curve number. Reported, never gated: throughput
 	// varies with the runner exactly like ns/op, and ns/op already gates.
 	NodesLevelsPerSec float64 `json:"nodes_levels_per_sec,omitempty"`
+	// MakespanImbalance is the max/mean worker-busy-time ratio of a
+	// scenario-matrix run (the BENCH_sched_*.json artifacts the nightly
+	// sched-quality step writes; 1.0 = perfectly balanced). Reported, never
+	// gated: imbalance depends on the runner's core count and on which cells
+	// the matrix currently holds, so gating it would flag matrix evolution
+	// as regression.
+	MakespanImbalance float64 `json:"makespan_imbalance,omitempty"`
 }
 
 // artifact is the top-level shape of a BENCH_*.json file.
@@ -99,11 +106,23 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 		}
 		or, ok := oldBy[nr.Name]
 		if !ok {
+			if nr.NsPerOp <= 0 && nr.MakespanImbalance > 0 {
+				lines = append(lines, fmt.Sprintf("NEW   %-45s imbalance %.3f (no previous measurement)",
+					nr.Name, nr.MakespanImbalance))
+				continue
+			}
 			lines = append(lines, fmt.Sprintf("NEW   %-45s %12.0f ns/op%s (no previous measurement)",
 				nr.Name, nr.NsPerOp, newThroughput(nr)))
 			continue
 		}
 		if or.NsPerOp <= 0 {
+			// Imbalance-only records (the sched-quality artifacts) carry no
+			// ns/op at all — report their movement instead of a bare SKIP.
+			if or.MakespanImbalance > 0 || nr.MakespanImbalance > 0 {
+				lines = append(lines, fmt.Sprintf("INFO  %-45s imbalance %.3f -> %.3f%s (max/mean worker busy; reported, never gated)",
+					nr.Name, or.MakespanImbalance, nr.MakespanImbalance, ratioSuffix(or.MakespanImbalance, nr.MakespanImbalance)))
+				continue
+			}
 			lines = append(lines, fmt.Sprintf("SKIP  %-45s previous ns/op is %0.f", nr.Name, or.NsPerOp))
 			continue
 		}
@@ -113,8 +132,8 @@ func compare(oldArt, newArt *artifact, re *regexp.Regexp, maxRatio float64) (lin
 			status = "FAIL "
 			regressions++
 		}
-		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)%s%s",
-			status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio, throughputDelta(or, nr), memDelta(or, nr)))
+		lines = append(lines, fmt.Sprintf("%s %-45s %12.0f -> %12.0f ns/op (%.2fx)%s%s%s",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, ratio, throughputDelta(or, nr), memDelta(or, nr), imbalanceDelta(or, nr)))
 	}
 	for _, or := range oldArt.Bench {
 		if re.MatchString(or.Name) && !seen[or.Name] {
@@ -152,6 +171,17 @@ func throughputDelta(or, nr record) string {
 	}
 	return fmt.Sprintf("  %0.f -> %0.f nodes-levels/sec%s",
 		or.NodesLevelsPerSec, nr.NodesLevelsPerSec, ratioSuffix(or.NodesLevelsPerSec, nr.NodesLevelsPerSec))
+}
+
+// imbalanceDelta renders the makespan-imbalance movement of a gated
+// benchmark. Like memory and throughput it is reported, never gated. The
+// column appears when either side measured it.
+func imbalanceDelta(or, nr record) string {
+	if or.MakespanImbalance <= 0 && nr.MakespanImbalance <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("  imbalance %.3f -> %.3f%s",
+		or.MakespanImbalance, nr.MakespanImbalance, ratioSuffix(or.MakespanImbalance, nr.MakespanImbalance))
 }
 
 // newThroughput renders the throughput of a benchmark with no previous

@@ -138,6 +138,40 @@ func TestCompareReportsThroughputWithoutGating(t *testing.T) {
 	}
 }
 
+// TestCompareReportsImbalanceWithoutGating: makespan-imbalance movement is
+// reported but never gated — including for imbalance-only records (the
+// BENCH_sched_*.json artifacts carry no ns/op at all), which get an INFO
+// line instead of a bare SKIP, and an imbalance-only record with no previous
+// measurement still shows as NEW.
+func TestCompareReportsImbalanceWithoutGating(t *testing.T) {
+	oldArt := art(
+		record{Name: "SchedMatrixStatic", MakespanImbalance: 1.42},
+		record{Name: "SchedRefineWithNs", NsPerOp: 1000, MakespanImbalance: 1.3},
+	)
+	newArt := art(
+		record{Name: "SchedMatrixStatic", MakespanImbalance: 2.84}, // 2x worse: reported only
+		record{Name: "SchedRefineWithNs", NsPerOp: 1100, MakespanImbalance: 1.1},
+		record{Name: "SchedMatrixMeasured", MakespanImbalance: 1.07},
+	)
+	lines, regressions := compare(oldArt, newArt, regexp.MustCompile("Sched"), 2.0)
+	if regressions != 0 {
+		t.Fatalf("imbalance movement must not gate; got %d regressions\n%s", regressions, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "INFO  SchedMatrixStatic") || !strings.Contains(joined, "imbalance 1.420 -> 2.840 (2.00x)") {
+		t.Errorf("imbalance-only record not reported as INFO:\n%s", joined)
+	}
+	if !strings.Contains(joined, "imbalance 1.300 -> 1.100") {
+		t.Errorf("imbalance column missing from the gated line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "NEW   SchedMatrixMeasured") || !strings.Contains(joined, "imbalance 1.070") {
+		t.Errorf("new imbalance-only record not reported:\n%s", joined)
+	}
+	if strings.Contains(joined, "SKIP") {
+		t.Errorf("imbalance-only record degraded to SKIP:\n%s", joined)
+	}
+}
+
 // TestThroughputRoundTripsJSON: the nodes_levels_per_sec field survives the
 // artifact round-trip (the CI awk step writes it, compare reads it).
 func TestThroughputRoundTripsJSON(t *testing.T) {

@@ -14,43 +14,135 @@
 // × corpus pairings ruled out by corpus traits) are reported as skip
 // transitions instead of row drifts, since a skip legitimately carries zero
 // rows.
+//
+// With -merge, scenariocmp instead fuses the shard artifacts of one
+// `advicebench -matrix -shard k/n` run back into a single summary:
+//
+//	scenariocmp -merge -out SCENARIO_merged.json shard1.json shard2.json shard3.json
+//
+// The merge validates that the shards are disjoint and complete — every
+// shard index present exactly once, no cell claimed twice, no cell of the
+// expanded matrix missing — and errors otherwise, so the drift gate can diff
+// a merged nightly exactly as it diffs a single-process one. Skipped cells
+// keep their recorded reasons through the merge, so skip transitions report
+// on merged artifacts too.
+//
+// Unknown flags, missing required flags and stray arguments are usage
+// errors (exit 2): a drift gate that silently ignored a misspelled artifact
+// path would gate nothing.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/scenario"
 )
 
 func main() {
-	oldPath := flag.String("old", "", "previous SCENARIO_*.json artifact")
-	newPath := flag.String("new", "", "current SCENARIO_*.json artifact")
-	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "scenariocmp: -old and -new are required")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code, so the flag and
+// error paths are unit-testable: 0 = clean, 1 = drift detected, 2 = usage
+// or I/O error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenariocmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "previous SCENARIO_*.json artifact")
+	newPath := fs.String("new", "", "current SCENARIO_*.json artifact")
+	merge := fs.Bool("merge", false, "merge shard artifacts (the positional arguments) instead of comparing")
+	out := fs.String("out", "", "merge mode: write the merged summary to this path")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage:")
+		fmt.Fprintln(stderr, "  scenariocmp -old prev.json -new current.json")
+		fmt.Fprintln(stderr, "  scenariocmp -merge -out merged.json shard.json...")
+		fs.PrintDefaults()
 	}
-	oldArt, err := load(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "scenariocmp: %v\n", err)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2 // unknown flag or bad value; the FlagSet already printed usage
 	}
-	newArt, err := load(*newPath)
+	if *merge {
+		return runMerge(*out, *oldPath, *newPath, fs.Args(), stdout, stderr, fs.Usage)
+	}
+	return runCompare(*oldPath, *newPath, fs.Args(), stdout, stderr, fs.Usage)
+}
+
+// runCompare is the drift-gate mode: exactly -old and -new, no positional
+// arguments (a stray argument is a usage error, not something to ignore —
+// it is probably a mistyped flag or a forgotten -merge).
+func runCompare(oldPath, newPath string, extra []string, stdout, stderr io.Writer, usage func()) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(stderr, "scenariocmp: -old and -new are required")
+		usage()
+		return 2
+	}
+	if len(extra) > 0 {
+		fmt.Fprintf(stderr, "scenariocmp: unexpected arguments %q (shard artifacts are only merged with -merge)\n", extra)
+		usage()
+		return 2
+	}
+	oldArt, err := load(oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "scenariocmp: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "scenariocmp: %v\n", err)
+		return 2
+	}
+	newArt, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenariocmp: %v\n", err)
+		return 2
 	}
 	lines, drifted := compare(oldArt, newArt)
 	for _, line := range lines {
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 	if drifted > 0 {
-		fmt.Fprintf(os.Stderr, "scenariocmp: %d cell(s) drifted in row count\n", drifted)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "scenariocmp: %d cell(s) drifted in row count\n", drifted)
+		return 1
 	}
+	return 0
+}
+
+// runMerge is the shard-fusing mode: the positional arguments are the shard
+// artifacts, -out is where the merged summary goes, and the compare flags do
+// not apply. Overlapping or incomplete shard sets are errors (exit 2) — a
+// merged artifact must account for every cell of the matrix exactly once
+// before the drift gate may trust it.
+func runMerge(out, oldPath, newPath string, paths []string, stdout, stderr io.Writer, usage func()) int {
+	if oldPath != "" || newPath != "" {
+		fmt.Fprintln(stderr, "scenariocmp: -old/-new do not apply to -merge (pass shard artifacts as arguments)")
+		usage()
+		return 2
+	}
+	if out == "" || len(paths) == 0 {
+		fmt.Fprintln(stderr, "scenariocmp: -merge needs -out and at least one shard artifact")
+		usage()
+		return 2
+	}
+	shards := make([]*scenario.Summary, len(paths))
+	for i, path := range paths {
+		s, err := load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "scenariocmp: %v\n", err)
+			return 2
+		}
+		shards[i] = s
+	}
+	merged, err := scenario.Merge(shards)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenariocmp: %v\n", err)
+		return 2
+	}
+	if err := merged.WriteJSON(out); err != nil {
+		fmt.Fprintf(stderr, "scenariocmp: writing %s: %v\n", out, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "merged %d shard(s): %d cells (%d failed, %d skipped) -> %s\n",
+		len(paths), len(merged.Cells), merged.Failed, merged.Skipped, out)
+	return 0
 }
 
 // load reads a SCENARIO_*.json artifact into the scenario package's own

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -130,6 +131,117 @@ func TestLoadRealArtifact(t *testing.T) {
 	}
 	if _, err := load(bad); err == nil {
 		t.Error("load of invalid JSON did not error")
+	}
+}
+
+// exec runs the CLI with captured streams.
+func exec(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// write saves a summary artifact under dir and returns its path.
+func write(t *testing.T, dir, name string, s *scenario.Summary) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunRejectsBadArguments: unknown flags, missing required flags and
+// stray positional arguments all exit 2 with a usage message — a drift gate
+// that silently ignored a misspelled argument would gate nothing.
+func TestRunRejectsBadArguments(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", art(cell("torus", "census", "", 1, 7, 10, "")))
+	b := write(t, dir, "b.json", art(cell("torus", "census", "", 1, 7, 11, "")))
+	for name, args := range map[string][]string{
+		"unknown flag":       {"-old", a, "-new", b, "-frobnicate"},
+		"missing new":        {"-old", a},
+		"missing both":       {},
+		"stray positional":   {"-old", a, "-new", b, "extra.json"},
+		"merge without out":  {"-merge", a, b},
+		"merge without args": {"-merge", "-out", filepath.Join(dir, "m.json")},
+		"merge with old":     {"-merge", "-out", filepath.Join(dir, "m.json"), "-old", a, b},
+	} {
+		code, _, stderr := exec(args...)
+		if code != 2 {
+			t.Errorf("%s: exit = %d, want 2 (stderr: %s)", name, code, stderr)
+		}
+		if !strings.Contains(stderr, "usage") && !strings.Contains(stderr, "Usage") {
+			t.Errorf("%s: no usage message on stderr:\n%s", name, stderr)
+		}
+	}
+	// The happy paths still work through the same entry point.
+	if code, stdout, stderr := exec("-old", a, "-new", b); code != 0 || !strings.Contains(stdout, "OK") {
+		t.Errorf("clean compare: exit %d stdout %q stderr %q", code, stdout, stderr)
+	}
+	drift := write(t, dir, "drift.json", art(cell("torus", "census", "", 1, 5, 11, "")))
+	if code, _, stderr := exec("-old", a, "-new", drift); code != 1 || !strings.Contains(stderr, "drifted") {
+		t.Errorf("drift compare: exit %d stderr %q, want 1", code, stderr)
+	}
+}
+
+// shardArt builds one shard artifact of a two-shard run.
+func shardArt(shard string, total int, cells ...scenario.CellResult) *scenario.Summary {
+	return &scenario.Summary{Shard: shard, TotalCells: total, Cells: cells}
+}
+
+// TestRunMergeFusesShards: -merge writes a merged artifact the compare mode
+// reads back — including skipped cells, so skip-transition reporting works
+// on merged artifacts — and overlapping or incomplete shard sets exit 2.
+func TestRunMergeFusesShards(t *testing.T) {
+	dir := t.TempDir()
+	skippedCell := cell("torus", "E1", "", 1, 0, 0, "")
+	skippedCell.Skipped, skippedCell.Reason = true, "E1 requires feasible graphs"
+	skippedCell.Index = 1
+	c0 := cell("torus", "census", "", 1, 7, 10, "")
+	c2 := cell("default", "census", "", 1, 9, 20, "")
+	c2.Index = 2
+	s1 := write(t, dir, "s1.json", shardArt("1/2", 3, c0, skippedCell))
+	s2 := write(t, dir, "s2.json", shardArt("2/2", 3, c2))
+	merged := filepath.Join(dir, "merged.json")
+	code, stdout, stderr := exec("-merge", "-out", merged, s2, s1)
+	if code != 0 {
+		t.Fatalf("merge exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "merged 2 shard(s): 3 cells") {
+		t.Errorf("merge summary line missing: %q", stdout)
+	}
+	back, err := load(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 3 || back.Cells[1].Reason != "E1 requires feasible graphs" || back.Skipped != 1 {
+		t.Fatalf("merged artifact lost cells or skip reasons: %+v", back)
+	}
+	// Skip-transition reporting works on the merged artifact: diff it against
+	// a previous run where the E1 cell executed.
+	prevE1 := cell("torus", "E1", "", 1, 4, 5, "")
+	prevE1.Index = 1
+	prev := write(t, dir, "prev.json", art(c0, prevE1, c2))
+	code, stdout, _ = exec("-old", prev, "-new", merged)
+	if code != 0 {
+		t.Fatalf("compare against merged artifact exited %d", code)
+	}
+	if !strings.Contains(stdout, "SKIP  torus/E1@1") || !strings.Contains(stdout, "now skipped: E1 requires feasible graphs (was 4 rows)") {
+		t.Errorf("skip transition not reported on the merged artifact:\n%s", stdout)
+	}
+	// Overlap: the same shard twice.
+	if code, _, stderr := exec("-merge", "-out", merged, s1, s1); code != 2 || !strings.Contains(stderr, "appears twice") {
+		t.Errorf("overlapping merge: exit %d stderr %q, want 2 with the overlap named", code, stderr)
+	}
+	// Gap: a shard is missing.
+	if code, _, stderr := exec("-merge", "-out", merged, s1); code != 2 || !strings.Contains(stderr, "2/2 is missing") {
+		t.Errorf("incomplete merge: exit %d stderr %q, want 2 with the missing shard named", code, stderr)
+	}
+	// Non-shard input.
+	plain := write(t, dir, "plain.json", art(c0))
+	if code, _, stderr := exec("-merge", "-out", merged, plain); code != 2 || !strings.Contains(stderr, "not a shard artifact") {
+		t.Errorf("non-shard merge: exit %d stderr %q, want 2", code, stderr)
 	}
 }
 

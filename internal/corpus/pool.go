@@ -103,6 +103,21 @@ func (p *Pool) MapHinted(n int, cost func(int) int, task func(int)) {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	p.MapOrdered(n, order, task)
+}
+
+// MapOrdered is Map with an explicit dispatch order: tasks are claimed as
+// order[0], order[1], ..., which must be a permutation of 0..n-1. It is the
+// primitive under MapHinted for schedulers that already hold a cost ranking
+// (the scenario runner ranks cells by blended int64 wall-time costs and
+// reuses the same ranking for shard partitioning) — the order is computed
+// once, not re-derived from a truncated per-task hint. Like MapHinted it
+// changes only the start order; a nil order is Map.
+func (p *Pool) MapOrdered(n int, order []int, task func(int)) {
+	if order == nil || n <= 1 {
+		p.Map(n, task)
+		return
+	}
 	p.Map(n, func(pos int) { task(order[pos]) })
 }
 

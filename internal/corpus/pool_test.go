@@ -133,6 +133,39 @@ func TestMapHintedStartOrder(t *testing.T) {
 	}
 }
 
+// TestMapOrderedStartOrder: at budget 1 the explicit-order dispatch starts
+// tasks exactly in the given order, every index runs exactly once at any
+// budget, and a nil order degrades to plain Map.
+func TestMapOrderedStartOrder(t *testing.T) {
+	p := NewPool(1)
+	order := []int{4, 0, 3, 1, 2}
+	var started []int
+	p.MapOrdered(len(order), order, func(i int) {
+		started = append(started, i) // budget 1: sequential, no lock needed
+	})
+	if len(started) != len(order) {
+		t.Fatalf("started %d tasks, want %d", len(started), len(order))
+	}
+	for i := range order {
+		if started[i] != order[i] {
+			t.Fatalf("start order %v, want %v", started, order)
+		}
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		for _, ord := range [][]int{nil, {2, 0, 1, 3, 4}} {
+			p := NewPool(workers)
+			const n = 5
+			var runs [n]atomic.Int32
+			p.MapOrdered(n, ord, func(i int) { runs[i].Add(1) })
+			for i := range runs {
+				if got := runs[i].Load(); got != 1 {
+					t.Fatalf("workers=%d order=%v: task %d ran %d times, want 1", workers, ord, i, got)
+				}
+			}
+		}
+	}
+}
+
 // TestMapHintedCoversAllIndices: the hinted dispatch runs every index exactly
 // once at any budget (and nil cost degrades to plain Map).
 func TestMapHintedCoversAllIndices(t *testing.T) {

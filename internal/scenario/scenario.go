@@ -79,10 +79,20 @@ func (c Cell) Name() string {
 // CellResult is one executed cell of the summary.
 type CellResult struct {
 	Cell
-	Rows   int         `json:"rows"`
-	WallMS int64       `json:"wall_ms"`
-	Table  *core.Table `json:"table,omitempty"`
-	Err    string      `json:"error,omitempty"`
+	// Index is the cell's position in the full expanded matrix — stable
+	// across shards, so Merge can reassemble a sharded run in exact matrix
+	// order and detect gaps and overlaps by position.
+	Index  int   `json:"index"`
+	Rows   int   `json:"rows"`
+	WallMS int64 `json:"wall_ms"`
+	// QueueMS is the cell's queue wait: dispatch (the run-wide pool starting)
+	// to this cell's task actually beginning to execute. WallMS measures
+	// compute only (start → finish), so straggler analysis can tell a cell
+	// that was slow from one that merely started late — overlapping cells
+	// share cores, and before this split a late cell's wait was invisible.
+	QueueMS int64       `json:"queue_ms,omitempty"`
+	Table   *core.Table `json:"table,omitempty"`
+	Err     string      `json:"error,omitempty"`
 	// Skipped marks a cell the run decided not to execute — the experiment's
 	// declared corpus requirements are not certified by the corpus's traits
 	// (e.g. E1 on a vertex-transitive family). Reason says why. Skipped
@@ -104,6 +114,51 @@ type Summary struct {
 	WallMS      int64        `json:"wall_ms"`
 	Failed      int          `json:"failed"`
 	Skipped     int          `json:"skipped,omitempty"`
+	// Shard is the run's shard identity ("2/3") when the matrix was sharded,
+	// empty otherwise; TotalCells is the size of the full expanded matrix
+	// (every shard of a run agrees on it). Together they let Merge validate
+	// that a set of shard artifacts is disjoint and complete.
+	Shard      string `json:"shard,omitempty"`
+	TotalCells int    `json:"total_cells,omitempty"`
+	// Sched is the run's scheduling-quality telemetry: per-worker busy time,
+	// makespan imbalance, queue waits and the straggler tail. Per-process —
+	// Merge drops it.
+	Sched *SchedStats `json:"sched,omitempty"`
+}
+
+// annotate derives the summary's axis lists (corpora, experiments, params,
+// budgets, in first-seen cell order) and the Failed/Skipped counts from its
+// cells. Run and Merge both use it, so a merged summary's header is derived
+// exactly as the unsharded run derives its own.
+func (s *Summary) annotate() {
+	seenCorpora, seenExps := map[string]bool{}, map[string]bool{}
+	seenSets, seenBudgets := map[string]bool{}, map[int]bool{}
+	s.Corpora, s.Experiments, s.Params, s.Budgets = nil, nil, nil, nil
+	s.Failed, s.Skipped = 0, 0
+	for _, cell := range s.Cells {
+		if !seenCorpora[cell.Corpus] {
+			seenCorpora[cell.Corpus] = true
+			s.Corpora = append(s.Corpora, cell.Corpus)
+		}
+		if !seenExps[cell.Experiment] {
+			seenExps[cell.Experiment] = true
+			s.Experiments = append(s.Experiments, cell.Experiment)
+		}
+		if cell.Params != "" && !seenSets[cell.Params] {
+			seenSets[cell.Params] = true
+			s.Params = append(s.Params, cell.Params)
+		}
+		if !seenBudgets[cell.Budget] {
+			seenBudgets[cell.Budget] = true
+			s.Budgets = append(s.Budgets, cell.Budget)
+		}
+		if cell.Skipped {
+			s.Skipped++
+		}
+		if cell.Err != "" {
+			s.Failed++
+		}
+	}
 }
 
 // aliases maps the legacy scenario experiment names (from before the core
@@ -160,6 +215,27 @@ type Options struct {
 	// attributed per cell (overlapping cells share cores, so their wall
 	// times overlap).
 	CellWorkers int
+	// Costs carries measured per-cell wall times in milliseconds from a
+	// previous run's artifact, keyed by stable cell name (LoadCosts reads
+	// them from a SCENARIO_*.json). Cells with a measurement are scheduled
+	// by what they actually cost last time; cells without one (NEW or
+	// renamed) fall back to the static hint, rescaled into the measured
+	// scale — see blendCosts. Nil means static hints only, the pre-cost
+	// behaviour. Costs change dispatch order and shard assignment, never
+	// tables.
+	Costs map[string]int64
+	// Shard restricts the run to one deterministic slice of the expanded
+	// matrix: the cells greedy-LPT-balanced onto shard Index of Count by
+	// blended cost. Every shard of a run computes the identical partition
+	// (it is a pure function of the matrix and Costs), so k processes
+	// launched with shards 1/k..k/k cover every cell exactly once with no
+	// coordination; cmd/scenariocmp -merge fuses their artifacts. The zero
+	// Shard runs everything.
+	Shard Shard
+	// onCellStart, when set (tests only), observes every cell as its task
+	// begins executing — the dispatch-order probe of the cost-model tests.
+	// Called from pool workers; must be safe for concurrent use.
+	onCellStart func(Cell)
 }
 
 // Expand validates the matrix against the registries and returns its cells
@@ -258,17 +334,25 @@ func cellPoints(d core.Descriptor, cell Cell, opt Options) ([]core.ParamPoint, e
 	return core.ParamSet(d.Name, cell.Params)
 }
 
-// Run expands and executes the matrix on one run-wide cost-hinted cell pool
-// (see Options.CellWorkers): every cell declares its cost as the corpus's
-// declared node total × its parameter-row count, the heaviest cells are
-// dispatched first, and results are assembled in matrix order, so the
-// summary is deterministic no matter how the cells were scheduled. Corpora
-// are built once per name and shared across their cells; when a corpus's
-// last cell completes its streamed graphs are released, so a sweep's
-// resident graph set is bounded by the corpora still in flight. Failing
-// cells are recorded in the summary (Err, Failed) and the first failure (in
-// matrix order) is also returned as an error after every cell has run.
+// Run expands and executes the matrix on one run-wide cost-ranked cell pool
+// (see Options.CellWorkers): every cell's cost is its measured wall time
+// from a previous run when Options.Costs carries one, its static hint
+// (declared corpus nodes × parameter rows) rescaled otherwise, the heaviest
+// cells are dispatched first, and results are assembled in matrix order, so
+// the summary is deterministic no matter how the cells were scheduled. With
+// Options.Shard set only the shard's LPT-balanced slice of the matrix runs —
+// the partition is a pure function of the matrix and costs, so concurrent
+// shard processes cover every cell exactly once with no coordination.
+// Corpora are built once per name and shared across their cells; when a
+// corpus's last cell completes its streamed graphs are released, so a
+// sweep's resident graph set is bounded by the corpora still in flight.
+// Failing cells are recorded in the summary (Err, Failed) and the first
+// failure (in matrix order) is also returned as an error after every cell
+// has run.
 func Run(m Matrix, opt Options) (*Summary, error) {
+	if err := opt.Shard.validate(); err != nil {
+		return nil, err
+	}
 	reg := opt.Registry
 	if reg == nil {
 		reg = corpus.Corpora
@@ -300,66 +384,121 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 		}
 	}
 
-	// Build every distinct corpus object up front (cheap: entries are lazy
-	// Specs; graphs materialise only when a cell sweeps them) so cost hints
-	// exist before the first cell is dispatched, count each corpus's cells
-	// so the last one to finish can release the streamed graphs, and
-	// refcount each corpus entry across the non-skipped sweep cells so a
-	// graph is released the moment its last task completes.
+	// Build every distinct corpus object up front — cheap: entries are lazy
+	// Specs, graphs materialise only when a cell sweeps them — so cost hints
+	// exist before the first cell is dispatched. Even a sharded run builds
+	// every corpus object: the cost model and the partition span the full
+	// matrix. Only the shard's own cells ever materialise graphs.
 	var mu sync.Mutex
 	states := make(map[string]*corpusState)
-	for i, cell := range cells {
-		s, ok := states[cell.Corpus]
-		if !ok {
-			s = &corpusState{}
-			// Expand validated the name, but a registered builder may still
-			// misbehave; surface that as a cell failure, not a panic.
-			c, err := reg.Build(cell.Corpus, opt.Seed, eng.Feasible)
-			if err == nil && c == nil {
-				err = fmt.Errorf("corpus %q: builder returned nil", cell.Corpus)
-			}
-			if err != nil {
-				s.err = err
-			} else {
-				if filtering {
-					c = c.Filter(opt.Filter)
-				}
-				s.c = c
-				s.refs = make(map[string]int, c.Len())
-			}
-			states[cell.Corpus] = s
-		}
-		s.remaining++
-		if skips[i] != "" || s.c == nil {
+	for _, cell := range cells {
+		if _, ok := states[cell.Corpus]; ok {
 			continue
 		}
-		if d, ok := resolveExperiment(cell.Experiment); ok && d.CorpusSweep {
+		s := &corpusState{}
+		// Expand validated the name, but a registered builder may still
+		// misbehave; surface that as a cell failure, not a panic.
+		c, err := reg.Build(cell.Corpus, opt.Seed, eng.Feasible)
+		if err == nil && c == nil {
+			err = fmt.Errorf("corpus %q: builder returned nil", cell.Corpus)
+		}
+		if err != nil {
+			s.err = err
+		} else {
+			if filtering {
+				c = c.Filter(opt.Filter)
+			}
+			s.c = c
+			s.refs = make(map[string]int, c.Len())
+		}
+		states[cell.Corpus] = s
+	}
+
+	// Rank every cell of the full matrix by blended cost — measured wall
+	// time where a previous artifact supplies one, the rescaled static hint
+	// otherwise — and, when sharded, keep only the cells the LPT partition
+	// assigns to this shard. local holds their matrix indices, ascending, so
+	// matrix-order semantics (result assembly, first-error) are unchanged.
+	static := make([]int64, len(cells))
+	for i, cell := range cells {
+		s := states[cell.Corpus]
+		if s.err != nil || skips[i] != "" {
+			continue // cost 0: never weighed, dispatched last
+		}
+		rows := 1
+		if d, ok := resolveExperiment(cell.Experiment); ok && d.Params != nil {
+			if pts, err := cellPoints(d, cell, opt); err == nil && len(pts) > 0 {
+				rows = len(pts)
+			}
+		}
+		static[i] = int64(s.c.DeclaredNodes()) * int64(rows)
+	}
+	costs := blendCosts(cells, static, opt.Costs)
+	order := costOrder(costs)
+	local := make([]int, 0, len(cells))
+	if opt.Shard.sharded() {
+		assign := partitionShards(costs, order, opt.Shard.Count)
+		for i := range cells {
+			if assign[i] == opt.Shard.Index-1 {
+				local = append(local, i)
+			}
+		}
+	} else {
+		for i := range cells {
+			local = append(local, i)
+		}
+	}
+
+	// Count each corpus's local cells (so the last one to finish can release
+	// the streamed graphs) and refcount each corpus entry across the local
+	// non-skipped sweep cells (so a graph is released the moment its last
+	// task completes). Only this shard's cells count: a corpus whose cells
+	// all live on other shards never materialises here and needs no release.
+	for _, gi := range local {
+		s := states[cells[gi].Corpus]
+		s.remaining++
+		if skips[gi] != "" || s.c == nil {
+			continue
+		}
+		if d, ok := resolveExperiment(cells[gi].Experiment); ok && d.CorpusSweep {
 			for _, name := range s.c.Names() {
 				s.refs[name]++
 			}
 		}
 	}
 
-	results := make([]CellResult, len(cells))
-	errs := make([]error, len(cells))
-	pool := corpus.NewPool(opt.CellWorkers)
-	cost := func(i int) int {
-		s := states[cells[i].Corpus]
-		if s.err != nil || skips[i] != "" {
-			return 0
-		}
-		nodes := s.c.DeclaredNodes()
-		rows := 1
-		if d, ok := resolveExperiment(cells[i].Experiment); ok && d.Params != nil {
-			if pts, err := cellPoints(d, cells[i], opt); err == nil && len(pts) > 0 {
-				rows = len(pts)
-			}
-		}
-		return nodes * rows
+	// Dispatch this shard's cells in decreasing-cost order on the run-wide
+	// pool, tracking scheduling quality: which worker slot ran each cell for
+	// how long (busy time), and how long each cell waited between dispatch
+	// and start (queue time). Slot ids are handed out through a channel, so
+	// each slot's busy counter is owned by one cell at a time.
+	results := make([]CellResult, len(local))
+	errs := make([]error, len(local))
+	localPos := make([]int, len(cells))
+	for i := range localPos {
+		localPos[i] = -1
 	}
-	pool.MapHinted(len(cells), cost, func(i int) {
-		cell := cells[i]
-		res := CellResult{Cell: cell}
+	for lp, gi := range local {
+		localPos[gi] = lp
+	}
+	dispatchOrder := make([]int, 0, len(local))
+	for _, gi := range order {
+		if lp := localPos[gi]; lp >= 0 {
+			dispatchOrder = append(dispatchOrder, lp)
+		}
+	}
+	pool := corpus.NewPool(opt.CellWorkers)
+	workers := pool.Workers()
+	slots := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		slots <- w
+	}
+	busy := make([]int64, workers)
+	dispatch := time.Now()
+	pool.MapOrdered(len(local), dispatchOrder, func(lp int) {
+		gi := local[lp]
+		cell := cells[gi]
+		res := CellResult{Cell: cell, Index: gi}
 		s := states[cell.Corpus]
 		done := func() {
 			mu.Lock()
@@ -376,13 +515,23 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 				s.c.ReleaseFunc(eng.Forget)
 			}
 		}
-		if reason := skips[i]; reason != "" {
+		slot := <-slots
+		cellStart := time.Now()
+		res.QueueMS = cellStart.Sub(dispatch).Milliseconds()
+		if opt.onCellStart != nil {
+			opt.onCellStart(cell)
+		}
+		finish := func() {
+			busy[slot] += time.Since(cellStart).Milliseconds()
+			slots <- slot
+		}
+		if reason := skips[gi]; reason != "" {
 			res.Skipped, res.Reason = true, reason
-			results[i] = res
+			results[lp] = res
+			finish()
 			done()
 			return
 		}
-		cellStart := time.Now()
 		var table *core.Table
 		err := s.err
 		if err == nil {
@@ -426,42 +575,29 @@ func Run(m Matrix, opt Options) (*Summary, error) {
 		}
 		if err != nil {
 			res.Err = err.Error()
-			errs[i] = err
+			errs[lp] = err
 		}
-		results[i] = res
+		results[lp] = res
+		finish()
 		done()
 	})
+	makespan := time.Since(dispatch).Milliseconds()
 
-	summary := &Summary{Cells: results}
+	summary := &Summary{Cells: results, Shard: opt.Shard.String(), TotalCells: len(cells)}
 	summary.WallMS = time.Since(start).Milliseconds()
-	seenCorpora, seenExps := map[string]bool{}, map[string]bool{}
-	seenSets, seenBudgets := map[string]bool{}, map[int]bool{}
+	summary.annotate()
+	summary.Sched = &SchedStats{
+		CellWorkers: workers,
+		BusyMS:      busy,
+		MakespanMS:  makespan,
+		Imbalance:   imbalance(busy),
+		Stragglers:  topStragglers(results, 5),
+	}
 	var firstErr error
-	for i, cell := range cells {
-		if !seenCorpora[cell.Corpus] {
-			seenCorpora[cell.Corpus] = true
-			summary.Corpora = append(summary.Corpora, cell.Corpus)
-		}
-		if !seenExps[cell.Experiment] {
-			seenExps[cell.Experiment] = true
-			summary.Experiments = append(summary.Experiments, cell.Experiment)
-		}
-		if cell.Params != "" && !seenSets[cell.Params] {
-			seenSets[cell.Params] = true
-			summary.Params = append(summary.Params, cell.Params)
-		}
-		if !seenBudgets[cell.Budget] {
-			seenBudgets[cell.Budget] = true
-			summary.Budgets = append(summary.Budgets, cell.Budget)
-		}
-		if results[i].Skipped {
-			summary.Skipped++
-		}
-		if errs[i] != nil {
-			summary.Failed++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("scenario: cell %s: %w", cell.Name(), errs[i])
-			}
+	for lp, gi := range local {
+		if errs[lp] != nil {
+			firstErr = fmt.Errorf("scenario: cell %s: %w", cells[gi].Name(), errs[lp])
+			break
 		}
 	}
 	summary.Engine = eng.Stats()

@@ -1,0 +1,348 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Shard names one deterministic slice of an expanded matrix: shard Index of
+// Count, 1-based ("2/3"). The zero Shard means an unsharded run. Count == 1
+// is a valid single-shard run — it executes every cell but stamps shard
+// identity into the summary, so its artifact is mergeable like any other.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the "k/n" shard syntax (-shard 2/3). The empty string is
+// the unsharded zero Shard.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	var sh Shard
+	if n, err := fmt.Sscanf(s, "%d/%d", &sh.Index, &sh.Count); err != nil || n != 2 {
+		return Shard{}, fmt.Errorf("scenario: bad shard %q, want k/n (e.g. 2/3)", s)
+	}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// String renders the shard as "k/n"; the unsharded zero Shard renders "".
+func (s Shard) String() string {
+	if s.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// sharded reports whether the shard names a real slice (vs the unsharded
+// zero value).
+func (s Shard) sharded() bool { return s.Count != 0 }
+
+func (s Shard) validate() error {
+	if s.Count == 0 {
+		return nil
+	}
+	if s.Count < 0 || s.Index < 1 || s.Index > s.Count {
+		return fmt.Errorf("scenario: shard %d/%d out of range, want 1 <= k <= n", s.Index, s.Count)
+	}
+	return nil
+}
+
+// LoadCosts reads a previous run's SCENARIO_*.json artifact and returns its
+// measured per-cell wall times in milliseconds, keyed by the stable cell name
+// (Cell.Name) — the shape Options.Costs consumes. Skipped cells carry no
+// measurement and are omitted; failed cells are kept, since whatever time
+// they burned is real scheduling cost. A file that parses but holds no cells
+// is an error, so a wrong or truncated artifact cannot silently degrade every
+// cost to zero.
+func LoadCosts(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells in artifact", path)
+	}
+	costs := make(map[string]int64, len(s.Cells))
+	for _, c := range s.Cells {
+		if c.Skipped {
+			continue
+		}
+		costs[c.Name()] = c.WallMS
+	}
+	return costs, nil
+}
+
+// blendCosts turns the static per-cell hints (declared corpus nodes ×
+// parameter rows) and the measured wall times of a previous run into one
+// comparable cost list, in milliseconds where any measurement exists:
+//
+//   - a cell measured before costs exactly what it cost then;
+//   - a NEW (or renamed) cell falls back to its static hint, rescaled into
+//     milliseconds by the observed ms-per-static-unit ratio of the cells that
+//     have both, so new cells rank against measured ones instead of drowning
+//     them (raw node counts dwarf wall milliseconds);
+//   - with no measurements at all the static hints pass through unchanged.
+//
+// The result drives both dispatch order (heaviest first) and shard
+// partitioning, and is a pure function of (cells, static, measured) — every
+// shard of a run computes the identical list with no coordination.
+func blendCosts(cells []Cell, static []int64, measured map[string]int64) []int64 {
+	costs := make([]int64, len(cells))
+	var sumMeasured, sumStatic int64
+	have := make([]bool, len(cells))
+	for i, cell := range cells {
+		if static[i] == 0 {
+			continue // skipped cell or failed corpus: never scheduled by cost
+		}
+		if ms, ok := measured[cell.Name()]; ok {
+			costs[i], have[i] = ms, true
+			sumMeasured += ms
+			sumStatic += static[i]
+		}
+	}
+	if sumStatic == 0 {
+		copy(costs, static) // no usable measurements: static hints as-is
+		return costs
+	}
+	scale := float64(sumMeasured) / float64(sumStatic)
+	for i := range cells {
+		if !have[i] && static[i] > 0 {
+			costs[i] = int64(float64(static[i])*scale + 0.5)
+		}
+	}
+	return costs
+}
+
+// costOrder returns cell indices sorted by decreasing cost, ties by matrix
+// index — the dispatch order of the run-wide pool and the walk order of the
+// shard partitioner.
+func costOrder(costs []int64) []int {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	return order
+}
+
+// partitionShards assigns every cell to one of n shards by balanced cost:
+// greedy LPT over the cost-sorted cell list (walk cells heaviest first, give
+// each to the currently lightest-loaded shard, ties by lowest shard index).
+// The assignment is a pure function of (costs, n), so every shard process of
+// a run computes the identical partition with no coordination — shard k
+// simply keeps the cells assigned k-1 and skips the rest. Returns the
+// 0-based shard index per cell.
+func partitionShards(costs []int64, order []int, n int) []int {
+	assign := make([]int, len(costs))
+	load := make([]int64, n)
+	for _, i := range order {
+		lightest := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[lightest] {
+				lightest = s
+			}
+		}
+		assign[i] = lightest
+		load[lightest] += costs[i]
+	}
+	return assign
+}
+
+// SchedStats is the scheduling-quality telemetry of one matrix run — the
+// measurable side of cost-hinted dispatch, recorded into the summary (and
+// from there into BENCH_sched_*.json) so scheduling changes show up as
+// numbers run over run, never as anecdotes.
+type SchedStats struct {
+	// CellWorkers is the effective run-wide cell budget (Options.CellWorkers,
+	// GOMAXPROCS when 0).
+	CellWorkers int `json:"cell_workers"`
+	// BusyMS is the per-worker-slot busy time: slot i held a cell's compute
+	// for BusyMS[i] milliseconds in total. Slots are scheduler bookkeeping,
+	// not OS threads — overlapping cells share cores, so busy times overlap
+	// wall time.
+	BusyMS []int64 `json:"busy_ms"`
+	// MakespanMS is the wall time of the cell pool, dispatch to drain.
+	MakespanMS int64 `json:"makespan_ms"`
+	// Imbalance is max/mean per-slot busy time — 1.0 is a perfectly balanced
+	// schedule, and the straggler tail pushes it up. This is the number the
+	// measured-cost scheduling exists to reduce.
+	Imbalance float64 `json:"imbalance"`
+	// Stragglers lists the longest-running cells (top 5 by compute wall
+	// time), the cells that dominate the makespan.
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+}
+
+// Straggler is one entry of the straggler report: a cell, its compute wall
+// time and its queue wait (dispatch → start, see CellResult.QueueMS).
+type Straggler struct {
+	Cell    string `json:"cell"`
+	WallMS  int64  `json:"wall_ms"`
+	QueueMS int64  `json:"queue_ms"`
+}
+
+// imbalance is max/mean of the busy times, 0 when nothing ran.
+func imbalance(busy []int64) float64 {
+	var sum, max int64
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(busy))
+	return float64(max) / mean
+}
+
+// topStragglers returns the k longest-running executed cells, heaviest
+// first (ties by name, for a deterministic report).
+func topStragglers(results []CellResult, k int) []Straggler {
+	ran := make([]CellResult, 0, len(results))
+	for _, r := range results {
+		if !r.Skipped {
+			ran = append(ran, r)
+		}
+	}
+	sort.Slice(ran, func(a, b int) bool {
+		if ran[a].WallMS != ran[b].WallMS {
+			return ran[a].WallMS > ran[b].WallMS
+		}
+		return ran[a].Name() < ran[b].Name()
+	})
+	if len(ran) > k {
+		ran = ran[:k]
+	}
+	out := make([]Straggler, len(ran))
+	for i, r := range ran {
+		out[i] = Straggler{Cell: r.Name(), WallMS: r.WallMS, QueueMS: r.QueueMS}
+	}
+	return out
+}
+
+// Merge fuses the per-shard summaries of one sharded matrix run back into a
+// single Summary, cell-for-cell what the unsharded run would have produced
+// (tables, rows, skip reasons — wall times are per-shard measurements). It
+// validates that the shards are disjoint and complete: every shard index
+// 1..n present exactly once, no cell (by matrix index or name) in two
+// shards, and no cell of the expanded matrix missing. Engine stats are
+// summed across shards, the merged wall time is the slowest shard's
+// (the sharded run's makespan), and per-process scheduling telemetry is
+// dropped — it describes one process's pool, not the merged run.
+func Merge(shards []*Summary) (*Summary, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("scenario: nothing to merge")
+	}
+	count := 0
+	total := 0
+	seen := map[int]bool{}
+	for _, s := range shards {
+		sh, err := ParseShard(s.Shard)
+		if err != nil {
+			return nil, err
+		}
+		if !sh.sharded() {
+			return nil, fmt.Errorf("scenario: not a shard artifact (no shard field; was the run made with -shard?)")
+		}
+		if count == 0 {
+			count, total = sh.Count, s.TotalCells
+		}
+		if sh.Count != count {
+			return nil, fmt.Errorf("scenario: shard %s disagrees on shard count (have %d-way shards)", s.Shard, count)
+		}
+		if s.TotalCells != total {
+			return nil, fmt.Errorf("scenario: shard %s declares %d total cells, others declare %d — artifacts are from different matrices", s.Shard, s.TotalCells, total)
+		}
+		if seen[sh.Index] {
+			return nil, fmt.Errorf("scenario: overlapping shards: shard %s appears twice", s.Shard)
+		}
+		seen[sh.Index] = true
+	}
+	for k := 1; k <= count; k++ {
+		if !seen[k] {
+			return nil, fmt.Errorf("scenario: incomplete merge: shard %d/%d is missing", k, count)
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("scenario: shard artifacts declare no cells")
+	}
+	merged := make([]*CellResult, total)
+	names := map[string]int{}
+	for _, s := range shards {
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			if c.Index < 0 || c.Index >= total {
+				return nil, fmt.Errorf("scenario: cell %s has matrix index %d, outside the declared %d cells", c.Name(), c.Index, total)
+			}
+			if prev := merged[c.Index]; prev != nil {
+				return nil, fmt.Errorf("scenario: overlapping shards: cells %s and %s both claim matrix index %d", prev.Name(), c.Name(), c.Index)
+			}
+			if at, dup := names[c.Name()]; dup {
+				return nil, fmt.Errorf("scenario: overlapping shards: cell %s appears at matrix indices %d and %d", c.Name(), at, c.Index)
+			}
+			merged[c.Index] = c
+			names[c.Name()] = c.Index
+		}
+	}
+	missing := 0
+	firstGap := -1
+	for i, c := range merged {
+		if c == nil {
+			missing++
+			if firstGap < 0 {
+				firstGap = i
+			}
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("scenario: incomplete merge: %d of %d cells missing (first gap at matrix index %d)", missing, total, firstGap)
+	}
+
+	out := &Summary{TotalCells: total, Cells: make([]CellResult, total)}
+	for i, c := range merged {
+		out.Cells[i] = *c
+	}
+	for _, s := range shards {
+		out.Engine = addStats(out.Engine, s.Engine)
+		if s.WallMS > out.WallMS {
+			out.WallMS = s.WallMS
+		}
+	}
+	out.annotate()
+	return out, nil
+}
+
+// addStats sums two engine-stat snapshots field by field; the merged artifact
+// reports the shard processes' combined counters (gauges like Graphs sum to
+// the processes' combined resident sets at exit).
+func addStats(a, b engine.Stats) engine.Stats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Steps += b.Steps
+	a.Shortcuts += b.Shortcuts
+	a.Evictions += b.Evictions
+	a.Forgotten += b.Forgotten
+	a.Graphs += b.Graphs
+	a.CachedDepths += b.CachedDepths
+	a.UnionsBuilt += b.UnionsBuilt
+	a.UnionGraphs += b.UnionGraphs
+	a.StoreHits += b.StoreHits
+	a.StoreMisses += b.StoreMisses
+	a.StoreSaves += b.StoreSaves
+	a.StoreErrs += b.StoreErrs
+	return a
+}

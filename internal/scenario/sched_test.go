@@ -1,0 +1,470 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestParseShard: the "k/n" syntax round-trips, the empty string is the
+// unsharded zero Shard, and out-of-range or malformed shards are errors.
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+	}{
+		{"", Shard{}},
+		{"1/1", Shard{1, 1}},
+		{"2/3", Shard{2, 3}},
+		{"3/3", Shard{3, 3}},
+	} {
+		got, err := ParseShard(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("ParseShard(%q).String() = %q", tc.in, got.String())
+		}
+	}
+	for _, bad := range []string{"0/3", "4/3", "-1/3", "1/-3", "x", "1", "1/x", "a/b"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted an invalid shard", bad)
+		}
+	}
+}
+
+// TestBlendCosts: measured cells cost exactly what they measured; NEW cells
+// fall back to the static hint rescaled into the measured scale; zero-static
+// (skipped) cells stay at zero even when a stale measurement names them; with
+// no usable measurements the static hints pass through unchanged.
+func TestBlendCosts(t *testing.T) {
+	cells := []Cell{
+		{Corpus: "a", Experiment: "census", Budget: 1},
+		{Corpus: "b", Experiment: "census", Budget: 1},
+		{Corpus: "c", Experiment: "census", Budget: 1},
+		{Corpus: "d", Experiment: "census", Budget: 1},
+	}
+	static := []int64{100, 200, 300, 0} // d is skipped: static 0
+	measured := map[string]int64{
+		"a/census@1": 50,
+		"c/census@1": 150,
+		"d/census@1": 999, // stale measurement of a now-skipped cell
+	}
+	got := blendCosts(cells, static, measured)
+	// scale = (50+150)/(100+300) = 0.5, so the unmeasured b rescales 200 -> 100.
+	want := []int64{50, 100, 150, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("blended cost[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	got = blendCosts(cells, static, nil)
+	for i := range static {
+		if got[i] != static[i] {
+			t.Errorf("with no measurements, cost[%d] = %d, want the static hint %d", i, got[i], static[i])
+		}
+	}
+}
+
+// TestCostOrderAndPartition: costOrder sorts by decreasing cost with index
+// ties, and partitionShards is a deterministic LPT — every cell lands in
+// exactly one shard (trivially, it is a total assignment), repeated calls
+// agree, loads balance to the greedy optimum on a known input, and ties go to
+// the lowest shard index.
+func TestCostOrderAndPartition(t *testing.T) {
+	costs := []int64{10, 40, 40, 5, 100, 25}
+	order := costOrder(costs)
+	wantOrder := []int{4, 1, 2, 5, 0, 3} // desc; the two 40s keep index order
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("costOrder = %v, want %v", order, wantOrder)
+		}
+	}
+	assign := partitionShards(costs, order, 2)
+	// LPT walk, heaviest first: 100->s0 (100|0), 40->s1 (100|40), 40->s1
+	// (100|80), 25->s1 (100|105), 10->s0 (110|105), 5->s1 (110|110).
+	want := []int{0, 1, 1, 1, 0, 1}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("partitionShards = %v, want %v", assign, want)
+		}
+	}
+	for n := 1; n <= 4; n++ {
+		a1 := partitionShards(costs, costOrder(costs), n)
+		a2 := partitionShards(costs, costOrder(costs), n)
+		counts := make([]int, n)
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("n=%d: partition is not deterministic: %v vs %v", n, a1, a2)
+			}
+			if a1[i] < 0 || a1[i] >= n {
+				t.Fatalf("n=%d: cell %d assigned to shard %d, outside [0,%d)", n, i, a1[i], n)
+			}
+			counts[a1[i]]++
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != len(costs) {
+			t.Fatalf("n=%d: partition covers %d cells, want %d", n, total, len(costs))
+		}
+	}
+	// Equal costs tie to the lowest shard index in rotation.
+	eq := []int64{7, 7, 7}
+	if got := partitionShards(eq, costOrder(eq), 3); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("equal-cost partition = %v, want round-robin by lowest index", got)
+	}
+}
+
+// TestImbalanceAndStragglers: the SchedStats helpers — max/mean imbalance,
+// zero when nothing ran, and the deterministic straggler report (skipped
+// cells excluded, wall-time desc, name ties, top-k cap).
+func TestImbalanceAndStragglers(t *testing.T) {
+	if got := imbalance([]int64{10, 20, 30}); got != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+	if got := imbalance([]int64{0, 0}); got != 0 {
+		t.Errorf("imbalance of an idle run = %v, want 0", got)
+	}
+	results := []CellResult{
+		{Cell: Cell{Corpus: "b", Experiment: "census", Budget: 1}, WallMS: 50, QueueMS: 3},
+		{Cell: Cell{Corpus: "a", Experiment: "census", Budget: 1}, WallMS: 50},
+		{Cell: Cell{Corpus: "c", Experiment: "census", Budget: 1}, WallMS: 200, QueueMS: 7},
+		{Cell: Cell{Corpus: "d", Experiment: "census", Budget: 1}, Skipped: true},
+		{Cell: Cell{Corpus: "e", Experiment: "census", Budget: 1}, WallMS: 10},
+	}
+	top := topStragglers(results, 3)
+	if len(top) != 3 {
+		t.Fatalf("topStragglers returned %d entries, want 3", len(top))
+	}
+	if top[0].Cell != "c/census@1" || top[0].WallMS != 200 || top[0].QueueMS != 7 {
+		t.Errorf("top straggler = %+v, want c/census@1 at 200ms", top[0])
+	}
+	if top[1].Cell != "a/census@1" || top[2].Cell != "b/census@1" {
+		t.Errorf("equal-cost stragglers not name-ordered: %+v", top[1:])
+	}
+}
+
+// TestLoadCosts: a real artifact yields wall times keyed by cell name with
+// skipped cells omitted; missing files, malformed JSON and empty artifacts
+// are errors (an empty artifact would silently zero every cost).
+func TestLoadCosts(t *testing.T) {
+	dir := t.TempDir()
+	summary := &Summary{Cells: []CellResult{
+		{Cell: Cell{Corpus: "torus", Experiment: "census", Budget: 1}, Rows: 7, WallMS: 120},
+		{Cell: Cell{Corpus: "torus", Experiment: "E1", Budget: 1}, Skipped: true, Reason: "infeasible"},
+		{Cell: Cell{Corpus: "default", Experiment: "E5", Params: "quick", Budget: 2}, Rows: 1, WallMS: 30, Err: "boom"},
+	}}
+	path := filepath.Join(dir, "SCENARIO_prev.json")
+	if err := summary.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	costs, err := LoadCosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 2 || costs["torus/census@1"] != 120 || costs["default/E5#quick@2"] != 30 {
+		t.Errorf("costs = %v, want the two executed cells (failed kept, skipped dropped)", costs)
+	}
+	if _, ok := costs["torus/E1@1"]; ok {
+		t.Error("skipped cell leaked into the cost map")
+	}
+	if _, err := LoadCosts(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing cost file did not error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := LoadCosts(bad); err == nil {
+		t.Error("malformed cost file did not error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"cells": []}`), 0o644)
+	if _, err := LoadCosts(empty); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Errorf("empty artifact error = %v, want a no-cells error", err)
+	}
+}
+
+// TestMatrixCostsReorderDispatch is the cost-model dispatch probe: three
+// same-corpus census cells have identical static hints (same declared nodes,
+// same rows), so static dispatch starts them in matrix order; a synthetic
+// previous artifact that weights them in reverse makes the measured-cost run
+// start them heaviest-measured-first. CellWorkers 1 makes the start order
+// observable; the summary tables are identical either way.
+func TestMatrixCostsReorderDispatch(t *testing.T) {
+	m := Matrix{Corpora: []string{"hypercube"}, Experiments: []string{"census"}, Budgets: []int{1, 2, 8}}
+	probe := func(costs map[string]int64) ([]string, *Summary) {
+		var mu sync.Mutex
+		var started []string
+		opt := smallMatrixOptions(1)
+		opt.CellWorkers = 1
+		opt.Costs = costs
+		opt.onCellStart = func(c Cell) {
+			mu.Lock()
+			started = append(started, c.Name())
+			mu.Unlock()
+		}
+		summary, err := Run(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return started, summary
+	}
+	static, staticSummary := probe(nil)
+	wantStatic := []string{"hypercube/census@1", "hypercube/census@2", "hypercube/census@8"}
+	for i := range wantStatic {
+		if static[i] != wantStatic[i] {
+			t.Fatalf("static start order %v, want matrix order %v (equal hints tie by index)", static, wantStatic)
+		}
+	}
+	measured, measuredSummary := probe(map[string]int64{
+		"hypercube/census@1": 10,
+		"hypercube/census@2": 20,
+		"hypercube/census@8": 40,
+	})
+	wantMeasured := []string{"hypercube/census@8", "hypercube/census@2", "hypercube/census@1"}
+	for i := range wantMeasured {
+		if measured[i] != wantMeasured[i] {
+			t.Fatalf("measured start order %v, want heaviest-first %v", measured, wantMeasured)
+		}
+	}
+	// Costs change dispatch order, never results: summaries agree cell by cell.
+	for i := range staticSummary.Cells {
+		a, b := staticSummary.Cells[i], measuredSummary.Cells[i]
+		if a.Name() != b.Name() || a.Rows != b.Rows || a.Table.Render() != b.Table.Render() {
+			t.Errorf("cell %d differs between static and measured scheduling: %s vs %s", i, a.Name(), b.Name())
+		}
+	}
+	// A partial cost map (one NEW cell) still runs every cell: the NEW cell
+	// falls back to its rescaled static hint.
+	partial, _ := probe(map[string]int64{
+		"hypercube/census@1": 1000, // only @1 measured, very heavy
+	})
+	if len(partial) != 3 || partial[0] != "hypercube/census@1" {
+		t.Errorf("partial-cost start order %v, want the measured heavy cell first and all 3 cells run", partial)
+	}
+}
+
+// shardMatrix is the sharding fixture: two corpora, a skipping experiment
+// (hierarchy cannot run on the vertex-transitive torus) and three budgets —
+// 12 cells including 3 skips, so merge must carry tables, reasons and
+// failures alike.
+func shardMatrix() Matrix {
+	return Matrix{
+		Corpora:     []string{"default", "torus"},
+		Experiments: []string{"census", "hierarchy"},
+		Budgets:     []int{1, 2, 8},
+	}
+}
+
+// TestMatrixShardingByteIdentical is the sharding determinism assertion (run
+// in CI under -race): running the matrix as 3 independent shard processes
+// (fresh engine each, as real processes would have) and merging the artifacts
+// reproduces the unsharded run cell for cell — same order, same row counts,
+// byte-identical tables, same skip reasons — at cell-worker budgets 1 and 8.
+func TestMatrixShardingByteIdentical(t *testing.T) {
+	m := shardMatrix()
+	const n = 3
+	for _, cellWorkers := range []int{1, 8} {
+		opt := smallMatrixOptions(1)
+		opt.CellWorkers = cellWorkers
+		opt.Engine = engine.New(0)
+		full, err := Run(m, opt)
+		if err != nil {
+			t.Fatalf("cell workers %d: unsharded run: %v", cellWorkers, err)
+		}
+		shards := make([]*Summary, n)
+		for k := 1; k <= n; k++ {
+			sopt := smallMatrixOptions(1)
+			sopt.CellWorkers = cellWorkers
+			sopt.Engine = engine.New(0)
+			sopt.Shard = Shard{Index: k, Count: n}
+			s, err := Run(m, sopt)
+			if err != nil {
+				t.Fatalf("cell workers %d: shard %d/%d: %v", cellWorkers, k, n, err)
+			}
+			if s.Shard != (Shard{Index: k, Count: n}).String() || s.TotalCells != len(full.Cells) {
+				t.Fatalf("cell workers %d: shard %d/%d stamped %q/%d, want %d/%d of %d",
+					cellWorkers, k, n, s.Shard, s.TotalCells, k, n, len(full.Cells))
+			}
+			if len(s.Cells) == 0 || len(s.Cells) >= len(full.Cells) {
+				t.Fatalf("cell workers %d: shard %d/%d ran %d of %d cells, want a proper slice",
+					cellWorkers, k, n, len(s.Cells), len(full.Cells))
+			}
+			shards[n-k] = s // merge in reverse order: order must not matter
+		}
+		merged, err := Merge(shards)
+		if err != nil {
+			t.Fatalf("cell workers %d: merge: %v", cellWorkers, err)
+		}
+		if len(merged.Cells) != len(full.Cells) {
+			t.Fatalf("cell workers %d: merged %d cells, want %d", cellWorkers, len(merged.Cells), len(full.Cells))
+		}
+		for i := range full.Cells {
+			a, b := full.Cells[i], merged.Cells[i]
+			if a.Name() != b.Name() || a.Index != b.Index {
+				t.Fatalf("cell workers %d: merged cell %d is %s (index %d), want %s (index %d)",
+					cellWorkers, i, b.Name(), b.Index, a.Name(), a.Index)
+			}
+			if a.Rows != b.Rows || a.Skipped != b.Skipped || a.Reason != b.Reason || a.Err != b.Err {
+				t.Errorf("cell workers %d: %s: rows/skip/err differ between unsharded and merged", cellWorkers, a.Name())
+			}
+			at, bt := "", ""
+			if a.Table != nil {
+				at = a.Table.Render() + a.Table.Markdown()
+			}
+			if b.Table != nil {
+				bt = b.Table.Render() + b.Table.Markdown()
+			}
+			if at != bt {
+				t.Errorf("cell workers %d: %s: merged table is not byte-identical to the unsharded run", cellWorkers, a.Name())
+			}
+		}
+		if merged.Failed != full.Failed || merged.Skipped != full.Skipped {
+			t.Errorf("cell workers %d: merged failed/skipped = %d/%d, want %d/%d",
+				cellWorkers, merged.Failed, merged.Skipped, full.Failed, full.Skipped)
+		}
+		if merged.Sched != nil {
+			t.Error("merged summary kept per-process scheduling telemetry")
+		}
+		if merged.Shard != "" {
+			t.Errorf("merged summary still claims shard %q", merged.Shard)
+		}
+	}
+}
+
+// TestMatrixShardPartitionCoversEveryCell: across shards 1/n..n/n the union
+// of executed cells is exactly the full matrix with no overlap, for several n
+// — and a repeated shard run picks the identical cells (the partition is a
+// pure function of the matrix).
+func TestMatrixShardPartitionCoversEveryCell(t *testing.T) {
+	m := shardMatrix()
+	cells, err := m.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		seen := map[string]string{}
+		for k := 1; k <= n; k++ {
+			run := func() *Summary {
+				opt := smallMatrixOptions(1)
+				opt.CellWorkers = 2
+				opt.Shard = Shard{Index: k, Count: n}
+				s, err := Run(m, opt)
+				if err != nil {
+					t.Fatalf("shard %d/%d: %v", k, n, err)
+				}
+				return s
+			}
+			s, again := run(), run()
+			if len(s.Cells) != len(again.Cells) {
+				t.Fatalf("shard %d/%d is not deterministic: %d vs %d cells", k, n, len(s.Cells), len(again.Cells))
+			}
+			for i := range s.Cells {
+				if s.Cells[i].Name() != again.Cells[i].Name() {
+					t.Fatalf("shard %d/%d is not deterministic: cell %d is %s then %s",
+						k, n, i, s.Cells[i].Name(), again.Cells[i].Name())
+				}
+				name := s.Cells[i].Name()
+				if prev, dup := seen[name]; dup {
+					t.Fatalf("n=%d: cell %s ran on shards %s and %d/%d", n, name, prev, k, n)
+				}
+				seen[name] = s.Shard
+			}
+		}
+		if len(seen) != len(cells) {
+			t.Fatalf("n=%d: shards covered %d cells, want %d", n, len(seen), len(cells))
+		}
+	}
+}
+
+// TestMergeValidation: the merge error paths — overlapping shards (same
+// shard twice, same cell index twice, same name twice), incomplete shard
+// sets, mismatched shard counts or matrix sizes, and non-shard artifacts are
+// all errors naming the problem; nothing merges silently.
+func TestMergeValidation(t *testing.T) {
+	mk := func(shard string, total int, cells ...CellResult) *Summary {
+		return &Summary{Shard: shard, TotalCells: total, Cells: cells}
+	}
+	c := func(corpus string, index, rows int) CellResult {
+		return CellResult{Cell: Cell{Corpus: corpus, Experiment: "census", Budget: 1}, Index: index, Rows: rows}
+	}
+	ok1, ok2 := mk("1/2", 2, c("a", 0, 3)), mk("2/2", 2, c("b", 1, 4))
+	merged, err := Merge([]*Summary{ok2, ok1}) // order must not matter
+	if err != nil {
+		t.Fatalf("valid merge failed: %v", err)
+	}
+	if len(merged.Cells) != 2 || merged.Cells[0].Corpus != "a" || merged.Cells[1].Corpus != "b" {
+		t.Fatalf("merged cells out of matrix order: %+v", merged.Cells)
+	}
+	for name, tc := range map[string]struct {
+		shards []*Summary
+		want   string
+	}{
+		"empty":              {nil, "nothing to merge"},
+		"unsharded":          {[]*Summary{mk("", 2, c("a", 0, 3))}, "not a shard artifact"},
+		"duplicate shard":    {[]*Summary{ok1, mk("1/2", 2, c("b", 1, 4))}, "appears twice"},
+		"missing shard":      {[]*Summary{mk("1/3", 2, c("a", 0, 3)), mk("2/3", 2, c("b", 1, 4))}, "3/3 is missing"},
+		"count mismatch":     {[]*Summary{ok1, mk("2/3", 2, c("b", 1, 4))}, "disagrees on shard count"},
+		"total mismatch":     {[]*Summary{ok1, mk("2/2", 5, c("b", 1, 4))}, "different matrices"},
+		"index out of range": {[]*Summary{ok1, mk("2/2", 2, c("b", 7, 4))}, "outside the declared"},
+		"overlapping index":  {[]*Summary{ok1, mk("2/2", 2, c("b", 0, 4))}, "both claim matrix index 0"},
+		"gap":                {[]*Summary{mk("1/2", 3, c("a", 0, 3)), mk("2/2", 3, c("b", 2, 4))}, "1 of 3 cells missing (first gap at matrix index 1)"},
+		"duplicate name": {[]*Summary{mk("1/2", 3, c("a", 0, 3), c("b", 1, 4)), mk("2/2", 3, c("a", 2, 3))},
+			"appears at matrix indices 0 and 2"},
+	} {
+		if _, err := Merge(tc.shards); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Merge error = %v, want it to contain %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestMatrixSchedTelemetry: every run records its scheduling telemetry —
+// per-slot busy times sized to the effective budget, a non-negative queue
+// wait per cell, and a deterministic straggler report drawn from the run's
+// own cells.
+func TestMatrixSchedTelemetry(t *testing.T) {
+	opt := smallMatrixOptions(1)
+	opt.CellWorkers = 2
+	summary, err := Run(Matrix{Corpora: []string{"torus", "hypercube"}, Budgets: []int{1, 2}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := summary.Sched
+	if s == nil {
+		t.Fatal("summary carries no scheduling telemetry")
+	}
+	if s.CellWorkers != 2 || len(s.BusyMS) != 2 {
+		t.Errorf("sched reports %d workers with %d busy slots, want 2/2", s.CellWorkers, len(s.BusyMS))
+	}
+	if s.MakespanMS < 0 || summary.WallMS < s.MakespanMS {
+		t.Errorf("makespan %dms exceeds the run's wall time %dms", s.MakespanMS, summary.WallMS)
+	}
+	if len(s.Stragglers) == 0 || len(s.Stragglers) > 5 {
+		t.Errorf("straggler report has %d entries, want 1..5", len(s.Stragglers))
+	}
+	names := map[string]bool{}
+	for _, cell := range summary.Cells {
+		names[cell.Name()] = true
+		if cell.QueueMS < 0 {
+			t.Errorf("%s: negative queue wait %dms", cell.Name(), cell.QueueMS)
+		}
+	}
+	for _, st := range s.Stragglers {
+		if !names[st.Cell] {
+			t.Errorf("straggler %q is not a cell of this run", st.Cell)
+		}
+	}
+	if summary.TotalCells != len(summary.Cells) {
+		t.Errorf("unsharded run declares %d total cells but holds %d", summary.TotalCells, len(summary.Cells))
+	}
+	for i, cell := range summary.Cells {
+		if cell.Index != i {
+			t.Errorf("unsharded cell %d carries matrix index %d", i, cell.Index)
+		}
+	}
+}
