@@ -17,8 +17,9 @@
 // cross-cutting experiments (E1, E2) sweep; the parameterised experiments are
 // unaffected. In -matrix mode the corpus × experiment × params × budget
 // scenario matrix runs instead: -families (or -corpus) names registered
-// corpora, -experiments any registered experiment (E1–E10, census; unknown
-// names are rejected with the registered list), -params named parameter sets
+// corpora, -experiments any registered experiment (E1–E10, census, plus the
+// adversarial sweeps adversary and sigmaadv; unknown names are rejected with
+// the registered list), -params named parameter sets
 // (default, quick), -budgets the per-cell worker budgets, -cell-workers the
 // run-wide cell-scheduling budget, and -out writes the machine-readable
 // SCENARIO_*.json summary the nightly CI lane uploads and cmd/scenariocmp

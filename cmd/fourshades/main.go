@@ -106,11 +106,11 @@ func fail(err error) {
 func chooseEngine(name string) (func(*graph.Graph, local.Factory, local.Config) (*local.Result, error), error) {
 	switch strings.ToLower(name) {
 	case "sequential", "seq":
-		return local.RunSequential, nil
-	case "parallel", "par":
-		return local.Run, nil
+		return local.RunWith(local.Sequential()), nil
+	case "parallel", "par", "synchronous", "sync":
+		return local.RunWith(local.Synchronous()), nil
 	case "async", "asynchronous":
-		return local.RunAsync, nil
+		return local.RunWith(local.AsyncRandom()), nil
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want sequential, parallel or async)", name)
 	}

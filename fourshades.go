@@ -11,8 +11,13 @@
 //   - the advice framework (Oracle, ViewOracle, MapOracle) and the
 //     minimum-time algorithms with advice (RunSelectionWithAdvice,
 //     RunWithMapAdvice);
-//   - the synchronous/asynchronous LOCAL-model simulators (Machine, Run,
-//     RunSequential, RunAsync);
+//   - the LOCAL-model simulator with pluggable schedulers (Machine, RunLocal,
+//     Scheduler, SequentialScheduler, SynchronousScheduler,
+//     AsyncRandomScheduler);
+//   - the adversarial explorers (ExplorePortNumberings,
+//     ExploreSigmaAssignments, ExploreInterleavings, NewScheduleExplorer) that
+//     sweep port relabelings, σ-assignments and message-delivery orders while
+//     asserting the paper's invariants;
 //   - the paper's graph-class constructions (BuildGdk, BuildUdk, BuildJmk) and
 //     lower-bound experiments (FoolSelection, FoolPortElection,
 //     FoolPathElection);
@@ -30,6 +35,7 @@ package fourshades
 import (
 	"math/rand"
 
+	"repro/internal/adversary"
 	"repro/internal/advice"
 	"repro/internal/algorithms"
 	"repro/internal/bitstring"
@@ -134,8 +140,8 @@ func NewCorpus(specs ...CorpusSpec) *GraphCorpus { return corpus.New(specs...) }
 func DefaultCorpus(seed int64) *GraphCorpus { return corpus.Default(seed, engine.Default.Feasible) }
 
 // CorpusRegistry makes corpora discoverable by name ("default", "torus",
-// "hypercube", "largerandom", plus anything the caller registers); the
-// scenario matrix resolves its Corpora field through one of these.
+// "small", "hypercube", "largerandom", plus anything the caller registers);
+// the scenario matrix resolves its Corpora field through one of these.
 type CorpusRegistry = corpus.Registry
 
 // RegisteredCorpora lists the names of the built-in corpus registry, in
@@ -274,8 +280,35 @@ type SimConfig = local.Config
 // SimResult is the outcome of a simulation run.
 type SimResult = local.Result
 
-// Simulation engines: goroutine-per-node (Run), deterministic sequential
-// (RunSequential), and fully asynchronous with an α-synchronizer (RunAsync).
+// Scheduler is the pluggable delivery discipline of a simulation run: it
+// decides how machines advance and messages arrive. Set one on
+// SimConfig.Scheduler (nil means SynchronousScheduler) or adapt it to the
+// sim-func shape with RunWithScheduler. Adversarial exploration plugs in
+// here — a ScheduleExplorer is just another Scheduler.
+type Scheduler = local.Scheduler
+
+// RunLocal is the single simulation entry point: it runs one machine per node
+// of g under cfg.Scheduler.
+func RunLocal(g *Graph, factory MachineFactory, cfg SimConfig) (*SimResult, error) {
+	return local.Run(g, factory, cfg)
+}
+
+// The built-in schedulers: deterministic sequential (the oracle order),
+// goroutine-per-node with a round barrier, and fully asynchronous with an
+// α-synchronizer and seeded random delays.
+var (
+	SequentialScheduler  = local.Sequential
+	SynchronousScheduler = local.Synchronous
+	AsyncRandomScheduler = local.AsyncRandom
+)
+
+// RunWithScheduler adapts a Scheduler to the sim-func shape the
+// advice-running algorithms accept (RunSelectionWithAdvice, RunWithMapAdvice).
+var RunWithScheduler = local.RunWith
+
+// Deprecated entry points, kept for source compatibility: Run is RunLocal
+// with the synchronous scheduler; RunSequential and RunAsync pin the
+// sequential and async-random schedulers. New code sets SimConfig.Scheduler.
 var (
 	Run           = local.Run
 	RunSequential = local.RunSequential
@@ -336,6 +369,55 @@ func JmkPathElection(inst *JmkInstance, task Task) (depth int, outputs []Output,
 	return algorithms.JmkPathOutputs(inst, task)
 }
 
+// ---- Adversarial exploration --------------------------------------------------------
+
+// PortExploreOptions bounds a port-numbering exploration (exhaustive limit,
+// sample count, seed, election limit, engine).
+type PortExploreOptions = adversary.PortOptions
+
+// PortExploreReport summarises one port-numbering exploration: the relabeling
+// space, how much of it was explored, the feasible/infeasible split and the
+// observed ψ_S and advice-size spreads.
+type PortExploreReport = adversary.PortReport
+
+// SigmaExploreOptions bounds a σ-assignment exploration of U_{Δ,k}.
+type SigmaExploreOptions = adversary.SigmaOptions
+
+// SigmaExploreReport summarises one σ-assignment exploration.
+type SigmaExploreReport = adversary.SigmaReport
+
+// InterleaveExploreOptions bounds an interleaving exploration (mirror-map
+// states, complete schedules, deliveries, depth, oracle scheduler).
+type InterleaveExploreOptions = adversary.InterleaveOptions
+
+// InterleaveExploreReport summarises one interleaving exploration: distinct
+// states, mirrors (dedup hits), complete schedules and the depth reached.
+type InterleaveExploreReport = adversary.InterleaveReport
+
+// ScheduleExplorer is the interleaving explorer packaged as a Scheduler: set
+// it on SimConfig.Scheduler (or adapt with RunWithScheduler) and every
+// bounded delivery order is explored and checked against the synchronous
+// oracle; Last returns the report of the most recent run.
+type ScheduleExplorer = adversary.Explorer
+
+// Adversarial exploration entry points. ExplorePortNumberings enumerates or
+// seeded-samples the port relabelings of a graph and asserts the refinement
+// and Theorem 2.2 invariants on each; ExploreSigmaAssignments does the same
+// across a U_{Δ,k} class; ExploreInterleavings drives a machine set through
+// systematically varied delivery orders with hashed-state dedup. PortSpace
+// counts a graph's relabelings ∏_v deg(v)!, RelabelPorts applies one, and
+// AdversaryProbeFactory builds the neighbourhood-probing machines the
+// experiment sweeps use under exploration.
+var (
+	ExplorePortNumberings   = adversary.ExplorePorts
+	ExploreSigmaAssignments = adversary.ExploreSigma
+	ExploreInterleavings    = adversary.ExploreInterleavings
+	NewScheduleExplorer     = adversary.NewExplorer
+	PortSpace               = adversary.PortSpace
+	RelabelPorts            = adversary.Relabel
+	AdversaryProbeFactory   = adversary.ProbeFactory
+)
+
 // ---- Lower bounds ------------------------------------------------------------------
 
 // FoolSelection reproduces the Theorem 2.9 fooling argument; its oracle
@@ -378,7 +460,7 @@ type ExperimentDescriptor = core.Descriptor
 type ExperimentParamPoint = core.ParamPoint
 
 // RegisteredExperiments returns the registered experiment names in suite
-// order: E1–E10, then the census.
+// order: E1–E10, then the matrix-only census, adversary and sigmaadv sweeps.
 func RegisteredExperiments() []string { return core.ExperimentNames() }
 
 // DefaultParams returns a copy of the named experiment's default parameter

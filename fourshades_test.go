@@ -1,6 +1,7 @@
 package fourshades
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -173,5 +174,58 @@ func TestFacadeFooling(t *testing.T) {
 	}
 	if !pe.ViewsEqual || !pe.Disjoint {
 		t.Errorf("port election fooling failed: %+v", pe)
+	}
+}
+
+// TestFacadeSchedulersAndAdversary exercises the scheduler surface and the
+// adversarial explorers the way a downstream user would: run one election
+// under each built-in scheduler, sweep every port numbering of a small graph,
+// explore the bounded interleavings of a probe run, and drive the Theorem 2.2
+// pipeline through a ScheduleExplorer.
+func TestFacadeSchedulersAndAdversary(t *testing.T) {
+	g := Caterpillar(4, []int{2, 0, 1, 3})
+	want := ""
+	for _, s := range []Scheduler{SequentialScheduler(), SynchronousScheduler(), AsyncRandomScheduler()} {
+		bits, rounds, outputs, err := RunSelectionWithAdvice(g, RunWithScheduler(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := Verify(Selection, g, outputs); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		got := fmt.Sprintf("%d|%d|%v", bits, rounds, outputs)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("%s: result %q differs from sequential %q", s.Name(), got, want)
+		}
+	}
+
+	if space, exact := PortSpace(Ring(4)); space != 16 || !exact {
+		t.Fatalf("PortSpace(Ring(4)) = %d, %v, want 16, true", space, exact)
+	}
+	rep, err := ExplorePortNumberings(Ring(4), PortExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhaustive || rep.Explored != 16 || rep.Feasible == 0 || rep.Infeasible == 0 {
+		t.Fatalf("unexpected port report %+v", rep)
+	}
+
+	irep, res, err := ExploreInterleavings(Ring(3), AdversaryProbeFactory(2),
+		SimConfig{MaxRounds: 4}, InterleaveExploreOptions{MaxStates: 200, MaxSchedules: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irep.Mirrors == 0 || irep.Schedules == 0 || res.Rounds != 2 {
+		t.Fatalf("unexpected interleave report %+v (rounds %d)", irep, res.Rounds)
+	}
+
+	exp := NewScheduleExplorer(InterleaveExploreOptions{MaxStates: 300, MaxSchedules: 8})
+	if _, _, _, err := RunSelectionWithAdvice(g, RunWithScheduler(exp)); err != nil {
+		t.Fatal(err)
+	}
+	if last := exp.Last(); last == nil || last.Schedules == 0 {
+		t.Fatalf("explorer recorded no schedules: %+v", exp.Last())
 	}
 }

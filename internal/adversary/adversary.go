@@ -1,0 +1,78 @@
+// Package adversary attacks the two degrees of freedom the paper's
+// guarantees quantify over but the scenario matrix never varied: the port
+// numbering of the input graph and the message delivery schedule of the
+// runtime.
+//
+// Three explorers share the package:
+//
+//   - ExplorePorts enumerates (small spaces) or seeded-samples (large
+//     spaces) adversarial port relabelings of a graph and asserts the
+//     election and advice invariants of Theorem 2.2 on every feasible
+//     relabeling, plus census invariants (stabilisation depth, class
+//     counts, feasibility-classes consistency) on all of them.
+//   - ExploreSigma sweeps the σ-assignments indexing the class U_{Δ,k}
+//     (Section 3.1) and asserts Port Election succeeds in exactly k rounds
+//     with constant-size σ-advice for every member explored.
+//   - ExploreInterleavings drives local.Machine instances through
+//     systematically varied message delivery orders, deduplicating states
+//     with a mirror map of hashes (FactomProject's exhaustive election
+//     tester is the model: recursive interleaving search with
+//     depth/solutions/mirrors counters and a bounded frontier), and
+//     requires every complete schedule to reproduce the sequential
+//     oracle's outputs bit for bit.
+//
+// The interleaving explorer is also packaged as a local.Scheduler
+// (Explorer), so it plugs into local.Run, the experiment registry and the
+// scenario matrix exactly like the sequential, synchronous and async
+// schedulers do.
+package adversary
+
+import (
+	"encoding/binary"
+
+	"repro/internal/local"
+)
+
+// ProbeFactory returns the machine zoo's canonical workload: flood the
+// running maximum degree for `rounds` rounds, then halt with the maximum
+// seen. It is deterministic, halts unevenly only via MaxRounds cutoffs, and
+// its 4-byte payloads keep state hashing cheap, which makes it the default
+// subject of interleaving exploration.
+func ProbeFactory(rounds int) local.Factory {
+	return func() local.Machine { return &probeMachine{radius: rounds} }
+}
+
+type probeMachine struct {
+	radius int
+	deg    int
+	best   uint32
+}
+
+func (m *probeMachine) Init(info local.NodeInfo) {
+	m.deg = info.Degree
+	m.best = uint32(info.Degree)
+}
+
+func (m *probeMachine) Send(round int) []local.Message {
+	payload := make(local.Message, 4)
+	binary.BigEndian.PutUint32(payload, m.best)
+	out := make([]local.Message, m.deg)
+	for p := range out {
+		out[p] = payload
+	}
+	return out
+}
+
+func (m *probeMachine) Receive(round int, inbox []local.Message) bool {
+	for _, msg := range inbox {
+		if len(msg) != 4 {
+			continue
+		}
+		if v := binary.BigEndian.Uint32(msg); v > m.best {
+			m.best = v
+		}
+	}
+	return round >= m.radius
+}
+
+func (m *probeMachine) Output() any { return int(m.best) }

@@ -1,0 +1,329 @@
+package adversary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/election"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+func TestPermByIndexEnumeratesAllPermutations(t *testing.T) {
+	for deg := 0; deg <= 4; deg++ {
+		f, ok := factorial(deg)
+		if !ok {
+			t.Fatalf("factorial(%d) overflowed", deg)
+		}
+		seen := make(map[string]bool)
+		for idx := uint64(0); idx < f; idx++ {
+			perm := permByIndex(deg, idx)
+			used := make([]bool, deg)
+			for _, p := range perm {
+				if p < 0 || p >= deg || used[p] {
+					t.Fatalf("deg %d idx %d: not a permutation: %v", deg, idx, perm)
+				}
+				used[p] = true
+			}
+			key := ""
+			for _, p := range perm {
+				key += string(rune('a' + p))
+			}
+			if seen[key] {
+				t.Fatalf("deg %d: permutation %v repeated", deg, perm)
+			}
+			seen[key] = true
+		}
+		if len(seen) != int(f) {
+			t.Fatalf("deg %d: %d distinct permutations, want %d", deg, len(seen), f)
+		}
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := graph.Caterpillar(3, []int{1, 0, 2})
+	perms := make([][]int, g.N())
+	for v := range perms {
+		perms[v] = identity(g.Degree(v))
+	}
+	gp, err := Relabel(g, perms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), gp.Edges()) {
+		t.Fatal("identity relabeling changed the edge list")
+	}
+}
+
+// Acceptance: on a small graph the explorer exhaustively covers all
+// ∏ deg(v)! port numberings and the Theorem 2.2 invariant holds on every
+// feasible one.
+func TestExplorePortsExhaustive(t *testing.T) {
+	g := graph.Caterpillar(3, []int{1, 0, 2}) // space 2!·2!·3! = 24, feasible
+	rep, err := ExplorePorts(g, PortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhaustive || !rep.SpaceExact {
+		t.Fatalf("expected exhaustive exploration, got %+v", rep)
+	}
+	if rep.Space != 24 || rep.Explored != 24 {
+		t.Fatalf("explored %d of %d relabelings, want 24 of 24", rep.Explored, rep.Space)
+	}
+	if rep.Feasible+rep.Infeasible != rep.Explored {
+		t.Fatalf("feasible %d + infeasible %d != explored %d", rep.Feasible, rep.Infeasible, rep.Explored)
+	}
+	if rep.Feasible == 0 {
+		t.Fatal("the identity relabeling is feasible; Feasible must be > 0")
+	}
+	if rep.Elections != rep.Feasible {
+		t.Fatalf("elections ran on %d of %d feasible relabelings", rep.Elections, rep.Feasible)
+	}
+	if rep.MinAdviceBits <= 0 {
+		t.Fatalf("advice spread %d..%d must be positive", rep.MinAdviceBits, rep.MaxAdviceBits)
+	}
+}
+
+// Feasibility is NOT invariant under port relabeling — the fact that makes
+// the port numbering adversarial. The uniform ring is infeasible (all views
+// equal), but relabelings that break the orientation symmetry make all four
+// views distinct; the explorer must see both classes and still verify the
+// election invariant on every feasible member.
+func TestExplorePortsFeasibilityNotInvariant(t *testing.T) {
+	rep, err := ExplorePorts(graph.Ring(4), PortOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhaustive || rep.Explored != 16 { // 2!^4
+		t.Fatalf("want 16/16 relabelings, got %+v", rep)
+	}
+	if rep.Feasible == 0 || rep.Infeasible == 0 {
+		t.Fatalf("want both feasible and infeasible relabelings, got %+v", rep)
+	}
+	if rep.Elections != rep.Feasible {
+		t.Fatalf("elections ran on %d of %d feasible relabelings", rep.Elections, rep.Feasible)
+	}
+}
+
+// Acceptance: a seeded sampling run on a graph whose relabeling space
+// exceeds the exhaustive limit is reproducible.
+func TestExplorePortsSampledReproducible(t *testing.T) {
+	g := graph.Torus(3, 3) // space (4!)^9 ≈ 2.6e12
+	opt := PortOptions{Samples: 5, Seed: 42, ElectionLimit: 16}
+	a, err := ExplorePorts(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exhaustive {
+		t.Fatalf("torus space %d should exceed the exhaustive limit", a.Space)
+	}
+	if a.Explored != 6 { // identity anchor + 5 samples
+		t.Fatalf("explored %d relabelings, want 6", a.Explored)
+	}
+	b, err := ExplorePorts(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+	c, err := ExplorePorts(g, PortOptions{Samples: 5, Seed: 43, ElectionLimit: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical reports; sampling is not seeded")
+	}
+}
+
+func TestExploreSigma(t *testing.T) {
+	rep, err := ExploreSigma(4, 1, SigmaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explored == 0 {
+		t.Fatal("no σ explored")
+	}
+	if rep.Exhaustive && uint64(rep.Explored) != rep.Space {
+		t.Fatalf("exhaustive but explored %d of %d", rep.Explored, rep.Space)
+	}
+	if rep.AdviceBits <= 0 {
+		t.Fatalf("σ-advice of %d bits", rep.AdviceBits)
+	}
+	// Same options → same report, exhaustive or sampled alike.
+	rep2, err := ExploreSigma(4, 1, SigmaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatalf("σ exploration not reproducible:\n%+v\n%+v", rep, rep2)
+	}
+}
+
+// Acceptance: all explored interleavings yield the oracle's result exactly
+// (any divergence would be an error), and the mirror map demonstrably
+// prunes.
+func TestExploreInterleavingsAgreesAndPrunes(t *testing.T) {
+	g := graph.Ring(3)
+	cfg := local.Config{MaxRounds: 2}
+	rep, oracle, err := ExploreInterleavings(g, ProbeFactory(2), cfg, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules == 0 {
+		t.Fatalf("no complete schedule explored: %+v", rep)
+	}
+	if rep.Mirrors == 0 {
+		t.Fatalf("mirror map never pruned: %+v", rep)
+	}
+	if rep.MaxDepth != 12 { // 6 directed links × 2 rounds
+		t.Fatalf("MaxDepth = %d, want 12", rep.MaxDepth)
+	}
+	seq, err := local.RunWith(local.Sequential())(g, ProbeFactory(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(oracle) != fingerprint(seq) {
+		t.Fatal("returned result differs from the sequential oracle")
+	}
+}
+
+// Exploration is deterministic: two runs produce identical counters.
+func TestExploreInterleavingsDeterministic(t *testing.T) {
+	g := graph.Star(4)
+	cfg := local.Config{MaxRounds: 2}
+	a, _, err := ExploreInterleavings(g, ProbeFactory(2), cfg, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ExploreInterleavings(g, ProbeFactory(2), cfg, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("exploration not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// Partial-round accounting: machines halting before MaxRounds must report
+// the same HaltRound/Rounds under exploration as under the lock-step
+// oracle (padding rounds keep flowing but don't count).
+func TestExploreInterleavingsHaltAccounting(t *testing.T) {
+	g := graph.Path(3)
+	cfg := local.Config{MaxRounds: 4}
+	rep, res, err := ExploreInterleavings(g, ProbeFactory(2), cfg, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2 (machines halt in round 2)", res.Rounds)
+	}
+	for v, r := range res.HaltRound {
+		if r != 2 {
+			t.Fatalf("node %d HaltRound = %d, want 2", v, r)
+		}
+	}
+	if rep.MaxDepth != 4*4 { // 4 directed links × MaxRounds padding rounds
+		t.Fatalf("MaxDepth = %d, want 16", rep.MaxDepth)
+	}
+}
+
+func TestExploreInterleavingsZeroRounds(t *testing.T) {
+	rep, res, err := ExploreInterleavings(graph.Ring(3), ProbeFactory(1), local.Config{MaxRounds: 0}, InterleaveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != 1 || rep.Schedules != 1 || rep.Mirrors != 0 {
+		t.Fatalf("zero-round exploration: %+v", rep)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("Rounds = %d, want 0", res.Rounds)
+	}
+}
+
+// The explorer plugs into local.Run as a Scheduler and agrees with every
+// built-in scheduler end to end.
+func TestExplorerAsScheduler(t *testing.T) {
+	g := graph.Caterpillar(2, []int{1, 1})
+	exp := NewExplorer(InterleaveOptions{})
+	res, err := local.Run(g, ProbeFactory(2), local.Config{MaxRounds: 2, Scheduler: exp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Last() == nil || exp.Last().Schedules == 0 {
+		t.Fatalf("scheduler left no report: %+v", exp.Last())
+	}
+	for _, s := range local.Schedulers() {
+		want, err := local.RunWith(s)(g, ProbeFactory(2), local.Config{MaxRounds: 2, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Outputs, want.Outputs) || res.Rounds != want.Rounds {
+			t.Fatalf("explorer result differs from %s", s.Name())
+		}
+	}
+}
+
+// The full election pipeline runs under adversarial scheduling: the
+// Theorem 2.2 machine with real advice, exercised over all bounded
+// interleavings, still elects in exactly ψ_S rounds with verified outputs
+// — the explorer scheduler slots straight into RunSelectionWithAdvice.
+func TestSelectionWithAdviceUnderExploration(t *testing.T) {
+	// A feasible fixture with ψ_S ≥ 1, so the election actually exchanges
+	// messages and the adversary has interleavings to vary (graphs with a
+	// unique degree elect in 0 rounds and leave nothing to explore).
+	rng := rand.New(rand.NewSource(24))
+	n := 5 + rng.Intn(4)
+	m := n + rng.Intn(n)
+	g := graph.RandomConnected(n, m, rng)
+	exp := NewExplorer(InterleaveOptions{MaxStates: 2000, MaxSchedules: 64})
+	bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(nil, g, local.RunWith(exp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := election.Verify(election.S, g, outputs); err != nil {
+		t.Fatal(err)
+	}
+	psi, err := election.Index(g, election.S, election.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi < 1 {
+		t.Fatalf("bad fixture: ψ_S = %d, want ≥ 1", psi)
+	}
+	if rounds != psi {
+		t.Fatalf("rounds %d != ψ_S %d", rounds, psi)
+	}
+	if bits <= 0 {
+		t.Fatalf("advice of %d bits", bits)
+	}
+	rep := exp.Last()
+	if rep == nil || rep.Schedules == 0 || rep.Mirrors == 0 {
+		t.Fatalf("selection exploration did not cover schedules: %+v", rep)
+	}
+}
+
+// stampMachine leaks cross-run state through its factory: each instance
+// outputs a global construction counter. Replays then diverge from the
+// oracle run, which the explorer must detect — machines are required to be
+// deterministic functions of their delivery transcript.
+type stampMachine struct{ stamp int }
+
+func (m *stampMachine) Init(local.NodeInfo)               {}
+func (m *stampMachine) Send(int) []local.Message          { return nil }
+func (m *stampMachine) Receive(int, []local.Message) bool { return true }
+func (m *stampMachine) Output() any                       { return m.stamp }
+
+func TestExplorerDetectsNondeterministicMachines(t *testing.T) {
+	counter := 0
+	factory := func() local.Machine {
+		counter++
+		return &stampMachine{stamp: counter}
+	}
+	_, _, err := ExploreInterleavings(graph.Ring(3), factory, local.Config{MaxRounds: 1}, InterleaveOptions{})
+	if err == nil {
+		t.Fatal("cross-run machine state went undetected")
+	}
+}

@@ -1,0 +1,447 @@
+package adversary
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// InterleaveOptions bounds an interleaving exploration. The zero value
+// applies the defaults noted on each field.
+type InterleaveOptions struct {
+	// MaxStates caps the number of distinct (non-mirrored) states explored.
+	// 0 means 4096.
+	MaxStates int
+	// MaxSchedules caps the number of complete schedules verified against
+	// the oracle. 0 means 256.
+	MaxSchedules int
+	// MaxDeliveries caps the schedule-prefix length. 0 means the exact
+	// length of a complete schedule (directed links × MaxRounds), i.e. no
+	// extra truncation.
+	MaxDeliveries int
+	// Oracle is the scheduler whose outcome every explored interleaving
+	// must reproduce. nil means local.Sequential().
+	Oracle local.Scheduler
+}
+
+func (o InterleaveOptions) withDefaults() InterleaveOptions {
+	if o.MaxStates == 0 {
+		o.MaxStates = 4096
+	}
+	if o.MaxSchedules == 0 {
+		o.MaxSchedules = 256
+	}
+	if o.Oracle == nil {
+		o.Oracle = local.Sequential()
+	}
+	return o
+}
+
+// InterleaveReport carries the frontier counters of one exploration.
+type InterleaveReport struct {
+	// States is the number of distinct states explored (mirror-map keys).
+	States int
+	// Mirrors counts prefixes pruned because their state hash was already
+	// in the mirror map — the dedup that keeps the frontier tractable.
+	Mirrors int
+	// Schedules is the number of distinct complete schedules whose outcome
+	// was compared against the oracle (FactomProject's "solutions").
+	Schedules int
+	// Deliveries is the total number of delivery events applied, replays
+	// included — the work actually done.
+	Deliveries int
+	// MaxDepth is the deepest prefix reached (deliveries in one schedule).
+	MaxDepth int
+	// Truncated reports whether any bound cut the exploration short.
+	Truncated bool
+}
+
+// ipacket is one undelivered or unconsumed message with its round stamp.
+type ipacket struct {
+	round   int
+	payload local.Message
+}
+
+// isim is one deterministic replayable execution: machines plus per-link
+// in-flight and delivered-but-unconsumed queues. The explorer owns message
+// delivery; consumption is forced — as soon as every port of a node holds
+// its round-r message the node receives it and sends round r+1 — so the
+// delivery order is the only degree of freedom, exactly as in the
+// asynchronous model with FIFO links.
+type isim struct {
+	g         *graph.Graph
+	maxRounds int
+	machines  []local.Machine
+	halted    []bool
+	haltRound []int
+	consumed  []int // rounds fully received per node
+	// inflight[v][p]: sent but undelivered packets towards v's port p.
+	// buffered[v][p]: delivered, awaiting the rest of the round.
+	inflight [][][]ipacket
+	buffered [][][]ipacket
+	// transcript[v] chains a digest of every inbox v consumed, in v's own
+	// round order. Two interleavings with equal transcripts are equivalent
+	// for deterministic machines — the property that makes mirror-map
+	// deduplication sound (and the property the explorer verifies).
+	transcript [][32]byte
+	// linkBase flattens (v, p) into the delivery-choice id linkBase[v]+p.
+	linkBase []int
+	links    int
+}
+
+func newISim(g *graph.Graph, factory local.Factory, cfg local.Config) *isim {
+	n := g.N()
+	s := &isim{
+		g:          g,
+		maxRounds:  cfg.MaxRounds,
+		machines:   make([]local.Machine, n),
+		halted:     make([]bool, n),
+		haltRound:  make([]int, n),
+		consumed:   make([]int, n),
+		inflight:   make([][][]ipacket, n),
+		buffered:   make([][][]ipacket, n),
+		transcript: make([][32]byte, n),
+		linkBase:   make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		s.machines[v] = factory()
+		s.machines[v].Init(local.NodeInfo{Degree: g.Degree(v), Advice: cfg.Advice})
+		s.inflight[v] = make([][]ipacket, g.Degree(v))
+		s.buffered[v] = make([][]ipacket, g.Degree(v))
+		s.linkBase[v] = s.links
+		s.links += g.Degree(v)
+	}
+	if s.maxRounds >= 1 {
+		for v := 0; v < n; v++ {
+			s.send(v, 1)
+		}
+	}
+	return s
+}
+
+// send pushes node v's round-r messages onto its neighbours' in-flight
+// queues. Halted machines stay silent but still pad the round with nil
+// messages, mirroring the built-in schedulers.
+func (s *isim) send(v, round int) {
+	var out []local.Message
+	if !s.halted[v] {
+		out = s.machines[v].Send(round)
+	}
+	for p := 0; p < s.g.Degree(v); p++ {
+		var msg local.Message
+		if out != nil && p < len(out) {
+			msg = out[p]
+		}
+		h := s.g.Neighbor(v, p)
+		s.inflight[h.To][h.ToPort] = append(s.inflight[h.To][h.ToPort], ipacket{round: round, payload: msg})
+	}
+}
+
+// deliverable returns the ids of links with at least one in-flight packet,
+// in ascending order — the choice set the adversary picks from.
+func (s *isim) deliverable() []int {
+	var ids []int
+	for v := 0; v < s.g.N(); v++ {
+		for p := 0; p < s.g.Degree(v); p++ {
+			if len(s.inflight[v][p]) > 0 {
+				ids = append(ids, s.linkBase[v]+p)
+			}
+		}
+	}
+	return ids
+}
+
+// deliver moves the head packet of link id to the receiver's buffer and
+// consumes any rounds that completed.
+func (s *isim) deliver(id int) error {
+	v := 0
+	for v+1 < s.g.N() && s.linkBase[v+1] <= id {
+		v++
+	}
+	p := id - s.linkBase[v]
+	q := s.inflight[v][p]
+	if len(q) == 0 {
+		return fmt.Errorf("adversary: delivery on empty link %d (node %d port %d)", id, v, p)
+	}
+	s.inflight[v][p] = q[1:]
+	s.buffered[v][p] = append(s.buffered[v][p], q[0])
+	return s.consume(v)
+}
+
+// consume receives every round that is now fully buffered at v, in order,
+// verifying the FIFO round stamps, and sends the follow-up rounds.
+func (s *isim) consume(v int) error {
+	deg := s.g.Degree(v)
+	for s.consumed[v] < s.maxRounds {
+		r := s.consumed[v] + 1
+		ready := true
+		for p := 0; p < deg; p++ {
+			if len(s.buffered[v][p]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return nil
+		}
+		inbox := make([]local.Message, deg)
+		for p := 0; p < deg; p++ {
+			pkt := s.buffered[v][p][0]
+			if pkt.round != r {
+				return fmt.Errorf("adversary: node %d port %d: expected round %d, got %d", v, p, r, pkt.round)
+			}
+			s.buffered[v][p] = s.buffered[v][p][1:]
+			inbox[p] = pkt.payload
+		}
+		if !s.halted[v] {
+			if s.machines[v].Receive(r, inbox) {
+				s.halted[v] = true
+				s.haltRound[v] = r
+			}
+		}
+		s.consumed[v] = r
+		s.chainTranscript(v, r, inbox)
+		if r < s.maxRounds {
+			s.send(v, r+1)
+		}
+	}
+	return nil
+}
+
+// chainTranscript folds round r's inbox into v's transcript digest.
+func (s *isim) chainTranscript(v, r int, inbox []local.Message) {
+	h := sha256.New()
+	h.Write(s.transcript[v][:])
+	writeInt(h, r)
+	for _, msg := range inbox {
+		writeInt(h, len(msg))
+		h.Write(msg)
+	}
+	if s.halted[v] {
+		writeInt(h, s.haltRound[v])
+	}
+	copy(s.transcript[v][:], h.Sum(nil))
+}
+
+func writeInt(h hash.Hash, x int) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(x))
+	h.Write(buf[:])
+}
+
+// hashState digests everything that determines the future of the
+// execution: per-node consumed rounds and transcripts (which determine the
+// deterministic machines' states) plus the full contents of every link.
+// Two prefixes with equal hashes are confluent, so the second is a mirror.
+func (s *isim) hashState() [32]byte {
+	h := sha256.New()
+	for v := 0; v < s.g.N(); v++ {
+		writeInt(h, s.consumed[v])
+		h.Write(s.transcript[v][:])
+		for p := 0; p < s.g.Degree(v); p++ {
+			for _, queue := range [2][]ipacket{s.inflight[v][p], s.buffered[v][p]} {
+				writeInt(h, len(queue))
+				for _, pkt := range queue {
+					writeInt(h, pkt.round)
+					writeInt(h, len(pkt.payload))
+					h.Write(pkt.payload)
+				}
+			}
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// complete reports whether every node consumed all MaxRounds rounds.
+func (s *isim) complete() bool {
+	for v := range s.consumed {
+		if s.consumed[v] != s.maxRounds {
+			return false
+		}
+	}
+	return true
+}
+
+// result assembles a local.Result with the same round-accounting rule as
+// the built-in schedulers.
+func (s *isim) result() *local.Result {
+	res := &local.Result{
+		Rounds:    s.maxRounds,
+		Outputs:   make([]any, len(s.machines)),
+		Halted:    s.halted,
+		HaltRound: s.haltRound,
+	}
+	if res.AllHalted() {
+		last := 0
+		for _, r := range s.haltRound {
+			if r > last {
+				last = r
+			}
+		}
+		res.Rounds = last
+	}
+	for v, m := range s.machines {
+		res.Outputs[v] = m.Output()
+	}
+	return res
+}
+
+func fingerprint(res *local.Result) string {
+	return fmt.Sprintf("%v|%v|%v|%d", res.Outputs, res.Halted, res.HaltRound, res.Rounds)
+}
+
+// ExploreInterleavings drives the machines of factory on g through
+// systematically varied message delivery orders (depth-first over the
+// adversary's delivery choices, replaying from the initial state since
+// machines cannot be cloned) and requires every complete schedule to
+// reproduce the oracle scheduler's result exactly. States are deduplicated
+// through a mirror map of hashes covering per-node transcripts and link
+// contents. It returns the frontier report and the oracle's result; any
+// divergence, synchronizer violation or deadlock is an error (with the
+// partial report still returned).
+//
+// The exploration is fully deterministic: no randomness, choices visited
+// in ascending link order.
+func ExploreInterleavings(g *graph.Graph, factory local.Factory, cfg local.Config, opt InterleaveOptions) (*InterleaveReport, *local.Result, error) {
+	o := opt.withDefaults()
+	ocfg := cfg
+	ocfg.Scheduler = o.Oracle
+	oracle, err := local.Run(g, factory, ocfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("adversary: %s oracle: %w", o.Oracle.Name(), err)
+	}
+	cfg.Scheduler = nil
+
+	links := 0
+	for v := 0; v < g.N(); v++ {
+		links += g.Degree(v)
+	}
+	if o.MaxDeliveries == 0 {
+		o.MaxDeliveries = links * cfg.MaxRounds
+	}
+
+	e := &iexplorer{
+		g:        g,
+		factory:  factory,
+		cfg:      cfg,
+		opt:      o,
+		oracle:   oracle,
+		oracleFP: fingerprint(oracle),
+		mirror:   make(map[[32]byte]struct{}),
+		rep:      &InterleaveReport{},
+	}
+	if err := e.dfs(nil); err != nil {
+		return e.rep, oracle, err
+	}
+	return e.rep, oracle, nil
+}
+
+type iexplorer struct {
+	g        *graph.Graph
+	factory  local.Factory
+	cfg      local.Config
+	opt      InterleaveOptions
+	oracle   *local.Result
+	oracleFP string
+	mirror   map[[32]byte]struct{}
+	rep      *InterleaveReport
+}
+
+// replay rebuilds the state after the given delivery prefix from fresh
+// machines. Machines are arbitrary caller structs that cannot be cloned,
+// so forking the search means replaying — deterministic machines guarantee
+// the replay reaches the identical state.
+func (e *iexplorer) replay(prefix []int) (*isim, error) {
+	sim := newISim(e.g, e.factory, e.cfg)
+	for _, id := range prefix {
+		if err := sim.deliver(id); err != nil {
+			return nil, err
+		}
+	}
+	e.rep.Deliveries += len(prefix)
+	return sim, nil
+}
+
+func (e *iexplorer) dfs(prefix []int) error {
+	sim, err := e.replay(prefix)
+	if err != nil {
+		return err
+	}
+	h := sim.hashState()
+	if _, seen := e.mirror[h]; seen {
+		e.rep.Mirrors++
+		return nil
+	}
+	e.mirror[h] = struct{}{}
+	e.rep.States++
+	if len(prefix) > e.rep.MaxDepth {
+		e.rep.MaxDepth = len(prefix)
+	}
+
+	choices := sim.deliverable()
+	if len(choices) == 0 {
+		if !sim.complete() {
+			return fmt.Errorf("adversary: deadlock after %d deliveries", len(prefix))
+		}
+		e.rep.Schedules++
+		if fp := fingerprint(sim.result()); fp != e.oracleFP {
+			return fmt.Errorf("adversary: interleaving diverged from the %s oracle after %d deliveries:\n  schedule: %s\n  oracle:   %s",
+				e.opt.Oracle.Name(), len(prefix), fp, e.oracleFP)
+		}
+		return nil
+	}
+	if len(prefix) >= e.opt.MaxDeliveries {
+		e.rep.Truncated = true
+		return nil
+	}
+	for _, c := range choices {
+		if e.rep.States >= e.opt.MaxStates || e.rep.Schedules >= e.opt.MaxSchedules {
+			e.rep.Truncated = true
+			break
+		}
+		if err := e.dfs(append(prefix, c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explorer is the interleaving explorer packaged as a local.Scheduler: its
+// Execute explores the delivery orders of the run and, when every explored
+// schedule reproduced the oracle, returns the oracle's result. It plugs
+// into local.Config.Scheduler anywhere the built-in schedulers do.
+type Explorer struct {
+	Opt InterleaveOptions
+
+	mu   sync.Mutex
+	last *InterleaveReport
+}
+
+// NewExplorer returns an Explorer scheduler with the given bounds.
+func NewExplorer(opt InterleaveOptions) *Explorer { return &Explorer{Opt: opt} }
+
+func (e *Explorer) Name() string { return "adversary" }
+
+// Execute implements local.Scheduler.
+func (e *Explorer) Execute(g *graph.Graph, factory local.Factory, cfg local.Config) (*local.Result, error) {
+	rep, res, err := ExploreInterleavings(g, factory, cfg, e.Opt)
+	e.mu.Lock()
+	e.last = rep
+	e.mu.Unlock()
+	return res, err
+}
+
+// Last returns the report of the most recent Execute (nil before the
+// first).
+func (e *Explorer) Last() *InterleaveReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}

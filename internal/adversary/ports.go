@@ -1,0 +1,284 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/algorithms"
+	"repro/internal/election"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+// PortOptions bounds a port-numbering exploration. The zero value applies
+// the defaults noted on each field.
+type PortOptions struct {
+	// ExhaustiveLimit is the largest relabeling space ∏_v deg(v)! that is
+	// enumerated completely; larger spaces are sampled. 0 means 4096.
+	ExhaustiveLimit uint64
+	// Samples is the number of seeded random relabelings drawn when the
+	// space exceeds ExhaustiveLimit; the identity relabeling is always
+	// explored on top as an anchor. 0 means 32.
+	Samples int
+	// Seed drives the sampling. Equal seeds reproduce the exact relabeling
+	// sequence and hence the exact report.
+	Seed int64
+	// ElectionLimit caps the node count up to which the full Theorem 2.2
+	// invariant (ψ_S index, advice oracle, distributed run, verification,
+	// rounds == ψ_S) is asserted on every feasible relabeling. Larger graphs
+	// keep the census invariants only; view-gathering machines on them would
+	// be exponential. 0 means 64.
+	ElectionLimit int
+	// Engine is the refinement engine used for the relabeled graphs. nil
+	// means a fresh throwaway engine — recommended, since every relabeling
+	// is a distinct graph and would otherwise churn a shared cache. Each
+	// relabeled graph is Forgotten after its invariants are checked either
+	// way.
+	Engine *engine.Engine
+}
+
+func (o PortOptions) withDefaults() PortOptions {
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 4096
+	}
+	if o.Samples == 0 {
+		o.Samples = 32
+	}
+	if o.ElectionLimit == 0 {
+		o.ElectionLimit = 64
+	}
+	return o
+}
+
+// PortReport summarises one port-numbering exploration. Min/Max pairs are
+// the observed spread across explored relabelings; a violation of any hard
+// invariant surfaces as an error from ExplorePorts, never as a report field.
+type PortReport struct {
+	// Space is ∏_v deg(v)!, the number of distinct port numberings of the
+	// graph, saturated at MaxUint64 when SpaceExact is false.
+	Space      uint64
+	SpaceExact bool
+	// Exhaustive reports whether every relabeling in Space was explored.
+	Exhaustive bool
+	// Explored counts explored relabelings (== Space when Exhaustive).
+	Explored int
+	// Feasible/Infeasible split the explored relabelings by view
+	// feasibility — feasibility is NOT invariant under relabeling, which is
+	// exactly why the adversary gets to choose the ports.
+	Feasible   int
+	Infeasible int
+	// Stabilisation depth and class count at stabilisation, across all
+	// explored relabelings.
+	MinStabilise, MaxStabilise int
+	MinClasses, MaxClasses     int
+	// Elections counts relabelings on which the full Theorem 2.2 invariant
+	// ran (feasible and within ElectionLimit); the ψ_S and advice-size
+	// spreads cover exactly those.
+	Elections                    int
+	MinPsi, MaxPsi               int
+	MinAdviceBits, MaxAdviceBits int
+}
+
+// PortSpace returns the number of distinct port numberings of g, ∏_v
+// deg(v)!, saturating at MaxUint64 (exact == false).
+func PortSpace(g *graph.Graph) (space uint64, exact bool) {
+	space, exact = 1, true
+	for v := 0; v < g.N(); v++ {
+		f, ok := factorial(g.Degree(v))
+		if !ok || space > math.MaxUint64/f {
+			return math.MaxUint64, false
+		}
+		space *= f
+	}
+	return space, exact
+}
+
+func factorial(n int) (uint64, bool) {
+	if n > 20 { // 21! overflows uint64
+		return math.MaxUint64, false
+	}
+	f := uint64(1)
+	for i := 2; i <= n; i++ {
+		f *= uint64(i)
+	}
+	return f, true
+}
+
+// permByIndex decodes the idx-th permutation of 0..deg-1 in lexicographic
+// order (factorial base / Lehmer code). idx must be < deg!.
+func permByIndex(deg int, idx uint64) []int {
+	avail := make([]int, deg)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, deg)
+	for i := 0; i < deg; i++ {
+		f, _ := factorial(deg - 1 - i)
+		j := idx / f
+		idx %= f
+		perm[i] = avail[j]
+		avail = append(avail[:j], avail[j+1:]...)
+	}
+	return perm
+}
+
+// Relabel rebuilds g with each node's ports renamed through perms:
+// perms[v][p] is the new port at v of the edge currently on port p. Every
+// perms[v] must be a permutation of 0..deg(v)-1; Build catches anything
+// else.
+func Relabel(g *graph.Graph, perms [][]int) (*graph.Graph, error) {
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, perms[e.U][e.PU], e.V, perms[e.V][e.PV])
+	}
+	return b.Build()
+}
+
+// ExplorePorts enumerates (space ≤ ExhaustiveLimit) or seeded-samples the
+// port relabelings of g and asserts, per relabeling:
+//
+//   - the relabeled graph is a valid port numbering (dense ports 0..deg-1);
+//   - the refinement invariants: stabilisation depth ≤ n-1, 1 ≤ classes ≤ n,
+//     and feasible ⇔ all n views distinct at stabilisation;
+//   - on feasible relabelings within ElectionLimit nodes, the Theorem 2.2
+//     pipeline end to end: the advice oracle encodes a unique view, the
+//     distributed selection machine elects exactly one leader, verification
+//     passes, and the run takes exactly ψ_S rounds.
+//
+// The first violated invariant aborts the exploration with an error naming
+// the relabeling; the partial report is still returned for diagnostics.
+func ExplorePorts(g *graph.Graph, opt PortOptions) (*PortReport, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("adversary: nil or empty graph")
+	}
+	o := opt.withDefaults()
+	eng := o.Engine
+	if eng == nil {
+		eng = engine.New(0)
+	}
+	rep := &PortReport{}
+	rep.Space, rep.SpaceExact = PortSpace(g)
+
+	if rep.SpaceExact && rep.Space <= o.ExhaustiveLimit {
+		rep.Exhaustive = true
+		for idx := uint64(0); idx < rep.Space; idx++ {
+			perms := permsForIndex(g, idx)
+			if err := explorePortOne(eng, g, perms, fmt.Sprintf("relabeling %d/%d", idx, rep.Space), o, rep); err != nil {
+				return rep, err
+			}
+		}
+		return rep, nil
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	for s := 0; s <= o.Samples; s++ {
+		perms := make([][]int, g.N())
+		for v := range perms {
+			if s == 0 {
+				perms[v] = identity(g.Degree(v))
+			} else {
+				perms[v] = rng.Perm(g.Degree(v))
+			}
+		}
+		label := fmt.Sprintf("sample %d (seed %d)", s, o.Seed)
+		if s == 0 {
+			label = "identity anchor"
+		}
+		if err := explorePortOne(eng, g, perms, label, o, rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// permsForIndex decodes relabeling idx of the mixed-radix space: node 0's
+// permutation varies fastest.
+func permsForIndex(g *graph.Graph, idx uint64) [][]int {
+	perms := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		f, _ := factorial(g.Degree(v))
+		perms[v] = permByIndex(g.Degree(v), idx%f)
+		idx /= f
+	}
+	return perms
+}
+
+func explorePortOne(eng *engine.Engine, g *graph.Graph, perms [][]int, label string, o PortOptions, rep *PortReport) error {
+	gp, err := Relabel(g, perms)
+	if err != nil {
+		return fmt.Errorf("adversary: %s: invalid relabeling: %w", label, err)
+	}
+	defer eng.Forget(gp)
+	n := gp.N()
+
+	stab := eng.StabilisationDepth(gp)
+	classes := eng.NumClassesAt(gp, stab)
+	feasible := eng.Feasible(gp)
+	if stab < 0 || stab > n-1 {
+		return fmt.Errorf("adversary: %s: stabilisation depth %d outside [0, %d]", label, stab, n-1)
+	}
+	if classes < 1 || classes > n {
+		return fmt.Errorf("adversary: %s: %d view classes on %d nodes", label, classes, n)
+	}
+	if feasible != (classes == n) {
+		return fmt.Errorf("adversary: %s: Feasible()=%v but %d/%d views distinct", label, feasible, classes, n)
+	}
+
+	if rep.Explored == 0 {
+		rep.MinStabilise, rep.MaxStabilise = stab, stab
+		rep.MinClasses, rep.MaxClasses = classes, classes
+	} else {
+		rep.MinStabilise = min(rep.MinStabilise, stab)
+		rep.MaxStabilise = max(rep.MaxStabilise, stab)
+		rep.MinClasses = min(rep.MinClasses, classes)
+		rep.MaxClasses = max(rep.MaxClasses, classes)
+	}
+	rep.Explored++
+	if !feasible {
+		rep.Infeasible++
+		return nil
+	}
+	rep.Feasible++
+
+	if n > o.ElectionLimit {
+		return nil
+	}
+	psi, err := election.Index(gp, election.S, election.Options{Engine: eng})
+	if err != nil {
+		return fmt.Errorf("adversary: %s: ψ_S: %w", label, err)
+	}
+	bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(eng, gp, local.RunWith(local.Sequential()))
+	if err != nil {
+		return fmt.Errorf("adversary: %s: selection with advice: %w", label, err)
+	}
+	if err := election.Verify(election.S, gp, outputs); err != nil {
+		return fmt.Errorf("adversary: %s: election outputs invalid: %w", label, err)
+	}
+	if rounds != psi {
+		return fmt.Errorf("adversary: %s: selection used %d rounds, ψ_S = %d", label, rounds, psi)
+	}
+	if bits <= 0 {
+		return fmt.Errorf("adversary: %s: advice of %d bits", label, bits)
+	}
+	if rep.Elections == 0 {
+		rep.MinPsi, rep.MaxPsi = psi, psi
+		rep.MinAdviceBits, rep.MaxAdviceBits = bits, bits
+	} else {
+		rep.MinPsi = min(rep.MinPsi, psi)
+		rep.MaxPsi = max(rep.MaxPsi, psi)
+		rep.MinAdviceBits = min(rep.MinAdviceBits, bits)
+		rep.MaxAdviceBits = max(rep.MaxAdviceBits, bits)
+	}
+	rep.Elections++
+	return nil
+}

@@ -1,0 +1,121 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algorithms"
+	"repro/internal/construct"
+	"repro/internal/election"
+	"repro/internal/local"
+)
+
+// SigmaOptions bounds a σ-assignment exploration of the class U_{Δ,k}.
+type SigmaOptions struct {
+	// ExhaustiveLimit is the largest class size (Δ-1)^y that is enumerated
+	// completely; larger classes are sampled. 0 means 512.
+	ExhaustiveLimit uint64
+	// Samples is the number of seeded random σ drawn when the class exceeds
+	// ExhaustiveLimit. 0 means 16.
+	Samples int
+	// Seed drives the sampling.
+	Seed int64
+}
+
+func (o SigmaOptions) withDefaults() SigmaOptions {
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 512
+	}
+	if o.Samples == 0 {
+		o.Samples = 16
+	}
+	return o
+}
+
+// SigmaReport summarises one σ exploration over U_{Δ,k}.
+type SigmaReport struct {
+	Delta, K, Y int
+	// Space is the class size (Δ-1)^y, saturated at MaxUint64 when
+	// SpaceExact is false.
+	Space      uint64
+	SpaceExact bool
+	Exhaustive bool
+	Explored   int
+	// AdviceBits is the σ-advice size, constant across the class (the
+	// advice is the σ index itself — that constancy is asserted).
+	AdviceBits int
+	// Nodes is |U_{Δ,k}|, constant across the class.
+	Nodes int
+}
+
+// ExploreSigma enumerates (class ≤ ExhaustiveLimit) or seeded-samples the
+// σ-assignments of U_{Δ,k} and asserts, per member G_σ: the distributed
+// Port Election algorithm with σ-advice elects a leader with verified PE
+// outputs in exactly k rounds (Lemma 3.9/Theorem 3.11 machinery), and the
+// advice size is identical across the whole class. The first violation
+// aborts with an error naming σ; the partial report is still returned.
+func ExploreSigma(delta, k int, opt SigmaOptions) (*SigmaReport, error) {
+	o := opt.withDefaults()
+	y, err := construct.UdkParams(delta, k)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: U_{%d,%d}: %w", delta, k, err)
+	}
+	rep := &SigmaReport{Delta: delta, K: k, Y: y}
+	size := construct.UdkClassSize(delta, k)
+	if size.IsUint64() {
+		rep.Space, rep.SpaceExact = size.Uint64(), true
+	} else {
+		rep.Space, rep.SpaceExact = ^uint64(0), false
+	}
+
+	if rep.SpaceExact && rep.Space <= o.ExhaustiveLimit {
+		rep.Exhaustive = true
+		for idx := uint64(0); idx < rep.Space; idx++ {
+			sigma, err := construct.SigmaForIndex(delta, k, idx)
+			if err != nil {
+				return rep, fmt.Errorf("adversary: σ index %d: %w", idx, err)
+			}
+			if err := exploreSigmaOne(delta, k, sigma, fmt.Sprintf("σ %d/%d", idx, rep.Space), rep); err != nil {
+				return rep, err
+			}
+		}
+		return rep, nil
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	for s := 0; s < o.Samples; s++ {
+		sigma, err := construct.RandomSigma(delta, k, rng)
+		if err != nil {
+			return rep, fmt.Errorf("adversary: random σ: %w", err)
+		}
+		if err := exploreSigmaOne(delta, k, sigma, fmt.Sprintf("σ sample %d (seed %d)", s, o.Seed), rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func exploreSigmaOne(delta, k int, sigma []int, label string, rep *SigmaReport) error {
+	u, err := construct.BuildUdk(delta, k, sigma)
+	if err != nil {
+		return fmt.Errorf("adversary: %s: build: %w", label, err)
+	}
+	bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunWith(local.Sequential()))
+	if err != nil {
+		return fmt.Errorf("adversary: %s: port election: %w", label, err)
+	}
+	if err := election.Verify(election.PE, u.G, outputs); err != nil {
+		return fmt.Errorf("adversary: %s: PE outputs invalid: %w", label, err)
+	}
+	if rounds != k {
+		return fmt.Errorf("adversary: %s: elected in %d rounds, want exactly k=%d", label, rounds, k)
+	}
+	if rep.Explored == 0 {
+		rep.AdviceBits = bits
+		rep.Nodes = u.G.N()
+	} else if bits != rep.AdviceBits {
+		return fmt.Errorf("adversary: %s: advice %d bits, class invariant is %d", label, bits, rep.AdviceBits)
+	}
+	rep.Explored++
+	return nil
+}

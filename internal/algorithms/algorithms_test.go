@@ -14,11 +14,11 @@ import (
 )
 
 func engines() map[string]func(*graph.Graph, local.Factory, local.Config) (*local.Result, error) {
-	return map[string]func(*graph.Graph, local.Factory, local.Config) (*local.Result, error){
-		"sequential": local.RunSequential,
-		"parallel":   local.Run,
-		"async":      local.RunAsync,
+	es := make(map[string]func(*graph.Graph, local.Factory, local.Config) (*local.Result, error))
+	for _, s := range local.Schedulers() {
+		es[s.Name()] = local.RunWith(s)
 	}
+	return es
 }
 
 // TestGatherViewMachine checks that the distributed view-gathering machine
@@ -104,7 +104,7 @@ func TestSelectionAdviceSizeMatchesOracle(t *testing.T) {
 func TestSelectionMachineRejectsBadAdvice(t *testing.T) {
 	g := graph.Path(4)
 	junk, _ := bitstring.FromString("1101")
-	res, err := local.RunSequential(g, NewSelectionAdviceFactory(), local.Config{MaxRounds: 2, Advice: junk})
+	res, err := local.RunWith(local.Sequential())(g, NewSelectionAdviceFactory(), local.Config{MaxRounds: 2, Advice: junk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestMapAdviceAllTasks(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, task, err)
 			}
-			bits, rounds, outputs, err := RunWithMapAdvice(g, task, election.Options{}, local.Run)
+			bits, rounds, outputs, err := RunWithMapAdvice(g, task, election.Options{}, local.RunWith(local.Synchronous()))
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, task, err)
 			}
@@ -202,7 +202,7 @@ func TestAlgorithmsQuick(t *testing.T) {
 		if !view.Feasible(g) {
 			return true
 		}
-		_, rounds, outputs, err := RunSelectionWithAdvice(nil, g, local.RunSequential)
+		_, rounds, outputs, err := RunSelectionWithAdvice(nil, g, local.RunWith(local.Sequential()))
 		if err != nil {
 			return false
 		}
@@ -213,7 +213,7 @@ func TestAlgorithmsQuick(t *testing.T) {
 		if election.Verify(election.S, g, outputs) != nil {
 			return false
 		}
-		_, rounds2, outputs2, err := RunWithMapAdvice(g, election.PE, election.Options{}, local.RunSequential)
+		_, rounds2, outputs2, err := RunWithMapAdvice(g, election.PE, election.Options{}, local.RunWith(local.Sequential()))
 		if err != nil {
 			return false
 		}
@@ -232,7 +232,7 @@ func BenchmarkSelectionWithAdvice(b *testing.B) {
 	g := graph.Caterpillar(6, []int{1, 2, 0, 3, 1, 2})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := RunSelectionWithAdvice(nil, g, local.RunSequential); err != nil {
+		if _, _, _, err := RunSelectionWithAdvice(nil, g, local.RunWith(local.Sequential())); err != nil {
 			b.Fatal(err)
 		}
 	}

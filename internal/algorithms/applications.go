@@ -348,5 +348,6 @@ func runIndexed(g *graph.Graph, factory func(v int) local.Machine, cfg local.Con
 		next++
 		return m
 	}
-	return local.RunSequential(g, wrapped, cfg)
+	cfg.Scheduler = local.Sequential()
+	return local.Run(g, wrapped, cfg)
 }

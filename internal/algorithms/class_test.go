@@ -62,7 +62,7 @@ func TestUdkPortElectionDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adviceBits, rounds, outputs, err := RunUdkPortElection(u, local.RunSequential)
+	adviceBits, rounds, outputs, err := RunUdkPortElection(u, local.RunWith(local.Sequential()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/algorithms"
+	"repro/internal/local"
+)
+
+// AdversaryParams is the grid of the adversary corpus sweep. The keys per
+// point:
+//
+//	relabel_limit     — spaces ∏ deg(v)! up to this are enumerated
+//	                    exhaustively; larger spaces are seeded-sampled
+//	relabel_samples   — samples drawn (plus the identity anchor) when sampling
+//	election_nodes    — full Theorem 2.2 invariant on feasible relabelings up
+//	                    to this many nodes
+//	interleave_nodes  — interleaving exploration on graphs up to this many
+//	                    nodes
+//	interleave_rounds — rounds of the probe machine under exploration
+//	max_states        — mirror-map states bound per exploration
+//	max_schedules     — complete schedules verified per exploration
+//
+// The bounded point keeps the fast lane and the byte-identical matrix suite
+// cheap; the deep point is the nightly adversarial axis.
+var AdversaryParams = []ParamPoint{
+	{Name: "bounded", Values: map[string]int{
+		"relabel_limit":     640,
+		"relabel_samples":   4,
+		"election_nodes":    32,
+		"interleave_nodes":  10,
+		"interleave_rounds": 2,
+		"max_states":        400,
+		"max_schedules":     24,
+	}},
+	{Name: "deep", FullOnly: true, Values: map[string]int{
+		"relabel_limit":     4096,
+		"relabel_samples":   16,
+		"election_nodes":    64,
+		"interleave_nodes":  12,
+		"interleave_rounds": 3,
+		"max_states":        5000,
+		"max_schedules":     256,
+	}},
+}
+
+// SigmaAdversaryParams is the grid of the σ-assignment sweep over U_{Δ,k}:
+// delta, k, exhaustive_limit (class sizes up to this are enumerated) and
+// samples (σ drawn when the class is larger).
+var SigmaAdversaryParams = []ParamPoint{
+	{Name: "d4k1", Values: map[string]int{"delta": 4, "k": 1, "exhaustive_limit": 64, "samples": 6}},
+	{Name: "d5k1", FullOnly: true, Values: map[string]int{"delta": 5, "k": 1, "exhaustive_limit": 64, "samples": 4}},
+}
+
+// spread renders an observed min..max pair ("3" when constant, "-" when the
+// measurement never ran).
+func spread(ran bool, lo, hi int) string {
+	switch {
+	case !ran:
+		return "-"
+	case lo == hi:
+		return fmt.Sprint(lo)
+	default:
+		return fmt.Sprintf("%d..%d", lo, hi)
+	}
+}
+
+func runAdversary(opt Options, points []ParamPoint) (*Table, error) {
+	opt = opt.withShared()
+	points = activePoints(opt, points)
+	t := &Table{
+		ID:    "adversary",
+		Title: "Adversarial port numberings & delivery schedules — paper invariants under exploration",
+		Header: []string{"graph", "params", "n", "space", "explored", "exhaustive",
+			"feasible", "ψ_S", "advice bits", "states", "mirrors", "schedules", "identical"},
+		Notes: []string{
+			"space is ∏_v deg(v)!, the number of port numberings; spaces over relabel_limit are seeded-sampled (identity anchor + relabel_samples)",
+			"ψ_S and advice bits are min..max across the feasible relabelings whose Theorem 2.2 invariant ran (n ≤ election_nodes)",
+			"states/mirrors/schedules aggregate the interleaving explorations (probe machine, plus the selection machine on feasible graphs); identical means every explored schedule reproduced the sequential oracle byte for byte",
+		},
+	}
+	graphs := opt.corpus()
+	names := graphs.Names()
+	return assemble(t, fanOutHinted(opt, len(names), corpusCost(graphs, names), func(i int) rowOut {
+		name := names[i]
+		if opt.GraphDone != nil {
+			defer opt.GraphDone(name)
+		}
+		g := graphs.Graph(name)
+		var out rowOut
+		for _, p := range points {
+			pr, err := adversary.ExplorePorts(g, adversary.PortOptions{
+				ExhaustiveLimit: uint64(p.Int("relabel_limit")),
+				Samples:         p.Int("relabel_samples"),
+				Seed:            opt.Seed,
+				ElectionLimit:   p.Int("election_nodes"),
+				Engine:          opt.shared.eng,
+			})
+			if err != nil && pr == nil {
+				out.hardErr = fmt.Errorf("core: adversary %s#%s: %w", name, p.Name, err)
+				return out
+			}
+			identical := err == nil
+			var firstErr error
+			if err != nil {
+				firstErr = err
+			}
+
+			states, mirrors, schedules := 0, 0, 0
+			if identical && g.N() <= p.Int("interleave_nodes") {
+				iopt := adversary.InterleaveOptions{
+					MaxStates:    p.Int("max_states"),
+					MaxSchedules: p.Int("max_schedules"),
+				}
+				rounds := p.Int("interleave_rounds")
+				rep, _, ierr := adversary.ExploreInterleavings(
+					g, adversary.ProbeFactory(rounds), local.Config{MaxRounds: rounds}, iopt)
+				if rep != nil {
+					states += rep.States
+					mirrors += rep.Mirrors
+					schedules += rep.Schedules
+				}
+				if ierr != nil {
+					identical, firstErr = false, ierr
+				} else if g.N() <= p.Int("election_nodes") && opt.shared.eng.Feasible(g) {
+					// The real election pipeline under adversarial delivery:
+					// Theorem 2.2 machine, oracle advice, every bounded
+					// interleaving must reproduce the election table.
+					exp := adversary.NewExplorer(iopt)
+					if _, _, _, serr := algorithms.RunSelectionWithAdvice(opt.shared.eng, g, local.RunWith(exp)); serr != nil {
+						identical, firstErr = false, serr
+					}
+					if rep := exp.Last(); rep != nil {
+						states += rep.States
+						mirrors += rep.Mirrors
+						schedules += rep.Schedules
+					}
+				}
+			}
+
+			space := fmt.Sprint(pr.Space)
+			if !pr.SpaceExact {
+				space = ">uint64"
+			}
+			out.rows = append(out.rows, []string{
+				name, p.Name, fmt.Sprint(g.N()), space,
+				fmt.Sprint(pr.Explored), fmt.Sprint(pr.Exhaustive),
+				fmt.Sprintf("%d/%d", pr.Feasible, pr.Explored),
+				spread(pr.Elections > 0, pr.MinPsi, pr.MaxPsi),
+				spread(pr.Elections > 0, pr.MinAdviceBits, pr.MaxAdviceBits),
+				fmt.Sprint(states), fmt.Sprint(mirrors), fmt.Sprint(schedules),
+				fmt.Sprint(identical),
+			})
+			if firstErr != nil && out.rowErr == nil {
+				out.rowErr = fmt.Errorf("core: adversary %s#%s: %w", name, p.Name, firstErr)
+			}
+		}
+		return out
+	}))
+}
+
+func runSigmaAdversary(opt Options, points []ParamPoint) (*Table, error) {
+	opt = opt.withShared()
+	points = activePoints(opt, points)
+	t := &Table{
+		ID:     "sigmaadv",
+		Title:  "Adversarial σ-assignments on U_{Δ,k} — Port Election verified across the class",
+		Header: []string{"params", "Δ", "k", "y", "nodes", "class", "explored", "exhaustive", "σ advice bits", "verified"},
+		Notes: []string{
+			"class is (Δ-1)^y, the number of graphs G_σ in U_{Δ,k}; classes over exhaustive_limit are seeded-sampled",
+			"verified means every explored G_σ elected a leader with valid PE outputs in exactly k rounds and class-constant advice",
+		},
+	}
+	return assemble(t, fanOut(opt, len(points), func(i int) rowOut {
+		p := points[i]
+		delta, k := p.Int("delta"), p.Int("k")
+		rep, err := adversary.ExploreSigma(delta, k, adversary.SigmaOptions{
+			ExhaustiveLimit: uint64(p.Int("exhaustive_limit")),
+			Samples:         p.Int("samples"),
+			Seed:            opt.Seed,
+		})
+		if err != nil && rep == nil {
+			return rowOut{hardErr: fmt.Errorf("core: sigmaadv %s: %w", p.Name, err)}
+		}
+		out := rowOut{rows: row(
+			p.Name, fmt.Sprint(delta), fmt.Sprint(k), fmt.Sprint(rep.Y),
+			fmt.Sprint(rep.Nodes), fmt.Sprintf("%d^%d", delta-1, rep.Y),
+			fmt.Sprint(rep.Explored), fmt.Sprint(rep.Exhaustive),
+			fmt.Sprint(rep.AdviceBits), fmt.Sprint(err == nil),
+		)}
+		if err != nil {
+			out.rowErr = fmt.Errorf("core: sigmaadv %s: %w", p.Name, err)
+		}
+		return out
+	}))
+}

@@ -223,7 +223,7 @@ func runSelectionAdvice(opt Options) (*Table, error) {
 		if err != nil {
 			return rowOut{hardErr: fmt.Errorf("core: E2 %s: %w", name, err)}
 		}
-		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(opt.shared.eng, g, local.RunSequential)
+		bits, rounds, outputs, err := algorithms.RunSelectionWithAdvice(opt.shared.eng, g, local.RunWith(local.Sequential()))
 		if err != nil {
 			return rowOut{hardErr: fmt.Errorf("core: E2 %s: %w", name, err)}
 		}
@@ -422,7 +422,7 @@ func runUdk(opt Options, points []ParamPoint) (*Table, error) {
 			}
 			return out
 		}
-		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunSequential)
+		bits, rounds, outputs, err := algorithms.RunUdkPortElection(u, local.RunWith(local.Sequential()))
 		if err != nil {
 			return rowOut{hardErr: fmt.Errorf("core: E5 Δ=%d k=%d: %w", delta, k, err)}
 		}

@@ -83,10 +83,11 @@ func TestParsedGridDrivesRun(t *testing.T) {
 	}
 }
 
-// TestCorpusSweepDescriptors: exactly E1, E2 and the census are corpus
-// sweeps, and of those exactly E1 and E2 require feasible corpora.
+// TestCorpusSweepDescriptors: exactly E1, E2, the census and the adversary
+// sweep are corpus sweeps, and of those exactly E1 and E2 require feasible
+// corpora (the adversary explores infeasible relabelings on purpose).
 func TestCorpusSweepDescriptors(t *testing.T) {
-	wantSweep := map[string]bool{"E1": true, "E2": true, "census": true}
+	wantSweep := map[string]bool{"E1": true, "E2": true, "census": true, "adversary": true}
 	wantFeasible := map[string]bool{"E1": true, "E2": true}
 	for _, d := range Experiments() {
 		if d.CorpusSweep != wantSweep[d.Name] {

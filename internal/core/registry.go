@@ -83,6 +83,10 @@ var registry = []Descriptor{
 	{Name: "census", Title: "view-class census — refinement profile of a corpus",
 		CorpusSweep: true,
 		Run:         func(opt Options, _ []ParamPoint) (*Table, error) { return runViewCensus(opt) }},
+	{Name: "adversary", Title: "adversarial port numberings & delivery schedules on a corpus",
+		CorpusSweep: true, Params: AdversaryParams, Run: runAdversary},
+	{Name: "sigmaadv", Title: "adversarial σ-assignments — Port Election across U_{Δ,k} classes",
+		Params: SigmaAdversaryParams, Run: runSigmaAdversary},
 }
 
 // Experiments returns the registered experiments in suite order (E1–E10,

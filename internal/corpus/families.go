@@ -63,6 +63,32 @@ func HypercubeCorpus() *Corpus {
 	return New(specs...)
 }
 
+// SmallCorpus returns the "small" corpus: graphs whose port-relabeling space
+// ∏_v deg(v)! is tiny (2 to 576), so the adversary experiment enumerates
+// every port numbering exhaustively. The family mixes feasible and
+// vertex-transitive members on purpose — feasibility is not invariant under
+// relabeling, and the sweep should witness both outcomes. Nothing here
+// certifies feasibility (zero Traits at registration).
+func SmallCorpus() *Corpus {
+	specs := []Spec{
+		{Name: "path-3", Family: "small", Nodes: 3,
+			Gen: func() *graph.Graph { return graph.Path(3) }}, // space 2
+		{Name: "path-4", Family: "small", Nodes: 4,
+			Gen: func() *graph.Graph { return graph.Path(4) }}, // space 4
+		{Name: "star-4", Family: "small", Nodes: 4,
+			Gen: func() *graph.Graph { return graph.Star(4) }}, // space 6
+		{Name: "ring-4", Family: "small", Nodes: 4,
+			Gen: func() *graph.Graph { return graph.Ring(4) }}, // space 16
+		{Name: "ring-5", Family: "small", Nodes: 5,
+			Gen: func() *graph.Graph { return graph.Ring(5) }}, // space 32
+		{Name: "caterpillar-3", Family: "small", Nodes: 6,
+			Gen: func() *graph.Graph { return graph.Caterpillar(3, []int{1, 0, 2}) }}, // space 24
+		{Name: "grid-2x3", Family: "small", Nodes: 6,
+			Gen: func() *graph.Graph { return graph.Grid(2, 3) }}, // space 576
+	}
+	return New(specs...)
+}
+
 // largeRandomSizes is the size ladder of the largerandom corpus: node and
 // edge counts of seeded class-diverse random connected graphs, up to a
 // million-node instance (m = 1.5n keeps the graphs sparse enough that views

@@ -11,7 +11,7 @@ import (
 // TestRegistryLookup: the built-in registry resolves every family by name in
 // registration order, and unknown names report what is available.
 func TestRegistryLookup(t *testing.T) {
-	want := []string{"default", "torus", "hypercube", "largerandom"}
+	want := []string{"default", "torus", "small", "hypercube", "largerandom"}
 	got := Corpora.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Corpora.Names() = %v, want %v", got, want)

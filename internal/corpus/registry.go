@@ -114,6 +114,9 @@ var Corpora = func() *Registry {
 	// largerandom draws are not screened, so none of them certify it.
 	r.RegisterWithTraits("default", Traits{Feasible: true}, Default)
 	r.Register("torus", func(int64, func(*graph.Graph) bool) *Corpus { return TorusCorpus() })
+	// The small corpus mixes feasible and vertex-transitive graphs by design
+	// (the adversary sweep wants both), so it does not certify feasibility.
+	r.Register("small", func(int64, func(*graph.Graph) bool) *Corpus { return SmallCorpus() })
 	r.Register("hypercube", func(int64, func(*graph.Graph) bool) *Corpus { return HypercubeCorpus() })
 	r.Register("largerandom", func(seed int64, _ func(*graph.Graph) bool) *Corpus { return LargeRandomCorpus(seed) })
 	return r

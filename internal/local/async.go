@@ -15,26 +15,30 @@ type packet struct {
 	payload Message
 }
 
-// RunAsync executes the algorithm without any global round barrier: every node
-// proceeds at its own pace, links deliver messages after arbitrary (randomly
-// scheduled) delays, and the synchronous rounds of the LOCAL model are
-// recovered with time-stamps — the classical α-synchronizer construction the
-// paper alludes to ("the synchronous process of the LOCAL model can be
-// simulated in an asynchronous network using time-stamps").
+// AsyncRandom returns the scheduler without any global round barrier: every
+// node proceeds at its own pace, links deliver messages after arbitrary
+// (randomly scheduled) delays, and the synchronous rounds of the LOCAL model
+// are recovered with time-stamps — the classical α-synchronizer construction
+// the paper alludes to ("the synchronous process of the LOCAL model can be
+// simulated in an asynchronous network using time-stamps"). The delays are
+// driven by Config.Seed.
 //
 // Every node performs exactly cfg.MaxRounds rounds of message exchange (its
 // machine stops being consulted once it terminates), so neighbours always
 // find the messages they wait for. Links are FIFO; the time-stamps are checked
 // and any violation is reported as an error.
-func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
+func AsyncRandom() Scheduler { return asyncScheduler{} }
+
+type asyncScheduler struct{}
+
+func (asyncScheduler) Name() string { return "async-random" }
+
+func (asyncScheduler) Execute(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	n := g.N()
 	if cfg.MaxRounds == 0 {
 		machines := makeMachines(g, factory, cfg)
-		return collect(machines, make([]bool, g.N()), 0), nil
+		return collect(machines, make([]bool, n), make([]int, n), 0), nil
 	}
-	n := g.N()
 	machines := makeMachines(g, factory, cfg)
 
 	// inCh[v][p] is the FIFO link delivering to node v through its port p.
@@ -49,6 +53,7 @@ func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 	}
 
 	halted := make([]bool, n)
+	haltRound := make([]int, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -89,7 +94,10 @@ func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 				}
 				if !done {
 					done = m.Receive(round, inbox)
-					halted[v] = done
+					if done {
+						halted[v] = true
+						haltRound[v] = round
+					}
 				}
 			}
 		}(v)
@@ -100,5 +108,5 @@ func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	return collect(machines, halted, cfg.MaxRounds), nil
+	return collect(machines, halted, haltRound, cfg.MaxRounds), nil
 }

@@ -111,12 +111,14 @@ type engine struct {
 	run  func(*graph.Graph, Factory, Config) (*Result, error)
 }
 
+// engines lists every built-in scheduler through the unified Run entry point,
+// so all scheduler-generic tests cover new schedulers automatically.
 func engines() []engine {
-	return []engine{
-		{"sequential", RunSequential},
-		{"parallel", Run},
-		{"async", RunAsync},
+	es := make([]engine, 0, len(Schedulers()))
+	for _, s := range Schedulers() {
+		es = append(es, engine{s.Name(), RunWith(s)})
 	}
+	return es
 }
 
 func TestMaxDegreeAllEngines(t *testing.T) {
@@ -243,7 +245,9 @@ func TestZeroRounds(t *testing.T) {
 	}
 }
 
-// Property: the three engines produce identical outputs on random graphs.
+// Property: every scheduler agrees with the sequential oracle on random
+// graphs — outputs, halt flags, per-node halt rounds and the reported round
+// count alike.
 func TestEnginesAgreeQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -255,16 +259,70 @@ func TestEnginesAgreeQuick(t *testing.T) {
 		g := graph.RandomConnected(n, m, rng)
 		radius := 1 + rng.Intn(3)
 		cfg := Config{MaxRounds: radius, Seed: seed}
-		seq, err1 := RunSequential(g, newMaxDegreeMachine(radius), cfg)
-		par, err2 := Run(g, newMaxDegreeMachine(radius), cfg)
-		asy, err3 := RunAsync(g, newMaxDegreeMachine(radius), cfg)
-		if err1 != nil || err2 != nil || err3 != nil {
+		oracle, err := RunWith(Sequential())(g, newMaxDegreeMachine(radius), cfg)
+		if err != nil {
 			return false
 		}
-		return reflect.DeepEqual(seq.Outputs, par.Outputs) && reflect.DeepEqual(seq.Outputs, asy.Outputs)
+		for _, s := range Schedulers() {
+			res, err := RunWith(s)(g, newMaxDegreeMachine(radius), cfg)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(oracle.Outputs, res.Outputs) ||
+				!reflect.DeepEqual(oracle.Halted, res.Halted) ||
+				!reflect.DeepEqual(oracle.HaltRound, res.HaltRound) ||
+				oracle.Rounds != res.Rounds {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Partial-round accounting: when nodes halt in different rounds, every
+// scheduler must report the same per-node HaltRound and the same Rounds —
+// including the async scheduler, which keeps exchanging padding rounds up to
+// MaxRounds after all machines halted.
+func TestHaltRoundAccounting(t *testing.T) {
+	g := graph.Star(5) // centre halts in round 4, leaves in round 1
+	want := []int{4, 1, 1, 1, 1}
+	for _, e := range engines() {
+		res, err := e.run(g, func() Machine { return &unevenHaltMachine{} }, Config{MaxRounds: 10, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if !reflect.DeepEqual(res.HaltRound, want) {
+			t.Errorf("%s: HaltRound = %v, want %v", e.name, res.HaltRound, want)
+		}
+		if res.Rounds != 4 {
+			t.Errorf("%s: Rounds = %d, want 4 (max halt round, not MaxRounds)", e.name, res.Rounds)
+		}
+	}
+}
+
+// The deprecated wrappers must stay faithful to their schedulers for the one
+// release they survive.
+func TestDeprecatedWrappers(t *testing.T) {
+	g := graph.Ring(5)
+	cfg := Config{MaxRounds: 2, Seed: 3}
+	seq, err := RunSequential(g, newMaxDegreeMachine(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler = Sequential()
+	unified, err := Run(g, newMaxDegreeMachine(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, unified) {
+		t.Errorf("RunSequential diverges from Run+Sequential(): %+v vs %+v", seq, unified)
+	}
+	cfg.Scheduler = nil
+	if _, err := RunAsync(g, newMaxDegreeMachine(2), cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -7,13 +7,19 @@
 // degree and the advice string common to all nodes. Node identifiers are used
 // only by the simulator for wiring channels and reporting results.
 //
-// Three execution engines share the Machine interface:
+// Run is the single entry point; Config.Scheduler selects who owns the
+// message delivery order. Built-in schedulers share the Machine interface:
 //
-//   - RunSequential: a deterministic single-goroutine reference engine,
-//   - Run: one goroutine per node, one channel per directed edge, a barrier
-//     per round (the natural Go rendering of the model), and
-//   - RunAsync: no global barrier; messages are delayed arbitrarily and nodes
-//     reassemble rounds from time-stamps.
+//   - Sequential(): a deterministic single-goroutine reference engine,
+//   - Synchronous(): one goroutine per node, one channel per directed edge, a
+//     barrier per round (the natural Go rendering of the model), and
+//   - AsyncRandom(): no global barrier; messages are delayed arbitrarily and
+//     nodes reassemble rounds from time-stamps.
+//
+// External packages can plug in their own Scheduler — internal/adversary's
+// interleaving explorer is one — so the package never needs a new entry point
+// per execution strategy. RunSequential and RunAsync remain as deprecated
+// wrappers for one release.
 package local
 
 import (
@@ -59,13 +65,23 @@ type Factory func() Machine
 
 // Result is the outcome of a simulation.
 type Result struct {
-	// Rounds is the number of communication rounds executed.
+	// Rounds is the number of communication rounds of the simulated
+	// synchronous execution: the largest round in which any node ran, i.e.
+	// max(HaltRound) once every node halted, and the number of rounds the
+	// scheduler drove otherwise. Schedulers that deliver rounds unevenly
+	// (async, adversary-driven) report the same value as the lock-step
+	// engines for the same algorithm.
 	Rounds int
 	// Outputs holds each node's output (indexed by the simulator's node ids).
 	Outputs []any
 	// Halted reports whether each node terminated on its own before the
 	// simulator's round limit.
 	Halted []bool
+	// HaltRound records, per node, the round in which Receive returned true
+	// (0 for nodes that never halted). It is filled by every scheduler, so
+	// per-node round accounting stays consistent even when a scheduler
+	// delivers partial rounds.
+	HaltRound []int
 }
 
 // AllHalted reports whether every node terminated.
@@ -86,9 +102,12 @@ type Config struct {
 	MaxRounds int
 	// Advice is the common advice string handed to every node.
 	Advice bitstring.Bits
-	// Seed drives the adversarial message delays of RunAsync (ignored by the
-	// synchronous engines).
+	// Seed drives the randomised message delays of the AsyncRandom scheduler
+	// (ignored by the deterministic schedulers).
 	Seed int64
+	// Scheduler owns the message delivery order. nil selects Synchronous(),
+	// preserving the historical behaviour of Run.
+	Scheduler Scheduler
 }
 
 func (c Config) validate(g *graph.Graph) error {
@@ -110,8 +129,27 @@ func makeMachines(g *graph.Graph, factory Factory, cfg Config) []Machine {
 	return machines
 }
 
-func collect(machines []Machine, halted []bool, rounds int) *Result {
-	res := &Result{Rounds: rounds, Outputs: make([]any, len(machines)), Halted: halted}
+// collect assembles a Result from machine outputs and per-node halt rounds.
+// driven is the number of rounds the scheduler actually drove; when every node
+// halted the reported Rounds is the largest halt round instead, so schedulers
+// that keep exchanging padding rounds (async) or deliver rounds unevenly
+// (adversary-driven) agree with the lock-step reference engine.
+func collect(machines []Machine, halted []bool, haltRound []int, driven int) *Result {
+	res := &Result{
+		Rounds:    driven,
+		Outputs:   make([]any, len(machines)),
+		Halted:    halted,
+		HaltRound: haltRound,
+	}
+	if res.AllHalted() {
+		last := 0
+		for _, r := range haltRound {
+			if r > last {
+				last = r
+			}
+		}
+		res.Rounds = last
+	}
 	for v, m := range machines {
 		res.Outputs[v] = m.Output()
 	}

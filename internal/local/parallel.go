@@ -6,7 +6,7 @@ import (
 	"repro/internal/graph"
 )
 
-// Run executes the algorithm on g with one goroutine per node and one
+// Synchronous returns the scheduler with one goroutine per node and one
 // channel per directed edge, the natural Go rendering of a synchronous
 // message-passing network. Rounds are separated by a barrier driven by the
 // coordinator; within a round every node first pushes one message into each of
@@ -17,10 +17,15 @@ import (
 // Nodes whose machines have terminated keep exchanging nil messages so that
 // their neighbours' channel reads always complete; this mirrors the model, in
 // which a terminated node simply stays silent.
-func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
+//
+// It is the default scheduler when Config.Scheduler is nil.
+func Synchronous() Scheduler { return synchronousScheduler{} }
+
+type synchronousScheduler struct{}
+
+func (synchronousScheduler) Name() string { return "synchronous" }
+
+func (synchronousScheduler) Execute(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 	n := g.N()
 	machines := makeMachines(g, factory, cfg)
 
@@ -85,6 +90,7 @@ func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 	}
 
 	halted := make([]bool, n)
+	haltRound := make([]int, n)
 	rounds := 0
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		if allTrue(halted) {
@@ -96,6 +102,9 @@ func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 		}
 		for i := 0; i < n; i++ {
 			st := <-haltedCh
+			if st.halted && !halted[st.node] {
+				haltRound[st.node] = round
+			}
 			halted[st.node] = st.halted
 		}
 	}
@@ -103,5 +112,5 @@ func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 		close(start[v])
 	}
 	wg.Wait()
-	return collect(machines, halted, rounds), nil
+	return collect(machines, halted, haltRound, rounds), nil
 }

@@ -1,0 +1,68 @@
+package local
+
+import "repro/internal/graph"
+
+// Scheduler owns the message delivery order of a simulation. The three
+// built-in implementations (Sequential, Synchronous, AsyncRandom) reproduce
+// the historical engines; external packages can provide their own — the
+// adversarial interleaving explorer in internal/adversary is a Scheduler
+// that forks the delivery order systematically.
+//
+// An implementation must simulate the synchronous LOCAL model faithfully:
+// every machine observes rounds 1, 2, ... in order, with the round-r inbox
+// assembled from the round-r messages of all neighbours. Only the order in
+// which those deliveries happen (and hence the wall-clock interleaving) is
+// the scheduler's to choose.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment rows and error messages.
+	Name() string
+	// Execute runs the algorithm on g. Run has already validated cfg.
+	Execute(g *graph.Graph, factory Factory, cfg Config) (*Result, error)
+}
+
+// Run executes the algorithm on g under cfg.Scheduler, defaulting to
+// Synchronous() when cfg.Scheduler is nil. It is the single entry point of
+// the package.
+func Run(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	s := cfg.Scheduler
+	if s == nil {
+		s = Synchronous()
+	}
+	return s.Execute(g, factory, cfg)
+}
+
+// RunWith adapts a Scheduler to the plain simulation-function signature used
+// by call sites that are generic over execution engines (e.g. the sim
+// argument of algorithms.RunSelectionWithAdvice). The returned function
+// overrides cfg.Scheduler with s.
+func RunWith(s Scheduler) func(*graph.Graph, Factory, Config) (*Result, error) {
+	return func(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+		cfg.Scheduler = s
+		return Run(g, factory, cfg)
+	}
+}
+
+// Schedulers returns the built-in schedulers, reference engine first. New
+// scheduler-generic tests iterate this list instead of hard-coding engines.
+func Schedulers() []Scheduler {
+	return []Scheduler{Sequential(), Synchronous(), AsyncRandom()}
+}
+
+// RunSequential executes the algorithm with the Sequential scheduler.
+//
+// Deprecated: use Run with Config.Scheduler = Sequential().
+func RunSequential(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	cfg.Scheduler = Sequential()
+	return Run(g, factory, cfg)
+}
+
+// RunAsync executes the algorithm with the AsyncRandom scheduler.
+//
+// Deprecated: use Run with Config.Scheduler = AsyncRandom().
+func RunAsync(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
+	cfg.Scheduler = AsyncRandom()
+	return Run(g, factory, cfg)
+}

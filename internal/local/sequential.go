@@ -2,16 +2,20 @@ package local
 
 import "repro/internal/graph"
 
-// RunSequential executes the algorithm on g with a deterministic,
-// single-goroutine engine. It is the reference implementation against which
-// the concurrent engines are differentially tested.
-func RunSequential(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
+// Sequential returns the deterministic, single-goroutine reference scheduler.
+// It is the oracle against which the concurrent schedulers and the adversarial
+// explorer are differentially tested.
+func Sequential() Scheduler { return sequentialScheduler{} }
+
+type sequentialScheduler struct{}
+
+func (sequentialScheduler) Name() string { return "sequential" }
+
+func (sequentialScheduler) Execute(g *graph.Graph, factory Factory, cfg Config) (*Result, error) {
 	n := g.N()
 	machines := makeMachines(g, factory, cfg)
 	halted := make([]bool, n)
+	haltRound := make([]int, n)
 
 	rounds := 0
 	for round := 1; round <= cfg.MaxRounds; round++ {
@@ -47,10 +51,13 @@ func RunSequential(g *graph.Graph, factory Factory, cfg Config) (*Result, error)
 			if halted[v] {
 				continue
 			}
-			halted[v] = machines[v].Receive(round, inboxes[v])
+			if machines[v].Receive(round, inboxes[v]) {
+				halted[v] = true
+				haltRound[v] = round
+			}
 		}
 	}
-	return collect(machines, halted, rounds), nil
+	return collect(machines, halted, haltRound, rounds), nil
 }
 
 func allTrue(bs []bool) bool {

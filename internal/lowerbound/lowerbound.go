@@ -81,9 +81,10 @@ func FoolSelection(eng *engine.Engine, delta, k, alpha, beta int) (*SelectionFoo
 		return nil, err
 	}
 	out.AdviceBits = bits.Len()
-	res, err := local.RunSequential(gb.G, algorithms.NewSelectionAdviceFactory(), local.Config{
+	res, err := local.Run(gb.G, algorithms.NewSelectionAdviceFactory(), local.Config{
 		MaxRounds: k,
 		Advice:    bits,
+		Scheduler: local.Sequential(),
 	})
 	if err != nil {
 		return nil, err
