@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -22,7 +24,26 @@ func main() {
 	storeDir := flag.String("store", "", "refinement store directory (empty = in-memory only)")
 	seed := flag.Int64("seed", 1, "seed for randomised corpora")
 	workers := flag.Int("workers", 0, "engine signature workers (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	mutexFrac := flag.Int("mutexprofilefraction", 0, "runtime mutex profile fraction (0 = off; effective with -pprof)")
+	blockRate := flag.Int("blockprofilerate", 0, "runtime block profile rate in ns (0 = off; effective with -pprof)")
 	flag.Parse()
+
+	// The profiling side server: pprof stays off the serving mux (and the
+	// serving port) so exposing it is an explicit operational choice, but
+	// when contention regressions need diagnosing in production the mutex
+	// and block profiles are one flag away.
+	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		runtime.SetBlockProfileRate(*blockRate)
+		go func() {
+			log.Printf("pprof listening on %s (mutex fraction %d, block rate %d)",
+				*pprofAddr, *mutexFrac, *blockRate)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("fourshadesd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	eng := engine.New(*workers)
 	var st *store.FileStore

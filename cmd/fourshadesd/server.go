@@ -11,6 +11,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
@@ -25,6 +26,11 @@ import (
 	"repro/internal/store"
 )
 
+// flightShards is the shard count of the flight group: enough that
+// concurrent requests for distinct keys essentially never contend on a
+// deduper mutex. Must be a power of two (the shard index is a hash mask).
+const flightShards = 16
+
 // flightCall is one in-flight computation; joiners wait on done and share
 // val/err.
 type flightCall struct {
@@ -36,35 +42,102 @@ type flightCall struct {
 // flightGroup deduplicates identical in-flight requests: the first caller
 // for a key computes, every concurrent caller with the same key waits for
 // and shares that result. Completed calls are forgotten — persistence of
-// results is the engine's and the store's job, not the deduper's.
+// results is the engine's and the store's job, not the deduper's. The group
+// is sharded by key hash, so requests for different keys take different
+// mutexes and the deduper never becomes the serving bottleneck it exists to
+// remove; identical keys hash to the same shard and still dedupe.
 type flightGroup struct {
+	shards [flightShards]flightShard
+}
+
+type flightShard struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
+}
+
+// shard returns the flight shard of key.
+func (g *flightGroup) shard(key string) *flightShard {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return &g.shards[h.Sum32()&(flightShards-1)]
 }
 
 // do runs fn under key, reporting whether the result was shared from another
 // caller's in-flight computation.
 func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bool, err error) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flightCall)
+	sh := g.shard(key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]*flightCall)
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
+	if c, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
 		<-c.done
 		return c.val, true, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
-	g.m[key] = c
-	g.mu.Unlock()
+	sh.m[key] = c
+	sh.mu.Unlock()
 
 	c.val, c.err = fn()
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err
+}
+
+// respCacheMax bounds the byte-level response cache; overflowing clears the
+// whole cache (it repopulates from the engine's own cache at warm-hit cost,
+// so the penalty of the crude bound is microseconds per entry).
+const respCacheMax = 4096
+
+// respEntry is one precomputed response: the encoded JSON bytes, tagged with
+// the corpus the answer was derived from so Forget can invalidate precisely.
+type respEntry struct {
+	tag  string
+	data []byte
+}
+
+// respCache is the byte-level response cache: for deterministic
+// corpus-derived answers (census and advice of registered corpus members)
+// the daemon stores the final encoded JSON and serves repeats without
+// touching the engine, the JSON encoder, or any lock — a warm corpus answer
+// is one lock-free map read plus a write syscall. Entries are invalidated by
+// corpus tag when a graph is forgotten (POST /v1/forget).
+type respCache struct {
+	m     sync.Map // request key -> *respEntry
+	count atomic.Int64
+}
+
+func (c *respCache) get(key string) ([]byte, bool) {
+	if v, ok := c.m.Load(key); ok {
+		return v.(*respEntry).data, true
+	}
+	return nil, false
+}
+
+func (c *respCache) put(key, tag string, data []byte) {
+	if _, loaded := c.m.Swap(key, &respEntry{tag: tag, data: data}); loaded {
+		return
+	}
+	if c.count.Add(1) > respCacheMax {
+		c.m.Clear()
+		c.count.Store(0)
+	}
+}
+
+// invalidate drops every cached response derived from the tagged corpus.
+func (c *respCache) invalidate(tag string) {
+	c.m.Range(func(k, v any) bool {
+		if v.(*respEntry).tag == tag {
+			if c.m.CompareAndDelete(k, v) {
+				c.count.Add(-1)
+			}
+		}
+		return true
+	})
 }
 
 // server holds the daemon's shared state: one engine (the hot cache every
@@ -81,9 +154,11 @@ type server struct {
 	corpora map[string]*corpus.Corpus
 
 	flight   flightGroup
+	resp     respCache
 	requests atomic.Int64 // POST queries received
 	computed atomic.Int64 // flight computations actually run
 	deduped  atomic.Int64 // queries served by joining an in-flight twin
+	cached   atomic.Int64 // queries served as precomputed response bytes
 }
 
 func newServer(eng *engine.Engine, st *store.FileStore, reg *corpus.Registry, seed int64) *server {
@@ -99,6 +174,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/advice", s.query(s.advice))
 	mux.HandleFunc("POST /v1/indices", s.query(s.indices))
 	mux.HandleFunc("POST /v1/sameview", s.query(s.sameView))
+	mux.HandleFunc("POST /v1/forget", s.handleForget)
 	return mux
 }
 
@@ -137,7 +213,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"requests": s.requests.Load(),
 			"computed": s.computed.Load(),
 			"deduped":  s.deduped.Load(),
+			"cached":   s.cached.Load(),
 		},
+		"cache": s.eng.CacheStats(),
 	}
 	if s.st != nil {
 		resp["store"] = s.st.Stats()
@@ -145,10 +223,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// query wraps a computation endpoint with body-keyed single-flight: two
-// byte-identical requests in flight at once run the computation once and
-// share the answer. The body is bounded — every query here is a graph or a
-// name, not a bulk upload.
+// query wraps a computation endpoint with the two warm layers: the byte
+// cache (corpus-derived answers served as precomputed JSON, no engine, no
+// encoder, no lock) and body-keyed single-flight (two byte-identical
+// requests in flight at once run the computation once and share the answer).
+// The body is bounded — every query here is a graph or a name, not a bulk
+// upload.
 func (s *server) query(compute func(body []byte) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := readBody(r)
@@ -158,6 +238,14 @@ func (s *server) query(compute func(body []byte) (any, error)) http.HandlerFunc 
 		}
 		s.requests.Add(1)
 		key := r.URL.Path + "\x00" + string(body)
+		tag := s.cacheTag(r.URL.Path, body)
+		if tag != "" {
+			if data, ok := s.resp.get(key); ok {
+				s.cached.Add(1)
+				writeJSONBytes(w, data)
+				return
+			}
+		}
 		val, shared, err := s.flight.do(key, func() (any, error) {
 			s.computed.Add(1)
 			return compute(body)
@@ -169,8 +257,87 @@ func (s *server) query(compute func(body []byte) (any, error)) http.HandlerFunc 
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, val)
+		data, err := json.Marshal(val)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		data = append(data, '\n')
+		if tag != "" {
+			s.resp.put(key, tag, data)
+		}
+		writeJSONBytes(w, data)
 	}
+}
+
+// cacheTag decides whether a request's response may be served from the byte
+// cache, returning the corpus it should be tagged with ("" = uncacheable).
+// Only corpus-derived census and advice answers qualify: they are pure
+// functions of the registered corpus (deterministic generators under the
+// daemon's fixed seed), so the bytes stay valid until the corpus's graphs
+// are forgotten. Inline-graph requests are never cached — their graphs are
+// not tracked by any invalidation tag.
+func (s *server) cacheTag(path string, body []byte) string {
+	if path != "/v1/census" && path != "/v1/advice" {
+		return ""
+	}
+	var ref graphRef
+	if err := json.Unmarshal(body, &ref); err != nil {
+		return ""
+	}
+	if ref.Corpus == "" || len(ref.Graph) > 0 {
+		return ""
+	}
+	return ref.Corpus
+}
+
+// writeJSONBytes writes an already-encoded JSON response.
+func writeJSONBytes(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleForget answers POST /v1/forget: drop every cached refinement of one
+// corpus member ({"corpus","name"}) or of a whole corpus ({"corpus"} alone)
+// from the engine, and invalidate the precomputed responses derived from
+// that corpus. The persistent store is untouched — forgotten graphs
+// warm-start from disk on their next query.
+func (s *server) handleForget(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req graphRef
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Corpus == "" || len(req.Graph) > 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("forget needs a corpus (and optionally a member name)"))
+		return
+	}
+	c, err := s.corpusFor(req.Corpus)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	names := c.Names()
+	if req.Name != "" {
+		if !c.Has(req.Name) {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("corpus %q has no graph %q (have %v)", req.Corpus, req.Name, names))
+			return
+		}
+		names = []string{req.Name}
+	}
+	for _, name := range names {
+		s.eng.Forget(c.Graph(name))
+	}
+	s.resp.invalidate(req.Corpus)
+	writeJSON(w, http.StatusOK, map[string]any{"forgotten": len(names)})
 }
 
 func readBody(r *http.Request) ([]byte, error) {

@@ -238,9 +238,10 @@ func TestSingleFlightDedup(t *testing.T) {
 	key := "/v1/census\x00" + body
 
 	inflight := &flightCall{done: make(chan struct{})}
-	srv.flight.mu.Lock()
-	srv.flight.m = map[string]*flightCall{key: inflight}
-	srv.flight.mu.Unlock()
+	sh := srv.flight.shard(key)
+	sh.mu.Lock()
+	sh.m = map[string]*flightCall{key: inflight}
+	sh.mu.Unlock()
 
 	sentinel := censusRow{Name: "shared-sentinel", Nodes: 8}
 	var wg sync.WaitGroup
@@ -282,9 +283,135 @@ func TestSingleFlightDedup(t *testing.T) {
 	if computed, deduped := srv.computed.Load(), srv.deduped.Load(); computed != 0 || deduped != n {
 		t.Errorf("computed=%d deduped=%d, want 0 and %d: every request must join the in-flight call", computed, deduped, n)
 	}
-	srv.flight.mu.Lock()
-	delete(srv.flight.m, key)
-	srv.flight.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// TestFlightGroupSharding pins the sharded deduper's two obligations: the
+// same key always maps to the same shard (identical requests still dedupe —
+// the property TestSingleFlightDedup exercises end to end), and distinct
+// keys actually spread across shards (the contention the sharding exists to
+// remove).
+func TestFlightGroupSharding(t *testing.T) {
+	var g flightGroup
+	distinct := map[*flightShard]bool{}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("/v1/census\x00{\"corpus\":\"default\",\"name\":\"g%d\"}", i)
+		if g.shard(key) != g.shard(key) {
+			t.Fatalf("key %q maps to different shards on repeat calls", key)
+		}
+		distinct[g.shard(key)] = true
+	}
+	if len(distinct) < flightShards/2 {
+		t.Errorf("256 distinct keys landed on %d shards, want a spread over most of %d", len(distinct), flightShards)
+	}
+	// Concurrent identical keys on the sharded group still collapse to one
+	// computation.
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go g.do("same-key", func() (any, error) {
+		started.Done()
+		<-release
+		return "first", nil
+	})
+	started.Wait()
+	var joined sync.WaitGroup
+	shared := make([]bool, 8)
+	for i := range shared {
+		joined.Add(1)
+		go func(i int) {
+			defer joined.Done()
+			v, wasShared, err := g.do("same-key", func() (any, error) { return "second", nil })
+			shared[i] = wasShared && v == "first" && err == nil
+		}(i)
+	}
+	// The joiners block on the in-flight call; give them a moment to enqueue,
+	// then release. (A joiner that raced past and computed reports false.)
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	close(release)
+	joined.Wait()
+	for i, ok := range shared {
+		if !ok {
+			t.Errorf("goroutine %d did not share the in-flight result", i)
+		}
+	}
+}
+
+// TestResponseCache: a corpus-member census is served from the byte cache on
+// repeat (identical bytes, no recomputation), inline-graph requests are
+// never cached, and POST /v1/forget invalidates the corpus's cached bytes
+// along with the engine's refinements.
+func TestResponseCache(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	body := `{"corpus":"default","name":"path-8"}`
+
+	get := func() ([]byte, int64) {
+		resp, err := http.Post(ts.URL+"/v1/census", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, srv.cached.Load()
+	}
+	first, cached0 := get()
+	if cached0 != 0 {
+		t.Fatalf("first request served from byte cache (cached=%d)", cached0)
+	}
+	second, cached1 := get()
+	if cached1 != 1 {
+		t.Fatalf("repeat request not served from byte cache (cached=%d)", cached1)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached bytes differ from computed response:\n%s\n%s", first, second)
+	}
+
+	// Inline graphs bypass the cache entirely.
+	inline := fmt.Sprintf(`{"graph":%s}`, ringJSON)
+	postJSON(t, ts, "/v1/census", inline, nil)
+	postJSON(t, ts, "/v1/census", inline, nil)
+	if got := srv.cached.Load(); got != 1 {
+		t.Fatalf("inline request hit the byte cache (cached=%d)", got)
+	}
+
+	// Forgetting the member drops the engine's tables and the cached bytes:
+	// the next request recomputes (cached stays put), and the recomputation
+	// reproduces the same response.
+	var forgotten struct {
+		Forgotten int `json:"forgotten"`
+	}
+	if resp := postJSON(t, ts, "/v1/forget", body, &forgotten); resp.StatusCode != http.StatusOK || forgotten.Forgotten != 1 {
+		t.Fatalf("forget: status %v, forgotten=%d", resp.Status, forgotten.Forgotten)
+	}
+	if srv.eng.Stats().Forgotten == 0 {
+		t.Error("engine reports nothing forgotten after /v1/forget")
+	}
+	third, cached2 := get()
+	if cached2 != 1 {
+		t.Fatalf("post-forget request served stale cached bytes (cached=%d)", cached2)
+	}
+	if !bytes.Equal(first, third) {
+		t.Fatalf("post-forget recomputation changed the response:\n%s\n%s", first, third)
+	}
+
+	// Bad forget requests are client errors.
+	for _, bad := range []string{`{`, `{}`, `{"corpus":"default","name":"no-such"}`, fmt.Sprintf(`{"graph":%s}`, ringJSON)} {
+		resp, err := http.Post(ts.URL+"/v1/forget", "application/json", bytes.NewReader([]byte(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("POST /v1/forget %q: status %v, want a 4xx", bad, resp.Status)
+		}
+	}
 }
 
 // TestFlightGroupSemantics: sequential calls recompute (completed calls are

@@ -1,0 +1,368 @@
+// Command serveload is the closed-loop load generator for fourshadesd: N
+// workers each keep exactly one request in flight against a running daemon,
+// drawing from a weighted endpoint mix, for a fixed duration. It reports
+// throughput (qps) and the latency distribution (p50/p95/p99) per endpoint
+// and overall, as JSON in the BENCH_*.json artifact shape, so the nightly
+// lane's serve axis and the fast lane's smoke step read the same numbers the
+// benchcmp series tracks:
+//
+//	serveload -addr 127.0.0.1:8714 -c 8 -duration 10s \
+//	    -mix census=3,advice=2,sameview=2,corpus=1,stats=1 -out BENCH_serve.json
+//
+// The member-level queries are bootstrapped from the daemon itself (a
+// whole-corpus census names the members), so the mix follows the corpus
+// without hand-kept name lists. Closed-loop means the measured qps is the
+// daemon's capacity at concurrency c, not an open-loop arrival rate: every
+// latency sample gates the next request of its worker.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// endpoint is one entry of the request mix.
+type endpoint struct {
+	name string
+	// build returns the i-th request of this endpoint (method, path, body);
+	// workers cycle i, so per-member endpoints sweep the corpus.
+	build func(i int) (method, path string, body []byte)
+}
+
+// sample is one completed request: which endpoint, how long, and whether it
+// failed (transport error or non-2xx status).
+type sample struct {
+	endpoint int
+	latency  time.Duration
+	failed   bool
+}
+
+// result is one output row in the BENCH artifact shape: ns_per_op carries
+// the mean latency (the field benchcmp compares), and the serving-specific
+// metrics ride along as extra fields the comparator ignores.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"` // completed requests
+	NsPerOp     float64 `json:"ns_per_op"`  // mean latency
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Errors      int64   `json:"errors"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// run is main with injectable streams and an exit code, so the flag, mix and
+// bootstrap error paths are unit-testable: 0 = clean, 1 = the run measured
+// errors (or nothing at all), 2 = usage, bootstrap or I/O error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serveload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8714", "daemon address (host:port)")
+	concurrency := fs.Int("c", 8, "closed-loop workers (one in-flight request each)")
+	duration := fs.Duration("duration", 10*time.Second, "measured load duration")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "unrecorded warmup before measuring")
+	mixSpec := fs.String("mix", "census=3,advice=2,sameview=2,corpus=1,stats=1",
+		"weighted endpoint mix: census, advice, sameview (member-level), corpus (whole-corpus census), stats")
+	corpusName := fs.String("corpus", "default", "registered corpus the member-level queries draw from")
+	out := fs.String("out", "", "write the JSON report here (empty = stdout)")
+	failOnErrors := fs.Bool("fail-on-errors", true, "exit nonzero when any request failed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "serveload: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *concurrency < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "serveload: -c must be >= 1 and -duration > 0")
+		return 2
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	members, err := corpusMembers(client, base, *corpusName)
+	if err != nil {
+		fmt.Fprintf(stderr, "serveload: bootstrapping corpus %q: %v\n", *corpusName, err)
+		return 2
+	}
+	endpoints, schedule, err := buildMix(*mixSpec, *corpusName, members)
+	if err != nil {
+		fmt.Fprintf(stderr, "serveload: %v\n", err)
+		return 2
+	}
+
+	samples := drive(client, base, endpoints, schedule, *concurrency, *warmup, *duration)
+	results := summarise(samples, endpoints, *concurrency, *duration)
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "serveload: no requests completed")
+		return 1
+	}
+
+	data, err := json.MarshalIndent(map[string]any{"bench": results}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "serveload: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "serveload: %v\n", err)
+			return 2
+		}
+	}
+	stdout.Write(data)
+
+	var failed int64
+	for _, r := range results {
+		failed += r.Errors
+	}
+	if failed > 0 && *failOnErrors {
+		fmt.Fprintf(stderr, "serveload: %d request(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// corpusMembers asks the daemon for the corpus's member names via a
+// whole-corpus census — which also warms every member's refinement, so the
+// measured run starts from the daemon's steady serving state.
+func corpusMembers(client *http.Client, base, corpus string) ([]string, error) {
+	body := fmt.Sprintf(`{"corpus":%q}`, corpus)
+	resp, err := client.Post(base+"/v1/census", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("census status %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var census struct {
+		Rows []struct {
+			Name string `json:"name"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&census); err != nil {
+		return nil, err
+	}
+	if len(census.Rows) == 0 {
+		return nil, fmt.Errorf("corpus has no members")
+	}
+	names := make([]string, len(census.Rows))
+	for i, row := range census.Rows {
+		names[i] = row.Name
+	}
+	return names, nil
+}
+
+// buildMix parses the weight spec and returns the endpoint set plus the
+// deterministic weighted schedule the workers cycle through.
+func buildMix(spec, corpus string, members []string) ([]endpoint, []int, error) {
+	memberRef := func(i int) string {
+		return fmt.Sprintf(`{"corpus":%q,"name":%q}`, corpus, members[i%len(members)])
+	}
+	available := map[string]endpoint{
+		"census": {name: "census", build: func(i int) (string, string, []byte) {
+			return http.MethodPost, "/v1/census", []byte(memberRef(i))
+		}},
+		"advice": {name: "advice", build: func(i int) (string, string, []byte) {
+			return http.MethodPost, "/v1/advice", []byte(memberRef(i))
+		}},
+		"sameview": {name: "sameview", build: func(i int) (string, string, []byte) {
+			a, b := members[i%len(members)], members[(i+1)%len(members)]
+			body := fmt.Sprintf(`{"a":{"corpus":%q,"name":%q},"v1":0,"b":{"corpus":%q,"name":%q},"v2":0,"depth":3}`,
+				corpus, a, corpus, b)
+			return http.MethodPost, "/v1/sameview", []byte(body)
+		}},
+		"corpus": {name: "corpus", build: func(i int) (string, string, []byte) {
+			return http.MethodPost, "/v1/census", []byte(fmt.Sprintf(`{"corpus":%q}`, corpus))
+		}},
+		"stats": {name: "stats", build: func(i int) (string, string, []byte) {
+			return http.MethodGet, "/v1/stats", nil
+		}},
+	}
+	var endpoints []endpoint
+	var schedule []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 0 {
+				return nil, nil, fmt.Errorf("bad mix weight %q", part)
+			}
+			weight = w
+		}
+		ep, ok := available[strings.TrimSpace(name)]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown mix endpoint %q (have census, advice, sameview, corpus, stats)", name)
+		}
+		if weight == 0 {
+			continue
+		}
+		idx := len(endpoints)
+		endpoints = append(endpoints, ep)
+		for w := 0; w < weight; w++ {
+			schedule = append(schedule, idx)
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, nil, fmt.Errorf("empty mix %q", spec)
+	}
+	return endpoints, schedule, nil
+}
+
+// drive runs the closed loop: each worker cycles the schedule (offset by
+// worker id, so the mix interleaves across workers), keeping one request in
+// flight, until the deadline. Samples taken during warmup are discarded.
+func drive(client *http.Client, base string, endpoints []endpoint, schedule []int,
+	concurrency int, warmup, duration time.Duration) []sample {
+	start := time.Now()
+	measureFrom := start.Add(warmup)
+	deadline := measureFrom.Add(duration)
+	perWorker := make([][]sample, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				epIdx := schedule[i%len(schedule)]
+				method, path, body := endpoints[epIdx].build(i)
+				t0 := time.Now()
+				if t0.After(deadline) {
+					return
+				}
+				failed := doRequest(client, base, method, path, body)
+				if t1 := time.Now(); t1.After(measureFrom) {
+					perWorker[w] = append(perWorker[w], sample{endpoint: epIdx, latency: t1.Sub(t0), failed: failed})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	return all
+}
+
+// doRequest issues one request and reports failure (transport error or
+// non-2xx). The body is drained so the client's connections are reused —
+// closed-loop numbers with a fresh TCP handshake per request would measure
+// the dialer, not the daemon.
+func doRequest(client *http.Client, base, method, path string, body []byte) (failed bool) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, reader)
+	if err != nil {
+		return true
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return true
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode < 200 || resp.StatusCode >= 300
+}
+
+// summarise folds the samples into one result per endpoint plus the overall
+// row (named ServeLoadMixed, the row the nightly serve artifact tracks).
+func summarise(samples []sample, endpoints []endpoint, concurrency int, duration time.Duration) []result {
+	if len(samples) == 0 {
+		return nil
+	}
+	rows := make([]result, 0, len(endpoints)+1)
+	overall := fold("ServeLoadMixed", samples, concurrency, duration)
+	for i, ep := range endpoints {
+		var sub []sample
+		for _, s := range samples {
+			if s.endpoint == i {
+				sub = append(sub, s)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		rows = append(rows, fold("ServeLoad/"+ep.name, sub, concurrency, duration))
+	}
+	return append(rows, overall)
+}
+
+// fold computes one result row from a sample set.
+func fold(name string, samples []sample, concurrency int, duration time.Duration) result {
+	lat := make([]time.Duration, 0, len(samples))
+	var failed int64
+	var total time.Duration
+	for _, s := range samples {
+		if s.failed {
+			failed++
+			continue
+		}
+		lat = append(lat, s.latency)
+		total += s.latency
+	}
+	r := result{
+		Name:        name,
+		Iterations:  int64(len(lat)),
+		Errors:      failed,
+		Concurrency: concurrency,
+		DurationSec: duration.Seconds(),
+	}
+	if len(lat) == 0 {
+		return r
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	r.NsPerOp = float64(total.Nanoseconds()) / float64(len(lat))
+	r.QPS = float64(len(lat)) / duration.Seconds()
+	r.P50Ms = ms(percentile(lat, 0.50))
+	r.P95Ms = ms(percentile(lat, 0.95))
+	r.P99Ms = ms(percentile(lat, 0.99))
+	return r
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon serves the minimal fourshadesd surface the load generator
+// touches: a whole-corpus census naming two members, member-level census /
+// advice / sameview answers, and stats. It counts requests per path so the
+// tests can assert the mix actually drove traffic.
+func stubDaemon(t *testing.T, failAdvice bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var requests atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/census", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		var req struct {
+			Corpus string `json:"corpus"`
+			Name   string `json:"name"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		if req.Name == "" {
+			w.Write([]byte(`{"rows":[{"name":"path-8"},{"name":"ring-9"}]}`))
+			return
+		}
+		w.Write([]byte(`{"rows":[{"name":"` + req.Name + `"}]}`))
+	})
+	mux.HandleFunc("POST /v1/advice", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if failAdvice {
+			http.Error(w, `{"error":"boom"}`, http.StatusUnprocessableEntity)
+			return
+		}
+		w.Write([]byte(`{"rows":[{"name":"x","advice_bits":3}]}`))
+	})
+	mux.HandleFunc("POST /v1/sameview", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Write([]byte(`{"same":false}`))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Write([]byte(`{"engine":{}}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &requests
+}
+
+func addrOf(ts *httptest.Server) string {
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestRunMeasuresMixedLoad drives the stub daemon for a short closed loop
+// and checks the report: the artifact shape benchcmp reads, nonzero qps,
+// the overall row plus one row per endpoint of the mix, zero errors.
+func TestRunMeasuresMixedLoad(t *testing.T) {
+	ts, requests := stubDaemon(t, false)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addrOf(ts), "-c", "4",
+		"-duration", "300ms", "-warmup", "50ms",
+		"-mix", "census=2,advice=1,sameview=1,stats=1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	var report struct {
+		Bench []result `json:"bench"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a BENCH artifact: %v\n%s", err, stdout.String())
+	}
+	byName := map[string]result{}
+	for _, r := range report.Bench {
+		byName[r.Name] = r
+	}
+	overall, ok := byName["ServeLoadMixed"]
+	if !ok {
+		t.Fatalf("no ServeLoadMixed row in %v", report.Bench)
+	}
+	if overall.QPS <= 0 || overall.Iterations == 0 || overall.NsPerOp <= 0 {
+		t.Errorf("overall row measured nothing: %+v", overall)
+	}
+	if overall.Errors != 0 {
+		t.Errorf("overall row reports %d errors against a healthy stub", overall.Errors)
+	}
+	if overall.P50Ms <= 0 || overall.P99Ms < overall.P50Ms {
+		t.Errorf("latency percentiles inconsistent: %+v", overall)
+	}
+	for _, name := range []string{"ServeLoad/census", "ServeLoad/advice", "ServeLoad/sameview", "ServeLoad/stats"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("mix endpoint %s has no row (have %v)", name, report.Bench)
+		}
+	}
+	if requests.Load() == 0 {
+		t.Error("stub daemon saw no traffic")
+	}
+}
+
+// TestRunReportsErrors: failing endpoints are counted per row and, with
+// -fail-on-errors (the default), fail the run — the property the CI smoke
+// step leans on.
+func TestRunReportsErrors(t *testing.T) {
+	ts, _ := stubDaemon(t, true)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addrOf(ts), "-c", "2",
+		"-duration", "200ms", "-warmup", "0s",
+		"-mix", "advice=1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d against a failing endpoint, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var report struct {
+		Bench []result `json:"bench"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("failing run still must emit the report: %v", err)
+	}
+	var errors int64
+	for _, r := range report.Bench {
+		errors += r.Errors
+	}
+	if errors == 0 {
+		t.Error("no errors recorded in the report rows")
+	}
+}
+
+// TestRunUsageErrors: bad flags, bad mixes and an unreachable daemon are
+// usage/bootstrap errors (exit 2) with a message, before any load is driven.
+func TestRunUsageErrors(t *testing.T) {
+	ts, _ := stubDaemon(t, false)
+	cases := [][]string{
+		{"-addr", addrOf(ts), "-mix", "nosuch=1"},
+		{"-addr", addrOf(ts), "-mix", "census=x"},
+		{"-addr", addrOf(ts), "-mix", ""},
+		{"-addr", addrOf(ts), "-c", "0"},
+		{"-addr", "127.0.0.1:1", "-duration", "100ms"}, // nothing listens there
+		{"-addr", addrOf(ts), "stray-arg"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("run(%v): no diagnostic on stderr", args)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank convention on a known distribution.
+func TestPercentile(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, c := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of empty set = %v, want 0", got)
+	}
+}
+
+// TestBuildMixSchedule: weights expand into the deterministic schedule and
+// zero-weight endpoints drop out.
+func TestBuildMixSchedule(t *testing.T) {
+	endpoints, schedule, err := buildMix("census=2,stats=1,advice=0", "default", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(endpoints) != 2 {
+		t.Fatalf("endpoints = %v, want census and stats only", endpoints)
+	}
+	if len(schedule) != 3 {
+		t.Fatalf("schedule length = %d, want 3 (2+1)", len(schedule))
+	}
+	counts := map[string]int{}
+	for _, idx := range schedule {
+		counts[endpoints[idx].name]++
+	}
+	if counts["census"] != 2 || counts["stats"] != 1 {
+		t.Errorf("schedule weights %v, want census=2 stats=1", counts)
+	}
+}

@@ -174,8 +174,15 @@ func RegisteredCorpusTraits(name string) CorpusTraits { return corpus.Corpora.Tr
 // and the per-round signature computation runs on a worker pool.
 type RefinementEngine = engine.Engine
 
-// EngineStats is a snapshot of an engine's hit/miss/recompute counters.
+// EngineStats is a snapshot of an engine's hit/miss/recompute counters. It
+// is maintained entirely in atomics — reading it never touches the engine's
+// cache locks, so telemetry can poll it against live traffic.
 type EngineStats = engine.Stats
+
+// EngineCacheStats is the exact cache census of an engine — per-shard entry
+// counts and snapshot coverage, gathered by walking the sharded cache. See
+// RefinementEngine.CacheStats; poll EngineStats for the cheap counters.
+type EngineCacheStats = engine.CacheStats
 
 // NewEngine returns a fresh refinement engine whose signature computation
 // uses the given number of workers (0 = GOMAXPROCS). Pass it through
@@ -187,7 +194,8 @@ func NewEngine(workers int) *RefinementEngine { return engine.New(workers) }
 // functions that do not take an explicit engine handle (Feasible,
 // ViewClasses, RunSelectionWithAdvice, UdkPortElection, FoolSelection). It
 // retains the class tables of up to 128 recently used graphs for the life of
-// the process (LRU-bounded); long-lived services streaming many large graphs
+// the process (bounded by a second-chance sweep over per-entry access
+// stamps); long-lived services streaming many large graphs
 // should create per-request engines with NewEngine, or call Reset on this
 // one, instead.
 func DefaultEngine() *RefinementEngine { return engine.Default }

@@ -22,15 +22,28 @@
 //     table instead of being recomputed — refining to depth n-1 on a graph
 //     that stabilises at depth 3 costs 3 rounds, not n-1.
 //
-// The engine keeps hit/miss/step counters (Stats) so tests and experiment
-// reports can assert that each (graph, depth) was refined at most once.
+// The hot path is lock-free: the entry cache is sharded by graph pointer
+// (each shard a sync.Map with a mutex only for insertion and eviction
+// bookkeeping), each entry publishes its computed class tables through an
+// atomic snapshot pointer after every extension, and eviction is an
+// amortized second-chance sweep driven by per-entry atomic access stamps
+// instead of an exact LRU list — so a warm Refine (and everything built on
+// it: ClassAt, NumClassesAt, SameView, Feasible on cached depths, warm
+// SameViewAcross) performs only atomic loads. Per-entry mutexes still
+// serialise extensions, preserving the at-most-once refinement guarantee.
+//
+// The engine keeps hit/miss/step counters (Stats, all atomics — reading
+// them never touches a cache lock; CacheStats walks the shards for the
+// exact cache census) so tests and experiment reports can assert that each
+// (graph, depth) was refined at most once.
 package engine
 
 import (
-	"container/list"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/view"
@@ -43,6 +56,12 @@ import (
 // back tables whose class identifiers mean something else. Bump it whenever
 // the canonical numbering (not just the speed) of the refinement changes.
 const SchemeVersion = 2
+
+// entryShards is the shard count of both the entry cache and the union
+// cache: enough that concurrent warm misses on distinct graphs almost never
+// contend on an insertion mutex, small enough that a full eviction sweep
+// stays trivial. Must be a power of two (the shard index is a hash mask).
+const entryShards = 64
 
 // StoredRefinement is the persisted refinement state of one graph: the class
 // tables for depths 0..len(Classes)-1 and, when the partition stabilised
@@ -74,80 +93,141 @@ type Store interface {
 // Engine is a concurrency-safe, memoizing view-refinement engine. The zero
 // value is not usable; construct instances with New. Independent graphs
 // refine concurrently; concurrent requests for the same graph serialise on a
-// per-graph lock, so no level is ever computed twice.
+// per-graph lock, so no level is ever computed twice — but once a depth is
+// cached, every further query for it is a lock-free snapshot read.
 type Engine struct {
 	workers           int // size of the signature worker pool
 	parallelThreshold int // graphs with fewer nodes refine sequentially
-	maxGraphs         int // cached graphs beyond this evict least-recently-used
+	maxGraphs         int // cached graphs beyond this evict by second-chance sweep
 
-	mu      sync.Mutex
-	entries map[*graph.Graph]*entry
-	lru     *list.List // of *graph.Graph, front = most recently used
+	// The entry cache, sharded by graph pointer. Lookups go through the
+	// shard's sync.Map and take no lock; the shard mutex only serialises
+	// insertion (and the double-check under it), and evictMu serialises the
+	// amortized eviction sweep so concurrent overflows run one sweep, not N.
+	shards  [entryShards]cacheShard
+	graphs  atomic.Int64  // cached graphs across all shards
+	tick    atomic.Uint64 // eviction generation: advances on every insertion
+	evictMu sync.Mutex
 
 	// Cross-graph comparison state: disjoint-union graphs, cached per
-	// unordered graph pair so that repeated SameViewAcross calls (and their
-	// refinements, which live in the ordinary entry cache above) are paid
-	// once. Both orders of a pair key the same record, and byMember indexes
-	// the records by member graph so Forget touches only the unions
-	// involving the forgotten graph — not the whole union map.
-	unionMu  sync.Mutex
-	unions   map[[2]*graph.Graph]*unionRec
-	byMember map[*graph.Graph]map[*unionRec]struct{}
-	unionLRU *list.List // of [2]*graph.Graph in canonical order
+	// unordered graph pair, sharded exactly like the entry cache (both key
+	// orders of a pair hash to the same shard). byMember indexes the records
+	// by member graph — under its own mutex, touched only on insert, evict
+	// and Forget — so Forget touches only the unions involving the forgotten
+	// graph, never the whole union map.
+	unionShards  [entryShards]unionShard
+	unionCount   atomic.Int64
+	unionTick    atomic.Uint64
+	unionEvictMu sync.Mutex
+	memberMu     sync.Mutex
+	byMember     map[*graph.Graph]map[*unionRec]struct{}
 
 	// store, when set (SetStore), persists refinements across processes:
 	// consulted before an entry's first extension, written through after
-	// every extension that computed new levels. Set it before the engine's
-	// first query; it is read without synchronisation afterwards.
-	store Store
+	// every extension that computed new levels. Held in an atomic pointer,
+	// so attaching (or swapping) a store after the first query is safe.
+	store atomic.Pointer[Store]
 
-	hits        atomic.Uint64
-	misses      atomic.Uint64
-	steps       atomic.Uint64
-	shortcuts   atomic.Uint64
-	evictions   atomic.Uint64
-	forgets     atomic.Uint64
-	unionsBuilt atomic.Uint64
-	storeHits   atomic.Uint64
-	storeMisses atomic.Uint64
-	storeSaves  atomic.Uint64
-	storeErrs   atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	steps        atomic.Uint64
+	shortcuts    atomic.Uint64
+	evictions    atomic.Uint64
+	forgets      atomic.Uint64
+	unionsBuilt  atomic.Uint64
+	storeHits    atomic.Uint64
+	storeMisses  atomic.Uint64
+	storeSaves   atomic.Uint64
+	storeErrs    atomic.Uint64
+	cachedDepths atomic.Int64 // levels computed and still cached (evict/forget subtract)
+}
+
+// cacheShard is one shard of the entry cache: a lock-free read map plus a
+// mutex that serialises only insertion bookkeeping.
+type cacheShard struct {
+	entries sync.Map // *graph.Graph -> *entry
+	mu      sync.Mutex
+}
+
+// unionShard is one shard of the union cache; recs holds both key orders of
+// every pair (they hash identically — the shard hash is symmetric).
+type unionShard struct {
+	recs sync.Map // [2]*graph.Graph -> *unionRec
+	mu   sync.Mutex
+}
+
+// shardIndex hashes a graph pointer to its cache shard. Graphs are immutable
+// and cached by identity, so the pointer is the key; the fmix64 finaliser
+// spreads the allocator's aligned, clustered addresses across shards.
+func shardIndex(g *graph.Graph) int {
+	return int(fmix64(uint64(uintptr(unsafe.Pointer(g)))) & (entryShards - 1))
+}
+
+// unionShardIndex hashes an unordered graph pair to its union shard. XOR
+// makes it symmetric: both key orders land in the same shard, so one shard
+// mutex covers a pair's insertion.
+func unionShardIndex(g1, g2 *graph.Graph) int {
+	h := fmix64(uint64(uintptr(unsafe.Pointer(g1)))) ^ fmix64(uint64(uintptr(unsafe.Pointer(g2))))
+	return int(h & (entryShards - 1))
+}
+
+// fmix64 is the MurmurHash3 64-bit finaliser.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// snapshot is the atomically published read-only state of an entry: the
+// class tables computed so far and the stabilisation depth if detected. The
+// per-depth slices are immutable once created, and the snapshot's slice
+// headers bound what readers may index, so a concurrent extension appending
+// deeper tables (under the entry mutex) never races a snapshot reader.
+type snapshot struct {
+	classes  [][]int
+	numClass []int
+	stableAt int // -1 if not yet detected
 }
 
 // unionRec is the cached disjoint union of one unordered graph pair. The
 // union graph is built lazily, at most once, outside the engine locks; the
-// builder (union) owns the build — Forget only ever *reads* u under mu, so a
-// concurrent Forget can never leave a SameViewAcross caller holding a record
-// whose graph was silently skipped (the sync.Once this replaces let Forget
-// consume the once before the builder ran, and Refine(nil, …) panicked).
+// builder owns the build under rec.mu and publishes through the atomic
+// pointer, so warm readers never lock and a concurrent Forget can never
+// leave a SameViewAcross caller holding a half-built record.
 type unionRec struct {
 	a, b *graph.Graph // the canonical order: the union lists a's nodes first
 
-	mu    sync.Mutex
-	built bool
-	u     *graph.Graph
-
-	elem *list.Element
+	mu    sync.Mutex                  // serialises the build
+	u     atomic.Pointer[graph.Graph] // published once built
+	stamp atomic.Uint64               // access generation for second-chance eviction
 }
 
 // union returns the record's disjoint-union graph, building it at most once.
 func (rec *unionRec) union(e *Engine) *graph.Graph {
+	if u := rec.u.Load(); u != nil {
+		return u
+	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	if !rec.built {
-		rec.u = graph.DisjointUnion(rec.a, rec.b)
-		rec.built = true
-		e.unionsBuilt.Add(1)
+	if u := rec.u.Load(); u != nil {
+		return u
 	}
-	return rec.u
+	u := graph.DisjointUnion(rec.a, rec.b)
+	rec.u.Store(u)
+	e.unionsBuilt.Add(1)
+	return u
 }
 
-// entry is the cached refinement state of one graph, grown lazily.
+// entry is the cached refinement state of one graph, grown lazily under mu.
+// Warm readers never take mu: they read the snapshot pointer (published
+// after every extension) and bump the atomic access stamp.
 type entry struct {
 	mu       sync.Mutex
 	classes  [][]int // classes[h][v], len = cached maxdepth + 1
 	numClass []int
-	computed int // levels computed from scratch (excludes stabilisation aliases)
 	stableAt int // smallest h with partition(h) == partition(h+1); -1 if unknown
 	// part is the level-persistent bucketisation state (view.LevelPartition)
 	// carried across extensions, so a later Refine call to a deeper depth
@@ -156,7 +236,6 @@ type entry struct {
 	// the O(n) partition state would be dead weight) and rebuilt from the
 	// deepest cached class table if an unstabilised entry is extended again.
 	part *view.LevelPartition
-	elem *list.Element
 	// key is the graph's content hash, computed once per entry when a store
 	// is attached; consulted marks that the store was asked (hit or miss),
 	// so repeated extensions never re-read persisted state.
@@ -169,6 +248,10 @@ type entry struct {
 	// sum of all prefixes.
 	savedLevels int
 	savedStable bool
+
+	computed atomic.Int64  // levels computed from scratch (excludes aliases); written under mu, read by evict/stats
+	stamp    atomic.Uint64 // access generation for the second-chance eviction sweep
+	snap     atomic.Pointer[snapshot]
 }
 
 // Default is the process-wide shared engine used by callers that do not
@@ -185,11 +268,7 @@ func New(workers int) *Engine {
 		workers:           workers,
 		parallelThreshold: 4096,
 		maxGraphs:         128,
-		entries:           make(map[*graph.Graph]*entry),
-		lru:               list.New(),
-		unions:            make(map[[2]*graph.Graph]*unionRec),
 		byMember:          make(map[*graph.Graph]map[*unionRec]struct{}),
-		unionLRU:          list.New(),
 	}
 }
 
@@ -199,9 +278,24 @@ func New(workers int) *Engine {
 // that computed new levels writes the deepest state back through it. Forget
 // and LRU eviction leave persisted rows intact — persistence is the point; a
 // forgotten graph that is queried again reloads instead of recomputing.
-// Attach the store before the engine's first query; the field is read
-// without synchronisation afterwards.
-func (e *Engine) SetStore(s Store) { e.store = s }
+// The store is held in an atomic pointer, so attaching one after the
+// engine's first query (or from a concurrent goroutine) is safe: extensions
+// in flight at the switch simply complete against the store they loaded.
+func (e *Engine) SetStore(s Store) {
+	if s == nil {
+		e.store.Store(nil)
+		return
+	}
+	e.store.Store(&s)
+}
+
+// loadStore returns the attached store, or nil.
+func (e *Engine) loadStore() Store {
+	if p := e.store.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // OrNew returns e, or a fresh throwaway engine when e is nil. It is the
 // library-wide nil-engine convention: passing nil never shares process-global
@@ -223,7 +317,7 @@ type Stats struct {
 	Misses       uint64 // queries that had to compute at least one level
 	Steps        uint64 // refinement levels computed from scratch
 	Shortcuts    uint64 // levels served by the stabilisation shortcut
-	Evictions    uint64 // cached graphs dropped by the LRU bound
+	Evictions    uint64 // cached graphs dropped by the cache bound's sweep
 	Forgotten    uint64 // cached graphs dropped by explicit Forget calls
 	Graphs       int    // graphs currently cached
 	CachedDepths uint64 // sum over cached graphs of levels computed from scratch
@@ -235,57 +329,101 @@ type Stats struct {
 	StoreErrs    uint64 // store operations that failed (treated as misses)
 }
 
-// Stats returns a snapshot of the counters. When Evictions and Forgotten are
-// zero, Steps == CachedDepths certifies that every (graph, depth) pair was
-// refined at most once since the engine was created (or last Reset).
+// Stats returns a snapshot of the counters. It reads only atomics — no cache
+// lock, no per-entry lock — so daemon telemetry polling it never stalls (or
+// is stalled by) query traffic. When Evictions and Forgotten are zero,
+// Steps == CachedDepths certifies that every (graph, depth) pair was refined
+// at most once since the engine was created (or last Reset). For the exact
+// per-shard cache census (which walks the shards), see CacheStats.
 func (e *Engine) Stats() Stats {
-	s := Stats{
-		Hits:        e.hits.Load(),
-		Misses:      e.misses.Load(),
-		Steps:       e.steps.Load(),
-		Shortcuts:   e.shortcuts.Load(),
-		Evictions:   e.evictions.Load(),
-		Forgotten:   e.forgets.Load(),
-		UnionsBuilt: e.unionsBuilt.Load(),
-		StoreHits:   e.storeHits.Load(),
-		StoreMisses: e.storeMisses.Load(),
-		StoreSaves:  e.storeSaves.Load(),
-		StoreErrs:   e.storeErrs.Load(),
+	return Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Steps:        e.steps.Load(),
+		Shortcuts:    e.shortcuts.Load(),
+		Evictions:    e.evictions.Load(),
+		Forgotten:    e.forgets.Load(),
+		Graphs:       int(e.graphs.Load()),
+		CachedDepths: uint64(e.cachedDepths.Load()),
+		UnionsBuilt:  e.unionsBuilt.Load(),
+		UnionGraphs:  int(e.unionCount.Load()),
+		StoreHits:    e.storeHits.Load(),
+		StoreMisses:  e.storeMisses.Load(),
+		StoreSaves:   e.storeSaves.Load(),
+		StoreErrs:    e.storeErrs.Load(),
 	}
-	e.unionMu.Lock()
-	s.UnionGraphs = e.unionLRU.Len()
-	e.unionMu.Unlock()
-	// Snapshot the entry set first, then sum outside e.mu: holding the
-	// engine-wide lock while waiting on a per-entry lock would stall every
-	// lookup behind the longest in-flight refinement.
-	e.mu.Lock()
-	s.Graphs = len(e.entries)
-	entries := make([]*entry, 0, len(e.entries))
-	for _, ent := range e.entries {
-		entries = append(entries, ent)
+}
+
+// CacheStats is the exact cache census: per-shard entry counts and snapshot
+// coverage, gathered by walking the shards (lock-free sync.Map ranges, but
+// O(cached graphs) — poll Stats for the cheap counters instead).
+type CacheStats struct {
+	Shards          int    // shard count of the entry and union caches
+	Graphs          int    // cached graphs, counted by walking the shards
+	UnionPairs      int    // cached union pairs, counted the same way
+	CachedDepths    uint64 // exact sum of computed levels over cached entries
+	Snapshots       int    // entries with a published (lock-free readable) snapshot
+	StableSnapshots int    // snapshots whose partition has stabilised
+	ShardGraphs     []int  // per-shard entry counts, for balance diagnostics
+}
+
+// CacheStats walks the entry and union shards and returns the exact census.
+// Concurrent inserts and evictions may be counted or missed — it is a
+// diagnostic, not a barrier.
+func (e *Engine) CacheStats() CacheStats {
+	cs := CacheStats{Shards: entryShards, ShardGraphs: make([]int, entryShards)}
+	for i := range e.shards {
+		e.shards[i].entries.Range(func(_, v any) bool {
+			ent := v.(*entry)
+			cs.Graphs++
+			cs.ShardGraphs[i]++
+			cs.CachedDepths += uint64(ent.computed.Load())
+			if s := ent.snap.Load(); s != nil {
+				cs.Snapshots++
+				if s.stableAt >= 0 {
+					cs.StableSnapshots++
+				}
+			}
+			return true
+		})
 	}
-	e.mu.Unlock()
-	for _, ent := range entries {
-		ent.mu.Lock()
-		s.CachedDepths += uint64(ent.computed)
-		ent.mu.Unlock()
+	for i := range e.unionShards {
+		e.unionShards[i].recs.Range(func(k, v any) bool {
+			rec := v.(*unionRec)
+			// Both key orders are stored; count the canonical one only.
+			if k.([2]*graph.Graph)[0] == rec.a {
+				cs.UnionPairs++
+			}
+			return true
+		})
 	}
-	return s
+	return cs
 }
 
 // Reset drops every cached refinement and union graph and zeroes the
 // counters. An attached store stays attached (and untouched): reset clears
-// the in-memory cache, not the persisted rows.
+// the in-memory cache, not the persisted rows. Reset is not a barrier
+// against in-flight queries — callers racing it may briefly repopulate the
+// cache they observed empty.
 func (e *Engine) Reset() {
-	e.mu.Lock()
-	e.entries = make(map[*graph.Graph]*entry)
-	e.lru.Init()
-	e.mu.Unlock()
-	e.unionMu.Lock()
-	e.unions = make(map[[2]*graph.Graph]*unionRec)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.entries.Clear()
+		sh.mu.Unlock()
+	}
+	for i := range e.unionShards {
+		sh := &e.unionShards[i]
+		sh.mu.Lock()
+		sh.recs.Clear()
+		sh.mu.Unlock()
+	}
+	e.memberMu.Lock()
 	e.byMember = make(map[*graph.Graph]map[*unionRec]struct{})
-	e.unionLRU.Init()
-	e.unionMu.Unlock()
+	e.memberMu.Unlock()
+	e.graphs.Store(0)
+	e.unionCount.Store(0)
+	e.cachedDepths.Store(0)
 	e.hits.Store(0)
 	e.misses.Store(0)
 	e.steps.Store(0)
@@ -304,7 +442,7 @@ func (e *Engine) Reset() {
 // graph that is queried again is simply recomputed, so Forget trades time
 // for memory. It is what makes streamed-corpus release effective — dropping
 // a released graph's corpus reference alone would leave its O(n)-per-level
-// class tables (and any union graphs) reachable from the engine until LRU
+// class tables (and any union graphs) reachable from the engine until
 // eviction — so the scenario runner calls it for every graph a corpus
 // release drops. Counted in Stats().Forgotten; like evictions, forgetting
 // voids the Steps == CachedDepths at-most-once certificate. An attached
@@ -318,40 +456,55 @@ func (e *Engine) Forget(g *graph.Graph) {
 	// streamed release calling Forget once per graph costs O(unions touching
 	// g), not O(all cached unions). The union graphs' refinements live in
 	// the ordinary cache and must go with the pair.
-	var unionGraphs []*graph.Graph
-	e.unionMu.Lock()
+	e.memberMu.Lock()
+	recs := make([]*unionRec, 0, len(e.byMember[g]))
 	for rec := range e.byMember[g] {
-		e.removeUnionLocked(rec)
-		// The builder owns the build (see unionRec); here we only read. A
-		// build racing this Forget publishes rec.u under rec.mu: if it wins,
-		// the union graph is collected below; if it loses, the builder's
-		// caller refines a union whose record has left the maps — that
-		// entry lingers until LRU eviction, which is the documented
-		// semantics of racing Forget against in-flight queries.
-		rec.mu.Lock()
-		if rec.u != nil {
-			unionGraphs = append(unionGraphs, rec.u)
-		}
-		rec.mu.Unlock()
+		recs = append(recs, rec)
 	}
-	e.unionMu.Unlock()
-	e.mu.Lock()
+	e.memberMu.Unlock()
+	var unionGraphs []*graph.Graph
+	for _, rec := range recs {
+		if !e.removeUnion(rec) {
+			continue // an eviction or a racing Forget already removed it
+		}
+		// The builder owns the build (see unionRec); here we only read the
+		// published pointer. A build racing this Forget publishes rec.u
+		// atomically: if it wins, the union graph is collected below; if it
+		// loses, the builder's caller refines a union whose record has left
+		// the maps — that entry lingers until eviction, which is the
+		// documented semantics of racing Forget against in-flight queries.
+		if u := rec.u.Load(); u != nil {
+			unionGraphs = append(unionGraphs, u)
+		}
+	}
 	for _, target := range append(unionGraphs, g) {
-		if ent, ok := e.entries[target]; ok {
-			e.lru.Remove(ent.elem)
-			delete(e.entries, target)
+		sh := &e.shards[shardIndex(target)]
+		if v, ok := sh.entries.LoadAndDelete(target); ok {
+			ent := v.(*entry)
+			e.graphs.Add(-1)
+			e.cachedDepths.Add(-ent.computed.Load())
 			e.forgets.Add(1)
 		}
 	}
-	e.mu.Unlock()
 }
 
-// removeUnionLocked unlinks one union record from every index: both key
-// orders, the LRU list and the per-member sets. Caller holds unionMu.
-func (e *Engine) removeUnionLocked(rec *unionRec) {
-	delete(e.unions, [2]*graph.Graph{rec.a, rec.b})
-	delete(e.unions, [2]*graph.Graph{rec.b, rec.a})
-	e.unionLRU.Remove(rec.elem)
+// removeUnion unlinks one union record from every index: both key orders in
+// its shard and the per-member sets. It reports whether this call removed
+// the record (false when an eviction or another Forget got there first), so
+// the union count is decremented exactly once per record.
+func (e *Engine) removeUnion(rec *unionRec) bool {
+	sh := &e.unionShards[unionShardIndex(rec.a, rec.b)]
+	sh.mu.Lock()
+	removed := sh.recs.CompareAndDelete([2]*graph.Graph{rec.a, rec.b}, rec)
+	if removed {
+		sh.recs.CompareAndDelete([2]*graph.Graph{rec.b, rec.a}, rec)
+	}
+	sh.mu.Unlock()
+	if !removed {
+		return false
+	}
+	e.unionCount.Add(-1)
+	e.memberMu.Lock()
 	for _, m := range [...]*graph.Graph{rec.a, rec.b} {
 		if set := e.byMember[m]; set != nil {
 			delete(set, rec)
@@ -360,16 +513,44 @@ func (e *Engine) removeUnionLocked(rec *unionRec) {
 			}
 		}
 	}
+	e.memberMu.Unlock()
+	return true
+}
+
+// touch records an access for the second-chance eviction sweep: the entry's
+// stamp is brought up to the current generation (which advances only on
+// insertions, so steady-state warm hits compare two atomics and write
+// nothing — the common case is a read-only touch).
+func (e *Engine) touch(ent *entry) {
+	if t := e.tick.Load(); ent.stamp.Load() != t {
+		ent.stamp.Store(t)
+	}
 }
 
 // Refine returns a refinement of g covering depths 0..depth, computing only
 // the levels not already cached. The returned Refinement shares the cached
-// per-depth tables; callers must not modify them.
+// per-depth tables; callers must not modify them. A warm call — the depth is
+// covered by the entry's published snapshot — takes no lock at all.
 func (e *Engine) Refine(g *graph.Graph, depth int) *view.Refinement {
 	if depth < 0 {
 		panic("engine: negative depth")
 	}
-	ent := e.entryFor(g)
+	sh := &e.shards[shardIndex(g)]
+	if v, ok := sh.entries.Load(g); ok {
+		ent := v.(*entry)
+		e.touch(ent)
+		if s := ent.snap.Load(); s != nil && len(s.classes) > depth {
+			e.hits.Add(1)
+			return view.NewRefinement(g, s.classes[:depth+1], s.numClass[:depth+1])
+		}
+		return e.refineEntry(g, ent, depth)
+	}
+	return e.refineEntry(g, e.entryFor(g, sh), depth)
+}
+
+// refineEntry is the locked slow path of Refine: extend under the per-entry
+// mutex if the cached tables do not reach depth yet.
+func (e *Engine) refineEntry(g *graph.Graph, ent *entry, depth int) *view.Refinement {
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	if len(ent.classes)-1 >= depth {
@@ -381,40 +562,103 @@ func (e *Engine) Refine(g *graph.Graph, depth int) *view.Refinement {
 	return view.NewRefinement(g, ent.classes[:depth+1], ent.numClass[:depth+1])
 }
 
-// entryFor returns the cache entry of g, creating (and LRU-evicting) as
-// needed. The entry is returned unlocked and possibly still empty: all O(n)
-// classification work happens later under the per-entry lock, so the
-// engine-wide critical section stays O(1).
-func (e *Engine) entryFor(g *graph.Graph) *entry {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ent, ok := e.entries[g]; ok {
-		e.lru.MoveToFront(ent.elem)
+// lookup returns the cached entry of g, or nil, without creating one.
+func (e *Engine) lookup(g *graph.Graph) *entry {
+	if v, ok := e.shards[shardIndex(g)].entries.Load(g); ok {
+		return v.(*entry)
+	}
+	return nil
+}
+
+// entryFor returns the cache entry of g, creating (and evicting) as needed.
+// The entry is returned unlocked and possibly still empty: all O(n)
+// classification work happens later under the per-entry lock, so the shard
+// critical section stays O(1).
+func (e *Engine) entryFor(g *graph.Graph, sh *cacheShard) *entry {
+	sh.mu.Lock()
+	if v, ok := sh.entries.Load(g); ok {
+		sh.mu.Unlock()
+		ent := v.(*entry)
+		e.touch(ent)
 		return ent
 	}
 	ent := &entry{stableAt: -1}
-	ent.elem = e.lru.PushFront(g)
-	e.entries[g] = ent
-	for len(e.entries) > e.maxGraphs {
-		oldest := e.lru.Back()
-		old := oldest.Value.(*graph.Graph)
-		e.lru.Remove(oldest)
-		delete(e.entries, old)
-		e.evictions.Add(1)
+	ent.stamp.Store(e.tick.Add(1))
+	sh.entries.Store(g, ent)
+	count := e.graphs.Add(1)
+	sh.mu.Unlock()
+	if int(count) > e.maxGraphs {
+		e.evictEntries()
 	}
 	return ent
+}
+
+// evictEntries is the amortized second-chance sweep bounding the entry
+// cache: it walks every shard collecting (entry, stamp) pairs and drops the
+// oldest-generation entries until the cache is back under maxGraphs. Stamps
+// advance on access (touch), so recently used entries survive — an
+// approximate LRU without any per-hit list maintenance. One sweep runs at a
+// time; overflowing inserts racing the sweep simply find the cache already
+// trimmed.
+func (e *Engine) evictEntries() {
+	e.evictMu.Lock()
+	defer e.evictMu.Unlock()
+	over := int(e.graphs.Load()) - e.maxGraphs
+	if over <= 0 {
+		return
+	}
+	type aged struct {
+		g     *graph.Graph
+		ent   *entry
+		stamp uint64
+	}
+	var all []aged
+	for i := range e.shards {
+		e.shards[i].entries.Range(func(k, v any) bool {
+			ent := v.(*entry)
+			all = append(all, aged{k.(*graph.Graph), ent, ent.stamp.Load()})
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].stamp < all[j].stamp })
+	for _, a := range all {
+		if over <= 0 {
+			break
+		}
+		sh := &e.shards[shardIndex(a.g)]
+		if sh.entries.CompareAndDelete(a.g, a.ent) {
+			e.graphs.Add(-1)
+			e.cachedDepths.Add(-a.ent.computed.Load())
+			e.evictions.Add(1)
+			over--
+		}
+	}
+}
+
+// publishLocked publishes the entry's current tables as the lock-free read
+// snapshot. Caller holds ent.mu. The stored slice headers alias ent.classes;
+// later extensions may append in place past the snapshot's length, which
+// snapshot readers never index — the per-depth tables themselves are
+// immutable once created.
+func publishLocked(ent *entry) {
+	if s := ent.snap.Load(); s != nil && len(s.classes) == len(ent.classes) && s.stableAt == ent.stableAt {
+		return
+	}
+	ent.snap.Store(&snapshot{classes: ent.classes, numClass: ent.numClass, stableAt: ent.stableAt})
 }
 
 // extendLocked grows the cached tables of g up to depth. Caller holds ent.mu.
 // With a store attached, the entry's first extension consults the persisted
 // record before computing (a hit warm-starts the tables — loaded levels are
 // neither Steps nor CachedDepths) and any extension that computed new levels
-// writes the deepest state back through.
+// writes the deepest state back through. Every extension republishes the
+// entry's snapshot, so the levels it added are lock-free reads from then on.
 func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
-	if e.store != nil && !ent.consulted {
-		e.consultStoreLocked(g, ent)
+	st := e.loadStore()
+	if st != nil && !ent.consulted {
+		e.consultStoreLocked(st, g, ent)
 	}
-	computedBefore := ent.computed
+	computedBefore := ent.computed.Load()
 	if len(ent.classes) == 0 {
 		classes, num := view.DegreeClasses(g)
 		ent.classes = [][]int{classes}
@@ -455,8 +699,9 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		next, num := ent.part.Step(g, sigs, ent.classes[h-1], workers)
 		ent.classes = append(ent.classes, next)
 		ent.numClass = append(ent.numClass, num)
-		ent.computed++
+		ent.computed.Add(1)
 		e.steps.Add(1)
+		e.cachedDepths.Add(1)
 		// Each level refines the previous one, so an unchanged class count
 		// means an unchanged partition — and it stays fixed forever after.
 		if num == ent.numClass[h-1] {
@@ -465,16 +710,17 @@ func (e *Engine) extendLocked(g *graph.Graph, ent *entry, depth int) {
 		}
 	}
 	view.PutPairSigs(sigs)
-	if e.store != nil && ent.computed > computedBefore {
+	if st != nil && ent.computed.Load() > computedBefore {
 		// Write through on geometric growth and at stabilisation: the total
 		// bytes written stay within a small constant of the final record,
 		// and the stabilised record — the one that answers every depth — is
 		// always persisted.
 		levels := storedLevels(ent)
 		if (ent.stableAt >= 0 && !ent.savedStable) || levels >= 2*ent.savedLevels {
-			e.writeThroughLocked(ent)
+			e.writeThroughLocked(st, ent)
 		}
 	}
+	publishLocked(ent)
 }
 
 // storedLevels returns how many levels of the entry are worth persisting:
@@ -492,12 +738,12 @@ func storedLevels(ent *entry) int {
 // adopting the record when it is deeper than what memory holds. Loaded
 // levels count as neither Steps nor CachedDepths — they were not computed —
 // so a fully warm run reports Stats().Steps == 0. Caller holds ent.mu.
-func (e *Engine) consultStoreLocked(g *graph.Graph, ent *entry) {
+func (e *Engine) consultStoreLocked(st Store, g *graph.Graph, ent *entry) {
 	ent.consulted = true
 	if ent.key == "" {
 		ent.key = graph.ContentHash(g)
 	}
-	rec, ok, err := e.store.Load(ent.key)
+	rec, ok, err := st.Load(ent.key)
 	if err != nil {
 		e.storeErrs.Add(1)
 		return
@@ -534,14 +780,14 @@ func (e *Engine) consultStoreLocked(g *graph.Graph, ent *entry) {
 // stabilisation. Save errors are counted and otherwise ignored — persistence
 // must never turn a computable refinement into a failure. Caller holds
 // ent.mu; the saved slices are shared with the cache and immutable.
-func (e *Engine) writeThroughLocked(ent *entry) {
+func (e *Engine) writeThroughLocked(st Store, ent *entry) {
 	levels := storedLevels(ent)
 	rec := StoredRefinement{
 		Classes:  ent.classes[:levels],
 		NumClass: ent.numClass[:levels],
 		StableAt: ent.stableAt,
 	}
-	if err := e.store.Save(ent.key, rec); err != nil {
+	if err := st.Save(ent.key, rec); err != nil {
 		e.storeErrs.Add(1)
 		return
 	}
@@ -561,8 +807,21 @@ func (e *Engine) stabilisationLocked(g *graph.Graph, ent *entry) int {
 
 // StabilisationDepth returns the smallest depth at which the view partition
 // of g stops refining (engine-cached analogue of view.StabilisationDepth).
+// Once detected, the depth is served from the published snapshot without a
+// lock.
 func (e *Engine) StabilisationDepth(g *graph.Graph) int {
-	ent := e.entryFor(g)
+	sh := &e.shards[shardIndex(g)]
+	var ent *entry
+	if v, ok := sh.entries.Load(g); ok {
+		ent = v.(*entry)
+		e.touch(ent)
+		if s := ent.snap.Load(); s != nil && s.stableAt >= 0 {
+			e.hits.Add(1)
+			return s.stableAt
+		}
+	} else {
+		ent = e.entryFor(g, sh)
+	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	if ent.stableAt >= 0 {
@@ -575,13 +834,34 @@ func (e *Engine) StabilisationDepth(g *graph.Graph) int {
 
 // Feasible reports whether leader election is possible in g at all (all
 // infinite views pairwise distinct); engine-cached analogue of the view
-// package's Feasible.
+// package's Feasible. On a cached graph whose partition has stabilised the
+// answer is a lock-free snapshot read.
 func (e *Engine) Feasible(g *graph.Graph) bool {
 	n := g.N()
 	if n == 1 {
 		return true
 	}
-	ent := e.entryFor(g)
+	sh := &e.shards[shardIndex(g)]
+	var ent *entry
+	if v, ok := sh.entries.Load(g); ok {
+		ent = v.(*entry)
+		e.touch(ent)
+		if s := ent.snap.Load(); s != nil {
+			// The class count only grows with depth, so reaching n classes
+			// at any cached depth proves feasibility outright, and a
+			// stabilised partition short of n classes refutes it.
+			if s.numClass[len(s.numClass)-1] == n {
+				e.hits.Add(1)
+				return true
+			}
+			if s.stableAt >= 0 {
+				e.hits.Add(1)
+				return false
+			}
+		}
+	} else {
+		ent = e.entryFor(g, sh)
+	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	extended := false
@@ -625,9 +905,18 @@ func (e *Engine) MinDepthSomeUnique(g *graph.Graph) (int, []int) {
 	}
 }
 
-// stabilisedAt reads the stabilisation depth of g if it has been detected.
+// stabilisedAt reads the stabilisation depth of g if it has been detected —
+// from the published snapshot when there is one, falling back to the locked
+// entry state (an entry that consulted the store may know its depth before
+// its first local extension publishes).
 func (e *Engine) stabilisedAt(g *graph.Graph) (int, bool) {
-	ent := e.entryFor(g)
+	ent := e.lookup(g)
+	if ent == nil {
+		return -1, false
+	}
+	if s := ent.snap.Load(); s != nil {
+		return s.stableAt, s.stableAt >= 0
+	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	return ent.stableAt, ent.stableAt >= 0
@@ -640,7 +929,7 @@ func (e *Engine) UniqueAt(g *graph.Graph, h int) []int {
 
 // ClassAt returns the class identifiers of g's nodes at depth h (shared
 // slice; do not modify) — the engine-cached analogue of
-// view.Refinement.ClassAt.
+// view.Refinement.ClassAt. Warm calls are lock-free snapshot reads.
 func (e *Engine) ClassAt(g *graph.Graph, h int) []int {
 	return e.Refine(g, h).ClassAt(h)
 }
@@ -655,22 +944,39 @@ func (e *Engine) SameView(g *graph.Graph, u, v, h int) bool {
 	return e.Refine(g, h).SameView(u, v, h)
 }
 
+// touchUnion is the union-cache analogue of touch.
+func (e *Engine) touchUnion(rec *unionRec) {
+	if t := e.unionTick.Load(); rec.stamp.Load() != t {
+		rec.stamp.Store(t)
+	}
+}
+
 // unionFor returns the cached union record of the unordered pair {g1, g2},
-// creating (and LRU-evicting) as needed. Both orders of the pair map to the
-// same record; the record is returned with its union graph possibly not yet
-// built — callers materialise it through the record's once, outside the
-// engine locks.
+// creating (and evicting) as needed. Both orders of the pair map to the same
+// record; the record is returned with its union graph possibly not yet
+// built — callers materialise it through union(), outside the engine locks.
+// A warm call is a lock-free shard-map read.
 func (e *Engine) unionFor(g1, g2 *graph.Graph) *unionRec {
-	e.unionMu.Lock()
-	defer e.unionMu.Unlock()
-	if rec, ok := e.unions[[2]*graph.Graph{g1, g2}]; ok {
-		e.unionLRU.MoveToFront(rec.elem)
+	sh := &e.unionShards[unionShardIndex(g1, g2)]
+	key := [2]*graph.Graph{g1, g2}
+	if v, ok := sh.recs.Load(key); ok {
+		rec := v.(*unionRec)
+		e.touchUnion(rec)
+		return rec
+	}
+	sh.mu.Lock()
+	if v, ok := sh.recs.Load(key); ok {
+		sh.mu.Unlock()
+		rec := v.(*unionRec)
+		e.touchUnion(rec)
 		return rec
 	}
 	rec := &unionRec{a: g1, b: g2}
-	rec.elem = e.unionLRU.PushFront([2]*graph.Graph{g1, g2})
-	e.unions[[2]*graph.Graph{g1, g2}] = rec
-	e.unions[[2]*graph.Graph{g2, g1}] = rec
+	rec.stamp.Store(e.unionTick.Add(1))
+	sh.recs.Store(key, rec)
+	sh.recs.Store([2]*graph.Graph{g2, g1}, rec)
+	sh.mu.Unlock()
+	e.memberMu.Lock()
 	for _, m := range [...]*graph.Graph{g1, g2} {
 		set := e.byMember[m]
 		if set == nil {
@@ -679,12 +985,45 @@ func (e *Engine) unionFor(g1, g2 *graph.Graph) *unionRec {
 		}
 		set[rec] = struct{}{}
 	}
-	for e.unionLRU.Len() > e.maxGraphs {
-		oldest := e.unionLRU.Back()
-		pair := oldest.Value.([2]*graph.Graph)
-		e.removeUnionLocked(e.unions[pair])
+	e.memberMu.Unlock()
+	if int(e.unionCount.Add(1)) > e.maxGraphs {
+		e.evictUnions()
 	}
 	return rec
+}
+
+// evictUnions is the second-chance sweep bounding the union cache, the
+// mirror of evictEntries over union records.
+func (e *Engine) evictUnions() {
+	e.unionEvictMu.Lock()
+	defer e.unionEvictMu.Unlock()
+	over := int(e.unionCount.Load()) - e.maxGraphs
+	if over <= 0 {
+		return
+	}
+	type aged struct {
+		rec   *unionRec
+		stamp uint64
+	}
+	var all []aged
+	for i := range e.unionShards {
+		e.unionShards[i].recs.Range(func(k, v any) bool {
+			rec := v.(*unionRec)
+			if k.([2]*graph.Graph)[0] == rec.a { // canonical order only
+				all = append(all, aged{rec, rec.stamp.Load()})
+			}
+			return true
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].stamp < all[j].stamp })
+	for _, a := range all {
+		if over <= 0 {
+			break
+		}
+		if e.removeUnion(a.rec) {
+			over--
+		}
+	}
 }
 
 // SameViewAcross reports whether B^depth(v1) in g1 equals B^depth(v2) in g2.
@@ -694,8 +1033,9 @@ func (e *Engine) unionFor(g1, g2 *graph.Graph) *unionRec {
 // of the union. The union graph is built at most once per unordered graph
 // pair and its refinement obeys the ordinary once-per-(graph, depth) engine
 // invariant, so fooling experiments comparing many node pairs across the same
-// two graphs pay for one refinement in total. Passing the same graph for both
-// sides degenerates to SameView and touches no union state.
+// two graphs pay for one refinement in total — and a warm comparison (record
+// cached, union refined to depth) is lock-free end to end. Passing the same
+// graph for both sides degenerates to SameView and touches no union state.
 func (e *Engine) SameViewAcross(g1 *graph.Graph, v1 int, g2 *graph.Graph, v2, depth int) bool {
 	if depth < 0 {
 		panic("engine: negative depth")

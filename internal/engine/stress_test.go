@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/view"
+)
+
+// The lock-free warm path stress suite. Run under -race these tests are the
+// PR's safety argument: warm hits served from atomic snapshots, cross-graph
+// comparisons through the sharded union cache, Forget, eviction sweeps and
+// telemetry all run concurrently, and every answer is checked against the
+// single-threaded view-package oracles.
+
+// TestWarmHitStress hammers warm hits on a fixed graph set from many
+// goroutines while asserting every returned table against precomputed
+// oracles, then checks the refined-at-most-once certificate: with no
+// eviction or Forget in play, Steps == CachedDepths and the miss count is
+// bounded by one per (graph, depth-extension) chain.
+func TestWarmHitStress(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Torus(8, 8), graph.Ring(48), graph.Path(48),
+		graph.Hypercube(5), graph.Grid(7, 7),
+	}
+	const depth = 5
+	oracles := make([]*view.Refinement, len(graphs))
+	for i, g := range graphs {
+		oracles[i] = view.Refine(g, depth)
+	}
+	eng := New(2)
+	const workers = 16
+	const iters = 400
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (w + it) % len(graphs)
+				g, want := graphs[i], oracles[i]
+				h := (w + it) % (depth + 1)
+				r := eng.Refine(g, h)
+				for v := 0; v < g.N(); v += 7 {
+					if r.ClassAt(h)[v] != want.ClassAt(h)[v] {
+						failures.Add(1)
+						return
+					}
+				}
+				if r.NumClassesAt(h) != want.NumClassesAt(h) {
+					failures.Add(1)
+					return
+				}
+				_ = eng.Stats() // telemetry interleaved with traffic
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d workers observed tables diverging from the view oracle", failures.Load())
+	}
+	s := eng.Stats()
+	if s.Evictions != 0 || s.Forgotten != 0 {
+		t.Fatalf("unexpected cache churn: %+v", s)
+	}
+	if s.Steps != s.CachedDepths {
+		t.Fatalf("at-most-once violated: Steps=%d CachedDepths=%d", s.Steps, s.CachedDepths)
+	}
+	// Every level 1..depth of every graph was produced exactly once — either
+	// computed (a Step) or aliased from the stabilised table (a Shortcut).
+	if got, want := s.Steps+s.Shortcuts, uint64(len(graphs)*depth); got != want {
+		t.Fatalf("Steps+Shortcuts = %d, want %d (each level produced exactly once)", got, want)
+	}
+	cs := eng.CacheStats()
+	if cs.Graphs != len(graphs) {
+		t.Fatalf("CacheStats.Graphs = %d, want %d", cs.Graphs, len(graphs))
+	}
+	if cs.CachedDepths != s.CachedDepths {
+		t.Fatalf("CacheStats.CachedDepths = %d, Stats().CachedDepths = %d", cs.CachedDepths, s.CachedDepths)
+	}
+	if cs.Snapshots != len(graphs) {
+		t.Fatalf("published snapshots = %d, want %d", cs.Snapshots, len(graphs))
+	}
+}
+
+// TestChaosStress runs every mutating operation at once: warm hits and
+// deepening refinements, SameViewAcross through the union cache, Forget of
+// live graphs, eviction pressure from a tiny cache bound, Reset-free stats
+// polling and CacheStats walks. The assertion is consistency, not counts —
+// every answer must match the oracle no matter which operations interleave.
+func TestChaosStress(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Torus(6, 6), graph.Ring(36), graph.Path(36), graph.Star(36),
+		graph.Hypercube(5), graph.Grid(6, 6), graph.Ring(37), graph.Path(37),
+	}
+	const depth = 4
+	oracles := make([]*view.Refinement, len(graphs))
+	for i, g := range graphs {
+		oracles[i] = view.Refine(g, depth)
+	}
+	crossOracle := func(i, j, u, v, h int) bool {
+		un := graph.DisjointUnion(graphs[i], graphs[j])
+		return view.Refine(un, h).SameView(u, graphs[i].N()+v, h)
+	}
+	// Precompute the cross-graph oracle for the checked pairs.
+	type crossKey struct{ i, j, u, v, h int }
+	crossWant := map[crossKey]bool{}
+	for i := range graphs {
+		j := (i + 1) % len(graphs)
+		for h := 0; h <= depth; h++ {
+			crossWant[crossKey{i, j, 0, 0, h}] = crossOracle(i, j, 0, 0, h)
+		}
+	}
+
+	eng := New(2)
+	eng.maxGraphs = 4 // force eviction sweeps to race the readers
+	const workers = 12
+	const iters = 250
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func() { failures.Add(1) }
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (w*31 + it) % len(graphs)
+				g, want := graphs[i], oracles[i]
+				h := (w + it) % (depth + 1)
+				switch it % 6 {
+				case 0, 1, 2: // warm/deepening refinement reads
+					r := eng.Refine(g, h)
+					if r.NumClassesAt(h) != want.NumClassesAt(h) {
+						fail()
+						return
+					}
+					if r.ClassAt(h)[0] != want.ClassAt(h)[0] {
+						fail()
+						return
+					}
+				case 3: // cross-graph comparison through the union cache
+					j := (i + 1) % len(graphs)
+					got := eng.SameViewAcross(graphs[i], 0, graphs[j], 0, h)
+					if got != crossWant[crossKey{i, j, 0, 0, h}] {
+						fail()
+						return
+					}
+				case 4: // drop a live graph mid-traffic
+					eng.Forget(g)
+				case 5: // telemetry walks racing everything above
+					_ = eng.Stats()
+					cs := eng.CacheStats()
+					if cs.StableSnapshots > cs.Snapshots || cs.Graphs < 0 {
+						fail()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d workers observed inconsistent answers under chaos", failures.Load())
+	}
+	// After the storm, the cache must still converge to correct answers.
+	for i, g := range graphs {
+		r := eng.Refine(g, depth)
+		for v := 0; v < g.N(); v++ {
+			if r.ClassAt(depth)[v] != oracles[i].ClassAt(depth)[v] {
+				t.Fatalf("graph %d node %d: post-storm class %d, oracle %d",
+					i, v, r.ClassAt(depth)[v], oracles[i].ClassAt(depth)[v])
+			}
+		}
+	}
+}
+
+// TestSetStoreAfterFirstQuery pins the satellite fix: attaching a store
+// after the engine has already served queries must be safe (atomic pointer
+// publication) and must take effect for subsequent extensions.
+func TestSetStoreAfterFirstQuery(t *testing.T) {
+	eng := New(1)
+	g := graph.Ring(24)
+	eng.Refine(g, 2) // first query, no store attached
+	st := &mapStore{m: map[string]StoredRefinement{}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // concurrent attach...
+		defer wg.Done()
+		eng.SetStore(st)
+	}()
+	go func() { // ...racing live queries
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			eng.Refine(g, 3)
+		}
+	}()
+	wg.Wait()
+	// A graph first seen after the attach must consult and write through.
+	h := graph.Path(24)
+	eng.StabilisationDepth(h)
+	if eng.Stats().StoreSaves == 0 {
+		t.Fatal("store attached after first query was never written through")
+	}
+	// A second engine sharing the store must warm-start from it.
+	eng2 := New(1)
+	eng2.SetStore(st)
+	eng2.StabilisationDepth(graph.Path(24))
+	if s := eng2.Stats(); s.StoreHits == 0 || s.Steps != 0 {
+		t.Fatalf("warm start failed: %+v", s)
+	}
+}
+
+// mapStore is a trivial in-memory Store for the SetStore race test.
+type mapStore struct {
+	mu sync.Mutex
+	m  map[string]StoredRefinement
+}
+
+func (s *mapStore) Load(key string) (StoredRefinement, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[key]
+	return rec, ok, nil
+}
+
+func (s *mapStore) Save(key string, rec StoredRefinement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = rec
+	return nil
+}
